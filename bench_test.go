@@ -1,0 +1,342 @@
+package telcolens
+
+import (
+	"io"
+	"math"
+	"sync"
+	"testing"
+
+	"telcolens/internal/analysis"
+	"telcolens/internal/simulate"
+	"telcolens/internal/stats"
+	"telcolens/internal/trace"
+)
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation against one shared campaign (generated once). Each benchmark
+// measures the cost of recomputing the experiment from the cached scan;
+// BenchmarkScan measures the one-pass trace scan itself.
+var (
+	benchOnce     sync.Once
+	benchAnalyzer *Analyzer
+	benchErr      error
+)
+
+func benchSetup(b *testing.B) *Analyzer {
+	benchOnce.Do(func() {
+		cfg := simulate.DefaultConfig(42)
+		cfg.UEs = 6000
+		cfg.Days = 14
+		var ds *simulate.Dataset
+		ds, benchErr = simulate.Generate(cfg)
+		if benchErr != nil {
+			return
+		}
+		benchAnalyzer, benchErr = analysis.New(ds)
+		if benchErr != nil {
+			return
+		}
+		_, benchErr = benchAnalyzer.Scan() // warm the shared scan
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchAnalyzer
+}
+
+func benchExperiment(b *testing.B, id string) {
+	a := benchSetup(b)
+	e, ok := analysis.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		art, err := e.Run(a)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := art.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// One benchmark per paper table and figure.
+
+func BenchmarkTable1DatasetStats(b *testing.B)       { benchExperiment(b, "table1") }
+func BenchmarkFig3aDeploymentEvolution(b *testing.B) { benchExperiment(b, "fig3a") }
+func BenchmarkFig3bRATUsage(b *testing.B)            { benchExperiment(b, "fig3b") }
+func BenchmarkFig4aManufacturers(b *testing.B)       { benchExperiment(b, "fig4a") }
+func BenchmarkFig4bRATSupport(b *testing.B)          { benchExperiment(b, "fig4b") }
+func BenchmarkFig5PopulationInference(b *testing.B)  { benchExperiment(b, "fig5") }
+func BenchmarkFig6HOsPerKm2(b *testing.B)            { benchExperiment(b, "fig6") }
+func BenchmarkFig7Temporal(b *testing.B)             { benchExperiment(b, "fig7") }
+func BenchmarkTable2HOTypeDevice(b *testing.B)       { benchExperiment(b, "table2") }
+func BenchmarkFig8Duration(b *testing.B)             { benchExperiment(b, "fig8") }
+func BenchmarkFig9DistrictHOTypes(b *testing.B)      { benchExperiment(b, "fig9") }
+func BenchmarkFig10Mobility(b *testing.B)            { benchExperiment(b, "fig10") }
+func BenchmarkFig11Manufacturer(b *testing.B)        { benchExperiment(b, "fig11") }
+func BenchmarkFig12HOFHourly(b *testing.B)           { benchExperiment(b, "fig12") }
+func BenchmarkFig13HOFMobility(b *testing.B)         { benchExperiment(b, "fig13") }
+func BenchmarkFig14aCauses(b *testing.B)             { benchExperiment(b, "fig14a") }
+func BenchmarkFig14bCauseDuration(b *testing.B)      { benchExperiment(b, "fig14b") }
+func BenchmarkFig15CauseBreakdowns(b *testing.B)     { benchExperiment(b, "fig15") }
+func BenchmarkTable3SectorDays(b *testing.B)         { benchExperiment(b, "table3") }
+func BenchmarkTable4UnivariateModel(b *testing.B)    { benchExperiment(b, "table4") }
+func BenchmarkTable5FullModel(b *testing.B)          { benchExperiment(b, "table5") }
+func BenchmarkTable6SummaryStats(b *testing.B)       { benchExperiment(b, "table6") }
+func BenchmarkTable7NoTwoG(b *testing.B)             { benchExperiment(b, "table7") }
+func BenchmarkTable8QuantileReg(b *testing.B)        { benchExperiment(b, "table8") }
+func BenchmarkTable9QuantileRegAll(b *testing.B)     { benchExperiment(b, "table9") }
+func BenchmarkFig16HOFRateECDF(b *testing.B)         { benchExperiment(b, "fig16") }
+func BenchmarkFig17VendorMix(b *testing.B)           { benchExperiment(b, "fig17") }
+func BenchmarkFig18VendorAreaBoxplots(b *testing.B)  { benchExperiment(b, "fig18") }
+func BenchmarkANOVAHOType(b *testing.B)              { benchExperiment(b, "anova") }
+func BenchmarkPingPongExtension(b *testing.B)        { benchExperiment(b, "pingpong") }
+
+// BenchmarkScan measures the single streaming pass that feeds every
+// experiment, in records/sec.
+func BenchmarkScan(b *testing.B) {
+	a := benchSetup(b)
+	total, err := trace.Count(a.DS.Store)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fresh, err := analysis.New(a.DS)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := fresh.Scan(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(total)*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+}
+
+// BenchmarkGenerateDay measures end-to-end generation throughput.
+func BenchmarkGenerateDay(b *testing.B) {
+	cfg := simulate.DefaultConfig(7)
+	cfg.UEs = 1500
+	cfg.Days = 1
+	b.ResetTimer()
+	var handovers int64
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		cfg.Store = nil
+		ds, err := simulate.Generate(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		handovers += ds.TotalHandovers()
+	}
+	b.ReportMetric(float64(handovers)/b.Elapsed().Seconds(), "HOs/s")
+}
+
+// --- Ablation benches (DESIGN.md §5) ---
+
+// BenchmarkAblationQuantileSketch compares exact sample quantiles against
+// the fixed-memory log-histogram sketch on the intra-HO duration stream.
+func BenchmarkAblationQuantileSketch(b *testing.B) {
+	a := benchSetup(b)
+	var durations []float64
+	err := trace.ForEach(a.DS.Store, func(_ int, rec *trace.Record) error {
+		if rec.Result == trace.Success && rec.HOType() == 0 {
+			durations = append(durations, float64(rec.DurationMs))
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = stats.Quantile(durations, 0.95)
+		}
+	})
+	b.Run("loghist", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			h := stats.NewLogHist(0.1, 100000, 400)
+			for _, d := range durations {
+				h.Add(d)
+			}
+			_ = h.Quantile(0.95)
+		}
+	})
+	// Report the approximation error once.
+	h := stats.NewLogHist(0.1, 100000, 400)
+	for _, d := range durations {
+		h.Add(d)
+	}
+	exact := stats.Quantile(durations, 0.95)
+	b.ReportMetric(math.Abs(h.Quantile(0.95)-exact)/exact*100, "sketch_err_pct")
+}
+
+// BenchmarkAblationHomeDetectionWindow sweeps the minimum-nights rule of
+// the §4.3 home-detection algorithm and reports the census R² per setting.
+func BenchmarkAblationHomeDetectionWindow(b *testing.B) {
+	a := benchSetup(b)
+	for _, minNights := range []int{3, 7, 10} {
+		b.Run(nightsLabel(minNights), func(b *testing.B) {
+			var r2 float64
+			for i := 0; i < b.N; i++ {
+				counts, _, err := a.HomeDetection(minNights)
+				if err != nil {
+					b.Fatal(err)
+				}
+				r2 = censusR2(b, a, counts)
+			}
+			b.ReportMetric(r2, "r2")
+		})
+	}
+}
+
+func nightsLabel(n int) string {
+	return "minNights=" + string(rune('0'+n/10)) + string(rune('0'+n%10))
+}
+
+func censusR2(b *testing.B, a *Analyzer, counts []int) float64 {
+	b.Helper()
+	var xs, ys []float64
+	for i, c := range counts {
+		if c > 0 {
+			xs = append(xs, float64(c))
+			ys = append(ys, float64(a.DS.Country.Districts[i].Population))
+		}
+	}
+	X := make([][]float64, len(xs))
+	for i := range xs {
+		X[i] = []float64{xs[i]}
+	}
+	m, err := stats.FitOLS(ys, X, []string{"inferred"}, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m.R2
+}
+
+// BenchmarkAblationCodecVsCSV compares the binary trace codec against CSV
+// export for one day of records (throughput and bytes per record).
+func BenchmarkAblationCodecVsCSV(b *testing.B) {
+	a := benchSetup(b)
+	var recs []trace.Record
+	it, err := a.DS.Store.OpenDay(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var rec trace.Record
+	for {
+		ok, err := it.Next(&rec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		recs = append(recs, rec)
+	}
+	it.Close()
+
+	b.Run("binary", func(b *testing.B) {
+		var n int64
+		for i := 0; i < b.N; i++ {
+			cw := &countingWriter{}
+			w, err := trace.NewWriter(cw)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for j := range recs {
+				if err := w.Write(&recs[j]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := w.Flush(); err != nil {
+				b.Fatal(err)
+			}
+			n = cw.n
+		}
+		b.ReportMetric(float64(n)/float64(len(recs)), "bytes/record")
+	})
+	b.Run("csv", func(b *testing.B) {
+		var n int64
+		for i := 0; i < b.N; i++ {
+			cw := &countingWriter{}
+			if _, err := trace.ExportCSV(cw, &sliceIterator{recs: recs}); err != nil {
+				b.Fatal(err)
+			}
+			n = cw.n
+		}
+		b.ReportMetric(float64(n)/float64(len(recs)), "bytes/record")
+	})
+}
+
+type countingWriter struct{ n int64 }
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	c.n += int64(len(p))
+	return len(p), nil
+}
+
+type sliceIterator struct {
+	recs []trace.Record
+	pos  int
+}
+
+func (it *sliceIterator) Next(rec *trace.Record) (bool, error) {
+	if it.pos >= len(it.recs) {
+		return false, nil
+	}
+	*rec = it.recs[it.pos]
+	it.pos++
+	return true, nil
+}
+
+func (it *sliceIterator) Close() error { return nil }
+
+// BenchmarkAblationRareBoost sweeps the 2G rare-event boost and reports
+// the fitted 3G coefficient, demonstrating the ordering invariance claimed
+// in DESIGN.md (small configs: each iteration generates a fresh campaign).
+func BenchmarkAblationRareBoost(b *testing.B) {
+	for _, boost := range []float64{1, 10, 100} {
+		b.Run(boostLabel(boost), func(b *testing.B) {
+			var coef3G float64
+			for i := 0; i < b.N; i++ {
+				cfg := simulate.DefaultConfig(99)
+				cfg.UEs = 1200
+				cfg.Days = 4
+				cfg.RareBoost = boost
+				ds, err := simulate.Generate(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				an, err := analysis.New(ds)
+				if err != nil {
+					b.Fatal(err)
+				}
+				m, err := an.FitHOTypeModel()
+				if err != nil {
+					b.Fatal(err)
+				}
+				for j, name := range m.Names {
+					if name == "HO type: 4G/5G-NSA->3G" {
+						coef3G = m.Coef[j]
+					}
+				}
+			}
+			b.ReportMetric(coef3G, "coef3G")
+		})
+	}
+}
+
+func boostLabel(f float64) string {
+	switch f {
+	case 1:
+		return "boost=1"
+	case 10:
+		return "boost=10"
+	default:
+		return "boost=100"
+	}
+}

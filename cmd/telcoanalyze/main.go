@@ -1,0 +1,53 @@
+// Command telcoanalyze runs one experiment (a paper table or figure)
+// against a campaign directory produced by telcogen.
+//
+// Usage:
+//
+//	telcoanalyze -data ./campaign -exp fig8
+//	telcoanalyze -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"telcolens"
+)
+
+func main() {
+	var (
+		data = flag.String("data", "campaign", "campaign directory (from telcogen)")
+		exp  = flag.String("exp", "", "experiment id (e.g. table2, fig8)")
+		list = flag.Bool("list", false, "list available experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range telcolens.Experiments() {
+			fmt.Printf("%-8s %-12s %s\n", e.ID, e.PaperRef, e.Title)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "telcoanalyze: -exp required (or -list)")
+		os.Exit(2)
+	}
+
+	ds, err := telcolens.Load(*data)
+	if err != nil {
+		fatal(err)
+	}
+	a, err := telcolens.NewAnalyzer(ds)
+	if err != nil {
+		fatal(err)
+	}
+	if err := telcolens.RunExperiment(*exp, a, os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "telcoanalyze:", err)
+	os.Exit(1)
+}

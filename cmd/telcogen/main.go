@@ -1,0 +1,86 @@
+// Command telcogen generates a synthetic countrywide handover measurement
+// campaign: a four-week (configurable) trace of handover records plus the
+// census open-data CSV, written to a directory that telcoanalyze and
+// telcoreport can reopen.
+//
+// Usage:
+//
+//	telcogen -out ./campaign -seed 42 -ues 20000 -days 28
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"telcolens"
+	"telcolens/internal/census"
+	"telcolens/internal/trace"
+)
+
+func main() {
+	var (
+		out       = flag.String("out", "campaign", "output directory")
+		seed      = flag.Uint64("seed", 42, "deterministic campaign seed")
+		ues       = flag.Int("ues", 20000, "subscriber population size")
+		days      = flag.Int("days", 28, "study window length in days")
+		sites     = flag.Int("sites", 2400, "cell site count")
+		districts = flag.Int("districts", 320, "census districts")
+		rareBoost = flag.Float64("rareboost", 1, "2G fallback probability multiplier (see DESIGN.md)")
+	)
+	flag.Parse()
+
+	cfg := telcolens.DefaultConfig(*seed)
+	cfg.UEs = *ues
+	cfg.Days = *days
+	cfg.SitesTarget = *sites
+	cfg.Districts = *districts
+	cfg.RareBoost = *rareBoost
+
+	store, err := telcolens.NewFileStore(*out)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.Store = store
+
+	start := time.Now()
+	fmt.Printf("generating campaign: seed=%d ues=%d days=%d sites=%d districts=%d\n",
+		*seed, *ues, *days, *sites, *districts)
+	ds, err := telcolens.Generate(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if err := ds.SaveManifest(*out); err != nil {
+		fatal(err)
+	}
+
+	// Census open data alongside the traces.
+	censusPath := filepath.Join(*out, "census.csv")
+	f, err := os.Create(censusPath)
+	if err != nil {
+		fatal(err)
+	}
+	if err := census.WriteCSV(f, ds.Country); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+
+	total, err := trace.Count(ds.Store)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("done in %s: %d handover records over %d days (%d sites, %d sectors, %d UEs)\n",
+		time.Since(start).Round(time.Millisecond), total, *days,
+		len(ds.Network.Sites), len(ds.Network.Sectors), ds.Population.Len())
+	fmt.Printf("wrote %s/, %s and %s/manifest.json\n", *out, censusPath, *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "telcogen:", err)
+	os.Exit(1)
+}

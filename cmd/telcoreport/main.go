@@ -1,0 +1,77 @@
+// Command telcoreport regenerates every table and figure of the paper's
+// evaluation in one run: it either reopens an existing campaign directory
+// or generates a fresh in-memory campaign, then renders all experiments.
+//
+// Usage:
+//
+//	telcoreport                          # fresh campaign, default scale
+//	telcoreport -data ./campaign         # reuse telcogen output
+//	telcoreport -ues 40000 -days 28      # bigger fresh campaign
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"telcolens"
+)
+
+func main() {
+	var (
+		data      = flag.String("data", "", "existing campaign directory (empty = generate fresh)")
+		seed      = flag.Uint64("seed", 42, "seed for fresh campaigns")
+		ues       = flag.Int("ues", 8000, "UEs for fresh campaigns")
+		days      = flag.Int("days", 14, "days for fresh campaigns")
+		rareBoost = flag.Float64("rareboost", 1, "2G fallback multiplier for fresh campaigns")
+		out       = flag.String("out", "", "output file (empty = stdout)")
+	)
+	flag.Parse()
+
+	var (
+		ds  *telcolens.Dataset
+		err error
+	)
+	start := time.Now()
+	if *data != "" {
+		ds, err = telcolens.Load(*data)
+	} else {
+		cfg := telcolens.DefaultConfig(*seed)
+		cfg.UEs = *ues
+		cfg.Days = *days
+		cfg.RareBoost = *rareBoost
+		fmt.Fprintf(os.Stderr, "generating fresh campaign (seed=%d ues=%d days=%d)...\n", *seed, *ues, *days)
+		ds, err = telcolens.Generate(cfg)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "campaign ready in %s\n", time.Since(start).Round(time.Millisecond))
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	bw := bufio.NewWriter(w)
+	defer bw.Flush()
+
+	a, err := telcolens.NewAnalyzer(ds)
+	if err != nil {
+		fatal(err)
+	}
+	if err := telcolens.RunAll(a, bw); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "telcoreport:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,417 @@
+// Package analysis implements the paper's measurement methodology (§4–§6):
+// every table and figure of the evaluation is an Experiment that consumes
+// the generated dataset — streaming the handover trace exactly once into a
+// shared scan state — and produces a report Artifact comparing measured
+// values against the paper's published ones.
+package analysis
+
+import (
+	"fmt"
+	"sync"
+
+	"telcolens/internal/causes"
+	"telcolens/internal/census"
+	"telcolens/internal/devices"
+	"telcolens/internal/geo"
+	"telcolens/internal/ho"
+	"telcolens/internal/mobility"
+	"telcolens/internal/randx"
+	"telcolens/internal/simulate"
+	"telcolens/internal/topology"
+	"telcolens/internal/trace"
+)
+
+// Analyzer wraps a generated dataset with the cached derived views the
+// experiments share. All caches are built lazily by a single streaming
+// pass over the trace.
+type Analyzer struct {
+	DS *simulate.Dataset
+
+	scanOnce sync.Once
+	scanErr  error
+	scan     *scanState
+}
+
+// New returns an Analyzer over the dataset.
+func New(ds *simulate.Dataset) (*Analyzer, error) {
+	if ds == nil {
+		return nil, fmt.Errorf("analysis: nil dataset")
+	}
+	return &Analyzer{DS: ds}, nil
+}
+
+// UEDayMetric is one UE's mobility/performance summary for one day
+// (§3.3): distinct sectors successfully communicated with, radius of
+// gyration over time-weighted sector visits, and HO/HOF counts.
+type UEDayMetric struct {
+	UE         trace.UEID
+	Day        int32
+	Sectors    int32
+	HOs        int32
+	Fails      int32
+	GyrationKm float32
+	NightSite  int32 // site of the first event in [00:00,08:00), -1 if none
+}
+
+// SectorDayRow is one observation of the §6.3 regression dataset: the
+// daily HOF rate of a source sector for one handover type, with the
+// Table 3 covariates resolved.
+type SectorDayRow struct {
+	Sector      topology.SectorID
+	Day         int16
+	Type        ho.Type
+	HOs         int32
+	Fails       int32
+	TotalDayHOs int32 // all HOs of the sector that day (any type)
+	Region      census.Region
+	Area        census.AreaType
+	Vendor      topology.Vendor
+	DistrictPop int32
+}
+
+// HOFRatePct returns the row's failure rate in percent.
+func (r *SectorDayRow) HOFRatePct() float64 {
+	if r.HOs == 0 {
+		return 0
+	}
+	return 100 * float64(r.Fails) / float64(r.HOs)
+}
+
+// causeIdx maps a cause code to a compact index: 0 = long tail ("other"),
+// 1..8 = the main causes.
+func causeIdx(c causes.Code) int {
+	if causes.IsMain(c) {
+		return int(c)
+	}
+	return 0
+}
+
+const nCauseIdx = 9
+
+// scanState is everything the one-pass trace scan accumulates.
+type scanState struct {
+	days      int
+	nUEs      int
+	nSectors  int
+	districts int
+
+	// Totals.
+	totalHOs   int64
+	totalFails int64
+
+	// Per HO type / device type / day.
+	typeCounts      [ho.NumTypes]int64
+	typeDevCounts   [ho.NumTypes][3]int64
+	perDayTypeDev   [][ho.NumTypes][3]int64
+	typeFails       [ho.NumTypes]int64
+	perDayTypeFails [][ho.NumTypes]int64
+
+	// Durations (reservoir-sampled).
+	durSuccess [ho.NumTypes]*reservoir
+	durCause   [nCauseIdx]*reservoir
+
+	// HOF causes per HO type, totals and per day.
+	causeType       [ho.NumTypes][nCauseIdx]int64
+	perDayCauseType [][ho.NumTypes][nCauseIdx]int64
+	// Cause breakdowns for Fig 15.
+	causeByDev  [3][nCauseIdx]int64
+	causeByArea [2][nCauseIdx]int64
+	causeByMfr  map[string]*[2][nCauseIdx]int64 // top-5 smartphone makers × area
+
+	// Temporal (Fig 7, Fig 12).
+	binHOs        [][mobility.BinsPerDay][2]int64 // per day, per 30-min bin, per area
+	binActive     [][mobility.BinsPerDay][2]int32 // distinct active sectors
+	hourHOFs      [][24][2]int64
+	hourActive    [][24][2]int32
+	lastSeenBin   []int32 // per sector: day*48+bin last counted
+	lastSeenHour  []int32
+	vendorByType  [ho.NumTypes][4]int64 // Fig 17 bottom
+	districtHOs   []int64
+	districtFails []int64
+	districtType  [][ho.NumTypes]int64
+
+	// Per-UE window totals (Fig 11, Fig 13).
+	ueHOs   []int32
+	ueFails []int32
+
+	// Per-UE-day metrics.
+	ueDay []UEDayMetric
+
+	// Sector-day regression rows.
+	sectorDay []SectorDayRow
+
+	bytesStored int64
+}
+
+// reservoir is a fixed-size uniform sample of a float stream.
+type reservoir struct {
+	cap  int
+	n    int64
+	data []float64
+	r    *randx.Rand
+}
+
+func newReservoir(capacity int, seed uint64) *reservoir {
+	return &reservoir{cap: capacity, r: randx.New(seed)}
+}
+
+func (rv *reservoir) Add(v float64) {
+	rv.n++
+	if len(rv.data) < rv.cap {
+		rv.data = append(rv.data, v)
+		return
+	}
+	if j := rv.r.Int63n(rv.n); j < int64(rv.cap) {
+		rv.data[j] = v
+	}
+}
+
+// Samples returns the sampled values (not a copy).
+func (rv *reservoir) Samples() []float64 { return rv.data }
+
+// N returns the number of values observed.
+func (rv *reservoir) N() int64 { return rv.n }
+
+// topManufacturers tracked for Fig 11/15 stacked views.
+var topManufacturers = []string{"Apple", "Samsung", "Motorola", "Google", "Huawei"}
+
+// Scan builds all cached views with one pass over the trace store.
+func (a *Analyzer) Scan() (*scanState, error) {
+	a.scanOnce.Do(func() { a.scanErr = a.doScan() })
+	return a.scan, a.scanErr
+}
+
+func (a *Analyzer) doScan() error {
+	ds := a.DS
+	days := ds.Config.Days
+	nSectors := len(ds.Network.Sectors)
+	s := &scanState{
+		days:            days,
+		nUEs:            ds.Population.Len(),
+		nSectors:        nSectors,
+		districts:       len(ds.Country.Districts),
+		perDayTypeDev:   make([][ho.NumTypes][3]int64, days),
+		perDayTypeFails: make([][ho.NumTypes]int64, days),
+		perDayCauseType: make([][ho.NumTypes][nCauseIdx]int64, days),
+		binHOs:          make([][mobility.BinsPerDay][2]int64, days),
+		binActive:       make([][mobility.BinsPerDay][2]int32, days),
+		hourHOFs:        make([][24][2]int64, days),
+		hourActive:      make([][24][2]int32, days),
+		lastSeenBin:     make([]int32, nSectors),
+		lastSeenHour:    make([]int32, nSectors),
+		districtHOs:     make([]int64, len(ds.Country.Districts)),
+		districtFails:   make([]int64, len(ds.Country.Districts)),
+		districtType:    make([][ho.NumTypes]int64, len(ds.Country.Districts)),
+		ueHOs:           make([]int32, ds.Population.Len()),
+		ueFails:         make([]int32, ds.Population.Len()),
+		causeByMfr:      make(map[string]*[2][nCauseIdx]int64),
+	}
+	for i := range s.lastSeenBin {
+		s.lastSeenBin[i] = -1
+		s.lastSeenHour[i] = -1
+	}
+	for i := range s.durSuccess {
+		s.durSuccess[i] = newReservoir(200_000, uint64(1000+i))
+	}
+	for i := range s.durCause {
+		s.durCause[i] = newReservoir(50_000, uint64(2000+i))
+	}
+	for _, m := range topManufacturers {
+		s.causeByMfr[m] = &[2][nCauseIdx]int64{}
+	}
+
+	// Per-UE per-day in-flight state, flushed at day boundaries.
+	type ueState struct {
+		touched   bool
+		sectors   map[topology.SectorID]struct{}
+		hos       int32
+		fails     int32
+		visits    []geo.Visit
+		lastTs    int64
+		lastLoc   geo.Point
+		hasLoc    bool
+		nightSite int32
+	}
+	states := make([]ueState, ds.Population.Len())
+	resetDay := -1
+
+	sectorDayKey := func(sec topology.SectorID, t ho.Type) int64 {
+		return int64(sec)*int64(ho.NumTypes) + int64(t)
+	}
+	type sdAgg struct {
+		hos, fails int32
+	}
+	var sdMap map[int64]*sdAgg
+	var sdTotals map[topology.SectorID]int32
+
+	flushDay := func(day int) {
+		// Sector-day rows.
+		for key, agg := range sdMap {
+			sec := topology.SectorID(key / int64(ho.NumTypes))
+			t := ho.Type(key % int64(ho.NumTypes))
+			sector := ds.Network.Sector(sec)
+			district := ds.Country.District(sector.DistrictID)
+			s.sectorDay = append(s.sectorDay, SectorDayRow{
+				Sector:      sec,
+				Day:         int16(day),
+				Type:        t,
+				HOs:         agg.hos,
+				Fails:       agg.fails,
+				TotalDayHOs: sdTotals[sec],
+				Region:      sector.Region,
+				Area:        sector.Area,
+				Vendor:      sector.Vendor,
+				DistrictPop: int32(district.Population),
+			})
+		}
+		// UE-day metrics.
+		endOfDay := trace.DayStart(day + 1).UnixMilli()
+		for ueIdx := range states {
+			st := &states[ueIdx]
+			if !st.touched {
+				continue
+			}
+			if st.hasLoc {
+				w := float64(endOfDay - st.lastTs)
+				if w > 0 {
+					st.visits = append(st.visits, geo.Visit{Loc: st.lastLoc, Weight: w})
+				}
+			}
+			s.ueDay = append(s.ueDay, UEDayMetric{
+				UE:         trace.UEID(ueIdx),
+				Day:        int32(day),
+				Sectors:    int32(len(st.sectors)),
+				HOs:        st.hos,
+				Fails:      st.fails,
+				GyrationKm: float32(geo.RadiusOfGyrationKm(st.visits)),
+				NightSite:  st.nightSite,
+			})
+			*st = ueState{}
+		}
+	}
+
+	err := trace.ForEach(ds.Store, func(day int, rec *trace.Record) error {
+		if day != resetDay {
+			if resetDay >= 0 {
+				flushDay(resetDay)
+			}
+			resetDay = day
+			sdMap = make(map[int64]*sdAgg, 4096)
+			sdTotals = make(map[topology.SectorID]int32, 2048)
+		}
+		if day >= days {
+			return fmt.Errorf("analysis: record in day %d beyond configured %d days", day, days)
+		}
+		model := ds.Devices.ByTAC(rec.TAC)
+		if model == nil {
+			return fmt.Errorf("analysis: unknown TAC %d", rec.TAC)
+		}
+		src := ds.Network.Sector(rec.Source)
+		hoType := rec.HOType()
+		areaIdx := 0
+		if src.Area == census.Urban {
+			areaIdx = 1
+		}
+
+		s.totalHOs++
+		s.typeCounts[hoType]++
+		s.typeDevCounts[hoType][model.Type]++
+		s.perDayTypeDev[day][hoType][model.Type]++
+		s.vendorByType[hoType][src.Vendor]++
+		s.districtHOs[src.DistrictID]++
+		s.districtType[src.DistrictID][hoType]++
+		s.bytesStored += trace.RecordSize
+
+		// Temporal bins.
+		msOfDay := rec.Timestamp - trace.DayStart(day).UnixMilli()
+		bin := int(msOfDay / (30 * 60 * 1000))
+		if bin < 0 {
+			bin = 0
+		}
+		if bin >= mobility.BinsPerDay {
+			bin = mobility.BinsPerDay - 1
+		}
+		hour := bin / 2
+		s.binHOs[day][bin][areaIdx]++
+		binStamp := int32(day*mobility.BinsPerDay + bin)
+		if s.lastSeenBin[rec.Source] != binStamp {
+			s.lastSeenBin[rec.Source] = binStamp
+			s.binActive[day][bin][areaIdx]++
+		}
+		hourStamp := int32(day*24 + hour)
+		if s.lastSeenHour[rec.Source] != hourStamp {
+			s.lastSeenHour[rec.Source] = hourStamp
+			s.hourActive[day][hour][areaIdx]++
+		}
+
+		// Sector-day aggregation.
+		key := sectorDayKey(rec.Source, hoType)
+		agg := sdMap[key]
+		if agg == nil {
+			agg = &sdAgg{}
+			sdMap[key] = agg
+		}
+		agg.hos++
+		sdTotals[rec.Source]++
+
+		// UE aggregates.
+		s.ueHOs[rec.UE]++
+		st := &states[rec.UE]
+		if !st.touched {
+			st.touched = true
+			st.sectors = make(map[topology.SectorID]struct{}, 16)
+			st.nightSite = -1
+		}
+		st.hos++
+		st.sectors[rec.Source] = struct{}{}
+		if st.nightSite < 0 && hour < 8 {
+			st.nightSite = int32(src.Site)
+		}
+
+		if rec.Result == trace.Failure {
+			s.totalFails++
+			s.typeFails[hoType]++
+			s.perDayTypeFails[day][hoType]++
+			s.districtFails[src.DistrictID]++
+			s.hourHOFs[day][hour][areaIdx]++
+			agg.fails++
+			s.ueFails[rec.UE]++
+			st.fails++
+
+			ci := causeIdx(rec.Cause)
+			s.causeType[hoType][ci]++
+			s.perDayCauseType[day][hoType][ci]++
+			s.causeByDev[model.Type][ci]++
+			s.causeByArea[areaIdx][ci]++
+			if model.Type == devices.Smartphone {
+				if byMfr, ok := s.causeByMfr[model.Manufacturer]; ok {
+					byMfr[areaIdx][ci]++
+				}
+			}
+			s.durCause[ci].Add(float64(rec.DurationMs))
+		} else {
+			s.durSuccess[hoType].Add(float64(rec.DurationMs))
+			st.sectors[rec.Target] = struct{}{}
+			// Visit tracking for gyration: close the previous dwell.
+			loc := ds.Network.Sector(rec.Target).Loc
+			if st.hasLoc {
+				w := float64(rec.Timestamp - st.lastTs)
+				if w > 0 {
+					st.visits = append(st.visits, geo.Visit{Loc: st.lastLoc, Weight: w})
+				}
+			}
+			st.lastLoc = loc
+			st.lastTs = rec.Timestamp
+			st.hasLoc = true
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if resetDay >= 0 {
+		flushDay(resetDay)
+	}
+	a.scan = s
+	return nil
+}

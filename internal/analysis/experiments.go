@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"telcolens/internal/report"
+)
+
+// Experiment regenerates one paper table or figure from a dataset.
+type Experiment struct {
+	ID       string
+	Title    string
+	PaperRef string
+	Run      func(a *Analyzer) (*report.Artifact, error)
+}
+
+var (
+	registry []Experiment
+	byID     = make(map[string]int)
+)
+
+// register wires an experiment body into the registry; the body receives a
+// pre-labelled artifact to fill.
+func register(id, title, paperRef string, run func(a *Analyzer, art *report.Artifact) error) {
+	if _, dup := byID[id]; dup {
+		panic("analysis: duplicate experiment id " + id)
+	}
+	e := Experiment{
+		ID:       id,
+		Title:    title,
+		PaperRef: paperRef,
+		Run: func(a *Analyzer) (*report.Artifact, error) {
+			art := &report.Artifact{ID: id, Title: title, PaperRef: paperRef}
+			if err := run(a, art); err != nil {
+				return nil, err
+			}
+			return art, nil
+		},
+	}
+	byID[id] = len(registry)
+	registry = append(registry, e)
+}
+
+// Experiments lists all registered experiments in registration order
+// (which follows the paper's presentation order).
+func Experiments() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// ByID resolves an experiment, or false.
+func ByID(id string) (Experiment, bool) {
+	idx, ok := byID[id]
+	if !ok {
+		return Experiment{}, false
+	}
+	return registry[idx], true
+}
+
+// IDs returns all experiment IDs sorted alphabetically.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for _, e := range registry {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// RunAll executes every experiment against the analyzer, rendering each
+// artifact to w.
+func RunAll(a *Analyzer, w io.Writer) error {
+	for _, e := range registry {
+		art, err := e.Run(a)
+		if err != nil {
+			return fmt.Errorf("analysis: experiment %s: %w", e.ID, err)
+		}
+		if err := art.Render(w); err != nil {
+			return fmt.Errorf("analysis: rendering %s: %w", e.ID, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,43 @@
+package analysis
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPingPongMonotoneInWindow(t *testing.T) {
+	a := shared(t)
+	var prev int64 = -1
+	for _, w := range []time.Duration{time.Second, 30 * time.Second, 5 * time.Minute} {
+		s, err := a.PingPong(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.PingPongs < prev {
+			t.Fatalf("PP count decreased with a larger window at %v", w)
+		}
+		prev = s.PingPongs
+		if s.Rate() < 0 || s.Rate() > 1 {
+			t.Fatalf("rate %g out of range", s.Rate())
+		}
+	}
+}
+
+func TestPingPongDetectsBounces(t *testing.T) {
+	a := shared(t)
+	// Local random walks bounce between neighbor sites regularly: at a
+	// 5-minute window the PP rate should be visible but far from total.
+	s, err := a.PingPong(5 * time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.PingPongs == 0 {
+		t.Fatal("no ping-pongs detected at a 5-minute window")
+	}
+	if s.Rate() > 0.5 {
+		t.Fatalf("PP rate %.3f implausibly high", s.Rate())
+	}
+	if s.AreaHOs[0]+s.AreaHOs[1] != s.HOs {
+		t.Fatal("area split does not cover all HOs")
+	}
+}

@@ -1,0 +1,70 @@
+// Package ho defines the handover taxonomy the paper analyzes (§5.2): the
+// EPC-side view where every handover originates at a 4G/5G-NSA anchor and
+// targets either another 4G/5G-NSA sector (horizontal) or a legacy 3G/2G
+// sector (vertical downgrade).
+package ho
+
+import (
+	"fmt"
+
+	"telcolens/internal/topology"
+)
+
+// Type classifies a handover by its target RAT, from the 4G EPC's
+// perspective.
+type Type uint8
+
+// Handover types. Intra is horizontal (4G/5G-NSA → 4G/5G-NSA); To3G and
+// To2G are the vertical downgrades the paper dissects.
+const (
+	Intra Type = iota
+	To3G
+	To2G
+	NumTypes
+)
+
+// AllTypes lists handover types in canonical order (also the dummy-coding
+// order of the paper's regressions, with Intra as baseline).
+func AllTypes() []Type { return []Type{Intra, To3G, To2G} }
+
+// String returns the paper's label for the handover type.
+func (t Type) String() string {
+	switch t {
+	case Intra:
+		return "Intra 4G/5G-NSA"
+	case To3G:
+		return "4G/5G-NSA to 3G"
+	case To2G:
+		return "4G/5G-NSA to 2G"
+	default:
+		return fmt.Sprintf("ho.Type(%d)", uint8(t))
+	}
+}
+
+// Classify maps a target RAT to the handover type. The source is always a
+// 4G/5G-NSA anchor in the captured traces (see paper §8: the EPC cannot see
+// upward transitions), so only the target matters. 5G targets are anchored
+// at 4G sectors and therefore count as horizontal.
+func Classify(target topology.RAT) Type {
+	switch target {
+	case topology.TwoG:
+		return To2G
+	case topology.ThreeG:
+		return To3G
+	default:
+		return Intra
+	}
+}
+
+// TargetRAT returns a representative target RAT for the handover type
+// (FourG for horizontal handovers).
+func (t Type) TargetRAT() topology.RAT {
+	switch t {
+	case To2G:
+		return topology.TwoG
+	case To3G:
+		return topology.ThreeG
+	default:
+		return topology.FourG
+	}
+}

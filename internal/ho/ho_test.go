@@ -1,0 +1,55 @@
+package ho
+
+import (
+	"testing"
+
+	"telcolens/internal/topology"
+)
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		target topology.RAT
+		want   Type
+	}{
+		{topology.TwoG, To2G},
+		{topology.ThreeG, To3G},
+		{topology.FourG, Intra},
+		{topology.FiveG, Intra}, // 5G targets are NSA-anchored at 4G
+	}
+	for _, c := range cases {
+		if got := Classify(c.target); got != c.want {
+			t.Errorf("Classify(%s) = %s, want %s", c.target, got, c.want)
+		}
+	}
+}
+
+func TestTargetRATRoundTrip(t *testing.T) {
+	for _, typ := range AllTypes() {
+		if got := Classify(typ.TargetRAT()); got != typ {
+			t.Errorf("Classify(TargetRAT(%s)) = %s", typ, got)
+		}
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if Intra.String() != "Intra 4G/5G-NSA" {
+		t.Fatal("intra label wrong")
+	}
+	if To3G.String() != "4G/5G-NSA to 3G" || To2G.String() != "4G/5G-NSA to 2G" {
+		t.Fatal("vertical labels wrong")
+	}
+	if Type(99).String() == "" {
+		t.Fatal("unknown type has empty label")
+	}
+}
+
+func TestAllTypesOrder(t *testing.T) {
+	types := AllTypes()
+	if len(types) != int(NumTypes) {
+		t.Fatalf("%d types", len(types))
+	}
+	// Dummy-coding order matters for the regressions: intra is baseline.
+	if types[0] != Intra {
+		t.Fatal("intra must be the baseline level")
+	}
+}

@@ -1,0 +1,125 @@
+// Package mobility synthesizes per-UE daily movement: diurnal intensity
+// profiles (the weekday double peak and weekend single peak of Fig 7),
+// mobility-class-specific trajectories over the site graph, and the visit
+// sequences behind the paper's mobility metrics (visited sectors and radius
+// of gyration, Fig 10).
+package mobility
+
+import (
+	"time"
+
+	"telcolens/internal/randx"
+)
+
+// BinsPerDay is the number of 30-minute intervals the paper's temporal
+// analysis uses.
+const BinsPerDay = 48
+
+// anchor is a point of the piecewise-linear diurnal intensity curve.
+type anchor struct {
+	hour float64
+	v    float64
+}
+
+// Weekday profile: ×3 ramp from 06:00 to the 08:00–08:30 peak, secondary
+// peak at 15:00–15:30, ≈11%/30min decline afterwards, trough 02:00–03:30.
+var weekdayAnchors = []anchor{
+	{0, 0.18}, {2, 0.08}, {3.5, 0.08}, {5, 0.16}, {6, 0.30},
+	{8, 1.00}, {8.5, 0.97}, {10, 0.74}, {12.5, 0.80}, {14, 0.86},
+	{15, 0.93}, {15.5, 0.95}, {17, 0.72}, {19, 0.47}, {21, 0.30},
+	{23.5, 0.20}, {24, 0.18},
+}
+
+// Weekend profile: single peak 12:00–13:00 at ≈67% of the weekday peak
+// (the paper's 33% Sunday-vs-Friday reduction), trough 03:00–05:00.
+var weekendAnchors = []anchor{
+	{0, 0.25}, {1, 0.18}, {3, 0.07}, {5, 0.07}, {9, 0.35},
+	{12, 0.64}, {12.5, 0.67}, {13, 0.67}, {15, 0.60}, {18, 0.55},
+	{21, 0.38}, {24, 0.25},
+}
+
+var (
+	weekdayProfile = buildProfile(weekdayAnchors)
+	weekendProfile = buildProfile(weekendAnchors)
+)
+
+func buildProfile(anchors []anchor) [BinsPerDay]float64 {
+	var p [BinsPerDay]float64
+	for b := 0; b < BinsPerDay; b++ {
+		h := (float64(b) + 0.5) / 2 // bin midpoint hour
+		p[b] = interpAnchors(anchors, h)
+	}
+	return p
+}
+
+func interpAnchors(anchors []anchor, h float64) float64 {
+	for i := 1; i < len(anchors); i++ {
+		if h <= anchors[i].hour {
+			lo, hi := anchors[i-1], anchors[i]
+			if hi.hour == lo.hour {
+				return hi.v
+			}
+			f := (h - lo.hour) / (hi.hour - lo.hour)
+			return lo.v + f*(hi.v-lo.v)
+		}
+	}
+	return anchors[len(anchors)-1].v
+}
+
+// IsWeekend reports whether a 0-based study day is a Saturday or Sunday.
+// The study window starts on Monday 29-Jan-2024.
+func IsWeekend(day int) bool {
+	dow := day % 7
+	return dow == 5 || dow == 6
+}
+
+// Intensity returns the 48-bin diurnal movement intensity for a study day
+// (peak-normalized to the weekday maximum).
+func Intensity(day int) [BinsPerDay]float64 {
+	if IsWeekend(day) {
+		return weekendProfile
+	}
+	return weekdayProfile
+}
+
+// DailyVolumeFactor is the ratio of a day's mean intensity to the weekday
+// mean, used to scale per-day move counts (weekends see fewer moves).
+func DailyVolumeFactor(day int) float64 {
+	p := Intensity(day)
+	var sum float64
+	for _, v := range p {
+		sum += v
+	}
+	var wd float64
+	for _, v := range weekdayProfile {
+		wd += v
+	}
+	return sum / wd
+}
+
+// offsetSampler samples a time-of-day offset from a 48-bin profile.
+type offsetSampler struct {
+	choice *randx.WeightedChoice
+}
+
+var (
+	weekdaySampler = mustSampler(weekdayProfile)
+	weekendSampler = mustSampler(weekendProfile)
+)
+
+func mustSampler(p [BinsPerDay]float64) *offsetSampler {
+	return &offsetSampler{choice: randx.MustWeightedChoice(p[:])}
+}
+
+// SampleOffset draws a time offset within the day following the day's
+// diurnal intensity profile, at millisecond granularity.
+func SampleOffset(r *randx.Rand, day int) time.Duration {
+	s := weekdaySampler
+	if IsWeekend(day) {
+		s = weekendSampler
+	}
+	bin := s.choice.Sample(r)
+	binStart := time.Duration(bin) * 30 * time.Minute
+	within := time.Duration(r.Int63n(int64(30 * time.Minute / time.Millisecond)))
+	return binStart + within*time.Millisecond
+}

@@ -1,0 +1,185 @@
+// Package report renders analysis results as terminal-friendly artifacts:
+// aligned tables, compact ASCII series, and paper-vs-measured comparisons.
+// Every experiment in the analysis package produces one Artifact.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a rendered-to-strings result table.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// Series is a named (x, y) sequence standing in for one curve of a paper
+// figure.
+type Series struct {
+	Title  string
+	XLabel string
+	YLabel string
+	X      []float64
+	Y      []float64
+}
+
+// Artifact is the output of one experiment: everything needed to compare
+// against the corresponding paper table or figure.
+type Artifact struct {
+	ID       string // experiment id, e.g. "fig8"
+	Title    string
+	PaperRef string // "Figure 8", "Table 2", ...
+	Notes    []string
+	Tables   []Table
+	Series   []Series
+}
+
+// AddNote appends a free-form note line.
+func (a *Artifact) AddNote(format string, args ...any) {
+	a.Notes = append(a.Notes, fmt.Sprintf(format, args...))
+}
+
+// AddTable appends a table.
+func (a *Artifact) AddTable(t Table) { a.Tables = append(a.Tables, t) }
+
+// AddSeries appends a series.
+func (a *Artifact) AddSeries(s Series) { a.Series = append(a.Series, s) }
+
+// Render writes the artifact as formatted text.
+func (a *Artifact) Render(w io.Writer) error {
+	head := fmt.Sprintf("%s — %s", strings.ToUpper(a.ID), a.Title)
+	if a.PaperRef != "" {
+		head += fmt.Sprintf(" (paper %s)", a.PaperRef)
+	}
+	if _, err := fmt.Fprintf(w, "%s\n%s\n", head, strings.Repeat("=", len([]rune(head)))); err != nil {
+		return err
+	}
+	for _, n := range a.Notes {
+		if _, err := fmt.Fprintf(w, "  %s\n", n); err != nil {
+			return err
+		}
+	}
+	for _, t := range a.Tables {
+		if err := renderTable(w, t); err != nil {
+			return err
+		}
+	}
+	for _, s := range a.Series {
+		if err := renderSeries(w, s); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+func renderTable(w io.Writer, t Table) error {
+	if _, err := fmt.Fprintf(w, "\n  %s\n", t.Title); err != nil {
+		return err
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len([]rune(c))
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len([]rune(cell)) > widths[i] {
+				widths[i] = len([]rune(cell))
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var b strings.Builder
+		b.WriteString("  ")
+		for i, cell := range cells {
+			pad := 0
+			if i < len(widths) {
+				pad = widths[i] - len([]rune(cell))
+			}
+			b.WriteString(cell)
+			b.WriteString(strings.Repeat(" ", pad+2))
+		}
+		return strings.TrimRight(b.String(), " ")
+	}
+	if _, err := fmt.Fprintf(w, "%s\n", line(t.Columns)); err != nil {
+		return err
+	}
+	var total int
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	if _, err := fmt.Fprintf(w, "  %s\n", strings.Repeat("-", total)); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintf(w, "%s\n", line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// renderSeries prints a compact ASCII profile of the curve: up to 24
+// sampled points with a bar proportional to the normalized y value.
+func renderSeries(w io.Writer, s Series) error {
+	if _, err := fmt.Fprintf(w, "\n  %s", s.Title); err != nil {
+		return err
+	}
+	if s.XLabel != "" || s.YLabel != "" {
+		if _, err := fmt.Fprintf(w, "  [x: %s, y: %s]", s.XLabel, s.YLabel); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	n := len(s.X)
+	if n == 0 || len(s.Y) != n {
+		_, err := fmt.Fprintln(w, "    (empty series)")
+		return err
+	}
+	maxY := math.Inf(-1)
+	minY := math.Inf(1)
+	for _, y := range s.Y {
+		maxY = math.Max(maxY, y)
+		minY = math.Min(minY, y)
+	}
+	span := maxY - minY
+	if span == 0 {
+		span = 1
+	}
+	const maxPoints = 24
+	step := 1
+	if n > maxPoints {
+		step = (n + maxPoints - 1) / maxPoints
+	}
+	for i := 0; i < n; i += step {
+		frac := (s.Y[i] - minY) / span
+		bar := strings.Repeat("#", int(frac*40+0.5))
+		if _, err := fmt.Fprintf(w, "    %12.4g  %-40s %.4g\n", s.X[i], bar, s.Y[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FormatFloat renders a value compactly for table cells.
+func FormatFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case v == math.Trunc(v) && math.Abs(v) < 1e9:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 1000 || (math.Abs(v) < 0.01 && v != 0):
+		return fmt.Sprintf("%.3g", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// FormatPct renders a fraction as a percentage cell.
+func FormatPct(frac float64) string { return fmt.Sprintf("%.2f%%", frac*100) }

@@ -1,0 +1,128 @@
+package report
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func sampleArtifact() *Artifact {
+	a := &Artifact{ID: "fig0", Title: "Sample", PaperRef: "Figure 0"}
+	a.AddNote("note with value %.2f", 3.14159)
+	a.AddTable(Table{
+		Title:   "A table",
+		Columns: []string{"Name", "Value"},
+		Rows: [][]string{
+			{"alpha", "1"},
+			{"beta-with-long-name", "2.5"},
+		},
+	})
+	a.AddSeries(Series{
+		Title: "A curve", XLabel: "x", YLabel: "y",
+		X: []float64{1, 2, 3, 4},
+		Y: []float64{0, 1, 4, 9},
+	})
+	return a
+}
+
+func TestRenderContainsEverything(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleArtifact().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"FIG0", "Sample", "Figure 0", "note with value 3.14",
+		"A table", "Name", "beta-with-long-name", "A curve", "[x: x, y: y]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render lacks %q", want)
+		}
+	}
+}
+
+func TestRenderColumnAlignment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleArtifact().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(buf.String(), "\n")
+	// Find header and first data row of the table; "Value" must start at
+	// the same offset as "1".
+	var headerIdx int
+	for i, l := range lines {
+		if strings.Contains(l, "Name") {
+			headerIdx = i
+			break
+		}
+	}
+	header := lines[headerIdx]
+	row := lines[headerIdx+2]
+	col := strings.Index(header, "Value")
+	if col < 0 {
+		t.Fatal("no Value column")
+	}
+	if row[col] != '1' {
+		t.Fatalf("column misaligned: header %q, row %q", header, row)
+	}
+}
+
+func TestRenderEmptySeries(t *testing.T) {
+	a := &Artifact{ID: "x", Title: "t"}
+	a.AddSeries(Series{Title: "empty"})
+	var buf bytes.Buffer
+	if err := a.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "(empty series)") {
+		t.Fatal("empty series not flagged")
+	}
+}
+
+func TestRenderLongSeriesSampled(t *testing.T) {
+	a := &Artifact{ID: "x", Title: "t"}
+	n := 500
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = float64(i % 7)
+	}
+	a.AddSeries(Series{Title: "long", X: xs, Y: ys})
+	var buf bytes.Buffer
+	if err := a.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(buf.String(), "\n")
+	if lines > 40 {
+		t.Fatalf("long series rendered %d lines, want sampled output", lines)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{3, "3"},
+		{3.14159, "3.142"},
+		{12345.6, "1.23e+04"},
+		{0.0001234, "0.000123"},
+		{0, "0"},
+	}
+	for _, c := range cases {
+		if got := FormatFloat(c.in); got != c.want {
+			t.Errorf("FormatFloat(%g) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	if FormatFloat(math.NaN()) != "NaN" {
+		t.Fatal("NaN formatting wrong")
+	}
+}
+
+func TestFormatPct(t *testing.T) {
+	if got := FormatPct(0.4962); got != "49.62%" {
+		t.Fatalf("FormatPct = %q", got)
+	}
+}

@@ -1,0 +1,137 @@
+package simulate
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"telcolens/internal/causes"
+	"telcolens/internal/census"
+	"telcolens/internal/corenet"
+	"telcolens/internal/devices"
+	"telcolens/internal/subscribers"
+	"telcolens/internal/topology"
+	"telcolens/internal/trace"
+)
+
+// manifestName is the campaign descriptor file written next to the trace
+// partitions, so a generated directory is self-describing.
+const manifestName = "manifest.json"
+
+// manifest persists everything needed to rebuild the non-trace parts of a
+// Dataset (which are deterministic functions of the config) plus the
+// generation-time aggregates that cannot be re-derived from the trace.
+type manifest struct {
+	Version  int            `json:"version"`
+	Config   manifestConfig `json:"config"`
+	DayStats []DayAggregate `json:"day_stats"`
+}
+
+// manifestConfig mirrors Config without the non-serializable store.
+type manifestConfig struct {
+	Seed           uint64  `json:"seed"`
+	Days           int     `json:"days"`
+	UEs            int     `json:"ues"`
+	Districts      int     `json:"districts"`
+	SitesTarget    int     `json:"sites_target"`
+	RareBoost      float64 `json:"rare_boost"`
+	LongTailCauses int     `json:"long_tail_causes"`
+	FullScaleUEs   int     `json:"full_scale_ues"`
+}
+
+// SaveManifest writes the campaign descriptor into dir.
+func (d *Dataset) SaveManifest(dir string) error {
+	m := manifest{
+		Version: 1,
+		Config: manifestConfig{
+			Seed:           d.Config.Seed,
+			Days:           d.Config.Days,
+			UEs:            d.Config.UEs,
+			Districts:      d.Config.Districts,
+			SitesTarget:    d.Config.SitesTarget,
+			RareBoost:      d.Config.RareBoost,
+			LongTailCauses: d.Config.LongTailCauses,
+			FullScaleUEs:   d.Config.FullScaleUEs,
+		},
+		DayStats: d.DayStats,
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("simulate: encoding manifest: %w", err)
+	}
+	return os.WriteFile(filepath.Join(dir, manifestName), data, 0o644)
+}
+
+// Load reopens a generated campaign directory: it rebuilds the world
+// deterministically from the manifest config and attaches the on-disk
+// trace store without re-simulating anything.
+func Load(dir string) (*Dataset, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, fmt.Errorf("simulate: reading manifest: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("simulate: decoding manifest: %w", err)
+	}
+	if m.Version != 1 {
+		return nil, fmt.Errorf("simulate: unsupported manifest version %d", m.Version)
+	}
+	cfg := Config{
+		Seed:           m.Config.Seed,
+		Days:           m.Config.Days,
+		UEs:            m.Config.UEs,
+		Districts:      m.Config.Districts,
+		SitesTarget:    m.Config.SitesTarget,
+		RareBoost:      m.Config.RareBoost,
+		LongTailCauses: m.Config.LongTailCauses,
+		FullScaleUEs:   m.Config.FullScaleUEs,
+	}
+
+	censusCfg := census.DefaultGenConfig(cfg.Seed)
+	censusCfg.Districts = cfg.Districts
+	country, err := census.Generate(censusCfg)
+	if err != nil {
+		return nil, fmt.Errorf("simulate: rebuilding census: %w", err)
+	}
+	topoCfg := topology.DefaultGenConfig(cfg.Seed)
+	topoCfg.SitesTarget = cfg.SitesTarget
+	topoCfg.WindowDays = cfg.Days
+	network, err := topology.Generate(topoCfg, country)
+	if err != nil {
+		return nil, fmt.Errorf("simulate: rebuilding topology: %w", err)
+	}
+	catalog, err := devices.GenerateCatalog(cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("simulate: rebuilding devices: %w", err)
+	}
+	causeCat, err := causes.NewCatalog(cfg.Seed, cfg.LongTailCauses)
+	if err != nil {
+		return nil, fmt.Errorf("simulate: rebuilding causes: %w", err)
+	}
+	pop, err := subscribers.Generate(cfg.Seed, cfg.UEs, country, network, catalog)
+	if err != nil {
+		return nil, fmt.Errorf("simulate: rebuilding subscribers: %w", err)
+	}
+	epc, err := corenet.NewEPC(network, country, causeCat, corenet.Config{Seed: cfg.Seed, RareBoost: cfg.RareBoost})
+	if err != nil {
+		return nil, fmt.Errorf("simulate: rebuilding corenet: %w", err)
+	}
+	store, err := trace.NewFileStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Store = store
+	return &Dataset{
+		Config:     cfg,
+		Country:    country,
+		Network:    network,
+		Devices:    catalog,
+		Causes:     causeCat,
+		Population: pop,
+		EPC:        epc,
+		Store:      store,
+		DayStats:   m.DayStats,
+	}, nil
+}

@@ -1,0 +1,411 @@
+// Package simulate orchestrates the full synthetic measurement campaign:
+// it builds the country (census), the deployment (topology), the device
+// universe (devices), the subscriber base (subscribers), and then replays
+// the study window day by day — planning per-UE mobility, executing every
+// handover through the simulated EPC, and landing the captured records in
+// a day-partitioned trace store, together with the RAT up-time and traffic
+// aggregates behind the paper's Figure 3b.
+package simulate
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"telcolens/internal/causes"
+	"telcolens/internal/census"
+	"telcolens/internal/corenet"
+	"telcolens/internal/devices"
+	"telcolens/internal/mobility"
+	"telcolens/internal/randx"
+	"telcolens/internal/subscribers"
+	"telcolens/internal/topology"
+	"telcolens/internal/trace"
+)
+
+// Config parameterizes a full campaign. The zero value is not valid; use
+// DefaultConfig and override.
+type Config struct {
+	Seed uint64
+	// Days is the study window length (the paper uses 28).
+	Days int
+	// UEs is the subscriber population size. The paper observes ≈40M;
+	// the default laptop scale is 20k — every reported statistic is a
+	// share, quantile or coefficient, hence scale-free.
+	UEs int
+	// Districts and SitesTarget size the country and deployment.
+	Districts   int
+	SitesTarget int
+	// RareBoost multiplies 2G fallback probability (see DESIGN.md).
+	RareBoost float64
+	// LongTailCauses sizes the vendor sub-cause catalog.
+	LongTailCauses int
+	// Workers bounds generation parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// Store receives the generated records; nil means a new MemStore.
+	Store trace.Store
+	// FullScaleUEs is the real-world population the campaign stands in
+	// for; Table 1 extrapolations use FullScaleUEs/UEs. Default 40M.
+	FullScaleUEs int
+}
+
+// DefaultConfig returns the calibrated laptop-scale configuration.
+func DefaultConfig(seed uint64) Config {
+	return Config{
+		Seed:           seed,
+		Days:           28,
+		UEs:            20000,
+		Districts:      320,
+		SitesTarget:    2400,
+		RareBoost:      1,
+		LongTailCauses: 1100,
+		FullScaleUEs:   40_000_000,
+	}
+}
+
+// activityRate is the probability that a site transition happens with an
+// active data connection and therefore produces a handover rather than an
+// idle-mode cell reselection (§2, footnote 4).
+var activityRate = map[devices.DeviceType]float64{
+	devices.Smartphone:   0.92,
+	devices.M2MIoT:       0.85,
+	devices.FeaturePhone: 0.50,
+}
+
+// voiceRate is the probability a handover happens during an active voice
+// call (relevant to SRVCC, §6.2 causes #6/#7).
+var voiceRate = map[devices.DeviceType]float64{
+	devices.Smartphone:   0.08,
+	devices.M2MIoT:       0.002,
+	devices.FeaturePhone: 0.30,
+}
+
+// upTimeHours is the daily active-connectivity time by device type and,
+// for M2M, by maximum RAT (legacy meters chatter on 2G for long periods).
+// Calibrated so the countrywide time-on-RAT shares land near the paper's
+// 82% / 8.9% / 8.9% (§4.1).
+func upTimeHours(m *devices.Model) float64 {
+	switch m.Type {
+	case devices.Smartphone:
+		return 14
+	case devices.FeaturePhone:
+		return 5
+	default:
+		if m.MaxRAT == topology.TwoG {
+			return 8
+		}
+		if m.MaxRAT == topology.ThreeG {
+			return 3
+		}
+		return 4
+	}
+}
+
+// Traffic rates in MB per up-time hour, calibrated to the §4.1 volume
+// shares (UL 94.77% / DL 97.93% on 4G/5G).
+var (
+	dlRate = map[topology.RAT]float64{topology.TwoG: 0.12, topology.ThreeG: 9, topology.FourG: 60}
+	ulRate = map[topology.RAT]float64{topology.TwoG: 0.45, topology.ThreeG: 2.8, topology.FourG: 9}
+)
+
+// verticalDwellHours is the time a 4G-capable UE spends camped on the
+// legacy RAT after each vertical handover before returning to LTE.
+const verticalDwellHours = 0.2
+
+// DayAggregate captures one day's RAT-time and traffic ground truth.
+type DayAggregate struct {
+	RATTimeHours [4]float64 // indexed by topology.RAT
+	ULMB         [4]float64
+	DLMB         [4]float64
+	Handovers    int64
+	Failures     int64
+}
+
+// Dataset bundles everything a generated campaign produced.
+type Dataset struct {
+	Config     Config
+	Country    *census.Country
+	Network    *topology.Network
+	Devices    *devices.Catalog
+	Causes     *causes.Catalog
+	Population *subscribers.Population
+	EPC        *corenet.EPC
+	Store      trace.Store
+	DayStats   []DayAggregate
+}
+
+// ScaleFactor returns the population ratio between the paper's campaign
+// and this one, used for Table 1 extrapolation.
+func (d *Dataset) ScaleFactor() float64 {
+	return float64(d.Config.FullScaleUEs) / float64(d.Config.UEs)
+}
+
+// TotalHandovers sums the generated handover count.
+func (d *Dataset) TotalHandovers() int64 {
+	var n int64
+	for _, day := range d.DayStats {
+		n += day.Handovers
+	}
+	return n
+}
+
+// Generate runs a full campaign.
+func Generate(cfg Config) (*Dataset, error) {
+	if cfg.Days <= 0 || cfg.UEs <= 0 {
+		return nil, fmt.Errorf("simulate: non-positive days (%d) or UEs (%d)", cfg.Days, cfg.UEs)
+	}
+	if cfg.Districts == 0 {
+		cfg.Districts = 320
+	}
+	if cfg.SitesTarget == 0 {
+		cfg.SitesTarget = 2400
+	}
+	if cfg.RareBoost <= 0 {
+		cfg.RareBoost = 1
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.FullScaleUEs <= 0 {
+		cfg.FullScaleUEs = 40_000_000
+	}
+	if cfg.Store == nil {
+		cfg.Store = trace.NewMemStore()
+	}
+
+	censusCfg := census.DefaultGenConfig(cfg.Seed)
+	censusCfg.Districts = cfg.Districts
+	country, err := census.Generate(censusCfg)
+	if err != nil {
+		return nil, fmt.Errorf("simulate: census: %w", err)
+	}
+	topoCfg := topology.DefaultGenConfig(cfg.Seed)
+	topoCfg.SitesTarget = cfg.SitesTarget
+	topoCfg.WindowDays = cfg.Days
+	network, err := topology.Generate(topoCfg, country)
+	if err != nil {
+		return nil, fmt.Errorf("simulate: topology: %w", err)
+	}
+	catalog, err := devices.GenerateCatalog(cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("simulate: devices: %w", err)
+	}
+	causeCat, err := causes.NewCatalog(cfg.Seed, cfg.LongTailCauses)
+	if err != nil {
+		return nil, fmt.Errorf("simulate: causes: %w", err)
+	}
+	pop, err := subscribers.Generate(cfg.Seed, cfg.UEs, country, network, catalog)
+	if err != nil {
+		return nil, fmt.Errorf("simulate: subscribers: %w", err)
+	}
+	planner, err := mobility.NewPlanner(country, network)
+	if err != nil {
+		return nil, fmt.Errorf("simulate: mobility: %w", err)
+	}
+	epc, err := corenet.NewEPC(network, country, causeCat, corenet.Config{Seed: cfg.Seed, RareBoost: cfg.RareBoost})
+	if err != nil {
+		return nil, fmt.Errorf("simulate: corenet: %w", err)
+	}
+
+	ds := &Dataset{
+		Config:     cfg,
+		Country:    country,
+		Network:    network,
+		Devices:    catalog,
+		Causes:     causeCat,
+		Population: pop,
+		EPC:        epc,
+		Store:      cfg.Store,
+		DayStats:   make([]DayAggregate, cfg.Days),
+	}
+
+	for day := 0; day < cfg.Days; day++ {
+		if err := ds.generateDay(planner, day); err != nil {
+			return nil, fmt.Errorf("simulate: day %d: %w", day, err)
+		}
+	}
+	return ds, nil
+}
+
+// workerResult is one worker's share of a day.
+type workerResult struct {
+	records []trace.Record
+	agg     DayAggregate
+}
+
+// generateDay simulates one study day across the population in parallel.
+// Determinism holds because every UE-day consumes its own derived RNG
+// stream regardless of worker scheduling.
+func (ds *Dataset) generateDay(planner *mobility.Planner, day int) error {
+	cfg := ds.Config
+	nWorkers := cfg.Workers
+	if nWorkers > cfg.UEs {
+		nWorkers = cfg.UEs
+	}
+	results := make([]workerResult, nWorkers)
+	var wg sync.WaitGroup
+	chunk := (cfg.UEs + nWorkers - 1) / nWorkers
+	for w := 0; w < nWorkers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > cfg.UEs {
+			hi = cfg.UEs
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			res := &results[w]
+			for i := lo; i < hi; i++ {
+				ds.simulateUEDay(planner, day, i, res)
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	var dayRecs []trace.Record
+	agg := &ds.DayStats[day]
+	for w := range results {
+		dayRecs = append(dayRecs, results[w].records...)
+		for r := 0; r < 4; r++ {
+			agg.RATTimeHours[r] += results[w].agg.RATTimeHours[r]
+			agg.ULMB[r] += results[w].agg.ULMB[r]
+			agg.DLMB[r] += results[w].agg.DLMB[r]
+		}
+		agg.Handovers += results[w].agg.Handovers
+		agg.Failures += results[w].agg.Failures
+	}
+	sort.Slice(dayRecs, func(a, b int) bool { return dayRecs[a].Timestamp < dayRecs[b].Timestamp })
+
+	w, err := ds.Store.AppendDay(day)
+	if err != nil {
+		return err
+	}
+	for i := range dayRecs {
+		if err := w.Write(&dayRecs[i]); err != nil {
+			w.Close()
+			return err
+		}
+	}
+	return w.Close()
+}
+
+// simulateUEDay replays one UE's day: mobility plan, handovers through the
+// EPC, and up-time/traffic accounting.
+func (ds *Dataset) simulateUEDay(planner *mobility.Planner, day, ueIdx int, res *workerResult) {
+	ue := &ds.Population.UEs[ueIdx]
+	model := ds.Population.Model(ue)
+	r := randx.NewStream(ds.Config.Seed, "ueday", uint64(day)<<32|uint64(ueIdx))
+
+	up := upTimeHours(model)
+	dayStartMs := trace.DayStart(day).UnixMilli()
+
+	// Legacy-only devices never appear in the EPC trace but still hold
+	// up-time and (marginal) traffic on their RAT.
+	if !model.SupportsRAT(topology.FourG) {
+		rat := model.MaxRAT
+		res.agg.RATTimeHours[rat] += up
+		res.agg.ULMB[rat] += up * ulRate[rat] * r.LogNormal(0, 0.4)
+		res.agg.DLMB[rat] += up * dlRate[rat] * r.LogNormal(0, 0.4)
+		return
+	}
+
+	plan := planner.PlanDay(r, ue, model, day)
+	act := activityRate[model.Type]
+	voice := voiceRate[model.Type]
+
+	// Serving 4G anchor sector, tracked across moves.
+	curSector := ds.anchorSectorAt(r, ue.HomeSite)
+	legacyHours := [4]float64{}
+	intensity := mobility.Intensity(day)
+
+	for _, mv := range plan.Moves {
+		if !r.Bool(act) {
+			continue
+		}
+		toSite := ds.Network.Site(mv.To)
+		if toSite.DeployedDay > day {
+			continue // site not on air yet
+		}
+		bin := int(mv.Offset / (30 * time.Minute))
+		if bin < 0 {
+			bin = 0
+		}
+		if bin >= mobility.BinsPerDay {
+			bin = mobility.BinsPerDay - 1
+		}
+		req := corenet.HORequest{
+			TimeMs:      dayStartMs + mv.Offset.Milliseconds(),
+			UE:          ue.ID,
+			Model:       model,
+			Source:      curSector,
+			TargetSite:  mv.To,
+			Area:        ds.Network.Sector(curSector).Area,
+			DistrictID:  ds.Network.Sector(curSector).DistrictID,
+			LoadFactor:  intensity[bin],
+			VoiceActive: r.Bool(voice),
+		}
+		out := ds.EPC.ExecuteHO(r, req)
+		rec := trace.Record{
+			Timestamp:  req.TimeMs,
+			UE:         ue.ID,
+			TAC:        model.TAC,
+			Source:     curSector,
+			Target:     out.Target,
+			SourceRAT:  topology.FourG,
+			TargetRAT:  out.TargetRAT,
+			Result:     out.Result,
+			Cause:      out.Cause,
+			DurationMs: float32(out.DurationMs),
+		}
+		res.records = append(res.records, rec)
+		res.agg.Handovers++
+		if out.Result == trace.Failure {
+			res.agg.Failures++
+		} else {
+			if out.TargetRAT == topology.FourG {
+				curSector = out.Target
+			} else {
+				// Vertical handover: the UE camps on the legacy RAT for a
+				// while, then the anchor returns to a 4G sector at the
+				// new site (upward transitions are invisible to the EPC).
+				legacyHours[out.TargetRAT] += verticalDwellHours
+				curSector = ds.anchorSectorAt(r, ds.Network.Sector(out.Target).Site)
+			}
+		}
+	}
+
+	legacy := legacyHours[topology.TwoG] + legacyHours[topology.ThreeG]
+	if legacy > up*0.8 {
+		scale := up * 0.8 / legacy
+		legacyHours[topology.TwoG] *= scale
+		legacyHours[topology.ThreeG] *= scale
+		legacy = up * 0.8
+	}
+	fourGHours := up - legacy
+	res.agg.RATTimeHours[topology.FourG] += fourGHours
+	res.agg.RATTimeHours[topology.TwoG] += legacyHours[topology.TwoG]
+	res.agg.RATTimeHours[topology.ThreeG] += legacyHours[topology.ThreeG]
+	noise := r.LogNormal(0, 0.4)
+	res.agg.ULMB[topology.FourG] += fourGHours * ulRate[topology.FourG] * noise
+	res.agg.DLMB[topology.FourG] += fourGHours * dlRate[topology.FourG] * noise
+	for _, rat := range []topology.RAT{topology.TwoG, topology.ThreeG} {
+		if legacyHours[rat] > 0 {
+			res.agg.ULMB[rat] += legacyHours[rat] * ulRate[rat]
+			res.agg.DLMB[rat] += legacyHours[rat] * dlRate[rat]
+		}
+	}
+}
+
+// anchorSectorAt picks a 4G sector at a site (every site carries 4G).
+func (ds *Dataset) anchorSectorAt(r *randx.Rand, site topology.SiteID) topology.SectorID {
+	s := ds.Network.Site(site)
+	var candidates []topology.SectorID
+	for _, sid := range s.Sectors {
+		if ds.Network.Sector(sid).RAT == topology.FourG {
+			candidates = append(candidates, sid)
+		}
+	}
+	return candidates[r.Intn(len(candidates))]
+}

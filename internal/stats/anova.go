@@ -1,0 +1,233 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ANOVAResult summarizes a one-way analysis of variance, as used in §6.3 and
+// Appendix B to test the effect of HO type, antenna vendor and area type on
+// HOF rates.
+type ANOVAResult struct {
+	F       float64 // F statistic
+	DFB     int     // between-group degrees of freedom (k-1)
+	DFW     int     // within-group degrees of freedom (N-k)
+	P       float64 // upper-tail p-value
+	EtaSq   float64 // effect size η² = SS_between / SS_total
+	Groups  int
+	N       int
+	GrandMu float64
+}
+
+// OneWayANOVA performs a one-way ANOVA across the given groups. Each group
+// needs at least one observation and at least two groups must be non-empty;
+// the within-group degrees of freedom must be positive.
+func OneWayANOVA(groups [][]float64) (*ANOVAResult, error) {
+	k := 0
+	n := 0
+	var grand float64
+	for _, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		k++
+		n += len(g)
+		for _, v := range g {
+			grand += v
+		}
+	}
+	if k < 2 {
+		return nil, errors.New("stats: ANOVA needs at least two non-empty groups")
+	}
+	if n-k <= 0 {
+		return nil, errors.New("stats: ANOVA needs replication within groups")
+	}
+	grandMu := grand / float64(n)
+
+	var ssb, ssw float64
+	for _, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		mu := Mean(g)
+		d := mu - grandMu
+		ssb += float64(len(g)) * d * d
+		for _, v := range g {
+			r := v - mu
+			ssw += r * r
+		}
+	}
+	dfb := k - 1
+	dfw := n - k
+	res := &ANOVAResult{
+		DFB:     dfb,
+		DFW:     dfw,
+		Groups:  k,
+		N:       n,
+		GrandMu: grandMu,
+	}
+	if ssb+ssw > 0 {
+		res.EtaSq = ssb / (ssb + ssw)
+	}
+	if ssw == 0 {
+		// Perfect separation: infinite F, p = 0.
+		res.F = math.Inf(1)
+		res.P = 0
+		return res, nil
+	}
+	res.F = (ssb / float64(dfb)) / (ssw / float64(dfw))
+	res.P = FSurvival(res.F, float64(dfb), float64(dfw))
+	return res, nil
+}
+
+// KruskalWallisResult summarizes the rank-based Kruskal–Wallis H test.
+type KruskalWallisResult struct {
+	H  float64 // H statistic, tie-corrected
+	DF int     // k-1
+	P  float64 // chi-square upper-tail p-value
+	N  int
+}
+
+// KruskalWallis performs the Kruskal–Wallis test across groups, with the
+// standard tie correction.
+func KruskalWallis(groups [][]float64) (*KruskalWallisResult, error) {
+	k := 0
+	n := 0
+	for _, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		k++
+		n += len(g)
+	}
+	if k < 2 {
+		return nil, errors.New("stats: Kruskal-Wallis needs at least two non-empty groups")
+	}
+	if n < 3 {
+		return nil, errors.New("stats: Kruskal-Wallis needs at least three observations")
+	}
+
+	all := make([]float64, 0, n)
+	sizes := make([]int, 0, k)
+	for _, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		all = append(all, g...)
+		sizes = append(sizes, len(g))
+	}
+	ranks := Ranks(all)
+
+	var h float64
+	offset := 0
+	for _, sz := range sizes {
+		var rsum float64
+		for i := 0; i < sz; i++ {
+			rsum += ranks[offset+i]
+		}
+		h += rsum * rsum / float64(sz)
+		offset += sz
+	}
+	fn := float64(n)
+	h = 12/(fn*(fn+1))*h - 3*(fn+1)
+
+	// Tie correction.
+	sorted := append([]float64(nil), all...)
+	sort.Float64s(sorted)
+	var tieSum float64
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && sorted[j+1] == sorted[i] {
+			j++
+		}
+		t := float64(j - i + 1)
+		if t > 1 {
+			tieSum += t*t*t - t
+		}
+		i = j + 1
+	}
+	correction := 1 - tieSum/(fn*fn*fn-fn)
+	if correction > 0 {
+		h /= correction
+	}
+
+	res := &KruskalWallisResult{H: h, DF: k - 1, N: n}
+	res.P = ChiSquareSurvival(h, float64(k-1))
+	return res, nil
+}
+
+// WelchT holds a two-sample Welch t-test result (unequal variances).
+type WelchT struct {
+	T  float64
+	DF float64 // Welch–Satterthwaite degrees of freedom
+	P  float64 // two-sided p-value
+}
+
+// WelchTTest compares the means of two samples without assuming equal
+// variances. Used (with Bonferroni correction) as the post-hoc pairwise
+// comparison standing in for Tukey's HSD — see DESIGN.md substitutions.
+func WelchTTest(a, b []float64) (*WelchT, error) {
+	if len(a) < 2 || len(b) < 2 {
+		return nil, errors.New("stats: Welch t-test needs at least two observations per group")
+	}
+	ma, mb := Mean(a), Mean(b)
+	va, vb := Variance(a), Variance(b)
+	na, nb := float64(len(a)), float64(len(b))
+	sa, sb := va/na, vb/nb
+	denom := sa + sb
+	if denom == 0 {
+		if ma == mb {
+			return &WelchT{T: 0, DF: na + nb - 2, P: 1}, nil
+		}
+		return &WelchT{T: math.Inf(sign(ma - mb)), DF: na + nb - 2, P: 0}, nil
+	}
+	t := (ma - mb) / math.Sqrt(denom)
+	df := denom * denom / (sa*sa/(na-1) + sb*sb/(nb-1))
+	return &WelchT{T: t, DF: df, P: StudentTTwoSidedP(t, df)}, nil
+}
+
+// PairwiseComparison is one entry of a Bonferroni-corrected post-hoc
+// comparison table.
+type PairwiseComparison struct {
+	A, B        int // group indices
+	Diff        float64
+	P           float64 // raw p-value
+	PAdjusted   float64 // Bonferroni-adjusted
+	Significant bool    // PAdjusted < alpha
+}
+
+// PairwisePostHoc runs Welch t-tests for every pair of groups with a
+// Bonferroni correction at level alpha.
+func PairwisePostHoc(groups [][]float64, alpha float64) ([]PairwiseComparison, error) {
+	var idx []int
+	for i, g := range groups {
+		if len(g) >= 2 {
+			idx = append(idx, i)
+		}
+	}
+	if len(idx) < 2 {
+		return nil, errors.New("stats: post-hoc needs two groups with replication")
+	}
+	m := len(idx) * (len(idx) - 1) / 2
+	out := make([]PairwiseComparison, 0, m)
+	for i := 0; i < len(idx); i++ {
+		for j := i + 1; j < len(idx); j++ {
+			a, b := groups[idx[i]], groups[idx[j]]
+			w, err := WelchTTest(a, b)
+			if err != nil {
+				return nil, err
+			}
+			adj := math.Min(1, w.P*float64(m))
+			out = append(out, PairwiseComparison{
+				A:           idx[i],
+				B:           idx[j],
+				Diff:        Mean(a) - Mean(b),
+				P:           w.P,
+				PAdjusted:   adj,
+				Significant: adj < alpha,
+			})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,223 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"telcolens/internal/randx"
+)
+
+func TestOneWayANOVAKnown(t *testing.T) {
+	// Classic worked example: three groups with clearly different means.
+	groups := [][]float64{
+		{6, 8, 4, 5, 3, 4},
+		{8, 12, 9, 11, 6, 8},
+		{13, 9, 11, 8, 7, 12},
+	}
+	res, err := OneWayANOVA(groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hand-computed: SSB = 84, SSW = 68, F = (84/2)/(68/15) = 9.2647.
+	if math.Abs(res.F-9.2647) > 0.001 {
+		t.Fatalf("F = %g, want 9.2647", res.F)
+	}
+	if res.DFB != 2 || res.DFW != 15 {
+		t.Fatalf("df = %d,%d", res.DFB, res.DFW)
+	}
+	if res.P > 0.005 || res.P <= 0 {
+		t.Fatalf("p = %g", res.P)
+	}
+	if res.EtaSq < 0.5 || res.EtaSq > 0.6 {
+		t.Fatalf("eta^2 = %g", res.EtaSq)
+	}
+}
+
+func TestANOVANullDistribution(t *testing.T) {
+	// Under H0 (identical distributions) p should not be extreme.
+	r := randx.New(8)
+	rejected := 0
+	const trials = 200
+	for trial := 0; trial < trials; trial++ {
+		groups := make([][]float64, 3)
+		for g := range groups {
+			groups[g] = make([]float64, 30)
+			for i := range groups[g] {
+				groups[g][i] = r.NormFloat64()
+			}
+		}
+		res, err := OneWayANOVA(groups)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.P < 0.05 {
+			rejected++
+		}
+	}
+	// Expect ~5% rejections; allow generous slack.
+	if rejected > 25 {
+		t.Fatalf("ANOVA rejected H0 %d/%d times", rejected, trials)
+	}
+}
+
+func TestANOVAErrorsAndEdge(t *testing.T) {
+	if _, err := OneWayANOVA([][]float64{{1, 2}}); err == nil {
+		t.Fatal("single group accepted")
+	}
+	if _, err := OneWayANOVA([][]float64{{1}, {2}}); err == nil {
+		t.Fatal("no replication accepted")
+	}
+	// Perfect separation with zero within-group variance.
+	res, err := OneWayANOVA([][]float64{{1, 1}, {2, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(res.F, 1) || res.P != 0 || res.EtaSq != 1 {
+		t.Fatalf("perfect separation: %+v", res)
+	}
+	// Empty groups are skipped.
+	res, err = OneWayANOVA([][]float64{{1, 2}, nil, {5, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Groups != 2 {
+		t.Fatalf("groups = %d", res.Groups)
+	}
+}
+
+func TestKruskalWallisKnown(t *testing.T) {
+	// Distinct groups with no ties; compare against scipy-verified value.
+	groups := [][]float64{
+		{1, 2, 3},
+		{4, 5, 6},
+		{7, 8, 9},
+	}
+	res, err := KruskalWallis(groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All ranks separated: H = 12/(9*10)*(6²/3+15²/3+24²/3)-3*10 = 7.2
+	if !almostEq(res.H, 7.2, 1e-9) {
+		t.Fatalf("H = %g, want 7.2", res.H)
+	}
+	if res.DF != 2 {
+		t.Fatalf("df = %d", res.DF)
+	}
+	if res.P > 0.05 || res.P < 0.02 {
+		t.Fatalf("p = %g, want ~0.027", res.P)
+	}
+}
+
+func TestKruskalWallisWithTies(t *testing.T) {
+	groups := [][]float64{
+		{1, 1, 2},
+		{2, 2, 3},
+	}
+	res, err := KruskalWallis(groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(res.H) || res.H < 0 {
+		t.Fatalf("H = %g", res.H)
+	}
+}
+
+func TestKruskalWallisScaleInvariance(t *testing.T) {
+	// Rank test must be invariant under monotone transforms.
+	g1 := [][]float64{{1, 5, 9}, {2, 6, 10}, {3, 7, 11}}
+	g2 := make([][]float64, len(g1))
+	for i, g := range g1 {
+		g2[i] = make([]float64, len(g))
+		for j, v := range g {
+			g2[i][j] = math.Exp(v) // strictly monotone
+		}
+	}
+	r1, err := KruskalWallis(g1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := KruskalWallis(g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(r1.H, r2.H, 1e-9) {
+		t.Fatalf("H not invariant: %g vs %g", r1.H, r2.H)
+	}
+}
+
+func TestRanksAverageTies(t *testing.T) {
+	ranks := Ranks([]float64{10, 20, 20, 30})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if ranks[i] != want[i] {
+			t.Fatalf("ranks = %v", ranks)
+		}
+	}
+}
+
+func TestWelchTTest(t *testing.T) {
+	a := []float64{27.5, 21.0, 19.0, 23.6, 17.0, 17.9, 16.9, 20.1, 21.9, 22.6, 23.1, 19.6, 19.0, 21.7, 21.4}
+	b := []float64{27.1, 22.0, 20.8, 23.4, 23.4, 23.5, 25.8, 22.0, 24.8, 20.2, 21.9, 22.1, 22.9, 30.5, 25.2}
+	w, err := WelchTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Independently verified (see commit history): t = -2.8942,
+	// Welch-Satterthwaite df = 27.917, two-sided p = 0.00730.
+	if math.Abs(w.T-(-2.8942)) > 0.001 {
+		t.Fatalf("t = %g", w.T)
+	}
+	if math.Abs(w.DF-27.917) > 0.01 {
+		t.Fatalf("df = %g", w.DF)
+	}
+	if math.Abs(w.P-0.00730) > 0.0002 {
+		t.Fatalf("p = %g", w.P)
+	}
+}
+
+func TestWelchTTestDegenerate(t *testing.T) {
+	if _, err := WelchTTest([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("tiny group accepted")
+	}
+	w, err := WelchTTest([]float64{2, 2, 2}, []float64{2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.P != 1 {
+		t.Fatalf("identical constant groups p = %g", w.P)
+	}
+	w, err = WelchTTest([]float64{1, 1}, []float64{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.P != 0 {
+		t.Fatalf("separated constant groups p = %g", w.P)
+	}
+}
+
+func TestPairwisePostHoc(t *testing.T) {
+	groups := [][]float64{
+		{1, 2, 1.5, 1.8, 2.2},
+		{1.1, 2.1, 1.4, 1.9, 2.0},
+		{9, 10, 9.5, 10.5, 9.8},
+	}
+	cmp, err := PairwisePostHoc(groups, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp) != 3 {
+		t.Fatalf("%d comparisons", len(cmp))
+	}
+	for _, c := range cmp {
+		involves2 := c.A == 2 || c.B == 2
+		if involves2 && !c.Significant {
+			t.Errorf("comparison %d-%d should be significant (p=%g)", c.A, c.B, c.PAdjusted)
+		}
+		if !involves2 && c.Significant {
+			t.Errorf("comparison %d-%d spuriously significant", c.A, c.B)
+		}
+		if c.PAdjusted < c.P {
+			t.Error("Bonferroni adjustment decreased p-value")
+		}
+	}
+}

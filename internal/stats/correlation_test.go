@@ -1,0 +1,89 @@
+package stats
+
+import (
+	"testing"
+
+	"telcolens/internal/randx"
+)
+
+func TestPearsonPerfect(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{10, 20, 30, 40}
+	r, err := Pearson(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(r, 1, 1e-12) {
+		t.Fatalf("r = %g", r)
+	}
+	neg := []float64{40, 30, 20, 10}
+	r, _ = Pearson(xs, neg)
+	if !almostEq(r, -1, 1e-12) {
+		t.Fatalf("r = %g", r)
+	}
+}
+
+func TestPearsonBounds(t *testing.T) {
+	rng := randx.New(4)
+	for trial := 0; trial < 50; trial++ {
+		n := 10 + rng.Intn(100)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+			ys[i] = rng.NormFloat64()
+		}
+		r, err := Pearson(xs, ys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r < -1 || r > 1 {
+			t.Fatalf("r = %g out of bounds", r)
+		}
+	}
+}
+
+func TestPearsonErrors(t *testing.T) {
+	if _, err := Pearson([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := Pearson([]float64{1}, []float64{2}); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+	if _, err := Pearson([]float64{1, 1}, []float64{2, 3}); err == nil {
+		t.Fatal("zero-variance sample accepted")
+	}
+}
+
+func TestSpearmanMonotone(t *testing.T) {
+	// Monotone but non-linear relationship: Spearman = 1.
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{1, 8, 27, 64, 125}
+	rho, err := Spearman(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(rho, 1, 1e-12) {
+		t.Fatalf("rho = %g", rho)
+	}
+}
+
+func TestRSquared(t *testing.T) {
+	ys := []float64{1, 2, 3, 4}
+	fit := []float64{1.1, 1.9, 3.05, 3.95}
+	r2, err := RSquared(ys, fit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2 < 0.98 || r2 > 1 {
+		t.Fatalf("r2 = %g", r2)
+	}
+	// Perfect fit
+	r2, _ = RSquared(ys, ys)
+	if r2 != 1 {
+		t.Fatalf("perfect r2 = %g", r2)
+	}
+	if _, err := RSquared(ys, fit[:2]); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}

@@ -1,0 +1,282 @@
+// Package stats implements the statistical toolbox the paper relies on:
+// descriptive statistics, empirical CDFs, correlation, ordinary least
+// squares with t/F inference, one-way ANOVA, the Kruskal–Wallis test and
+// quantile regression. Everything is stdlib-only and deterministic.
+//
+// Quantiles use linear interpolation between order statistics (the same
+// convention as R's default type-7 quantile), which keeps medians and p95s
+// comparable with the values the paper reports.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by computations that need at least one observation.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Mean returns the arithmetic mean; 0 for an empty sample.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased (n-1) sample variance; 0 for n < 2.
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// MinMax returns the sample extrema. It returns (0, 0) for an empty sample.
+func MinMax(xs []float64) (min, max float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max
+}
+
+// Quantile returns the q-th quantile (0 ≤ q ≤ 1) of xs using type-7 linear
+// interpolation. xs does not need to be sorted. Returns 0 for an empty
+// sample.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return QuantileSorted(s, q)
+}
+
+// QuantileSorted is Quantile for an already-sorted sample, avoiding the
+// copy+sort. The slice must be in ascending order.
+func QuantileSorted(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	h := q * float64(n-1)
+	lo := int(math.Floor(h))
+	hi := lo + 1
+	if hi >= n {
+		return sorted[n-1]
+	}
+	frac := h - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 50th percentile.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// Summary is the descriptive summary the paper prints for its regression
+// dataset (Table 6): min, quartiles, mean, max.
+type Summary struct {
+	N      int
+	Min    float64
+	Q1     float64
+	Median float64
+	Mean   float64
+	Q3     float64
+	Max    float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return Summary{
+		N:      len(s),
+		Min:    s[0],
+		Q1:     QuantileSorted(s, 0.25),
+		Median: QuantileSorted(s, 0.5),
+		Mean:   Mean(s),
+		Q3:     QuantileSorted(s, 0.75),
+		Max:    s[len(s)-1],
+	}
+}
+
+// Boxplot holds the five-number summary plus whisker bounds used by the
+// paper's boxplot figures (Figs 11, 18).
+type Boxplot struct {
+	Min, Q1, Median, Q3, Max float64
+	LoWhisker, HiWhisker     float64 // Tukey 1.5*IQR fences clipped to data
+	Mean                     float64
+	N                        int
+}
+
+// BoxplotOf computes boxplot statistics for xs.
+func BoxplotOf(xs []float64) Boxplot {
+	if len(xs) == 0 {
+		return Boxplot{}
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	b := Boxplot{
+		Min:    s[0],
+		Q1:     QuantileSorted(s, 0.25),
+		Median: QuantileSorted(s, 0.5),
+		Q3:     QuantileSorted(s, 0.75),
+		Max:    s[len(s)-1],
+		Mean:   Mean(s),
+		N:      len(s),
+	}
+	iqr := b.Q3 - b.Q1
+	loFence := b.Q1 - 1.5*iqr
+	hiFence := b.Q3 + 1.5*iqr
+	b.LoWhisker, b.HiWhisker = b.Min, b.Max
+	for _, v := range s {
+		if v >= loFence {
+			b.LoWhisker = v
+			break
+		}
+	}
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] <= hiFence {
+			b.HiWhisker = s[i]
+			break
+		}
+	}
+	return b
+}
+
+// ECDF is an empirical cumulative distribution function over a sample.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds an ECDF from xs (copied and sorted). It returns ErrEmpty
+// for an empty sample.
+func NewECDF(xs []float64) (*ECDF, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmpty
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return &ECDF{sorted: s}, nil
+}
+
+// Eval returns the fraction of the sample that is ≤ x.
+func (e *ECDF) Eval(x float64) float64 {
+	idx := sort.SearchFloat64s(e.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(idx) / float64(len(e.sorted))
+}
+
+// Quantile returns the q-th quantile of the underlying sample.
+func (e *ECDF) Quantile(q float64) float64 { return QuantileSorted(e.sorted, q) }
+
+// N returns the sample size.
+func (e *ECDF) N() int { return len(e.sorted) }
+
+// Points returns up to max evenly spaced (x, F(x)) pairs for plotting or
+// reporting. If max <= 0 or exceeds the sample size, all points are used.
+func (e *ECDF) Points(max int) (xs, fs []float64) {
+	n := len(e.sorted)
+	if max <= 0 || max > n {
+		max = n
+	}
+	xs = make([]float64, max)
+	fs = make([]float64, max)
+	for i := 0; i < max; i++ {
+		j := i * (n - 1) / maxInt(max-1, 1)
+		xs[i] = e.sorted[j]
+		fs[i] = float64(j+1) / float64(n)
+	}
+	return xs, fs
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Histogram bins observations into fixed intervals.
+type Histogram struct {
+	Edges  []float64 // len = bins+1, ascending
+	Counts []int     // len = bins
+	Under  int       // observations below Edges[0]
+	Over   int       // observations at or above Edges[len-1]
+}
+
+// NewHistogram creates a histogram with the given bin edges, which must be
+// strictly ascending and at least two.
+func NewHistogram(edges []float64) (*Histogram, error) {
+	if len(edges) < 2 {
+		return nil, errors.New("stats: need at least two bin edges")
+	}
+	for i := 1; i < len(edges); i++ {
+		if edges[i] <= edges[i-1] {
+			return nil, errors.New("stats: bin edges must be strictly ascending")
+		}
+	}
+	return &Histogram{
+		Edges:  append([]float64(nil), edges...),
+		Counts: make([]int, len(edges)-1),
+	}, nil
+}
+
+// Add bins a single observation.
+func (h *Histogram) Add(x float64) {
+	if x < h.Edges[0] {
+		h.Under++
+		return
+	}
+	if x >= h.Edges[len(h.Edges)-1] {
+		h.Over++
+		return
+	}
+	// binary search for the bin: greatest i with Edges[i] <= x
+	i := sort.SearchFloat64s(h.Edges, x)
+	if i < len(h.Edges) && h.Edges[i] == x {
+		h.Counts[i]++
+		return
+	}
+	h.Counts[i-1]++
+}
+
+// Total returns the number of binned observations including under/overflow.
+func (h *Histogram) Total() int {
+	t := h.Under + h.Over
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}

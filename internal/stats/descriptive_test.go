@@ -1,0 +1,263 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); !almostEq(m, 5, 1e-12) {
+		t.Fatalf("mean = %g", m)
+	}
+	if v := Variance(xs); !almostEq(v, 32.0/7.0, 1e-12) {
+		t.Fatalf("variance = %g", v)
+	}
+	if Mean(nil) != 0 || Variance(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Fatal("empty-sample conventions violated")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max := MinMax([]float64{3, -1, 7, 2})
+	if min != -1 || max != 7 {
+		t.Fatalf("minmax = %g,%g", min, max)
+	}
+	min, max = MinMax(nil)
+	if min != 0 || max != 0 {
+		t.Fatal("empty minmax convention violated")
+	}
+}
+
+func TestQuantileType7(t *testing.T) {
+	// R: quantile(c(1,2,3,4), 0.25) == 1.75 with type 7.
+	xs := []float64{4, 1, 3, 2}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 1.75}, {0.5, 2.5}, {0.75, 3.25}, {1, 4},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantileSingleton(t *testing.T) {
+	for _, q := range []float64{0, 0.3, 0.5, 1} {
+		if got := Quantile([]float64{42}, q); got != 42 {
+			t.Fatalf("Quantile(singleton, %g) = %g", q, got)
+		}
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, q1, q2 float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			xs[i] = v
+		}
+		a := math.Mod(math.Abs(q1), 1)
+		b := math.Mod(math.Abs(q2), 1)
+		if a > b {
+			a, b = b, a
+		}
+		return Quantile(xs, a) <= Quantile(xs, b)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantileWithinRangeProperty(t *testing.T) {
+	f := func(raw []float64, q float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			xs[i] = v
+		}
+		qq := math.Mod(math.Abs(q), 1)
+		v := Quantile(xs, qq)
+		min, max := MinMax(xs)
+		return v >= min-1e-9 && v <= max+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Median != 3 || s.Mean != 3 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Q1 != 2 || s.Q3 != 4 {
+		t.Fatalf("quartiles = %g,%g", s.Q1, s.Q3)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Fatal("empty summary not zero")
+	}
+}
+
+func TestBoxplot(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 100} // 100 is an outlier
+	b := BoxplotOf(xs)
+	if b.Max != 100 || b.Min != 1 {
+		t.Fatalf("extrema %g,%g", b.Min, b.Max)
+	}
+	if b.HiWhisker == 100 {
+		t.Fatal("whisker included the outlier")
+	}
+	if b.LoWhisker != 1 {
+		t.Fatalf("lo whisker = %g", b.LoWhisker)
+	}
+	if b.Q1 >= b.Median || b.Median >= b.Q3 {
+		t.Fatal("quartile ordering broken")
+	}
+}
+
+func TestECDF(t *testing.T) {
+	e, err := NewECDF([]float64{1, 2, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {2, 0.75}, {2.5, 0.75}, {3, 1}, {10, 1},
+	}
+	for _, c := range cases {
+		if got := e.Eval(c.x); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("Eval(%g) = %g, want %g", c.x, got, c.want)
+		}
+	}
+	if e.N() != 4 {
+		t.Fatalf("N = %d", e.N())
+	}
+	if _, err := NewECDF(nil); err == nil {
+		t.Fatal("empty ECDF accepted")
+	}
+}
+
+func TestECDFMonotoneNondecreasingProperty(t *testing.T) {
+	f := func(raw []float64, x1, x2 float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		clean := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				clean = append(clean, v)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		e, err := NewECDF(clean)
+		if err != nil {
+			return false
+		}
+		if math.IsNaN(x1) || math.IsNaN(x2) {
+			return true
+		}
+		if x1 > x2 {
+			x1, x2 = x2, x1
+		}
+		return e.Eval(x1) <= e.Eval(x2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestECDFQuantileInverse(t *testing.T) {
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	e, _ := NewECDF(xs)
+	for _, q := range []float64{0.1, 0.5, 0.9} {
+		v := e.Quantile(q)
+		got := e.Eval(v)
+		if math.Abs(got-q) > 0.01 {
+			t.Errorf("Eval(Quantile(%g)) = %g", q, got)
+		}
+	}
+}
+
+func TestECDFPoints(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	e, _ := NewECDF(xs)
+	px, pf := e.Points(3)
+	if len(px) != 3 || len(pf) != 3 {
+		t.Fatalf("points lengths %d,%d", len(px), len(pf))
+	}
+	if !sort.Float64sAreSorted(px) {
+		t.Fatal("x points not sorted")
+	}
+	if pf[len(pf)-1] != 1 {
+		t.Fatalf("last F = %g", pf[len(pf)-1])
+	}
+	px, _ = e.Points(0)
+	if len(px) != 5 {
+		t.Fatalf("Points(0) returned %d", len(px))
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram([]float64{0, 10, 20, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{-1, 0, 5, 10, 15, 29.9, 30, 99} {
+		h.Add(v)
+	}
+	if h.Under != 1 || h.Over != 2 {
+		t.Fatalf("under=%d over=%d", h.Under, h.Over)
+	}
+	if h.Counts[0] != 2 || h.Counts[1] != 2 || h.Counts[2] != 1 {
+		t.Fatalf("counts = %v", h.Counts)
+	}
+	if h.Total() != 8 {
+		t.Fatalf("total = %d", h.Total())
+	}
+}
+
+func TestHistogramBadEdges(t *testing.T) {
+	if _, err := NewHistogram([]float64{1}); err == nil {
+		t.Fatal("single edge accepted")
+	}
+	if _, err := NewHistogram([]float64{1, 1}); err == nil {
+		t.Fatal("non-ascending edges accepted")
+	}
+}
+
+func TestHistogramTotalProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		h, _ := NewHistogram([]float64{-100, 0, 100})
+		n := 0
+		for _, v := range raw {
+			if math.IsNaN(v) {
+				continue
+			}
+			h.Add(v)
+			n++
+		}
+		return h.Total() == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

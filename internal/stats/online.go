@@ -1,0 +1,170 @@
+package stats
+
+import "math"
+
+// Online accumulates mean and variance in one pass using Welford's
+// algorithm. The analysis engine uses it to aggregate millions of HO
+// records without retaining samples.
+type Online struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+	sum  float64
+}
+
+// Add folds one observation into the accumulator.
+func (o *Online) Add(x float64) {
+	o.n++
+	if o.n == 1 {
+		o.min, o.max = x, x
+	} else {
+		if x < o.min {
+			o.min = x
+		}
+		if x > o.max {
+			o.max = x
+		}
+	}
+	o.sum += x
+	d := x - o.mean
+	o.mean += d / float64(o.n)
+	o.m2 += d * (x - o.mean)
+}
+
+// Merge combines another accumulator into this one (parallel aggregation).
+func (o *Online) Merge(other *Online) {
+	if other.n == 0 {
+		return
+	}
+	if o.n == 0 {
+		*o = *other
+		return
+	}
+	n1, n2 := float64(o.n), float64(other.n)
+	delta := other.mean - o.mean
+	tot := n1 + n2
+	o.mean += delta * n2 / tot
+	o.m2 += other.m2 + delta*delta*n1*n2/tot
+	o.n += other.n
+	o.sum += other.sum
+	if other.min < o.min {
+		o.min = other.min
+	}
+	if other.max > o.max {
+		o.max = other.max
+	}
+}
+
+// N returns the number of observations.
+func (o *Online) N() int64 { return o.n }
+
+// Mean returns the running mean (0 when empty).
+func (o *Online) Mean() float64 { return o.mean }
+
+// Sum returns the running sum.
+func (o *Online) Sum() float64 { return o.sum }
+
+// Variance returns the unbiased running variance (0 for n < 2).
+func (o *Online) Variance() float64 {
+	if o.n < 2 {
+		return 0
+	}
+	return o.m2 / float64(o.n-1)
+}
+
+// StdDev returns the running standard deviation.
+func (o *Online) StdDev() float64 { return math.Sqrt(o.Variance()) }
+
+// Min returns the smallest observation (0 when empty).
+func (o *Online) Min() float64 { return o.min }
+
+// Max returns the largest observation (0 when empty).
+func (o *Online) Max() float64 { return o.max }
+
+// LogHist is a fixed-memory quantile sketch over positive values using
+// logarithmically spaced bins. It trades exactness for O(1) memory and is
+// the ablation alternative to exact sample collection for duration ECDFs
+// (see DESIGN.md §5). Relative quantile error is bounded by the bin growth
+// factor.
+type LogHist struct {
+	lo     float64 // lower bound of first bin (exclusive of zero bucket)
+	ratio  float64 // bin growth factor
+	logR   float64
+	counts []uint64
+	zero   uint64 // values <= lo
+	over   uint64 // values beyond the last bin
+	total  uint64
+}
+
+// NewLogHist creates a sketch covering (lo, hi] with the given number of
+// bins. lo and hi must be positive with hi > lo and bins >= 1.
+func NewLogHist(lo, hi float64, bins int) *LogHist {
+	if lo <= 0 || hi <= lo || bins < 1 {
+		panic("stats: invalid LogHist configuration")
+	}
+	ratio := math.Pow(hi/lo, 1/float64(bins))
+	return &LogHist{
+		lo:     lo,
+		ratio:  ratio,
+		logR:   math.Log(ratio),
+		counts: make([]uint64, bins),
+	}
+}
+
+// Add records a value.
+func (h *LogHist) Add(x float64) {
+	h.total++
+	if x <= h.lo {
+		h.zero++
+		return
+	}
+	idx := int(math.Log(x/h.lo) / h.logR)
+	if idx >= len(h.counts) {
+		h.over++
+		return
+	}
+	h.counts[idx]++
+}
+
+// N returns the number of recorded values.
+func (h *LogHist) N() uint64 { return h.total }
+
+// Quantile returns an approximate q-th quantile (geometric midpoint of the
+// containing bin). Values in the under/overflow regions return the range
+// bounds.
+func (h *LogHist) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(h.total))
+	if target >= h.total {
+		target = h.total - 1
+	}
+	if target < h.zero {
+		return h.lo
+	}
+	cum := h.zero
+	for i, c := range h.counts {
+		cum += c
+		if target < cum {
+			lo := h.lo * math.Pow(h.ratio, float64(i))
+			return lo * math.Sqrt(h.ratio) // geometric midpoint
+		}
+	}
+	return h.lo * math.Pow(h.ratio, float64(len(h.counts)))
+}
+
+// Merge combines another sketch with identical configuration.
+func (h *LogHist) Merge(other *LogHist) {
+	if len(other.counts) != len(h.counts) || other.lo != h.lo || other.ratio != h.ratio {
+		panic("stats: merging incompatible LogHist sketches")
+	}
+	h.zero += other.zero
+	h.over += other.over
+	h.total += other.total
+	for i := range h.counts {
+		h.counts[i] += other.counts[i]
+	}
+}

@@ -1,0 +1,157 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"telcolens/internal/randx"
+)
+
+func TestOnlineMatchesBatch(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5}
+	var o Online
+	for _, x := range xs {
+		o.Add(x)
+	}
+	if o.N() != int64(len(xs)) {
+		t.Fatalf("n = %d", o.N())
+	}
+	if !almostEq(o.Mean(), Mean(xs), 1e-12) {
+		t.Fatalf("mean = %g vs %g", o.Mean(), Mean(xs))
+	}
+	if !almostEq(o.Variance(), Variance(xs), 1e-12) {
+		t.Fatalf("var = %g vs %g", o.Variance(), Variance(xs))
+	}
+	min, max := MinMax(xs)
+	if o.Min() != min || o.Max() != max {
+		t.Fatalf("minmax = %g,%g", o.Min(), o.Max())
+	}
+}
+
+func TestOnlineMergeProperty(t *testing.T) {
+	f := func(a, b []float64) bool {
+		clean := func(in []float64) []float64 {
+			out := make([]float64, 0, len(in))
+			for _, v := range in {
+				if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e6 {
+					out = append(out, v)
+				}
+			}
+			return out
+		}
+		a, b = clean(a), clean(b)
+		var oa, ob, oAll Online
+		for _, v := range a {
+			oa.Add(v)
+			oAll.Add(v)
+		}
+		for _, v := range b {
+			ob.Add(v)
+			oAll.Add(v)
+		}
+		oa.Merge(&ob)
+		if oa.N() != oAll.N() {
+			return false
+		}
+		if oa.N() == 0 {
+			return true
+		}
+		tol := 1e-6 * (1 + math.Abs(oAll.Mean()))
+		if math.Abs(oa.Mean()-oAll.Mean()) > tol {
+			return false
+		}
+		return math.Abs(oa.Variance()-oAll.Variance()) <= 1e-5*(1+oAll.Variance())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOnlineEmptyMerge(t *testing.T) {
+	var a, b Online
+	a.Add(1)
+	a.Add(3)
+	a.Merge(&b) // merging empty is a no-op
+	if a.N() != 2 || a.Mean() != 2 {
+		t.Fatalf("merge with empty changed state: %+v", a)
+	}
+	b.Merge(&a) // merging into empty copies
+	if b.N() != 2 || b.Mean() != 2 {
+		t.Fatalf("merge into empty failed: n=%d", b.N())
+	}
+}
+
+func TestLogHistQuantiles(t *testing.T) {
+	r := randx.New(3)
+	h := NewLogHist(0.1, 100000, 400)
+	exact := make([]float64, 0, 100000)
+	for i := 0; i < 100000; i++ {
+		v := r.LogNormalMedP95(43, 92)
+		h.Add(v)
+		exact = append(exact, v)
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.95} {
+		approx := h.Quantile(q)
+		want := Quantile(exact, q)
+		if relErr(approx, want) > 0.05 {
+			t.Errorf("q=%g: sketch %g vs exact %g", q, approx, want)
+		}
+	}
+	if h.N() != 100000 {
+		t.Fatalf("N = %d", h.N())
+	}
+}
+
+func TestLogHistMerge(t *testing.T) {
+	a := NewLogHist(1, 1000, 50)
+	b := NewLogHist(1, 1000, 50)
+	for i := 1; i <= 100; i++ {
+		a.Add(float64(i))
+		b.Add(float64(i * 5))
+	}
+	a.Merge(b)
+	if a.N() != 200 {
+		t.Fatalf("merged N = %d", a.N())
+	}
+}
+
+func TestLogHistMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("incompatible merge did not panic")
+		}
+	}()
+	a := NewLogHist(1, 1000, 50)
+	b := NewLogHist(1, 1000, 60)
+	a.Merge(b)
+}
+
+func TestLogHistBounds(t *testing.T) {
+	h := NewLogHist(1, 100, 10)
+	h.Add(0.5) // underflow
+	h.Add(1e9) // overflow
+	h.Add(10)  // in range
+	if h.N() != 3 {
+		t.Fatalf("N = %d", h.N())
+	}
+	if q := h.Quantile(0); q != 1 {
+		t.Fatalf("underflow quantile = %g", q)
+	}
+	if q := h.Quantile(0.99); q < 100 {
+		t.Fatalf("overflow quantile = %g", q)
+	}
+}
+
+func TestLogHistInvalidConfig(t *testing.T) {
+	for _, c := range []struct {
+		lo, hi float64
+		bins   int
+	}{{0, 1, 5}, {1, 1, 5}, {1, 10, 0}} {
+		func() {
+			defer func() { _ = recover() }()
+			NewLogHist(c.lo, c.hi, c.bins)
+			t.Errorf("NewLogHist(%g,%g,%d) did not panic", c.lo, c.hi, c.bins)
+		}()
+	}
+}

@@ -1,0 +1,180 @@
+// Package subscribers models the UE population: ~40M devices in the paper,
+// a configurable scale here. Each UE couples a device model (TAC) with a
+// home location (postcode/district, sampled population-proportionally) and
+// a mobility class that drives the paper's mobility metrics (Fig 10).
+package subscribers
+
+import (
+	"fmt"
+
+	"telcolens/internal/census"
+	"telcolens/internal/devices"
+	"telcolens/internal/randx"
+	"telcolens/internal/topology"
+	"telcolens/internal/trace"
+)
+
+// MobilityClass partitions UEs by movement behaviour.
+type MobilityClass uint8
+
+// Mobility classes, from immobile smart meters to modems on high-speed
+// trains (the paper's §5.3 highlights both extremes).
+const (
+	Stationary MobilityClass = iota
+	Local
+	Commuter
+	LongDistance
+	HighSpeed
+	numClasses
+)
+
+// String returns the class name.
+func (c MobilityClass) String() string {
+	switch c {
+	case Stationary:
+		return "stationary"
+	case Local:
+		return "local"
+	case Commuter:
+		return "commuter"
+	case LongDistance:
+		return "long-distance"
+	case HighSpeed:
+		return "high-speed"
+	default:
+		return fmt.Sprintf("MobilityClass(%d)", uint8(c))
+	}
+}
+
+// classMix gives the mobility class distribution per device type,
+// calibrated against Fig 10 (visited sectors and radius of gyration per
+// device type; see DESIGN.md §6).
+var classMix = map[devices.DeviceType][numClasses]float64{
+	//                       Stationary, Local, Commuter, LongDist, HighSpeed
+	devices.Smartphone:   {0.06, 0.42, 0.46, 0.052, 0.008},
+	devices.M2MIoT:       {0.62, 0.20, 0.08, 0.07, 0.03},
+	devices.FeaturePhone: {0.30, 0.50, 0.08, 0.11, 0.01},
+}
+
+// UE is one subscriber device.
+type UE struct {
+	ID           trace.UEID
+	TAC          devices.TAC
+	HomeDistrict int
+	HomePostcode string
+	HomeSite     topology.SiteID
+	Class        MobilityClass
+	APN          string
+}
+
+// Population is the generated subscriber base.
+type Population struct {
+	UEs     []UE
+	catalog *devices.Catalog
+}
+
+// Model resolves a UE's device model from the catalog.
+func (p *Population) Model(ue *UE) *devices.Model { return p.catalog.ByTAC(ue.TAC) }
+
+// Catalog returns the device catalog backing the population.
+func (p *Population) Catalog() *devices.Catalog { return p.catalog }
+
+// Len returns the population size.
+func (p *Population) Len() int { return len(p.UEs) }
+
+// Generate builds a deterministic population of n UEs.
+func Generate(seed uint64, n int, country *census.Country, net *topology.Network, catalog *devices.Catalog) (*Population, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("subscribers: non-positive population %d", n)
+	}
+	if country == nil || net == nil || catalog == nil {
+		return nil, fmt.Errorf("subscribers: nil inputs")
+	}
+	sampler, err := devices.NewSampler(catalog)
+	if err != nil {
+		return nil, err
+	}
+
+	// Home district sampling is population-proportional: this is what
+	// makes the Fig 5 census comparison and the Fig 6 density correlation
+	// emerge from the generated traces rather than being painted on.
+	weights := make([]float64, len(country.Districts))
+	for i, d := range country.Districts {
+		weights[i] = float64(d.Population)
+	}
+	districtChoice, err := randx.NewWeightedChoice(weights)
+	if err != nil {
+		return nil, err
+	}
+
+	r := randx.NewStream(seed, "subscribers", 0)
+	pop := &Population{catalog: catalog, UEs: make([]UE, 0, n)}
+	for i := 0; i < n; i++ {
+		model := sampler.Sample(r)
+		distID := districtChoice.Sample(r)
+		district := country.District(distID)
+
+		// Home postcode within the district, population-proportional.
+		pcIdx := samplePostcode(r, district)
+		pc := &district.Postcodes[pcIdx]
+
+		// Home site: prefer a site in the home postcode, else any site in
+		// the district (every district has at least one site).
+		sites := net.SitesInDistrict(distID)
+		if len(sites) == 0 {
+			return nil, fmt.Errorf("subscribers: district %d has no sites", distID)
+		}
+		home := sites[r.Intn(len(sites))]
+		for attempt := 0; attempt < 4; attempt++ {
+			cand := sites[r.Intn(len(sites))]
+			if net.Site(cand).Postcode == pc.Code {
+				home = cand
+				break
+			}
+		}
+
+		mix := classMix[model.Type]
+		class := MobilityClass(sampleClass(r, mix))
+
+		pop.UEs = append(pop.UEs, UE{
+			ID:           trace.UEID(i),
+			TAC:          model.TAC,
+			HomeDistrict: distID,
+			HomePostcode: pc.Code,
+			HomeSite:     home,
+			Class:        class,
+			APN:          devices.SampleAPN(r, model.Type),
+		})
+	}
+	return pop, nil
+}
+
+func samplePostcode(r *randx.Rand, d *census.District) int {
+	var total float64
+	for _, pc := range d.Postcodes {
+		total += float64(pc.Population) + 1
+	}
+	u := r.Float64() * total
+	for i, pc := range d.Postcodes {
+		u -= float64(pc.Population) + 1
+		if u < 0 {
+			return i
+		}
+	}
+	return len(d.Postcodes) - 1
+}
+
+func sampleClass(r *randx.Rand, mix [numClasses]float64) int {
+	var total float64
+	for _, w := range mix {
+		total += w
+	}
+	u := r.Float64() * total
+	for i, w := range mix {
+		u -= w
+		if u < 0 {
+			return i
+		}
+	}
+	return int(numClasses) - 1
+}

@@ -1,0 +1,175 @@
+package subscribers
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"telcolens/internal/census"
+	"telcolens/internal/devices"
+	"telcolens/internal/topology"
+)
+
+func buildInputs(t *testing.T) (*census.Country, *topology.Network, *devices.Catalog) {
+	t.Helper()
+	country, err := census.Generate(census.DefaultGenConfig(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := topology.Generate(topology.DefaultGenConfig(42), country)
+	if err != nil {
+		t.Fatal(err)
+	}
+	catalog, err := devices.GenerateCatalog(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return country, net, catalog
+}
+
+func TestGenerateBasics(t *testing.T) {
+	country, net, catalog := buildInputs(t)
+	pop, err := Generate(7, 5000, country, net, catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pop.Len() != 5000 {
+		t.Fatalf("population = %d", pop.Len())
+	}
+	for i := range pop.UEs {
+		ue := &pop.UEs[i]
+		if int(ue.ID) != i {
+			t.Fatalf("UE %d has ID %d", i, ue.ID)
+		}
+		model := pop.Model(ue)
+		if model == nil {
+			t.Fatalf("UE %d has unresolvable TAC %d", i, ue.TAC)
+		}
+		if country.District(ue.HomeDistrict) == nil {
+			t.Fatalf("UE %d has invalid home district", i)
+		}
+		site := net.Site(ue.HomeSite)
+		if site == nil {
+			t.Fatalf("UE %d has invalid home site", i)
+		}
+		if site.DistrictID != ue.HomeDistrict {
+			t.Fatalf("UE %d home site in district %d, home district %d", i, site.DistrictID, ue.HomeDistrict)
+		}
+		if country.PostcodeByCode(ue.HomePostcode) == nil {
+			t.Fatalf("UE %d has unknown postcode %q", i, ue.HomePostcode)
+		}
+		if ue.APN == "" {
+			t.Fatalf("UE %d has no APN", i)
+		}
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	country, net, catalog := buildInputs(t)
+	a, err := Generate(3, 1000, country, net, catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(3, 1000, country, net, catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.UEs {
+		if a.UEs[i] != b.UEs[i] {
+			t.Fatalf("UE %d differs across identical seeds", i)
+		}
+	}
+}
+
+func TestHomesPopulationProportional(t *testing.T) {
+	country, net, catalog := buildInputs(t)
+	pop, err := Generate(11, 30000, country, net, catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[int]int)
+	for _, ue := range pop.UEs {
+		counts[ue.HomeDistrict]++
+	}
+	totalPop := float64(country.TotalPopulation())
+	// The largest districts must land close to their population share.
+	rank := country.DensityRank()
+	for _, id := range rank[len(rank)-5:] {
+		d := country.District(id)
+		want := float64(d.Population) / totalPop
+		got := float64(counts[id]) / float64(pop.Len())
+		if want > 0.01 && math.Abs(got-want)/want > 0.35 {
+			t.Errorf("district %s: UE share %.4f, population share %.4f", d.Name, got, want)
+		}
+	}
+}
+
+func TestMobilityClassMixByType(t *testing.T) {
+	country, net, catalog := buildInputs(t)
+	pop, err := Generate(13, 40000, country, net, catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classCounts := make(map[devices.DeviceType]map[MobilityClass]int)
+	typeTotals := make(map[devices.DeviceType]int)
+	for i := range pop.UEs {
+		ue := &pop.UEs[i]
+		m := pop.Model(ue)
+		if classCounts[m.Type] == nil {
+			classCounts[m.Type] = make(map[MobilityClass]int)
+		}
+		classCounts[m.Type][ue.Class]++
+		typeTotals[m.Type]++
+	}
+	// M2M devices are mostly stationary; smartphones mostly mobile.
+	m2mStationary := float64(classCounts[devices.M2MIoT][Stationary]) / float64(typeTotals[devices.M2MIoT])
+	if math.Abs(m2mStationary-0.62) > 0.04 {
+		t.Errorf("M2M stationary share = %.3f, want ≈0.62", m2mStationary)
+	}
+	smartStationary := float64(classCounts[devices.Smartphone][Stationary]) / float64(typeTotals[devices.Smartphone])
+	if smartStationary > 0.1 {
+		t.Errorf("smartphone stationary share = %.3f, want ≈0.06", smartStationary)
+	}
+}
+
+func TestM2MAPNKeywords(t *testing.T) {
+	country, net, catalog := buildInputs(t)
+	pop, err := Generate(17, 20000, country, net, catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2mWithKeyword, m2mTotal := 0, 0
+	for i := range pop.UEs {
+		ue := &pop.UEs[i]
+		if pop.Model(ue).Type != devices.M2MIoT {
+			continue
+		}
+		m2mTotal++
+		lower := strings.ToLower(ue.APN)
+		if strings.Contains(lower, "m2m") || strings.Contains(lower, "meter") ||
+			strings.Contains(lower, "iot") || strings.Contains(lower, "telemetry") ||
+			strings.Contains(lower, "fleet") || strings.Contains(lower, "scada") {
+			m2mWithKeyword++
+		}
+	}
+	frac := float64(m2mWithKeyword) / float64(m2mTotal)
+	if frac < 0.85 || frac > 0.95 {
+		t.Fatalf("M2M keyword-APN share = %.3f, want ≈0.9", frac)
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	country, net, catalog := buildInputs(t)
+	if _, err := Generate(1, 0, country, net, catalog); err == nil {
+		t.Fatal("zero population accepted")
+	}
+	if _, err := Generate(1, 10, nil, net, catalog); err == nil {
+		t.Fatal("nil country accepted")
+	}
+	if _, err := Generate(1, 10, country, nil, catalog); err == nil {
+		t.Fatal("nil network accepted")
+	}
+	if _, err := Generate(1, 10, country, net, nil); err == nil {
+		t.Fatal("nil catalog accepted")
+	}
+}

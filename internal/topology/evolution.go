@@ -1,0 +1,55 @@
+package topology
+
+// YearDeployment is one year of the network deployment evolution series
+// behind the paper's Figure 3a: the share of sectors per RAT and the total
+// deployment size normalized to the final year.
+type YearDeployment struct {
+	Year            int
+	Share           map[RAT]float64 // sums to 1
+	TotalNormalized float64         // total sectors / total sectors in 2023
+}
+
+// evolutionTable is the reconstructed 2009–2023 deployment history. The
+// endpoints are pinned to the paper's published 2023 mix (5G 8.4%, 4G 55%,
+// 2G/3G ≈18.3% each) and to its qualitative description: exponential
+// growth (≈59% cumulative over 2018–2023), 4G arriving in 2012, 5G-NR in
+// 2019, and gradual 2G/3G decommissioning.
+var evolutionTable = []struct {
+	year                    int
+	s2g, s3g, s4g, s5g, tot float64
+}{
+	{2009, 0.780, 0.220, 0.000, 0.000, 0.130},
+	{2010, 0.720, 0.280, 0.000, 0.000, 0.160},
+	{2011, 0.660, 0.340, 0.000, 0.000, 0.200},
+	{2012, 0.580, 0.380, 0.040, 0.000, 0.250},
+	{2013, 0.500, 0.400, 0.100, 0.000, 0.300},
+	{2014, 0.440, 0.390, 0.170, 0.000, 0.360},
+	{2015, 0.390, 0.370, 0.240, 0.000, 0.420},
+	{2016, 0.350, 0.340, 0.310, 0.000, 0.480},
+	{2017, 0.310, 0.310, 0.380, 0.000, 0.550},
+	{2018, 0.280, 0.280, 0.440, 0.000, 0.630},
+	{2019, 0.260, 0.250, 0.480, 0.010, 0.690},
+	{2020, 0.240, 0.230, 0.500, 0.030, 0.760},
+	{2021, 0.220, 0.210, 0.520, 0.050, 0.840},
+	{2022, 0.200, 0.195, 0.535, 0.070, 0.920},
+	{2023, 0.183, 0.183, 0.550, 0.084, 1.000},
+}
+
+// EvolutionSeries returns the 2009–2023 deployment evolution used to
+// regenerate Figure 3a.
+func EvolutionSeries() []YearDeployment {
+	out := make([]YearDeployment, len(evolutionTable))
+	for i, row := range evolutionTable {
+		out[i] = YearDeployment{
+			Year: row.year,
+			Share: map[RAT]float64{
+				TwoG:   row.s2g,
+				ThreeG: row.s3g,
+				FourG:  row.s4g,
+				FiveG:  row.s5g,
+			},
+			TotalNormalized: row.tot,
+		}
+	}
+	return out
+}

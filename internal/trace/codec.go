@@ -1,0 +1,188 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"telcolens/internal/causes"
+	"telcolens/internal/devices"
+	"telcolens/internal/topology"
+)
+
+// Binary stream layout (little-endian):
+//
+//	header:  magic "TLHO" | version u16 | flags u16
+//	record:  ts i64 | ue u32 | tac u32 | src u32 | dst u32 |
+//	         rats u8 (src<<4|dst) | result u8 | cause u16 | duration f32
+//
+// Records are fixed width (RecordSize bytes) so readers can seek and shard
+// by offset; the format is append-only.
+
+// Magic identifies telcolens handover trace streams.
+var Magic = [4]byte{'T', 'L', 'H', 'O'}
+
+// Version is the current stream format version.
+const Version uint16 = 1
+
+// HeaderSize is the encoded header length in bytes.
+const HeaderSize = 8
+
+// RecordSize is the encoded record length in bytes.
+const RecordSize = 30
+
+// ErrBadMagic is returned when a stream does not start with Magic.
+var ErrBadMagic = errors.New("trace: bad magic (not a telcolens trace)")
+
+// ErrBadVersion is returned for unsupported stream versions.
+var ErrBadVersion = errors.New("trace: unsupported stream version")
+
+// ErrTruncated is returned when a stream ends mid-record.
+var ErrTruncated = errors.New("trace: truncated record")
+
+// AppendRecord appends the binary encoding of rec to buf and returns the
+// extended slice.
+func AppendRecord(buf []byte, rec *Record) []byte {
+	var tmp [RecordSize]byte
+	binary.LittleEndian.PutUint64(tmp[0:8], uint64(rec.Timestamp))
+	binary.LittleEndian.PutUint32(tmp[8:12], uint32(rec.UE))
+	binary.LittleEndian.PutUint32(tmp[12:16], uint32(rec.TAC))
+	binary.LittleEndian.PutUint32(tmp[16:20], uint32(rec.Source))
+	binary.LittleEndian.PutUint32(tmp[20:24], uint32(rec.Target))
+	tmp[24] = byte(rec.SourceRAT)<<4 | byte(rec.TargetRAT)&0x0f
+	tmp[25] = byte(rec.Result)
+	binary.LittleEndian.PutUint16(tmp[26:28], uint16(rec.Cause))
+	// Duration is stored as fixed-point 0.1 ms units in 16 bits when it
+	// fits, else a sentinel redirects to a float side-channel; to keep the
+	// format single-pass we clamp to the 16-bit fixed-point range
+	// (6553.5 ms) only for the compact path and fall back to whole
+	// milliseconds with a scale flag for longer failures.
+	encodeDuration(tmp[28:30], rec.DurationMs)
+	return append(buf, tmp[:]...)
+}
+
+// Duration encoding: 15 bits of magnitude plus a scale bit. Scale 0 stores
+// 0.1 ms units (0–3276.7 ms, covering all successful HOs); scale 1 stores
+// whole milliseconds (0–32767 ms, covering timeout failures up to ~32 s).
+func encodeDuration(dst []byte, ms float32) {
+	if ms < 0 {
+		ms = 0
+	}
+	if ms <= 3276.7 {
+		binary.LittleEndian.PutUint16(dst, uint16(math.Round(float64(ms)*10)))
+		return
+	}
+	v := uint16(math.Min(math.Round(float64(ms)), 32767))
+	binary.LittleEndian.PutUint16(dst, v|0x8000)
+}
+
+func decodeDuration(src []byte) float32 {
+	v := binary.LittleEndian.Uint16(src)
+	if v&0x8000 != 0 {
+		return float32(v & 0x7fff)
+	}
+	return float32(v) / 10
+}
+
+// DecodeRecord decodes exactly RecordSize bytes into rec.
+func DecodeRecord(buf []byte, rec *Record) error {
+	if len(buf) < RecordSize {
+		return ErrTruncated
+	}
+	rec.Timestamp = int64(binary.LittleEndian.Uint64(buf[0:8]))
+	rec.UE = UEID(binary.LittleEndian.Uint32(buf[8:12]))
+	rec.TAC = devices.TAC(binary.LittleEndian.Uint32(buf[12:16]))
+	rec.Source = topology.SectorID(binary.LittleEndian.Uint32(buf[16:20]))
+	rec.Target = topology.SectorID(binary.LittleEndian.Uint32(buf[20:24]))
+	rec.SourceRAT = topology.RAT(buf[24] >> 4)
+	rec.TargetRAT = topology.RAT(buf[24] & 0x0f)
+	rec.Result = Result(buf[25])
+	rec.Cause = causes.Code(binary.LittleEndian.Uint16(buf[26:28]))
+	rec.DurationMs = decodeDuration(buf[28:30])
+	return nil
+}
+
+// Writer encodes records onto an io.Writer with buffering.
+type Writer struct {
+	w     *bufio.Writer
+	buf   []byte
+	count int64
+	err   error
+}
+
+// NewWriter writes the stream header and returns a Writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var hdr [HeaderSize]byte
+	copy(hdr[0:4], Magic[:])
+	binary.LittleEndian.PutUint16(hdr[4:6], Version)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: writing header: %w", err)
+	}
+	return &Writer{w: bw, buf: make([]byte, 0, RecordSize)}, nil
+}
+
+// Write encodes one record. After an error every subsequent call returns
+// the same error.
+func (w *Writer) Write(rec *Record) error {
+	if w.err != nil {
+		return w.err
+	}
+	w.buf = AppendRecord(w.buf[:0], rec)
+	if _, err := w.w.Write(w.buf); err != nil {
+		w.err = fmt.Errorf("trace: writing record: %w", err)
+		return w.err
+	}
+	w.count++
+	return nil
+}
+
+// Count returns the number of records written so far.
+func (w *Writer) Count() int64 { return w.count }
+
+// Flush flushes buffered records to the underlying writer.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}
+
+// Reader decodes records from an io.Reader. Next reuses the caller's
+// Record, so iteration is allocation-free.
+type Reader struct {
+	r   *bufio.Reader
+	buf [RecordSize]byte
+}
+
+// NewReader validates the stream header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var hdr [HeaderSize]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if [4]byte(hdr[0:4]) != Magic {
+		return nil, ErrBadMagic
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:6]); v != Version {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, v)
+	}
+	return &Reader{r: br}, nil
+}
+
+// Next decodes the next record into rec. It returns io.EOF at a clean end
+// of stream and ErrTruncated if the stream ends mid-record.
+func (r *Reader) Next(rec *Record) error {
+	n, err := io.ReadFull(r.r, r.buf[:])
+	if err == io.EOF && n == 0 {
+		return io.EOF
+	}
+	if err != nil {
+		return ErrTruncated
+	}
+	return DecodeRecord(r.buf[:], rec)
+}

@@ -1,0 +1,54 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// ExportCSV writes a day partition as CSV for interoperability with
+// external analysis tooling (one row per handover, schema mirroring the
+// paper's six captured variables plus the TAC join key).
+func ExportCSV(w io.Writer, it RecordIterator) (int64, error) {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"timestamp_ms", "ue", "tac", "source_sector", "target_sector",
+		"source_rat", "target_rat", "result", "cause", "duration_ms",
+	}
+	if err := cw.Write(header); err != nil {
+		return 0, err
+	}
+	var rec Record
+	var n int64
+	for {
+		ok, err := it.Next(&rec)
+		if err != nil {
+			return n, err
+		}
+		if !ok {
+			break
+		}
+		row := []string{
+			strconv.FormatInt(rec.Timestamp, 10),
+			strconv.FormatUint(uint64(rec.UE), 10),
+			strconv.FormatUint(uint64(rec.TAC), 10),
+			strconv.FormatUint(uint64(rec.Source), 10),
+			strconv.FormatUint(uint64(rec.Target), 10),
+			rec.SourceRAT.String(),
+			rec.TargetRAT.String(),
+			rec.Result.String(),
+			strconv.FormatUint(uint64(rec.Cause), 10),
+			strconv.FormatFloat(float64(rec.DurationMs), 'f', 1, 32),
+		}
+		if err := cw.Write(row); err != nil {
+			return n, err
+		}
+		n++
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return n, fmt.Errorf("trace: flushing csv: %w", err)
+	}
+	return n, nil
+}

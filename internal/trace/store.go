@@ -1,0 +1,277 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// A Store holds day-partitioned handover traces (the paper's pipeline
+// lands one multi-terabyte capture per day; ours land one stream per day).
+//
+// AppendDay returns a writer for a day's partition; OpenDay returns an
+// iterator over it. A day may only be written once and must be closed
+// before it is read.
+type Store interface {
+	AppendDay(day int) (RecordWriter, error)
+	OpenDay(day int) (RecordIterator, error)
+	Days() ([]int, error)
+}
+
+// RecordWriter receives records for one day partition.
+type RecordWriter interface {
+	Write(*Record) error
+	Close() error
+}
+
+// RecordIterator streams records from one day partition. Next fills the
+// caller's Record and reports false at end of stream.
+type RecordIterator interface {
+	Next(*Record) (bool, error)
+	Close() error
+}
+
+// ForEach streams every record of every day (ascending) through fn.
+func ForEach(s Store, fn func(day int, rec *Record) error) error {
+	days, err := s.Days()
+	if err != nil {
+		return err
+	}
+	var rec Record
+	for _, day := range days {
+		it, err := s.OpenDay(day)
+		if err != nil {
+			return err
+		}
+		for {
+			ok, err := it.Next(&rec)
+			if err != nil {
+				it.Close()
+				return err
+			}
+			if !ok {
+				break
+			}
+			if err := fn(day, &rec); err != nil {
+				it.Close()
+				return err
+			}
+		}
+		if err := it.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Count returns the total number of records in the store.
+func Count(s Store) (int64, error) {
+	var n int64
+	err := ForEach(s, func(int, *Record) error { n++; return nil })
+	return n, err
+}
+
+// MemStore keeps day partitions in memory. The zero value is ready to use.
+type MemStore struct {
+	mu   sync.Mutex
+	days map[int][]Record
+	open map[int]bool
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{days: make(map[int][]Record), open: make(map[int]bool)}
+}
+
+// AppendDay starts a new day partition.
+func (m *MemStore) AppendDay(day int) (RecordWriter, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.days == nil {
+		m.days = make(map[int][]Record)
+		m.open = make(map[int]bool)
+	}
+	if _, exists := m.days[day]; exists {
+		return nil, fmt.Errorf("trace: day %d already written", day)
+	}
+	m.days[day] = nil
+	m.open[day] = true
+	return &memWriter{store: m, day: day}, nil
+}
+
+// OpenDay iterates a closed day partition.
+func (m *MemStore) OpenDay(day int) (RecordIterator, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	recs, ok := m.days[day]
+	if !ok {
+		return nil, fmt.Errorf("trace: day %d not present", day)
+	}
+	if m.open[day] {
+		return nil, fmt.Errorf("trace: day %d still open for writing", day)
+	}
+	return &memIterator{recs: recs}, nil
+}
+
+// Days lists finished day partitions in ascending order.
+func (m *MemStore) Days() ([]int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var days []int
+	for d := range m.days {
+		if !m.open[d] {
+			days = append(days, d)
+		}
+	}
+	sort.Ints(days)
+	return days, nil
+}
+
+type memWriter struct {
+	store  *MemStore
+	day    int
+	closed bool
+}
+
+func (w *memWriter) Write(rec *Record) error {
+	if w.closed {
+		return fmt.Errorf("trace: write to closed day %d", w.day)
+	}
+	w.store.mu.Lock()
+	w.store.days[w.day] = append(w.store.days[w.day], *rec)
+	w.store.mu.Unlock()
+	return nil
+}
+
+func (w *memWriter) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	w.store.mu.Lock()
+	w.store.open[w.day] = false
+	w.store.mu.Unlock()
+	return nil
+}
+
+type memIterator struct {
+	recs []Record
+	pos  int
+}
+
+func (it *memIterator) Next(rec *Record) (bool, error) {
+	if it.pos >= len(it.recs) {
+		return false, nil
+	}
+	*rec = it.recs[it.pos]
+	it.pos++
+	return true, nil
+}
+
+func (it *memIterator) Close() error { return nil }
+
+// FileStore persists day partitions as binary trace files in a directory.
+type FileStore struct {
+	dir string
+}
+
+// NewFileStore creates (if needed) and opens a directory-backed store.
+func NewFileStore(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("trace: creating store dir: %w", err)
+	}
+	return &FileStore{dir: dir}, nil
+}
+
+// Dir returns the backing directory.
+func (f *FileStore) Dir() string { return f.dir }
+
+func (f *FileStore) dayPath(day int) string {
+	return filepath.Join(f.dir, fmt.Sprintf("ho_day_%03d.tlho", day))
+}
+
+// AppendDay starts a new day partition file.
+func (f *FileStore) AppendDay(day int) (RecordWriter, error) {
+	path := f.dayPath(day)
+	if _, err := os.Stat(path); err == nil {
+		return nil, fmt.Errorf("trace: day %d already written (%s)", day, path)
+	}
+	file, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("trace: creating day file: %w", err)
+	}
+	w, err := NewWriter(file)
+	if err != nil {
+		file.Close()
+		os.Remove(path)
+		return nil, err
+	}
+	return &fileWriter{file: file, w: w}, nil
+}
+
+// OpenDay iterates a day partition file.
+func (f *FileStore) OpenDay(day int) (RecordIterator, error) {
+	file, err := os.Open(f.dayPath(day))
+	if err != nil {
+		return nil, fmt.Errorf("trace: opening day %d: %w", day, err)
+	}
+	r, err := NewReader(file)
+	if err != nil {
+		file.Close()
+		return nil, err
+	}
+	return &fileIterator{file: file, r: r}, nil
+}
+
+// Days lists day partitions present on disk in ascending order.
+func (f *FileStore) Days() ([]int, error) {
+	entries, err := os.ReadDir(f.dir)
+	if err != nil {
+		return nil, fmt.Errorf("trace: listing store dir: %w", err)
+	}
+	var days []int
+	for _, e := range entries {
+		var day int
+		if _, err := fmt.Sscanf(e.Name(), "ho_day_%03d.tlho", &day); err == nil {
+			days = append(days, day)
+		}
+	}
+	sort.Ints(days)
+	return days, nil
+}
+
+type fileWriter struct {
+	file *os.File
+	w    *Writer
+}
+
+func (w *fileWriter) Write(rec *Record) error { return w.w.Write(rec) }
+
+func (w *fileWriter) Close() error {
+	if err := w.w.Flush(); err != nil {
+		w.file.Close()
+		return err
+	}
+	return w.file.Close()
+}
+
+type fileIterator struct {
+	file *os.File
+	r    *Reader
+}
+
+func (it *fileIterator) Next(rec *Record) (bool, error) {
+	err := it.r.Next(rec)
+	if err == io.EOF {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+func (it *fileIterator) Close() error { return it.file.Close() }

@@ -1,0 +1,393 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"telcolens/internal/causes"
+	"telcolens/internal/devices"
+	"telcolens/internal/ho"
+	"telcolens/internal/topology"
+)
+
+func sampleRecord() Record {
+	return Record{
+		Timestamp:  StudyStart.UnixMilli() + 123456,
+		UE:         42,
+		TAC:        devices.TAC(35_000_001),
+		Source:     7,
+		Target:     9,
+		SourceRAT:  topology.FourG,
+		TargetRAT:  topology.ThreeG,
+		Result:     Failure,
+		Cause:      4,
+		DurationMs: 81.3,
+	}
+}
+
+func TestRecordHOType(t *testing.T) {
+	r := sampleRecord()
+	if r.HOType() != ho.To3G {
+		t.Fatalf("HOType = %v", r.HOType())
+	}
+	r.TargetRAT = topology.FourG
+	if r.HOType() != ho.Intra {
+		t.Fatal("intra misclassified")
+	}
+	r.TargetRAT = topology.TwoG
+	if r.HOType() != ho.To2G {
+		t.Fatal("2G misclassified")
+	}
+}
+
+func TestRecordValidate(t *testing.T) {
+	r := sampleRecord()
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := r
+	bad.Result = Success // but cause set
+	if bad.Validate() == nil {
+		t.Fatal("success with cause accepted")
+	}
+	bad = r
+	bad.Cause = causes.CodeNone
+	if bad.Validate() == nil {
+		t.Fatal("failure without cause accepted")
+	}
+	bad = r
+	bad.DurationMs = -1
+	if bad.Validate() == nil {
+		t.Fatal("negative duration accepted")
+	}
+}
+
+func TestDayHelpers(t *testing.T) {
+	if DayOf(StudyStart.UnixMilli()) != 0 {
+		t.Fatal("study start not day 0")
+	}
+	d3 := StudyStart.Add(3*24*time.Hour + 5*time.Hour)
+	if DayOf(d3.UnixMilli()) != 3 {
+		t.Fatal("day offset wrong")
+	}
+	if !DayStart(1).Equal(StudyStart.AddDate(0, 0, 1)) {
+		t.Fatal("DayStart wrong")
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	rec := sampleRecord()
+	buf := AppendRecord(nil, &rec)
+	if len(buf) != RecordSize {
+		t.Fatalf("encoded size = %d, want %d", len(buf), RecordSize)
+	}
+	var got Record
+	if err := DecodeRecord(buf, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Timestamp != rec.Timestamp || got.UE != rec.UE || got.TAC != rec.TAC ||
+		got.Source != rec.Source || got.Target != rec.Target ||
+		got.SourceRAT != rec.SourceRAT || got.TargetRAT != rec.TargetRAT ||
+		got.Result != rec.Result || got.Cause != rec.Cause {
+		t.Fatalf("round trip mismatch:\n in  %+v\n out %+v", rec, got)
+	}
+	if math.Abs(float64(got.DurationMs-rec.DurationMs)) > 0.06 {
+		t.Fatalf("duration drift: %g vs %g", got.DurationMs, rec.DurationMs)
+	}
+}
+
+func TestCodecRoundTripProperty(t *testing.T) {
+	f := func(ts int64, ue, tac, src, dst uint32, srcRAT, dstRAT uint8, fail bool, cause uint16, durMilli uint16) bool {
+		rec := Record{
+			Timestamp: ts,
+			UE:        UEID(ue),
+			TAC:       devices.TAC(tac),
+			Source:    topology.SectorID(src),
+			Target:    topology.SectorID(dst),
+			SourceRAT: topology.RAT(srcRAT % 4),
+			TargetRAT: topology.RAT(dstRAT % 4),
+			Result:    Success,
+		}
+		if fail {
+			rec.Result = Failure
+			rec.Cause = causes.Code(cause)
+		}
+		rec.DurationMs = float32(durMilli) / 10 // 0..6553.5ms
+		buf := AppendRecord(nil, &rec)
+		var got Record
+		if err := DecodeRecord(buf, &got); err != nil {
+			return false
+		}
+		// duration tolerance depends on scale regime
+		tol := 0.06
+		if rec.DurationMs > 3276.7 {
+			tol = 0.51
+		}
+		if math.Abs(float64(got.DurationMs-rec.DurationMs)) > tol {
+			return false
+		}
+		got.DurationMs = rec.DurationMs
+		return got == rec
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDurationEncodingRegimes(t *testing.T) {
+	cases := []struct {
+		in  float32
+		tol float64
+	}{
+		{0, 0.01}, {43.4, 0.06}, {3276.7, 0.06},
+		{5000, 0.51}, {10200, 0.51}, {32767, 0.51},
+	}
+	for _, c := range cases {
+		var buf [2]byte
+		encodeDuration(buf[:], c.in)
+		got := decodeDuration(buf[:])
+		if math.Abs(float64(got-c.in)) > c.tol {
+			t.Errorf("duration %g decoded as %g", c.in, got)
+		}
+	}
+	// Saturation: durations beyond 32767 ms clamp rather than wrap.
+	var buf [2]byte
+	encodeDuration(buf[:], 1e9)
+	if got := decodeDuration(buf[:]); got != 32767 {
+		t.Fatalf("oversized duration decoded as %g", got)
+	}
+	encodeDuration(buf[:], -5)
+	if got := decodeDuration(buf[:]); got != 0 {
+		t.Fatalf("negative duration decoded as %g", got)
+	}
+}
+
+func TestWriterReaderStream(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]Record, 1000)
+	for i := range want {
+		rec := sampleRecord()
+		rec.UE = UEID(i)
+		rec.Timestamp += int64(i * 1000)
+		want[i] = rec
+		if err := w.Write(&rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 1000 {
+		t.Fatalf("count = %d", w.Count())
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec Record
+	for i := range want {
+		if err := r.Next(&rec); err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if rec.UE != want[i].UE || rec.Timestamp != want[i].Timestamp {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+	if err := r.Next(&rec); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestReaderRejectsBadStreams(t *testing.T) {
+	if _, err := NewReader(strings.NewReader("")); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+	if _, err := NewReader(strings.NewReader("XXXXxxxx")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// Valid header, truncated record.
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := sampleRecord()
+	if err := w.Write(&rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-3]
+	r, err := NewReader(bytes.NewReader(trunc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Next(&rec); err != ErrTruncated {
+		t.Fatalf("want ErrTruncated, got %v", err)
+	}
+}
+
+func storeRoundTrip(t *testing.T, s Store) {
+	t.Helper()
+	for day := 0; day < 3; day++ {
+		w, err := s.AppendDay(day)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 100*(day+1); i++ {
+			rec := sampleRecord()
+			rec.UE = UEID(day*1000 + i)
+			if err := w.Write(&rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	days, err := s.Days()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(days) != 3 || days[0] != 0 || days[2] != 2 {
+		t.Fatalf("days = %v", days)
+	}
+	total, err := Count(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 100+200+300 {
+		t.Fatalf("count = %d", total)
+	}
+	// Double-write rejection.
+	if _, err := s.AppendDay(1); err == nil {
+		t.Fatal("rewriting day 1 accepted")
+	}
+	// Missing day rejection.
+	if _, err := s.OpenDay(99); err == nil {
+		t.Fatal("missing day opened")
+	}
+}
+
+func TestMemStore(t *testing.T) { storeRoundTrip(t, NewMemStore()) }
+
+func TestFileStore(t *testing.T) {
+	fs, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	storeRoundTrip(t, fs)
+}
+
+func TestMemStoreOpenWhileWriting(t *testing.T) {
+	s := NewMemStore()
+	w, err := s.AppendDay(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.OpenDay(0); err == nil {
+		t.Fatal("open of in-progress day accepted")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.OpenDay(0); err != nil {
+		t.Fatal(err)
+	}
+	// Writing after close fails.
+	rec := sampleRecord()
+	if err := w.Write(&rec); err == nil {
+		t.Fatal("write after close accepted")
+	}
+}
+
+func TestForEachOrdering(t *testing.T) {
+	s := NewMemStore()
+	for _, day := range []int{2, 0, 1} {
+		w, err := s.AppendDay(day)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := sampleRecord()
+		rec.UE = UEID(day)
+		if err := w.Write(&rec); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var seen []int
+	err := ForEach(s, func(day int, rec *Record) error {
+		seen = append(seen, day)
+		if UEID(day) != rec.UE {
+			t.Fatalf("day %d has record of UE %d", day, rec.UE)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 3 || seen[0] != 0 || seen[1] != 1 || seen[2] != 2 {
+		t.Fatalf("days visited: %v", seen)
+	}
+}
+
+func TestExportCSV(t *testing.T) {
+	s := NewMemStore()
+	w, _ := s.AppendDay(0)
+	rec := sampleRecord()
+	if err := w.Write(&rec); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	it, err := s.OpenDay(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	var buf bytes.Buffer
+	n, err := ExportCSV(&buf, it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("exported %d rows", n)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "timestamp_ms") || !strings.Contains(out, "3G") || !strings.Contains(out, "failure") {
+		t.Fatalf("csv output malformed:\n%s", out)
+	}
+}
+
+func BenchmarkEncodeRecord(b *testing.B) {
+	rec := sampleRecord()
+	buf := make([]byte, 0, RecordSize)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = AppendRecord(buf[:0], &rec)
+	}
+}
+
+func BenchmarkDecodeRecord(b *testing.B) {
+	rec := sampleRecord()
+	buf := AppendRecord(nil, &rec)
+	var out Record
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := DecodeRecord(buf, &out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

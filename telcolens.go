@@ -1,0 +1,100 @@
+// Package telcolens reproduces the measurement study "Through the Telco
+// Lens: A Countrywide Empirical Study of Cellular Handovers" (IMC 2024) on
+// a fully synthetic, deterministic substrate: a countrywide mobile
+// network, a GSMA-style device universe, a ~40M-UE-scale subscriber
+// population (configurable), a core-network handover simulator, and the
+// complete analysis pipeline that regenerates every table and figure of
+// the paper's evaluation.
+//
+// Typical use:
+//
+//	cfg := telcolens.DefaultConfig(42)
+//	cfg.UEs, cfg.Days = 5000, 14
+//	ds, err := telcolens.Generate(cfg)
+//	// handle err
+//	a, err := telcolens.NewAnalyzer(ds)
+//	// handle err
+//	err = telcolens.RunExperiment("fig8", a, os.Stdout)
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured record of every experiment.
+package telcolens
+
+import (
+	"fmt"
+	"io"
+
+	"telcolens/internal/analysis"
+	"telcolens/internal/report"
+	"telcolens/internal/simulate"
+	"telcolens/internal/trace"
+)
+
+// Config parameterizes a synthetic measurement campaign.
+type Config = simulate.Config
+
+// Dataset is a generated campaign: world model plus captured traces.
+type Dataset = simulate.Dataset
+
+// Analyzer computes the paper's §4–§6 analyses over a dataset.
+type Analyzer = analysis.Analyzer
+
+// Experiment regenerates one paper table or figure.
+type Experiment = analysis.Experiment
+
+// Artifact is a rendered experiment result.
+type Artifact = report.Artifact
+
+// Store is a day-partitioned handover trace store.
+type Store = trace.Store
+
+// Record is one captured handover event.
+type Record = trace.Record
+
+// DistrictProfile is the per-district drill-down summary.
+type DistrictProfile = analysis.DistrictProfile
+
+// LegacyDependence ranks districts by vertical-handover reliance.
+type LegacyDependence = analysis.LegacyDependence
+
+// DefaultConfig returns the calibrated laptop-scale configuration for the
+// given seed (20k UEs, 28 days, 320 districts, 2.4k sites).
+func DefaultConfig(seed uint64) Config { return simulate.DefaultConfig(seed) }
+
+// Generate runs a full synthetic campaign.
+func Generate(cfg Config) (*Dataset, error) { return simulate.Generate(cfg) }
+
+// Load reopens a campaign directory produced by Generate with a file
+// store and a saved manifest (see cmd/telcogen).
+func Load(dir string) (*Dataset, error) { return simulate.Load(dir) }
+
+// NewAnalyzer wraps a dataset for analysis.
+func NewAnalyzer(ds *Dataset) (*Analyzer, error) { return analysis.New(ds) }
+
+// NewMemStore returns an in-memory trace store.
+func NewMemStore() Store { return trace.NewMemStore() }
+
+// NewFileStore returns (creating if needed) a directory-backed store.
+func NewFileStore(dir string) (Store, error) { return trace.NewFileStore(dir) }
+
+// Experiments lists every registered experiment in paper order.
+func Experiments() []Experiment { return analysis.Experiments() }
+
+// ExperimentIDs lists experiment IDs alphabetically.
+func ExperimentIDs() []string { return analysis.IDs() }
+
+// RunExperiment executes one experiment by ID and renders it to w.
+func RunExperiment(id string, a *Analyzer, w io.Writer) error {
+	e, ok := analysis.ByID(id)
+	if !ok {
+		return fmt.Errorf("telcolens: unknown experiment %q (known: %v)", id, analysis.IDs())
+	}
+	art, err := e.Run(a)
+	if err != nil {
+		return err
+	}
+	return art.Render(w)
+}
+
+// RunAll executes every experiment, rendering each artifact to w.
+func RunAll(a *Analyzer, w io.Writer) error { return analysis.RunAll(a, w) }

@@ -1,0 +1,155 @@
+package telcolens
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	facadeOnce sync.Once
+	facadeDS   *Dataset
+	facadeErr  error
+)
+
+func facadeDataset(t *testing.T) *Dataset {
+	facadeOnce.Do(func() {
+		cfg := DefaultConfig(5)
+		cfg.UEs = 1200
+		cfg.Days = 4
+		facadeDS, facadeErr = Generate(cfg)
+	})
+	if facadeErr != nil {
+		t.Fatal(facadeErr)
+	}
+	return facadeDS
+}
+
+func TestFacadeGenerateAnalyze(t *testing.T) {
+	ds := facadeDataset(t)
+	if ds.TotalHandovers() == 0 {
+		t.Fatal("no handovers")
+	}
+	a, err := NewAnalyzer(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := RunExperiment("table2", a, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "TABLE2") {
+		t.Fatal("experiment output malformed")
+	}
+	if err := RunExperiment("definitely-not-real", a, &buf); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestFacadeExperimentInventory(t *testing.T) {
+	exps := Experiments()
+	ids := ExperimentIDs()
+	if len(exps) != len(ids) {
+		t.Fatal("inventory mismatch")
+	}
+	// Every paper artifact present.
+	want := []string{
+		"table1", "table2", "table3", "table4", "table5", "table6", "table7",
+		"table8", "table9", "fig3a", "fig3b", "fig4a", "fig4b", "fig5", "fig6",
+		"fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14a",
+		"fig14b", "fig15", "fig16", "fig17", "fig18", "anova",
+	}
+	have := make(map[string]bool)
+	for _, id := range ids {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("experiment %s missing from registry", id)
+		}
+	}
+}
+
+func TestFacadeFileStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(9)
+	cfg.UEs = 500
+	cfg.Days = 2
+	cfg.Store = store
+	ds, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.SaveManifest(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "manifest.json")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen and verify the analysis runs against the reloaded dataset.
+	reloaded, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reloaded.Population.Len() != ds.Population.Len() {
+		t.Fatal("reloaded population differs")
+	}
+	if len(reloaded.DayStats) != len(ds.DayStats) {
+		t.Fatal("reloaded day stats differ")
+	}
+	a, err := NewAnalyzer(reloaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := RunExperiment("fig8", a, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "FIG8") {
+		t.Fatal("reloaded analysis malformed")
+	}
+}
+
+func TestFacadeLoadErrors(t *testing.T) {
+	if _, err := Load(t.TempDir()); err == nil {
+		t.Fatal("empty dir loaded")
+	}
+}
+
+func TestFacadeProfiles(t *testing.T) {
+	ds := facadeDataset(t)
+	a, err := NewAnalyzer(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := a.DistrictProfile(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name == "" || p.Population <= 0 {
+		t.Fatalf("profile malformed: %+v", p)
+	}
+	if _, err := a.DistrictProfile(-1); err == nil {
+		t.Fatal("invalid district accepted")
+	}
+	ranked, err := a.RankLegacyDependence(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) == 0 {
+		t.Fatal("no ranked districts")
+	}
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i].VerticalPct > ranked[i-1].VerticalPct {
+			t.Fatal("ranking not descending")
+		}
+	}
+}
