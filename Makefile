@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: all vet build test race bench-smoke ci
+
+all: ci
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One pass over the scan benchmarks to catch bench-only regressions
+# without paying for a full statistical run.
+bench-smoke:
+	$(GO) test -run NONE -bench 'BenchmarkScanSharded|BenchmarkScan$$' -benchtime 1x .
+
+ci: vet build race bench-smoke

@@ -1,6 +1,8 @@
 package telcolens
 
 import (
+	"context"
+	"fmt"
 	"io"
 	"math"
 	"sync"
@@ -36,7 +38,7 @@ func benchSetup(b *testing.B) *Analyzer {
 		if benchErr != nil {
 			return
 		}
-		_, benchErr = benchAnalyzer.Scan() // warm the shared scan
+		_, benchErr = benchAnalyzer.Scan(context.Background()) // warm the shared scan
 	})
 	if benchErr != nil {
 		b.Fatal(benchErr)
@@ -52,7 +54,7 @@ func benchExperiment(b *testing.B, id string) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		art, err := e.Run(a)
+		art, err := e.Run(context.Background(), a)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -109,11 +111,75 @@ func BenchmarkScan(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := fresh.Scan(); err != nil {
+		if _, err := fresh.Scan(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}
 	b.ReportMetric(float64(total)*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+}
+
+// BenchmarkScanSharded measures the same fused scan over stores holding
+// 1, 4 and 8 shards per day, scanned with full parallelism, against a
+// strictly sequential baseline (parallelism=1). The parallel/sequential
+// gap quantifies what the partitioned v2 engine buys; it only shows on
+// multi-core hardware (GOMAXPROCS=1 serializes the worker pool). Note a
+// day-partitioned store already exposes Days-many partitions, so extra
+// shards matter most when days < cores or for single-day scans.
+var (
+	shardBenchMu sync.Mutex
+	shardBenchDS = map[int]*simulate.Dataset{}
+)
+
+func shardBenchDataset(b *testing.B, shards int) *simulate.Dataset {
+	shardBenchMu.Lock()
+	defer shardBenchMu.Unlock()
+	if ds, ok := shardBenchDS[shards]; ok {
+		return ds
+	}
+	cfg := simulate.DefaultConfig(42)
+	cfg.UEs = 6000
+	cfg.Days = 14
+	cfg.Shards = shards
+	ds, err := simulate.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	shardBenchDS[shards] = ds
+	return ds
+}
+
+func benchScanStore(b *testing.B, shards int, opts ...analysis.Option) {
+	ds := shardBenchDataset(b, shards)
+	total, err := trace.Count(ds.Store)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fresh, err := analysis.New(ds, opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := fresh.Scan(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(total)*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+}
+
+func BenchmarkScanSharded(b *testing.B) {
+	b.Run("sequential", func(b *testing.B) {
+		benchScanStore(b, 1, analysis.WithParallelism(1))
+	})
+	for _, shards := range []int{1, 4, 8} {
+		b.Run(shardLabel(shards), func(b *testing.B) {
+			benchScanStore(b, shards)
+		})
+	}
+}
+
+func shardLabel(n int) string {
+	return fmt.Sprintf("shards=%d", n)
 }
 
 // BenchmarkGenerateDay measures end-to-end generation throughput.
@@ -182,7 +248,7 @@ func BenchmarkAblationHomeDetectionWindow(b *testing.B) {
 		b.Run(nightsLabel(minNights), func(b *testing.B) {
 			var r2 float64
 			for i := 0; i < b.N; i++ {
-				counts, _, err := a.HomeDetection(minNights)
+				counts, _, err := a.HomeDetection(context.Background(), minNights)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -315,7 +381,7 @@ func BenchmarkAblationRareBoost(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				m, err := an.FitHOTypeModel()
+				m, err := an.FitHOTypeModel(context.Background())
 				if err != nil {
 					b.Fatal(err)
 				}

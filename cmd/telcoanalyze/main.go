@@ -4,22 +4,27 @@
 // Usage:
 //
 //	telcoanalyze -data ./campaign -exp fig8
+//	telcoanalyze -data ./campaign -exp table5 -parallel 8 -progress
 //	telcoanalyze -list
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"telcolens"
 )
 
 func main() {
 	var (
-		data = flag.String("data", "campaign", "campaign directory (from telcogen)")
-		exp  = flag.String("exp", "", "experiment id (e.g. table2, fig8)")
-		list = flag.Bool("list", false, "list available experiments and exit")
+		data     = flag.String("data", "campaign", "campaign directory (from telcogen)")
+		exp      = flag.String("exp", "", "experiment id (e.g. table2, fig8)")
+		list     = flag.Bool("list", false, "list available experiments and exit")
+		parallel = flag.Int("parallel", 0, "scan parallelism (0 = GOMAXPROCS)")
+		progress = flag.Bool("progress", false, "report scan progress on stderr")
 	)
 	flag.Parse()
 
@@ -34,15 +39,27 @@ func main() {
 		os.Exit(2)
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	ds, err := telcolens.Load(*data)
 	if err != nil {
 		fatal(err)
 	}
-	a, err := telcolens.NewAnalyzer(ds)
+	opts := []telcolens.Option{telcolens.WithParallelism(*parallel)}
+	if *progress {
+		opts = append(opts, telcolens.WithProgress(func(ev telcolens.ProgressEvent) {
+			fmt.Fprintf(os.Stderr, "\rscanning %d/%d partitions", ev.Done, ev.Total)
+			if ev.Done == ev.Total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}))
+	}
+	a, err := telcolens.NewAnalyzer(ds, opts...)
 	if err != nil {
 		fatal(err)
 	}
-	if err := telcolens.RunExperiment(*exp, a, os.Stdout); err != nil {
+	if err := telcolens.RunExperiment(ctx, *exp, a, os.Stdout); err != nil {
 		fatal(err)
 	}
 }

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	telcogen -out ./campaign -seed 42 -ues 20000 -days 28
+//	telcogen -out ./campaign -shards 8    # hash-sharded day partitions
 package main
 
 import (
@@ -28,6 +29,7 @@ func main() {
 		days      = flag.Int("days", 28, "study window length in days")
 		sites     = flag.Int("sites", 2400, "cell site count")
 		districts = flag.Int("districts", 320, "census districts")
+		shards    = flag.Int("shards", 1, "trace shards per day (hash-partitioned by UE)")
 		rareBoost = flag.Float64("rareboost", 1, "2G fallback probability multiplier (see DESIGN.md)")
 	)
 	flag.Parse()
@@ -37,6 +39,7 @@ func main() {
 	cfg.Days = *days
 	cfg.SitesTarget = *sites
 	cfg.Districts = *districts
+	cfg.Shards = *shards
 	cfg.RareBoost = *rareBoost
 
 	store, err := telcolens.NewFileStore(*out)
@@ -46,8 +49,8 @@ func main() {
 	cfg.Store = store
 
 	start := time.Now()
-	fmt.Printf("generating campaign: seed=%d ues=%d days=%d sites=%d districts=%d\n",
-		*seed, *ues, *days, *sites, *districts)
+	fmt.Printf("generating campaign: seed=%d ues=%d days=%d sites=%d districts=%d shards=%d\n",
+		*seed, *ues, *days, *sites, *districts, *shards)
 	ds, err := telcolens.Generate(cfg)
 	if err != nil {
 		fatal(err)

@@ -1,19 +1,23 @@
 // Command telcoreport regenerates every table and figure of the paper's
 // evaluation in one run: it either reopens an existing campaign directory
-// or generates a fresh in-memory campaign, then renders all experiments.
+// or generates a fresh in-memory campaign, then renders all experiments
+// from one fused parallel scan.
 //
 // Usage:
 //
 //	telcoreport                          # fresh campaign, default scale
 //	telcoreport -data ./campaign         # reuse telcogen output
 //	telcoreport -ues 40000 -days 28      # bigger fresh campaign
+//	telcoreport -shards 8 -parallel 8    # sharded generation + scan
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"telcolens"
@@ -25,10 +29,15 @@ func main() {
 		seed      = flag.Uint64("seed", 42, "seed for fresh campaigns")
 		ues       = flag.Int("ues", 8000, "UEs for fresh campaigns")
 		days      = flag.Int("days", 14, "days for fresh campaigns")
+		shards    = flag.Int("shards", 1, "trace shards per day for fresh campaigns")
+		parallel  = flag.Int("parallel", 0, "analysis scan parallelism (0 = GOMAXPROCS)")
 		rareBoost = flag.Float64("rareboost", 1, "2G fallback multiplier for fresh campaigns")
 		out       = flag.String("out", "", "output file (empty = stdout)")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	var (
 		ds  *telcolens.Dataset
@@ -42,8 +51,9 @@ func main() {
 		cfg.UEs = *ues
 		cfg.Days = *days
 		cfg.RareBoost = *rareBoost
-		fmt.Fprintf(os.Stderr, "generating fresh campaign (seed=%d ues=%d days=%d)...\n", *seed, *ues, *days)
-		ds, err = telcolens.Generate(cfg)
+		fmt.Fprintf(os.Stderr, "generating fresh campaign (seed=%d ues=%d days=%d shards=%d)...\n",
+			*seed, *ues, *days, *shards)
+		ds, err = telcolens.Generate(cfg, telcolens.WithShards(*shards))
 	}
 	if err != nil {
 		fatal(err)
@@ -62,11 +72,11 @@ func main() {
 	bw := bufio.NewWriter(w)
 	defer bw.Flush()
 
-	a, err := telcolens.NewAnalyzer(ds)
+	a, err := telcolens.NewAnalyzer(ds, telcolens.WithParallelism(*parallel))
 	if err != nil {
 		fatal(err)
 	}
-	if err := telcolens.RunAll(a, bw); err != nil {
+	if err := telcolens.RunAll(ctx, a, bw); err != nil {
 		fatal(err)
 	}
 }

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -28,7 +29,7 @@ func main() {
 	}
 
 	// Rank districts by vertical-handover share (ignore tiny samples).
-	ranked, err := a.RankLegacyDependence(0, 50)
+	ranked, err := a.RankLegacyDependence(context.Background(), 0, 50)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -60,7 +61,7 @@ func main() {
 
 	// Drill into the most dependent district.
 	if len(ranked) > 0 {
-		p, err := a.DistrictProfile(ranked[0].DistrictID)
+		p, err := a.DistrictProfile(context.Background(), ranked[0].DistrictID)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -25,6 +26,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	ctx := context.Background()
 
 	// Locate the two landmark districts the paper singles out.
 	capitalID, remoteID := -1, -1
@@ -40,7 +42,7 @@ func main() {
 	}
 
 	show := func(id int, label string) *telcolens.DistrictProfile {
-		p, err := a.DistrictProfile(id)
+		p, err := a.DistrictProfile(ctx, id)
 		if err != nil {
 			log.Fatal(err)
 		}

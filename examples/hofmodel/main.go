@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -30,9 +31,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	ctx := context.Background()
 
 	// Step 1: the univariate model via the library API.
-	m, err := a.FitHOTypeModel()
+	m, err := a.FitHOTypeModel(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -51,7 +53,7 @@ func main() {
 
 	// Step 2: the full artifacts (ANOVA + Table 5) as rendered reports.
 	for _, id := range []string{"anova", "table5"} {
-		if err := telcolens.RunExperiment(id, a, os.Stdout); err != nil {
+		if err := telcolens.RunExperiment(ctx, id, a, os.Stdout); err != nil {
 			log.Fatal(err)
 		}
 	}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -16,8 +17,8 @@ func main() {
 	cfg.UEs = 2500
 	cfg.Days = 7
 
-	fmt.Println("Generating a 7-day campaign with 2,500 UEs...")
-	ds, err := telcolens.Generate(cfg)
+	fmt.Println("Generating a 7-day campaign with 2,500 UEs (4 shards/day)...")
+	ds, err := telcolens.Generate(cfg, telcolens.WithShards(4))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -28,8 +29,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	ctx := context.Background()
 	for _, id := range []string{"table2", "fig8"} {
-		if err := telcolens.RunExperiment(id, a, os.Stdout); err != nil {
+		if err := telcolens.RunExperiment(ctx, id, a, os.Stdout); err != nil {
 			log.Fatal(err)
 		}
 	}

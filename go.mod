@@ -1,0 +1,3 @@
+module telcolens
+
+go 1.24

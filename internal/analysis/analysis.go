@@ -1,43 +1,114 @@
 // Package analysis implements the paper's measurement methodology (§4–§6):
 // every table and figure of the evaluation is an Experiment that consumes
-// the generated dataset — streaming the handover trace exactly once into a
-// shared scan state — and produces a report Artifact comparing measured
+// the generated dataset and produces a report Artifact comparing measured
 // values against the paper's published ones.
+//
+// The v2 engine replaces the single monolithic one-pass scan with
+// composable Collector units (see collectors.go). Each experiment
+// declares the scan state it needs (Need bits); the Analyzer fuses
+// exactly the missing collectors into one parallel pass over the trace
+// store's (day, shard) partitions and caches the results, so running one
+// experiment never pays for state only other experiments use.
 package analysis
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
 	"telcolens/internal/causes"
 	"telcolens/internal/census"
-	"telcolens/internal/devices"
-	"telcolens/internal/geo"
 	"telcolens/internal/ho"
 	"telcolens/internal/mobility"
-	"telcolens/internal/randx"
 	"telcolens/internal/simulate"
 	"telcolens/internal/topology"
 	"telcolens/internal/trace"
 )
 
+// Need identifies one collector's worth of scan state. Experiments
+// declare the union of what they consume; the engine computes each unit
+// at most once per Analyzer.
+type Need uint32
+
+// The scan-state units an experiment can require.
+const (
+	// NeedTypes: totals per HO type, device type, vendor and day.
+	NeedTypes Need = 1 << iota
+	// NeedDurations: sampled signaling-time distributions.
+	NeedDurations
+	// NeedCauses: HOF cause breakdowns (type, device, area, maker).
+	NeedCauses
+	// NeedTemporal: 30-minute HO bins and hourly HOF/active-sector data.
+	NeedTemporal
+	// NeedDistricts: per-district HO/HOF/type counts.
+	NeedDistricts
+	// NeedUEDay: per-UE totals and per-UE-day mobility metrics.
+	NeedUEDay
+	// NeedSectorDay: the §6.3 sector-day regression dataset.
+	NeedSectorDay
+
+	needSentinel
+)
+
+// NeedAll requires every scan-state unit.
+const NeedAll = needSentinel - 1
+
+// ProgressEvent reports scan progress: Done of Total trace partitions
+// have been merged.
+type ProgressEvent struct {
+	Done  int
+	Total int
+}
+
+// Option configures an Analyzer.
+type Option func(*Analyzer)
+
+// WithParallelism bounds how many trace partitions are scanned
+// concurrently; 0 (the default) means GOMAXPROCS.
+func WithParallelism(n int) Option {
+	return func(a *Analyzer) { a.parallelism = n }
+}
+
+// WithProgress installs a callback invoked as scan partitions complete.
+func WithProgress(fn func(ProgressEvent)) Option {
+	return func(a *Analyzer) { a.progress = fn }
+}
+
 // Analyzer wraps a generated dataset with the cached derived views the
-// experiments share. All caches are built lazily by a single streaming
-// pass over the trace.
+// experiments share. Views are built on demand by parallel streaming
+// passes over the trace; each Need unit is computed at most once.
 type Analyzer struct {
 	DS *simulate.Dataset
 
-	scanOnce sync.Once
-	scanErr  error
-	scan     *scanState
+	parallelism int
+	progress    func(ProgressEvent)
+
+	mu    sync.Mutex
+	env   *scanEnv
+	state *scanState
+	have  Need
 }
 
 // New returns an Analyzer over the dataset.
-func New(ds *simulate.Dataset) (*Analyzer, error) {
+func New(ds *simulate.Dataset, opts ...Option) (*Analyzer, error) {
 	if ds == nil {
 		return nil, fmt.Errorf("analysis: nil dataset")
 	}
-	return &Analyzer{DS: ds}, nil
+	a := &Analyzer{DS: ds}
+	a.Configure(opts...)
+	return a, nil
+}
+
+// Configure applies options to an existing Analyzer (per-call overrides
+// from the public RunExperiment/RunAll entry points land here; they
+// stay in effect for later calls on the same Analyzer). Safe to call
+// concurrently with Require.
+func (a *Analyzer) Configure(opts ...Option) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, o := range opts {
+		o(a)
+	}
 }
 
 // UEDayMetric is one UE's mobility/performance summary for one day
@@ -88,330 +159,144 @@ func causeIdx(c causes.Code) int {
 
 const nCauseIdx = 9
 
-// scanState is everything the one-pass trace scan accumulates.
+// scanState is the shared view the collectors publish into. Fields are
+// only valid once the corresponding Need unit has been computed.
 type scanState struct {
 	days      int
 	nUEs      int
 	nSectors  int
 	districts int
 
-	// Totals.
-	totalHOs   int64
-	totalFails int64
-
-	// Per HO type / device type / day.
+	// NeedTypes.
+	totalHOs        int64
+	totalFails      int64
 	typeCounts      [ho.NumTypes]int64
 	typeDevCounts   [ho.NumTypes][3]int64
 	perDayTypeDev   [][ho.NumTypes][3]int64
 	typeFails       [ho.NumTypes]int64
 	perDayTypeFails [][ho.NumTypes]int64
+	vendorByType    [ho.NumTypes][4]int64 // Fig 17 bottom
+	bytesStored     int64
 
-	// Durations (reservoir-sampled).
-	durSuccess [ho.NumTypes]*reservoir
-	durCause   [nCauseIdx]*reservoir
+	// NeedDurations (deterministically bottom-k sampled).
+	durSuccess [ho.NumTypes]*sampler
+	durCause   [nCauseIdx]*sampler
 
-	// HOF causes per HO type, totals and per day.
+	// NeedCauses: HOF causes per HO type, totals and per day, plus the
+	// Fig 15 breakdowns.
 	causeType       [ho.NumTypes][nCauseIdx]int64
 	perDayCauseType [][ho.NumTypes][nCauseIdx]int64
-	// Cause breakdowns for Fig 15.
-	causeByDev  [3][nCauseIdx]int64
-	causeByArea [2][nCauseIdx]int64
-	causeByMfr  map[string]*[2][nCauseIdx]int64 // top-5 smartphone makers × area
+	causeByDev      [3][nCauseIdx]int64
+	causeByArea     [2][nCauseIdx]int64
+	causeByMfr      map[string]*[2][nCauseIdx]int64 // top-5 smartphone makers × area
 
-	// Temporal (Fig 7, Fig 12).
-	binHOs        [][mobility.BinsPerDay][2]int64 // per day, per 30-min bin, per area
-	binActive     [][mobility.BinsPerDay][2]int32 // distinct active sectors
-	hourHOFs      [][24][2]int64
-	hourActive    [][24][2]int32
-	lastSeenBin   []int32 // per sector: day*48+bin last counted
-	lastSeenHour  []int32
-	vendorByType  [ho.NumTypes][4]int64 // Fig 17 bottom
+	// NeedTemporal (Fig 7, Fig 12).
+	binHOs     [][mobility.BinsPerDay][2]int64 // per day, per 30-min bin, per area
+	binActive  [][mobility.BinsPerDay][2]int32 // distinct active sectors
+	hourHOFs   [][24][2]int64
+	hourActive [][24][2]int32
+
+	// NeedDistricts.
 	districtHOs   []int64
 	districtFails []int64
 	districtType  [][ho.NumTypes]int64
 
-	// Per-UE window totals (Fig 11, Fig 13).
+	// NeedUEDay: per-UE window totals (Fig 11, Fig 13) and per-UE-day
+	// metrics, canonically ordered by (day, UE).
 	ueHOs   []int32
 	ueFails []int32
+	ueDay   []UEDayMetric
 
-	// Per-UE-day metrics.
-	ueDay []UEDayMetric
-
-	// Sector-day regression rows.
+	// NeedSectorDay: regression rows, canonically ordered by
+	// (day, sector, type).
 	sectorDay []SectorDayRow
-
-	bytesStored int64
 }
-
-// reservoir is a fixed-size uniform sample of a float stream.
-type reservoir struct {
-	cap  int
-	n    int64
-	data []float64
-	r    *randx.Rand
-}
-
-func newReservoir(capacity int, seed uint64) *reservoir {
-	return &reservoir{cap: capacity, r: randx.New(seed)}
-}
-
-func (rv *reservoir) Add(v float64) {
-	rv.n++
-	if len(rv.data) < rv.cap {
-		rv.data = append(rv.data, v)
-		return
-	}
-	if j := rv.r.Int63n(rv.n); j < int64(rv.cap) {
-		rv.data[j] = v
-	}
-}
-
-// Samples returns the sampled values (not a copy).
-func (rv *reservoir) Samples() []float64 { return rv.data }
-
-// N returns the number of values observed.
-func (rv *reservoir) N() int64 { return rv.n }
 
 // topManufacturers tracked for Fig 11/15 stacked views.
 var topManufacturers = []string{"Apple", "Samsung", "Motorola", "Google", "Huawei"}
 
-// Scan builds all cached views with one pass over the trace store.
-func (a *Analyzer) Scan() (*scanState, error) {
-	a.scanOnce.Do(func() { a.scanErr = a.doScan() })
-	return a.scan, a.scanErr
+// collectorFor builds the collector computing one Need unit.
+func collectorFor(need Need, env *scanEnv) collector {
+	switch need {
+	case NeedTypes:
+		return newTypesCollector(env)
+	case NeedDurations:
+		return newDurationsCollector(env)
+	case NeedCauses:
+		return newCausesCollector(env)
+	case NeedTemporal:
+		return newTemporalCollector(env)
+	case NeedDistricts:
+		return newDistrictsCollector(env)
+	case NeedUEDay:
+		return newUEDayCollector(env)
+	case NeedSectorDay:
+		return newSectorDayCollector(env)
+	}
+	panic(fmt.Sprintf("analysis: unknown need %b", need))
 }
 
-func (a *Analyzer) doScan() error {
-	ds := a.DS
-	days := ds.Config.Days
-	nSectors := len(ds.Network.Sectors)
-	s := &scanState{
-		days:            days,
-		nUEs:            ds.Population.Len(),
-		nSectors:        nSectors,
-		districts:       len(ds.Country.Districts),
-		perDayTypeDev:   make([][ho.NumTypes][3]int64, days),
-		perDayTypeFails: make([][ho.NumTypes]int64, days),
-		perDayCauseType: make([][ho.NumTypes][nCauseIdx]int64, days),
-		binHOs:          make([][mobility.BinsPerDay][2]int64, days),
-		binActive:       make([][mobility.BinsPerDay][2]int32, days),
-		hourHOFs:        make([][24][2]int64, days),
-		hourActive:      make([][24][2]int32, days),
-		lastSeenBin:     make([]int32, nSectors),
-		lastSeenHour:    make([]int32, nSectors),
-		districtHOs:     make([]int64, len(ds.Country.Districts)),
-		districtFails:   make([]int64, len(ds.Country.Districts)),
-		districtType:    make([][ho.NumTypes]int64, len(ds.Country.Districts)),
-		ueHOs:           make([]int32, ds.Population.Len()),
-		ueFails:         make([]int32, ds.Population.Len()),
-		causeByMfr:      make(map[string]*[2][nCauseIdx]int64),
-	}
-	for i := range s.lastSeenBin {
-		s.lastSeenBin[i] = -1
-		s.lastSeenHour[i] = -1
-	}
-	for i := range s.durSuccess {
-		s.durSuccess[i] = newReservoir(200_000, uint64(1000+i))
-	}
-	for i := range s.durCause {
-		s.durCause[i] = newReservoir(50_000, uint64(2000+i))
-	}
-	for _, m := range topManufacturers {
-		s.causeByMfr[m] = &[2][nCauseIdx]int64{}
-	}
-
-	// Per-UE per-day in-flight state, flushed at day boundaries.
-	type ueState struct {
-		touched   bool
-		sectors   map[topology.SectorID]struct{}
-		hos       int32
-		fails     int32
-		visits    []geo.Visit
-		lastTs    int64
-		lastLoc   geo.Point
-		hasLoc    bool
-		nightSite int32
-	}
-	states := make([]ueState, ds.Population.Len())
-	resetDay := -1
-
-	sectorDayKey := func(sec topology.SectorID, t ho.Type) int64 {
-		return int64(sec)*int64(ho.NumTypes) + int64(t)
-	}
-	type sdAgg struct {
-		hos, fails int32
-	}
-	var sdMap map[int64]*sdAgg
-	var sdTotals map[topology.SectorID]int32
-
-	flushDay := func(day int) {
-		// Sector-day rows.
-		for key, agg := range sdMap {
-			sec := topology.SectorID(key / int64(ho.NumTypes))
-			t := ho.Type(key % int64(ho.NumTypes))
-			sector := ds.Network.Sector(sec)
-			district := ds.Country.District(sector.DistrictID)
-			s.sectorDay = append(s.sectorDay, SectorDayRow{
-				Sector:      sec,
-				Day:         int16(day),
-				Type:        t,
-				HOs:         agg.hos,
-				Fails:       agg.fails,
-				TotalDayHOs: sdTotals[sec],
-				Region:      sector.Region,
-				Area:        sector.Area,
-				Vendor:      sector.Vendor,
-				DistrictPop: int32(district.Population),
-			})
-		}
-		// UE-day metrics.
-		endOfDay := trace.DayStart(day + 1).UnixMilli()
-		for ueIdx := range states {
-			st := &states[ueIdx]
-			if !st.touched {
-				continue
-			}
-			if st.hasLoc {
-				w := float64(endOfDay - st.lastTs)
-				if w > 0 {
-					st.visits = append(st.visits, geo.Visit{Loc: st.lastLoc, Weight: w})
-				}
-			}
-			s.ueDay = append(s.ueDay, UEDayMetric{
-				UE:         trace.UEID(ueIdx),
-				Day:        int32(day),
-				Sectors:    int32(len(st.sectors)),
-				HOs:        st.hos,
-				Fails:      st.fails,
-				GyrationKm: float32(geo.RadiusOfGyrationKm(st.visits)),
-				NightSite:  st.nightSite,
-			})
-			*st = ueState{}
+// Require ensures every requested scan-state unit is computed, fusing all
+// missing collectors into a single parallel pass over the trace store. It
+// returns the shared view. Concurrent callers serialize.
+func (a *Analyzer) Require(ctx context.Context, need Need) (*scanState, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.state == nil {
+		a.env = newScanEnv(a.DS)
+		a.state = &scanState{
+			days:      a.env.days,
+			nUEs:      a.env.nUEs,
+			nSectors:  a.env.nSectors,
+			districts: a.env.nDistricts,
 		}
 	}
+	missing := need &^ a.have
+	if missing == 0 {
+		return a.state, nil
+	}
 
-	err := trace.ForEach(ds.Store, func(day int, rec *trace.Record) error {
-		if day != resetDay {
-			if resetDay >= 0 {
-				flushDay(resetDay)
-			}
-			resetDay = day
-			sdMap = make(map[int64]*sdAgg, 4096)
-			sdTotals = make(map[topology.SectorID]int32, 2048)
-		}
-		if day >= days {
-			return fmt.Errorf("analysis: record in day %d beyond configured %d days", day, days)
-		}
-		model := ds.Devices.ByTAC(rec.TAC)
-		if model == nil {
-			return fmt.Errorf("analysis: unknown TAC %d", rec.TAC)
-		}
-		src := ds.Network.Sector(rec.Source)
-		hoType := rec.HOType()
-		areaIdx := 0
-		if src.Area == census.Urban {
-			areaIdx = 1
-		}
-
-		s.totalHOs++
-		s.typeCounts[hoType]++
-		s.typeDevCounts[hoType][model.Type]++
-		s.perDayTypeDev[day][hoType][model.Type]++
-		s.vendorByType[hoType][src.Vendor]++
-		s.districtHOs[src.DistrictID]++
-		s.districtType[src.DistrictID][hoType]++
-		s.bytesStored += trace.RecordSize
-
-		// Temporal bins.
-		msOfDay := rec.Timestamp - trace.DayStart(day).UnixMilli()
-		bin := int(msOfDay / (30 * 60 * 1000))
-		if bin < 0 {
-			bin = 0
-		}
-		if bin >= mobility.BinsPerDay {
-			bin = mobility.BinsPerDay - 1
-		}
-		hour := bin / 2
-		s.binHOs[day][bin][areaIdx]++
-		binStamp := int32(day*mobility.BinsPerDay + bin)
-		if s.lastSeenBin[rec.Source] != binStamp {
-			s.lastSeenBin[rec.Source] = binStamp
-			s.binActive[day][bin][areaIdx]++
-		}
-		hourStamp := int32(day*24 + hour)
-		if s.lastSeenHour[rec.Source] != hourStamp {
-			s.lastSeenHour[rec.Source] = hourStamp
-			s.hourActive[day][hour][areaIdx]++
-		}
-
-		// Sector-day aggregation.
-		key := sectorDayKey(rec.Source, hoType)
-		agg := sdMap[key]
-		if agg == nil {
-			agg = &sdAgg{}
-			sdMap[key] = agg
-		}
-		agg.hos++
-		sdTotals[rec.Source]++
-
-		// UE aggregates.
-		s.ueHOs[rec.UE]++
-		st := &states[rec.UE]
-		if !st.touched {
-			st.touched = true
-			st.sectors = make(map[topology.SectorID]struct{}, 16)
-			st.nightSite = -1
-		}
-		st.hos++
-		st.sectors[rec.Source] = struct{}{}
-		if st.nightSite < 0 && hour < 8 {
-			st.nightSite = int32(src.Site)
-		}
-
-		if rec.Result == trace.Failure {
-			s.totalFails++
-			s.typeFails[hoType]++
-			s.perDayTypeFails[day][hoType]++
-			s.districtFails[src.DistrictID]++
-			s.hourHOFs[day][hour][areaIdx]++
-			agg.fails++
-			s.ueFails[rec.UE]++
-			st.fails++
-
-			ci := causeIdx(rec.Cause)
-			s.causeType[hoType][ci]++
-			s.perDayCauseType[day][hoType][ci]++
-			s.causeByDev[model.Type][ci]++
-			s.causeByArea[areaIdx][ci]++
-			if model.Type == devices.Smartphone {
-				if byMfr, ok := s.causeByMfr[model.Manufacturer]; ok {
-					byMfr[areaIdx][ci]++
-				}
-			}
-			s.durCause[ci].Add(float64(rec.DurationMs))
-		} else {
-			s.durSuccess[hoType].Add(float64(rec.DurationMs))
-			st.sectors[rec.Target] = struct{}{}
-			// Visit tracking for gyration: close the previous dwell.
-			loc := ds.Network.Sector(rec.Target).Loc
-			if st.hasLoc {
-				w := float64(rec.Timestamp - st.lastTs)
-				if w > 0 {
-					st.visits = append(st.visits, geo.Visit{Loc: st.lastLoc, Weight: w})
-				}
-			}
-			st.lastLoc = loc
-			st.lastTs = rec.Timestamp
-			st.hasLoc = true
-		}
-		return nil
-	})
+	// Validate the store against the configured window before paying for
+	// a scan: collectors index per-day arrays with partition days.
+	parts, err := a.DS.Store.Partitions()
 	if err != nil {
-		return err
+		return nil, err
 	}
-	if resetDay >= 0 {
-		flushDay(resetDay)
+	for _, p := range parts {
+		if p.Day < 0 || p.Day >= a.env.days {
+			return nil, fmt.Errorf("analysis: partition day %d beyond configured %d days", p.Day, a.env.days)
+		}
 	}
-	a.scan = s
-	return nil
+
+	var cols []collector
+	for need := NeedTypes; need < needSentinel; need <<= 1 {
+		if missing&need != 0 {
+			cols = append(cols, collectorFor(need, a.env))
+		}
+	}
+	tcols := make([]trace.Collector, len(cols))
+	for i, c := range cols {
+		tcols[i] = c
+	}
+	opts := trace.ScanOptions{Parallelism: a.parallelism}
+	if a.progress != nil {
+		progress := a.progress
+		opts.Progress = func(done, total int) { progress(ProgressEvent{Done: done, Total: total}) }
+	}
+	if err := trace.Scan(ctx, a.DS.Store, opts, tcols...); err != nil {
+		return nil, err
+	}
+	for _, c := range cols {
+		if err := c.finalize(a.state); err != nil {
+			return nil, err
+		}
+	}
+	a.have |= missing
+	return a.state, nil
+}
+
+// Scan builds every cached view (the v1 behavior). Experiments that know
+// their needs should let the registry Require them instead.
+func (a *Analyzer) Scan(ctx context.Context) (*scanState, error) {
+	return a.Require(ctx, NeedAll)
 }

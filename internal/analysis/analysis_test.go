@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"strings"
 	"sync"
@@ -41,7 +42,7 @@ func shared(t testing.TB) *Analyzer {
 
 func TestScanConsistency(t *testing.T) {
 	a := shared(t)
-	s, err := a.Scan()
+	s, err := a.Scan(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestAllExperimentsRun(t *testing.T) {
 	for _, e := range Experiments() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
-			art, err := e.Run(a)
+			art, err := e.Run(context.Background(), a)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -127,7 +128,7 @@ func TestExperimentLookup(t *testing.T) {
 func TestRunAllRenders(t *testing.T) {
 	a := shared(t)
 	var buf bytes.Buffer
-	if err := RunAll(a, &buf); err != nil {
+	if err := RunAll(context.Background(), a, &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -140,7 +141,7 @@ func TestRunAllRenders(t *testing.T) {
 
 func TestHomeDetectionRecoversPopulation(t *testing.T) {
 	a := shared(t)
-	counts, inferred, err := a.HomeDetection(a.DefaultMinNights())
+	counts, inferred, err := a.HomeDetection(context.Background(), a.DefaultMinNights())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +171,7 @@ func TestHomeDetectionRecoversPopulation(t *testing.T) {
 
 func TestDensityCorrelation(t *testing.T) {
 	a := shared(t)
-	s, err := a.Scan()
+	s, err := a.Scan(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +196,7 @@ func TestDensityCorrelation(t *testing.T) {
 
 func TestDurationMediansMatchPaper(t *testing.T) {
 	a := shared(t)
-	s, err := a.Scan()
+	s, err := a.Scan(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,7 +212,7 @@ func TestDurationMediansMatchPaper(t *testing.T) {
 
 func TestCauseSplitMatchesPaper(t *testing.T) {
 	a := shared(t)
-	s, err := a.Scan()
+	s, err := a.Scan(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,7 +240,7 @@ func TestCauseSplitMatchesPaper(t *testing.T) {
 
 func TestHOTypeModelEffects(t *testing.T) {
 	a := shared(t)
-	m, err := a.FitHOTypeModel()
+	m, err := a.FitHOTypeModel(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -269,7 +270,7 @@ func TestHOTypeModelEffects(t *testing.T) {
 
 func TestQuantileRegressionOrdering(t *testing.T) {
 	a := shared(t)
-	rows, err := a.RegressionRows(RowFilter{NonZeroOnly: true})
+	rows, err := a.RegressionRows(context.Background(), RowFilter{NonZeroOnly: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -287,7 +288,7 @@ func TestQuantileRegressionOrdering(t *testing.T) {
 
 func TestANOVAHOTypeEffect(t *testing.T) {
 	a := shared(t)
-	rows, err := a.RegressionRows(RowFilter{NonZeroOnly: true})
+	rows, err := a.RegressionRows(context.Background(), RowFilter{NonZeroOnly: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -309,7 +310,7 @@ func TestANOVAHOTypeEffect(t *testing.T) {
 		t.Fatalf("sector-day eta² = %.3f, want non-trivial", res.EtaSq)
 	}
 
-	winRows, err := a.WindowRows(RowFilter{NonZeroOnly: true})
+	winRows, err := a.WindowRows(context.Background(), RowFilter{NonZeroOnly: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -328,7 +329,7 @@ func TestANOVAHOTypeEffect(t *testing.T) {
 
 func TestMobilityHOFBins(t *testing.T) {
 	a := shared(t)
-	bins, err := a.MobilityHOF("sectors")
+	bins, err := a.MobilityHOF(context.Background(), "sectors")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -339,14 +340,14 @@ func TestMobilityHOFBins(t *testing.T) {
 	if math.Abs(last-1) > 1e-9 {
 		t.Fatalf("ECDF does not reach 1: %g", last)
 	}
-	if _, err := a.MobilityHOF("bogus"); err == nil {
+	if _, err := a.MobilityHOF(context.Background(), "bogus"); err == nil {
 		t.Fatal("bogus metric accepted")
 	}
 }
 
 func TestManufacturerStats(t *testing.T) {
 	a := shared(t)
-	rows, err := a.ManufacturerStats(a.MinUEsPerDistrictPair())
+	rows, err := a.ManufacturerStats(context.Background(), a.MinUEsPerDistrictPair())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -366,11 +367,11 @@ func TestManufacturerStats(t *testing.T) {
 
 func TestRegressionRowFilters(t *testing.T) {
 	a := shared(t)
-	all, err := a.RegressionRows(RowFilter{})
+	all, err := a.RegressionRows(context.Background(), RowFilter{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	nz, err := a.RegressionRows(RowFilter{NonZeroOnly: true})
+	nz, err := a.RegressionRows(context.Background(), RowFilter{NonZeroOnly: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -382,7 +383,7 @@ func TestRegressionRowFilters(t *testing.T) {
 			t.Fatal("zero-fail row passed NonZeroOnly")
 		}
 	}
-	no2g, err := a.RegressionRows(RowFilter{Exclude2G: true})
+	no2g, err := a.RegressionRows(context.Background(), RowFilter{Exclude2G: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -395,7 +396,7 @@ func TestRegressionRowFilters(t *testing.T) {
 
 func TestTemporalProfileShape(t *testing.T) {
 	a := shared(t)
-	hos, active, err := a.TemporalProfile(1, false) // urban weekday
+	hos, active, err := a.TemporalProfile(context.Background(), 1, false) // urban weekday
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,995 @@
+package analysis
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"telcolens/internal/census"
+	"telcolens/internal/devices"
+	"telcolens/internal/geo"
+	"telcolens/internal/ho"
+	"telcolens/internal/mobility"
+	"telcolens/internal/simulate"
+	"telcolens/internal/topology"
+	"telcolens/internal/trace"
+)
+
+// The v2 scan engine decomposes the old monolithic one-pass scan into
+// independent Collector units. Each unit implements the quartet
+//
+//	NewShardState(day, shard) — fresh accumulator for one partition
+//	Observe(day, *Record)     — per-record accumulation (shard-local)
+//	MergeShard(state)         — fold, in canonical (day, shard) order
+//	finalize(*scanState)      — publish the merged view
+//
+// so an experiment pays only for the state it declares (Need bits) and
+// the scan parallelizes over trace partitions. Every unit is written so
+// its merged output is bit-identical whether the store holds one shard
+// per day or many, and whatever the scan parallelism:
+//
+//   - counters are exact integer sums (order-free);
+//   - duration samples use deterministic bottom-k selection by record
+//     hash instead of RNG reservoirs (partition-invariant);
+//   - distinct-sector counts use per-day bitsets OR-merged across
+//     shards (set semantics, order-free);
+//   - row sets (UE-day metrics, sector-day observations) are emitted in
+//     a canonical sort order, which also makes downstream float
+//     accumulation (OLS, ANOVA) reproducible run to run.
+
+// collector is a trace.Collector that can publish its merged result into
+// the shared scan view once every partition has been folded.
+type collector interface {
+	trace.Collector
+	finalize(s *scanState) error
+}
+
+// scanEnv is the immutable per-dataset context shared by all collectors:
+// dimension sizes plus a flat per-sector metadata table so shard states
+// resolve area/vendor/district/site/location with one slice index.
+type scanEnv struct {
+	ds         *simulate.Dataset
+	days       int
+	nUEs       int
+	nSectors   int
+	nDistricts int
+	sectors    []sectorMeta
+}
+
+type sectorMeta struct {
+	loc      geo.Point
+	district int32
+	site     int32
+	areaIdx  uint8 // 0 rural, 1 urban
+	vendor   uint8
+}
+
+func newScanEnv(ds *simulate.Dataset) *scanEnv {
+	env := &scanEnv{
+		ds:         ds,
+		days:       ds.Config.Days,
+		nUEs:       ds.Population.Len(),
+		nSectors:   len(ds.Network.Sectors),
+		nDistricts: len(ds.Country.Districts),
+		sectors:    make([]sectorMeta, len(ds.Network.Sectors)),
+	}
+	for i := range env.sectors {
+		sec := ds.Network.Sector(topology.SectorID(i))
+		m := &env.sectors[i]
+		m.loc = sec.Loc
+		m.district = int32(sec.DistrictID)
+		m.site = int32(sec.Site)
+		m.vendor = uint8(sec.Vendor)
+		if sec.Area == census.Urban {
+			m.areaIdx = 1
+		}
+	}
+	return env
+}
+
+// --- deterministic bottom-k sampling -----------------------------------
+
+// mix64 is the splitmix64 finalizer: a cheap bijective 64-bit mixer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// recKey derives a per-record hash key from fields that identify the
+// record uniquely within a stream (a UE emits at most one record per
+// millisecond).
+func recKey(rec *trace.Record) uint64 {
+	return mix64(uint64(rec.Timestamp)) ^ uint64(rec.UE)*0x9e3779b97f4a7c15
+}
+
+// sampler keeps the capacity values whose hashed priorities are smallest
+// ("bottom-k" sampling). Because the kept set is a pure function of the
+// observed multiset, it is identical for any partitioning or scan order —
+// unlike an RNG reservoir — while still being a uniform sample. The
+// priority arrays form a binary max-heap so eviction is O(log k).
+type sampler struct {
+	capacity int
+	salt     uint64
+	n        int64
+	pri      []uint64
+	val      []float64
+	sealed   bool
+}
+
+func newSampler(capacity int, salt uint64) *sampler {
+	return &sampler{capacity: capacity, salt: mix64(salt)}
+}
+
+// less orders entries by (priority, value): the value tiebreak keeps the
+// kept set deterministic even under (astronomically unlikely) hash ties.
+func pvLess(p1 uint64, v1 float64, p2 uint64, v2 float64) bool {
+	if p1 != p2 {
+		return p1 < p2
+	}
+	return v1 < v2
+}
+
+// Add offers one value keyed by the record hash.
+func (s *sampler) Add(v float64, key uint64) {
+	s.n++
+	s.insert(mix64(key^s.salt), v)
+}
+
+func (s *sampler) insert(p uint64, v float64) {
+	if len(s.pri) < s.capacity {
+		s.pri = append(s.pri, p)
+		s.val = append(s.val, v)
+		s.siftUp(len(s.pri) - 1)
+		return
+	}
+	// Keep the k smallest: replace the max root when the candidate is
+	// smaller.
+	if !pvLess(p, v, s.pri[0], s.val[0]) {
+		return
+	}
+	s.pri[0], s.val[0] = p, v
+	s.siftDown(0)
+}
+
+func (s *sampler) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		// Max-heap: swap while the parent is smaller than the child.
+		if !pvLess(s.pri[parent], s.val[parent], s.pri[i], s.val[i]) {
+			return
+		}
+		s.pri[i], s.pri[parent] = s.pri[parent], s.pri[i]
+		s.val[i], s.val[parent] = s.val[parent], s.val[i]
+		i = parent
+	}
+}
+
+func (s *sampler) siftDown(i int) {
+	n := len(s.pri)
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && pvLess(s.pri[largest], s.val[largest], s.pri[l], s.val[l]) {
+			largest = l
+		}
+		if r < n && pvLess(s.pri[largest], s.val[largest], s.pri[r], s.val[r]) {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		s.pri[i], s.pri[largest] = s.pri[largest], s.pri[i]
+		s.val[i], s.val[largest] = s.val[largest], s.val[i]
+		i = largest
+	}
+}
+
+// absorb folds another sampler (same capacity and salt) into s.
+func (s *sampler) absorb(o *sampler) {
+	s.n += o.n
+	for i := range o.pri {
+		s.insert(o.pri[i], o.val[i])
+	}
+}
+
+// seal freezes the sampler, ordering samples canonically by priority.
+func (s *sampler) seal() {
+	if s.sealed {
+		return
+	}
+	idx := make([]int, len(s.pri))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		return pvLess(s.pri[idx[a]], s.val[idx[a]], s.pri[idx[b]], s.val[idx[b]])
+	})
+	pri := make([]uint64, len(idx))
+	val := make([]float64, len(idx))
+	for i, j := range idx {
+		pri[i], val[i] = s.pri[j], s.val[j]
+	}
+	s.pri, s.val = pri, val
+	s.sealed = true
+}
+
+// Samples returns the sampled values (not a copy).
+func (s *sampler) Samples() []float64 { return s.val }
+
+// N returns the number of values observed.
+func (s *sampler) N() int64 { return s.n }
+
+// --- bitsets for distinct-sector counting ------------------------------
+
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int) { b[i>>6] |= 1 << (uint(i) & 63) }
+
+func (b bitset) or(o bitset) {
+	for i, w := range o {
+		b[i] |= w
+	}
+}
+
+func (b bitset) count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// checkDay validates a merged partition's day against the configured
+// window (collectors index per-day arrays with it).
+func checkDay(env *scanEnv, day int) error {
+	if day < 0 || day >= env.days {
+		return fmt.Errorf("analysis: partition day %d beyond configured %d days", day, env.days)
+	}
+	return nil
+}
+
+// --- types collector: totals per HO type / device type / vendor --------
+
+type typesCollector struct {
+	env *scanEnv
+
+	totalHOs      int64
+	totalFails    int64
+	typeCounts    [ho.NumTypes]int64
+	typeDevCounts [ho.NumTypes][3]int64
+	perDayTypeDev [][ho.NumTypes][3]int64
+	typeFails     [ho.NumTypes]int64
+	perDayFails   [][ho.NumTypes]int64
+	vendorByType  [ho.NumTypes][4]int64
+}
+
+func newTypesCollector(env *scanEnv) *typesCollector {
+	return &typesCollector{
+		env:           env,
+		perDayTypeDev: make([][ho.NumTypes][3]int64, env.days),
+		perDayFails:   make([][ho.NumTypes]int64, env.days),
+	}
+}
+
+type typesShard struct {
+	env        *scanEnv
+	day        int
+	hos, fails int64
+	counts     [ho.NumTypes]int64
+	devCounts  [ho.NumTypes][3]int64
+	dayTypeDev [ho.NumTypes][3]int64
+	typeFails  [ho.NumTypes]int64
+	dayFails   [ho.NumTypes]int64
+	vendor     [ho.NumTypes][4]int64
+}
+
+func (c *typesCollector) NewShardState(day, shard int) trace.ShardState {
+	return &typesShard{env: c.env, day: day}
+}
+
+func (s *typesShard) Observe(day int, rec *trace.Record) error {
+	model := s.env.ds.Devices.ByTAC(rec.TAC)
+	if model == nil {
+		return fmt.Errorf("analysis: unknown TAC %d", rec.TAC)
+	}
+	t := rec.HOType()
+	s.hos++
+	s.counts[t]++
+	s.devCounts[t][model.Type]++
+	s.dayTypeDev[t][model.Type]++
+	s.vendor[t][s.env.sectors[rec.Source].vendor]++
+	if rec.Result == trace.Failure {
+		s.fails++
+		s.typeFails[t]++
+		s.dayFails[t]++
+	}
+	return nil
+}
+
+func (c *typesCollector) MergeShard(st trace.ShardState) error {
+	s := st.(*typesShard)
+	if err := checkDay(c.env, s.day); err != nil {
+		return err
+	}
+	c.totalHOs += s.hos
+	c.totalFails += s.fails
+	for t := 0; t < int(ho.NumTypes); t++ {
+		c.typeCounts[t] += s.counts[t]
+		c.typeFails[t] += s.typeFails[t]
+		c.perDayFails[s.day][t] += s.dayFails[t]
+		for d := 0; d < 3; d++ {
+			c.typeDevCounts[t][d] += s.devCounts[t][d]
+			c.perDayTypeDev[s.day][t][d] += s.dayTypeDev[t][d]
+		}
+		for v := 0; v < 4; v++ {
+			c.vendorByType[t][v] += s.vendor[t][v]
+		}
+	}
+	return nil
+}
+
+func (c *typesCollector) finalize(out *scanState) error {
+	out.totalHOs = c.totalHOs
+	out.totalFails = c.totalFails
+	out.typeCounts = c.typeCounts
+	out.typeDevCounts = c.typeDevCounts
+	out.perDayTypeDev = c.perDayTypeDev
+	out.typeFails = c.typeFails
+	out.perDayTypeFails = c.perDayFails
+	out.vendorByType = c.vendorByType
+	out.bytesStored = c.totalHOs * trace.RecordSize
+	return nil
+}
+
+// --- durations collector: bottom-k sampled signaling times -------------
+
+// Sample capacities follow the v1 reservoir sizes.
+const (
+	successSampleCap = 200_000
+	causeSampleCap   = 50_000
+)
+
+type durationsCollector struct {
+	env        *scanEnv
+	durSuccess [ho.NumTypes]*sampler
+	durCause   [nCauseIdx]*sampler
+}
+
+func newDurationsCollector(env *scanEnv) *durationsCollector {
+	c := &durationsCollector{env: env}
+	for i := range c.durSuccess {
+		c.durSuccess[i] = newSampler(successSampleCap, uint64(1000+i))
+	}
+	for i := range c.durCause {
+		c.durCause[i] = newSampler(causeSampleCap, uint64(2000+i))
+	}
+	return c
+}
+
+type durationsShard struct {
+	durSuccess [ho.NumTypes]*sampler
+	durCause   [nCauseIdx]*sampler
+}
+
+func (c *durationsCollector) NewShardState(day, shard int) trace.ShardState {
+	s := &durationsShard{}
+	for i := range s.durSuccess {
+		s.durSuccess[i] = newSampler(successSampleCap, uint64(1000+i))
+	}
+	for i := range s.durCause {
+		s.durCause[i] = newSampler(causeSampleCap, uint64(2000+i))
+	}
+	return s
+}
+
+func (s *durationsShard) Observe(day int, rec *trace.Record) error {
+	if rec.Result == trace.Failure {
+		s.durCause[causeIdx(rec.Cause)].Add(float64(rec.DurationMs), recKey(rec))
+	} else {
+		s.durSuccess[rec.HOType()].Add(float64(rec.DurationMs), recKey(rec))
+	}
+	return nil
+}
+
+func (c *durationsCollector) MergeShard(st trace.ShardState) error {
+	s := st.(*durationsShard)
+	for i := range c.durSuccess {
+		c.durSuccess[i].absorb(s.durSuccess[i])
+	}
+	for i := range c.durCause {
+		c.durCause[i].absorb(s.durCause[i])
+	}
+	return nil
+}
+
+func (c *durationsCollector) finalize(out *scanState) error {
+	for _, s := range c.durSuccess {
+		s.seal()
+	}
+	for _, s := range c.durCause {
+		s.seal()
+	}
+	out.durSuccess = c.durSuccess
+	out.durCause = c.durCause
+	return nil
+}
+
+// --- causes collector: HOF cause breakdowns ----------------------------
+
+type causesCollector struct {
+	env             *scanEnv
+	causeType       [ho.NumTypes][nCauseIdx]int64
+	perDayCauseType [][ho.NumTypes][nCauseIdx]int64
+	causeByDev      [3][nCauseIdx]int64
+	causeByArea     [2][nCauseIdx]int64
+	causeByMfr      map[string]*[2][nCauseIdx]int64
+}
+
+func newCausesCollector(env *scanEnv) *causesCollector {
+	c := &causesCollector{
+		env:             env,
+		perDayCauseType: make([][ho.NumTypes][nCauseIdx]int64, env.days),
+		causeByMfr:      make(map[string]*[2][nCauseIdx]int64, len(topManufacturers)),
+	}
+	for _, m := range topManufacturers {
+		c.causeByMfr[m] = &[2][nCauseIdx]int64{}
+	}
+	return c
+}
+
+type causesShard struct {
+	env          *scanEnv
+	day          int
+	causeType    [ho.NumTypes][nCauseIdx]int64
+	dayCauseType [ho.NumTypes][nCauseIdx]int64
+	causeByDev   [3][nCauseIdx]int64
+	causeByArea  [2][nCauseIdx]int64
+	causeByMfr   map[string]*[2][nCauseIdx]int64
+}
+
+func (c *causesCollector) NewShardState(day, shard int) trace.ShardState {
+	s := &causesShard{env: c.env, day: day, causeByMfr: make(map[string]*[2][nCauseIdx]int64, len(topManufacturers))}
+	for _, m := range topManufacturers {
+		s.causeByMfr[m] = &[2][nCauseIdx]int64{}
+	}
+	return s
+}
+
+func (s *causesShard) Observe(day int, rec *trace.Record) error {
+	if rec.Result != trace.Failure {
+		return nil
+	}
+	model := s.env.ds.Devices.ByTAC(rec.TAC)
+	if model == nil {
+		return fmt.Errorf("analysis: unknown TAC %d", rec.TAC)
+	}
+	t := rec.HOType()
+	ci := causeIdx(rec.Cause)
+	areaIdx := s.env.sectors[rec.Source].areaIdx
+	s.causeType[t][ci]++
+	s.dayCauseType[t][ci]++
+	s.causeByDev[model.Type][ci]++
+	s.causeByArea[areaIdx][ci]++
+	if model.Type == devices.Smartphone {
+		if byMfr, ok := s.causeByMfr[model.Manufacturer]; ok {
+			byMfr[areaIdx][ci]++
+		}
+	}
+	return nil
+}
+
+func (c *causesCollector) MergeShard(st trace.ShardState) error {
+	s := st.(*causesShard)
+	if err := checkDay(c.env, s.day); err != nil {
+		return err
+	}
+	for t := 0; t < int(ho.NumTypes); t++ {
+		for ci := 0; ci < nCauseIdx; ci++ {
+			c.causeType[t][ci] += s.causeType[t][ci]
+			c.perDayCauseType[s.day][t][ci] += s.dayCauseType[t][ci]
+		}
+	}
+	for d := 0; d < 3; d++ {
+		for ci := 0; ci < nCauseIdx; ci++ {
+			c.causeByDev[d][ci] += s.causeByDev[d][ci]
+		}
+	}
+	for a := 0; a < 2; a++ {
+		for ci := 0; ci < nCauseIdx; ci++ {
+			c.causeByArea[a][ci] += s.causeByArea[a][ci]
+		}
+	}
+	for _, m := range topManufacturers {
+		dst, src := c.causeByMfr[m], s.causeByMfr[m]
+		for a := 0; a < 2; a++ {
+			for ci := 0; ci < nCauseIdx; ci++ {
+				dst[a][ci] += src[a][ci]
+			}
+		}
+	}
+	return nil
+}
+
+func (c *causesCollector) finalize(out *scanState) error {
+	out.causeType = c.causeType
+	out.perDayCauseType = c.perDayCauseType
+	out.causeByDev = c.causeByDev
+	out.causeByArea = c.causeByArea
+	out.causeByMfr = c.causeByMfr
+	return nil
+}
+
+// --- temporal collector: 30-min bins and hourly HOF profiles -----------
+
+type temporalCollector struct {
+	env *scanEnv
+
+	binHOs     [][mobility.BinsPerDay][2]int64
+	binActive  [][mobility.BinsPerDay][2]int32
+	hourHOFs   [][24][2]int64
+	hourActive [][24][2]int32
+
+	// Current-day distinct-sector sets; partitions arrive day-ordered so
+	// only one day's bitsets are live at a time.
+	curDay     int
+	curBinSec  [mobility.BinsPerDay][2]bitset
+	curHourSec [24][2]bitset
+}
+
+func newTemporalCollector(env *scanEnv) *temporalCollector {
+	return &temporalCollector{
+		env:        env,
+		binHOs:     make([][mobility.BinsPerDay][2]int64, env.days),
+		binActive:  make([][mobility.BinsPerDay][2]int32, env.days),
+		hourHOFs:   make([][24][2]int64, env.days),
+		hourActive: make([][24][2]int32, env.days),
+		curDay:     -1,
+	}
+}
+
+type temporalShard struct {
+	env      *scanEnv
+	day      int
+	binHOs   [mobility.BinsPerDay][2]int64
+	hourHOFs [24][2]int64
+	binSec   [mobility.BinsPerDay][2]bitset
+	hourSec  [24][2]bitset
+}
+
+func (c *temporalCollector) NewShardState(day, shard int) trace.ShardState {
+	return &temporalShard{env: c.env, day: day}
+}
+
+// binOf clamps a record's time-of-day into a 30-minute bin.
+func binOf(day int, ts int64) int {
+	msOfDay := ts - trace.DayStart(day).UnixMilli()
+	bin := int(msOfDay / (30 * 60 * 1000))
+	if bin < 0 {
+		bin = 0
+	}
+	if bin >= mobility.BinsPerDay {
+		bin = mobility.BinsPerDay - 1
+	}
+	return bin
+}
+
+func (s *temporalShard) Observe(day int, rec *trace.Record) error {
+	areaIdx := s.env.sectors[rec.Source].areaIdx
+	bin := binOf(day, rec.Timestamp)
+	hour := bin / 2
+	s.binHOs[bin][areaIdx]++
+	if s.binSec[bin][areaIdx] == nil {
+		s.binSec[bin][areaIdx] = newBitset(s.env.nSectors)
+	}
+	s.binSec[bin][areaIdx].set(int(rec.Source))
+	if s.hourSec[hour][areaIdx] == nil {
+		s.hourSec[hour][areaIdx] = newBitset(s.env.nSectors)
+	}
+	s.hourSec[hour][areaIdx].set(int(rec.Source))
+	if rec.Result == trace.Failure {
+		s.hourHOFs[hour][areaIdx]++
+	}
+	return nil
+}
+
+func (c *temporalCollector) flushDay() {
+	if c.curDay < 0 {
+		return
+	}
+	for b := 0; b < mobility.BinsPerDay; b++ {
+		for a := 0; a < 2; a++ {
+			if c.curBinSec[b][a] != nil {
+				c.binActive[c.curDay][b][a] = int32(c.curBinSec[b][a].count())
+				c.curBinSec[b][a] = nil
+			}
+		}
+	}
+	for h := 0; h < 24; h++ {
+		for a := 0; a < 2; a++ {
+			if c.curHourSec[h][a] != nil {
+				c.hourActive[c.curDay][h][a] = int32(c.curHourSec[h][a].count())
+				c.curHourSec[h][a] = nil
+			}
+		}
+	}
+}
+
+func (c *temporalCollector) MergeShard(st trace.ShardState) error {
+	s := st.(*temporalShard)
+	if err := checkDay(c.env, s.day); err != nil {
+		return err
+	}
+	if s.day != c.curDay {
+		c.flushDay()
+		c.curDay = s.day
+	}
+	for b := 0; b < mobility.BinsPerDay; b++ {
+		for a := 0; a < 2; a++ {
+			c.binHOs[s.day][b][a] += s.binHOs[b][a]
+			if s.binSec[b][a] != nil {
+				if c.curBinSec[b][a] == nil {
+					c.curBinSec[b][a] = newBitset(c.env.nSectors)
+				}
+				c.curBinSec[b][a].or(s.binSec[b][a])
+			}
+		}
+	}
+	for h := 0; h < 24; h++ {
+		for a := 0; a < 2; a++ {
+			c.hourHOFs[s.day][h][a] += s.hourHOFs[h][a]
+			if s.hourSec[h][a] != nil {
+				if c.curHourSec[h][a] == nil {
+					c.curHourSec[h][a] = newBitset(c.env.nSectors)
+				}
+				c.curHourSec[h][a].or(s.hourSec[h][a])
+			}
+		}
+	}
+	return nil
+}
+
+func (c *temporalCollector) finalize(out *scanState) error {
+	c.flushDay()
+	c.curDay = -1
+	out.binHOs = c.binHOs
+	out.binActive = c.binActive
+	out.hourHOFs = c.hourHOFs
+	out.hourActive = c.hourActive
+	return nil
+}
+
+// --- districts collector -----------------------------------------------
+
+type districtsCollector struct {
+	env           *scanEnv
+	districtHOs   []int64
+	districtFails []int64
+	districtType  [][ho.NumTypes]int64
+}
+
+func newDistrictsCollector(env *scanEnv) *districtsCollector {
+	return &districtsCollector{
+		env:           env,
+		districtHOs:   make([]int64, env.nDistricts),
+		districtFails: make([]int64, env.nDistricts),
+		districtType:  make([][ho.NumTypes]int64, env.nDistricts),
+	}
+}
+
+type districtsShard struct {
+	env   *scanEnv
+	hos   []int64
+	fails []int64
+	types [][ho.NumTypes]int64
+}
+
+func (c *districtsCollector) NewShardState(day, shard int) trace.ShardState {
+	return &districtsShard{
+		env:   c.env,
+		hos:   make([]int64, c.env.nDistricts),
+		fails: make([]int64, c.env.nDistricts),
+		types: make([][ho.NumTypes]int64, c.env.nDistricts),
+	}
+}
+
+func (s *districtsShard) Observe(day int, rec *trace.Record) error {
+	d := s.env.sectors[rec.Source].district
+	s.hos[d]++
+	s.types[d][rec.HOType()]++
+	if rec.Result == trace.Failure {
+		s.fails[d]++
+	}
+	return nil
+}
+
+func (c *districtsCollector) MergeShard(st trace.ShardState) error {
+	s := st.(*districtsShard)
+	for d := 0; d < c.env.nDistricts; d++ {
+		c.districtHOs[d] += s.hos[d]
+		c.districtFails[d] += s.fails[d]
+		for t := 0; t < int(ho.NumTypes); t++ {
+			c.districtType[d][t] += s.types[d][t]
+		}
+	}
+	return nil
+}
+
+func (c *districtsCollector) finalize(out *scanState) error {
+	out.districtHOs = c.districtHOs
+	out.districtFails = c.districtFails
+	out.districtType = c.districtType
+	return nil
+}
+
+// --- UE-day collector: per-UE totals and daily mobility metrics --------
+
+type uedayCollector struct {
+	env     *scanEnv
+	ueHOs   []int32
+	ueFails []int32
+	ueDay   []UEDayMetric
+
+	curDay int
+	dayBuf []UEDayMetric
+}
+
+func newUEDayCollector(env *scanEnv) *uedayCollector {
+	return &uedayCollector{
+		env:     env,
+		ueHOs:   make([]int32, env.nUEs),
+		ueFails: make([]int32, env.nUEs),
+		curDay:  -1,
+	}
+}
+
+// ueState is one UE's in-flight state within one (day, shard) partition.
+// Because shards are hash-partitioned by UE, a UE's whole day lives in
+// exactly one partition, so the flush below sees complete days.
+type ueState struct {
+	hasLoc    bool
+	sectors   map[topology.SectorID]struct{}
+	hos       int32
+	fails     int32
+	nightSite int32
+	visits    []geo.Visit
+	lastTs    int64
+	lastLoc   geo.Point
+}
+
+// uedayShard tracks only the UEs that actually appear in its partition
+// (≈ nUEs/shards of them), not the whole population: per-partition state
+// must stay proportional to the partition, or countrywide-scale scans
+// would allocate full-population arrays once per (day, shard).
+type uedayShard struct {
+	env    *scanEnv
+	day    int
+	states map[trace.UEID]*ueState
+}
+
+func (c *uedayCollector) NewShardState(day, shard int) trace.ShardState {
+	return &uedayShard{
+		env:    c.env,
+		day:    day,
+		states: make(map[trace.UEID]*ueState, 1024),
+	}
+}
+
+func (s *uedayShard) Observe(day int, rec *trace.Record) error {
+	st := s.states[rec.UE]
+	if st == nil {
+		st = &ueState{
+			sectors:   make(map[topology.SectorID]struct{}, 16),
+			nightSite: -1,
+		}
+		s.states[rec.UE] = st
+	}
+	st.hos++
+	st.sectors[rec.Source] = struct{}{}
+	hour := binOf(day, rec.Timestamp) / 2
+	if st.nightSite < 0 && hour < 8 {
+		st.nightSite = s.env.sectors[rec.Source].site
+	}
+	if rec.Result == trace.Failure {
+		st.fails++
+		return nil
+	}
+	st.sectors[rec.Target] = struct{}{}
+	// Visit tracking for gyration: close the previous dwell.
+	loc := s.env.sectors[rec.Target].loc
+	if st.hasLoc {
+		if w := float64(rec.Timestamp - st.lastTs); w > 0 {
+			st.visits = append(st.visits, geo.Visit{Loc: st.lastLoc, Weight: w})
+		}
+	}
+	st.lastLoc = loc
+	st.lastTs = rec.Timestamp
+	st.hasLoc = true
+	return nil
+}
+
+// flush turns the shard's in-flight UE states into finished day metrics
+// (in map order — the collector sorts each day's buffer canonically).
+func (s *uedayShard) flush() []UEDayMetric {
+	endOfDay := trace.DayStart(s.day + 1).UnixMilli()
+	out := make([]UEDayMetric, 0, len(s.states))
+	for ue, st := range s.states {
+		if st.hasLoc {
+			if w := float64(endOfDay - st.lastTs); w > 0 {
+				st.visits = append(st.visits, geo.Visit{Loc: st.lastLoc, Weight: w})
+			}
+		}
+		out = append(out, UEDayMetric{
+			UE:         ue,
+			Day:        int32(s.day),
+			Sectors:    int32(len(st.sectors)),
+			HOs:        st.hos,
+			Fails:      st.fails,
+			GyrationKm: float32(geo.RadiusOfGyrationKm(st.visits)),
+			NightSite:  st.nightSite,
+		})
+	}
+	return out
+}
+
+func (c *uedayCollector) flushDay() {
+	if c.curDay < 0 {
+		return
+	}
+	// Canonical order: UE ascending within the day (each UE contributes
+	// at most one metric per day, so the sort is unambiguous).
+	sort.Slice(c.dayBuf, func(i, j int) bool { return c.dayBuf[i].UE < c.dayBuf[j].UE })
+	c.ueDay = append(c.ueDay, c.dayBuf...)
+	c.dayBuf = c.dayBuf[:0]
+}
+
+func (c *uedayCollector) MergeShard(st trace.ShardState) error {
+	s := st.(*uedayShard)
+	if err := checkDay(c.env, s.day); err != nil {
+		return err
+	}
+	if s.day != c.curDay {
+		c.flushDay()
+		c.curDay = s.day
+	}
+	for ue, st := range s.states {
+		c.ueHOs[ue] += st.hos
+		c.ueFails[ue] += st.fails
+	}
+	c.dayBuf = append(c.dayBuf, s.flush()...)
+	return nil
+}
+
+func (c *uedayCollector) finalize(out *scanState) error {
+	c.flushDay()
+	c.curDay = -1
+	out.ueHOs = c.ueHOs
+	out.ueFails = c.ueFails
+	out.ueDay = c.ueDay
+	return nil
+}
+
+// --- sector-day collector: the §6.3 regression dataset -----------------
+
+type sdAgg struct {
+	hos, fails int32
+}
+
+type sectordayCollector struct {
+	env       *scanEnv
+	sectorDay []SectorDayRow
+
+	curDay    int
+	dayAgg    map[int64]*sdAgg
+	dayTotals map[topology.SectorID]int32
+}
+
+func newSectorDayCollector(env *scanEnv) *sectordayCollector {
+	return &sectordayCollector{env: env, curDay: -1}
+}
+
+func sectorDayKey(sec topology.SectorID, t ho.Type) int64 {
+	return int64(sec)*int64(ho.NumTypes) + int64(t)
+}
+
+type sectordayShard struct {
+	day    int
+	agg    map[int64]*sdAgg
+	totals map[topology.SectorID]int32
+}
+
+func (c *sectordayCollector) NewShardState(day, shard int) trace.ShardState {
+	return &sectordayShard{
+		day:    day,
+		agg:    make(map[int64]*sdAgg, 4096),
+		totals: make(map[topology.SectorID]int32, 2048),
+	}
+}
+
+func (s *sectordayShard) Observe(day int, rec *trace.Record) error {
+	key := sectorDayKey(rec.Source, rec.HOType())
+	a := s.agg[key]
+	if a == nil {
+		a = &sdAgg{}
+		s.agg[key] = a
+	}
+	a.hos++
+	if rec.Result == trace.Failure {
+		a.fails++
+	}
+	s.totals[rec.Source]++
+	return nil
+}
+
+// flushDay emits the finished day's rows in canonical (sector, type)
+// order; v1 emitted them in map-iteration order, which made downstream
+// float accumulation (OLS, ANOVA) wobble run to run.
+func (c *sectordayCollector) flushDay() {
+	if c.curDay < 0 {
+		return
+	}
+	keys := make([]int64, 0, len(c.dayAgg))
+	for k := range c.dayAgg {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, key := range keys {
+		agg := c.dayAgg[key]
+		sec := topology.SectorID(key / int64(ho.NumTypes))
+		t := ho.Type(key % int64(ho.NumTypes))
+		sector := c.env.ds.Network.Sector(sec)
+		district := c.env.ds.Country.District(sector.DistrictID)
+		c.sectorDay = append(c.sectorDay, SectorDayRow{
+			Sector:      sec,
+			Day:         int16(c.curDay),
+			Type:        t,
+			HOs:         agg.hos,
+			Fails:       agg.fails,
+			TotalDayHOs: c.dayTotals[sec],
+			Region:      sector.Region,
+			Area:        sector.Area,
+			Vendor:      sector.Vendor,
+			DistrictPop: int32(district.Population),
+		})
+	}
+	c.dayAgg = nil
+	c.dayTotals = nil
+}
+
+func (c *sectordayCollector) MergeShard(st trace.ShardState) error {
+	s := st.(*sectordayShard)
+	if err := checkDay(c.env, s.day); err != nil {
+		return err
+	}
+	if s.day != c.curDay {
+		c.flushDay()
+		c.curDay = s.day
+		c.dayAgg = make(map[int64]*sdAgg, 4096)
+		c.dayTotals = make(map[topology.SectorID]int32, 2048)
+	}
+	for key, agg := range s.agg {
+		dst := c.dayAgg[key]
+		if dst == nil {
+			dst = &sdAgg{}
+			c.dayAgg[key] = dst
+		}
+		dst.hos += agg.hos
+		dst.fails += agg.fails
+	}
+	for sec, n := range s.totals {
+		c.dayTotals[sec] += n
+	}
+	return nil
+}
+
+func (c *sectordayCollector) finalize(out *scanState) error {
+	c.flushDay()
+	c.curDay = -1
+	out.sectorDay = c.sectorDay
+	return nil
+}

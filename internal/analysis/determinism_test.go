@@ -1,0 +1,192 @@
+package analysis
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"testing"
+
+	"telcolens/internal/simulate"
+)
+
+// The acceptance bar for the v2 engine: scanning a sharded store with a
+// parallel worker pool must produce artifacts byte-identical to the
+// sequential scan of the unsharded store for the same seed. Everything
+// downstream of the scan (sampling, OLS, ANOVA, quantile regression) is
+// deterministic given the scan state, so comparing rendered artifacts
+// covers the full pipeline. Run with -race to double as the engine's
+// concurrency check.
+
+const (
+	detSeed = 1234
+	detUEs  = 1200
+	detDays = 4
+)
+
+func detDataset(t *testing.T, shards int) *simulate.Dataset {
+	t.Helper()
+	cfg := simulate.DefaultConfig(detSeed)
+	cfg.UEs = detUEs
+	cfg.Days = detDays
+	cfg.Shards = shards
+	ds, err := simulate.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// renderAll runs every experiment and returns each rendered artifact.
+func renderAll(t *testing.T, a *Analyzer) map[string][]byte {
+	t.Helper()
+	out := make(map[string][]byte, len(Experiments()))
+	for _, e := range Experiments() {
+		art, err := e.Run(context.Background(), a)
+		if err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		var buf bytes.Buffer
+		if err := art.Render(&buf); err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		out[e.ID] = buf.Bytes()
+	}
+	return out
+}
+
+func TestParallelShardedScanByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates two campaigns")
+	}
+	// Baseline: one shard per day, scanned sequentially.
+	seq, err := New(detDataset(t, 1), WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderAll(t, seq)
+
+	// Same seed, 4 shards per day, scanned by a 4+ worker pool.
+	par, err := New(detDataset(t, 4), WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := renderAll(t, par)
+
+	if len(got) != len(want) {
+		t.Fatalf("artifact counts differ: %d vs %d", len(got), len(want))
+	}
+	for id, w := range want {
+		g, ok := got[id]
+		if !ok {
+			t.Errorf("%s missing from sharded run", id)
+			continue
+		}
+		if !bytes.Equal(g, w) {
+			t.Errorf("%s: sharded+parallel artifact differs from sequential single-shard baseline\n--- sequential ---\n%s\n--- parallel ---\n%s",
+				id, truncate(w), truncate(g))
+		}
+	}
+}
+
+func TestParallelismInvariantOnSameStore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates a campaign")
+	}
+	ds := detDataset(t, 8)
+	base, err := New(ds, WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderAll(t, base)
+	for _, par := range []int{2, 8} {
+		a, err := New(ds, WithParallelism(par))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := renderAll(t, a)
+		for id, w := range want {
+			if !bytes.Equal(got[id], w) {
+				t.Errorf("parallelism=%d: %s differs from sequential scan of the same store", par, id)
+			}
+		}
+	}
+}
+
+// TestRequireConcurrent hammers Require from many goroutines (the public
+// entry points share one Analyzer) — meaningful mainly under -race.
+func TestRequireConcurrent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates a campaign")
+	}
+	a, err := New(detDataset(t, 4), WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	needs := []Need{NeedTypes, NeedDurations, NeedUEDay, NeedSectorDay, NeedTemporal, NeedAll}
+	var wg sync.WaitGroup
+	for i, n := range needs {
+		wg.Add(1)
+		go func(i int, n Need) {
+			defer wg.Done()
+			// The public entry points Configure per call; exercise that
+			// path racing against scans.
+			a.Configure(WithParallelism(1 + i%4))
+			if _, err := a.Require(context.Background(), n); err != nil {
+				t.Error(err)
+			}
+		}(i, n)
+	}
+	wg.Wait()
+}
+
+func TestProgressReported(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates a campaign")
+	}
+	var mu sync.Mutex
+	var last ProgressEvent
+	events := 0
+	a, err := New(detDataset(t, 4), WithParallelism(4), WithProgress(func(ev ProgressEvent) {
+		mu.Lock()
+		last = ev
+		events++
+		mu.Unlock()
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Require(context.Background(), NeedTypes); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if events != detDays*4 {
+		t.Fatalf("saw %d progress events, want %d", events, detDays*4)
+	}
+	if last.Done != last.Total || last.Total != detDays*4 {
+		t.Fatalf("final event %+v", last)
+	}
+}
+
+func TestRequireCanceledContext(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates a campaign")
+	}
+	a, err := New(detDataset(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := a.Require(ctx, NeedAll); err == nil {
+		t.Fatal("canceled scan succeeded")
+	}
+}
+
+func truncate(b []byte) []byte {
+	const max = 2000
+	if len(b) > max {
+		return b[:max]
+	}
+	return b
+}

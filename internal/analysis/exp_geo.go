@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -13,17 +14,17 @@ import (
 )
 
 func init() {
-	register("fig5", "Census vs inferred population per district", "Figure 5", runFig5)
-	register("fig6", "Daily HOs per km² vs district population density", "Figure 6", runFig6)
-	register("fig9", "Handover-type mix across districts", "Figure 9", runFig9)
+	register("fig5", "Census vs inferred population per district", "Figure 5", NeedUEDay, runFig5)
+	register("fig6", "Daily HOs per km² vs district population density", "Figure 6", NeedDistricts, runFig6)
+	register("fig9", "Handover-type mix across districts", "Figure 9", NeedDistricts, runFig9)
 }
 
 // HomeDetection infers each UE's home district from night-time activity,
 // reproducing the §4.3 methodology: the main cell site a UE touches
 // between 00:00 and 08:00 on at least minNights (not necessarily
 // consecutive) days. It returns per-district inferred population counts.
-func (a *Analyzer) HomeDetection(minNights int) ([]int, int, error) {
-	s, err := a.Scan()
+func (a *Analyzer) HomeDetection(ctx context.Context, minNights int) ([]int, int, error) {
+	s, err := a.Require(ctx, NeedUEDay)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -83,9 +84,9 @@ func (a *Analyzer) DefaultMinNights() int {
 	return n
 }
 
-func runFig5(a *Analyzer, art *report.Artifact) error {
+func runFig5(ctx context.Context, a *Analyzer, art *report.Artifact) error {
 	minNights := a.DefaultMinNights()
-	counts, inferred, err := a.HomeDetection(minNights)
+	counts, inferred, err := a.HomeDetection(ctx, minNights)
 	if err != nil {
 		return err
 	}
@@ -137,8 +138,8 @@ func ranks(n int) []float64 {
 	return out
 }
 
-func runFig6(a *Analyzer, art *report.Artifact) error {
-	s, err := a.Scan()
+func runFig6(ctx context.Context, a *Analyzer, art *report.Artifact) error {
+	s, err := a.Require(ctx, NeedDistricts)
 	if err != nil {
 		return err
 	}
@@ -190,8 +191,8 @@ func runFig6(a *Analyzer, art *report.Artifact) error {
 	return nil
 }
 
-func runFig9(a *Analyzer, art *report.Artifact) error {
-	s, err := a.Scan()
+func runFig9(ctx context.Context, a *Analyzer, art *report.Artifact) error {
+	s, err := a.Require(ctx, NeedDistricts)
 	if err != nil {
 		return err
 	}

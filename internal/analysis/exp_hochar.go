@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -11,14 +12,14 @@ import (
 )
 
 func init() {
-	register("table2", "Handover shares per HO type and device type", "Table 2", runTable2)
-	register("fig8", "Handover duration by HO type", "Figure 8", runFig8)
-	register("fig10", "Mobility metrics across device types", "Figure 10", runFig10)
-	register("fig11", "Normalized district-level HOs and HOF rate per manufacturer", "Figure 11", runFig11)
+	register("table2", "Handover shares per HO type and device type", "Table 2", NeedTypes, runTable2)
+	register("fig8", "Handover duration by HO type", "Figure 8", NeedDurations, runFig8)
+	register("fig10", "Mobility metrics across device types", "Figure 10", NeedUEDay, runFig10)
+	register("fig11", "Normalized district-level HOs and HOF rate per manufacturer", "Figure 11", NeedUEDay, runFig11)
 }
 
-func runTable2(a *Analyzer, art *report.Artifact) error {
-	s, err := a.Scan()
+func runTable2(ctx context.Context, a *Analyzer, art *report.Artifact) error {
+	s, err := a.Require(ctx, NeedTypes)
 	if err != nil {
 		return err
 	}
@@ -84,8 +85,8 @@ func runTable2(a *Analyzer, art *report.Artifact) error {
 	return nil
 }
 
-func runFig8(a *Analyzer, art *report.Artifact) error {
-	s, err := a.Scan()
+func runFig8(ctx context.Context, a *Analyzer, art *report.Artifact) error {
+	s, err := a.Require(ctx, NeedDurations)
 	if err != nil {
 		return err
 	}
@@ -132,8 +133,8 @@ func runFig8(a *Analyzer, art *report.Artifact) error {
 	return nil
 }
 
-func runFig10(a *Analyzer, art *report.Artifact) error {
-	s, err := a.Scan()
+func runFig10(ctx context.Context, a *Analyzer, art *report.Artifact) error {
+	s, err := a.Require(ctx, NeedUEDay)
 	if err != nil {
 		return err
 	}
@@ -204,8 +205,8 @@ type ManufacturerNormalized struct {
 }
 
 // ManufacturerStats builds the Fig 11 distributions.
-func (a *Analyzer) ManufacturerStats(minUEs int) ([]ManufacturerNormalized, error) {
-	s, err := a.Scan()
+func (a *Analyzer) ManufacturerStats(ctx context.Context, minUEs int) ([]ManufacturerNormalized, error) {
+	s, err := a.Require(ctx, NeedUEDay)
 	if err != nil {
 		return nil, err
 	}
@@ -329,9 +330,9 @@ func (a *Analyzer) MinUEsPerDistrictPair() int {
 	return m
 }
 
-func runFig11(a *Analyzer, art *report.Artifact) error {
+func runFig11(ctx context.Context, a *Analyzer, art *report.Artifact) error {
 	minUEs := a.MinUEsPerDistrictPair()
-	rows, err := a.ManufacturerStats(minUEs)
+	rows, err := a.ManufacturerStats(ctx, minUEs)
 	if err != nil {
 		return err
 	}

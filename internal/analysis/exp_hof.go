@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
 
 	"telcolens/internal/causes"
@@ -11,10 +12,10 @@ import (
 )
 
 func init() {
-	register("fig13", "HOF rate vs per-UE mobility metrics", "Figure 13", runFig13)
-	register("fig14a", "HOF cause shares per HO type", "Figure 14a", runFig14a)
-	register("fig14b", "HO signaling time per failure cause", "Figure 14b", runFig14b)
-	register("fig15", "HOF cause mix by device type, area and manufacturer", "Figure 15", runFig15)
+	register("fig13", "HOF rate vs per-UE mobility metrics", "Figure 13", NeedUEDay, runFig13)
+	register("fig14a", "HOF cause shares per HO type", "Figure 14a", NeedTypes|NeedCauses, runFig14a)
+	register("fig14b", "HO signaling time per failure cause", "Figure 14b", NeedDurations, runFig14b)
+	register("fig15", "HOF cause mix by device type, area and manufacturer", "Figure 15", NeedCauses, runFig15)
 }
 
 // Fig 13 bin edges, matching the paper's axes.
@@ -35,8 +36,8 @@ type MobilityHOFBins struct {
 }
 
 // MobilityHOF computes Fig 13 for metric "sectors" or "gyration".
-func (a *Analyzer) MobilityHOF(metric string) (*MobilityHOFBins, error) {
-	s, err := a.Scan()
+func (a *Analyzer) MobilityHOF(ctx context.Context, metric string) (*MobilityHOFBins, error) {
+	s, err := a.Require(ctx, NeedUEDay)
 	if err != nil {
 		return nil, err
 	}
@@ -113,9 +114,9 @@ func (a *Analyzer) MobilityHOF(metric string) (*MobilityHOFBins, error) {
 	return out, nil
 }
 
-func runFig13(a *Analyzer, art *report.Artifact) error {
+func runFig13(ctx context.Context, a *Analyzer, art *report.Artifact) error {
 	for _, metric := range []string{"sectors", "gyration"} {
-		bins, err := a.MobilityHOF(metric)
+		bins, err := a.MobilityHOF(ctx, metric)
 		if err != nil {
 			return err
 		}
@@ -138,8 +139,8 @@ func runFig13(a *Analyzer, art *report.Artifact) error {
 	return nil
 }
 
-func runFig14a(a *Analyzer, art *report.Artifact) error {
-	s, err := a.Scan()
+func runFig14a(ctx context.Context, a *Analyzer, art *report.Artifact) error {
+	s, err := a.Require(ctx, NeedTypes|NeedCauses)
 	if err != nil {
 		return err
 	}
@@ -205,8 +206,8 @@ func runFig14a(a *Analyzer, art *report.Artifact) error {
 	return nil
 }
 
-func runFig14b(a *Analyzer, art *report.Artifact) error {
-	s, err := a.Scan()
+func runFig14b(ctx context.Context, a *Analyzer, art *report.Artifact) error {
+	s, err := a.Require(ctx, NeedDurations)
 	if err != nil {
 		return err
 	}
@@ -249,8 +250,8 @@ func runFig14b(a *Analyzer, art *report.Artifact) error {
 	return nil
 }
 
-func runFig15(a *Analyzer, art *report.Artifact) error {
-	s, err := a.Scan()
+func runFig15(ctx context.Context, a *Analyzer, art *report.Artifact) error {
+	s, err := a.Require(ctx, NeedCauses)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
 
 	"telcolens/internal/devices"
@@ -10,15 +11,15 @@ import (
 )
 
 func init() {
-	register("table1", "Dataset statistics", "Table 1", runTable1)
-	register("fig3a", "Deployment evolution 2009–2023", "Figure 3a", runFig3a)
-	register("fig3b", "Average daily RAT use and traffic shares", "Figure 3b", runFig3b)
-	register("fig4a", "Manufacturer share per device type", "Figure 4a", runFig4a)
-	register("fig4b", "Maximum supported RAT per device type", "Figure 4b", runFig4b)
+	register("table1", "Dataset statistics", "Table 1", NeedTypes, runTable1)
+	register("fig3a", "Deployment evolution 2009–2023", "Figure 3a", 0, runFig3a)
+	register("fig3b", "Average daily RAT use and traffic shares", "Figure 3b", 0, runFig3b)
+	register("fig4a", "Manufacturer share per device type", "Figure 4a", 0, runFig4a)
+	register("fig4b", "Maximum supported RAT per device type", "Figure 4b", 0, runFig4b)
 }
 
-func runTable1(a *Analyzer, art *report.Artifact) error {
-	s, err := a.Scan()
+func runTable1(ctx context.Context, a *Analyzer, art *report.Artifact) error {
+	s, err := a.Require(ctx, NeedTypes)
 	if err != nil {
 		return err
 	}
@@ -63,7 +64,7 @@ func formatBytes(b float64) string {
 	}
 }
 
-func runFig3a(a *Analyzer, art *report.Artifact) error {
+func runFig3a(ctx context.Context, a *Analyzer, art *report.Artifact) error {
 	series := topology.EvolutionSeries()
 	tbl := report.Table{
 		Title:   "RAT share of deployed sectors per year",
@@ -104,7 +105,7 @@ func runFig3a(a *Analyzer, art *report.Artifact) error {
 	return nil
 }
 
-func runFig3b(a *Analyzer, art *report.Artifact) error {
+func runFig3b(ctx context.Context, a *Analyzer, art *report.Artifact) error {
 	ds := a.DS
 	// Average daily time share per RAT with min/max across days.
 	var mins, maxs, sums [4]float64
@@ -181,7 +182,7 @@ func ratLabel(r topology.RAT) string {
 	return r.String()
 }
 
-func runFig4a(a *Analyzer, art *report.Artifact) error {
+func runFig4a(ctx context.Context, a *Analyzer, art *report.Artifact) error {
 	ds := a.DS
 	typeCounts := make(map[devices.DeviceType]int)
 	mfrCounts := make(map[devices.DeviceType]map[string]int)
@@ -239,7 +240,7 @@ func sortNameCounts(cs []nameCount) {
 	}
 }
 
-func runFig4b(a *Analyzer, art *report.Artifact) error {
+func runFig4b(ctx context.Context, a *Analyzer, art *report.Artifact) error {
 	ds := a.DS
 	counts := make(map[devices.DeviceType][4]int)
 	typeTotals := make(map[devices.DeviceType]int)

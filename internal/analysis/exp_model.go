@@ -1,8 +1,10 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"sort"
 
 	"telcolens/internal/census"
 	"telcolens/internal/ho"
@@ -12,17 +14,17 @@ import (
 )
 
 func init() {
-	register("table3", "Sector-day regression dataset", "Table 3", runTable3)
-	register("table6", "Summary statistics of the regression dataset", "Table 6", runTable6)
-	register("table4", "Univariate linear model for log(HOF rate)", "Table 4", runTable4)
-	register("table5", "Full-covariate linear model", "Table 5", runTable5)
-	register("table7", "Linear model excluding HOs to 2G", "Table 7", runTable7)
-	register("table8", "Quantile regression without outliers", "Table 8", runTable8)
-	register("table9", "Quantile regression on all non-zero HOF rates", "Table 9", runTable9)
-	register("fig16", "ECDFs of HOF rates per HO type", "Figure 16", runFig16)
-	register("fig17", "Antenna vendor per region and HO type", "Figure 17", runFig17)
-	register("fig18", "HOF rates by vendor and area type", "Figure 18", runFig18)
-	register("anova", "ANOVA and Kruskal-Wallis for the HO-type effect", "§6.3 / Appendix B", runANOVA)
+	register("table3", "Sector-day regression dataset", "Table 3", NeedSectorDay, runTable3)
+	register("table6", "Summary statistics of the regression dataset", "Table 6", NeedSectorDay, runTable6)
+	register("table4", "Univariate linear model for log(HOF rate)", "Table 4", NeedSectorDay, runTable4)
+	register("table5", "Full-covariate linear model", "Table 5", NeedSectorDay, runTable5)
+	register("table7", "Linear model excluding HOs to 2G", "Table 7", NeedSectorDay, runTable7)
+	register("table8", "Quantile regression without outliers", "Table 8", NeedSectorDay, runTable8)
+	register("table9", "Quantile regression on all non-zero HOF rates", "Table 9", NeedSectorDay, runTable9)
+	register("fig16", "ECDFs of HOF rates per HO type", "Figure 16", NeedSectorDay, runFig16)
+	register("fig17", "Antenna vendor per region and HO type", "Figure 17", NeedTypes, runFig17)
+	register("fig18", "HOF rates by vendor and area type", "Figure 18", NeedSectorDay, runFig18)
+	register("anova", "ANOVA and Kruskal-Wallis for the HO-type effect", "§6.3 / Appendix B", NeedSectorDay, runANOVA)
 }
 
 // RowFilter selects sector-day observations for modeling.
@@ -46,8 +48,8 @@ func (a *Analyzer) outlierFilter() RowFilter {
 }
 
 // RegressionRows returns the filtered sector-day dataset.
-func (a *Analyzer) RegressionRows(f RowFilter) ([]SectorDayRow, error) {
-	s, err := a.Scan()
+func (a *Analyzer) RegressionRows(ctx context.Context, f RowFilter) ([]SectorDayRow, error) {
+	s, err := a.Require(ctx, NeedSectorDay)
 	if err != nil {
 		return nil, err
 	}
@@ -183,8 +185,8 @@ func modelTable(m *stats.LinearModel, paper map[string]float64) report.Table {
 	return tbl
 }
 
-func runTable3(a *Analyzer, art *report.Artifact) error {
-	rows, err := a.RegressionRows(RowFilter{})
+func runTable3(ctx context.Context, a *Analyzer, art *report.Artifact) error {
+	rows, err := a.RegressionRows(ctx, RowFilter{})
 	if err != nil {
 		return err
 	}
@@ -210,8 +212,8 @@ func runTable3(a *Analyzer, art *report.Artifact) error {
 	return nil
 }
 
-func runTable6(a *Analyzer, art *report.Artifact) error {
-	rows, err := a.RegressionRows(RowFilter{})
+func runTable6(ctx context.Context, a *Analyzer, art *report.Artifact) error {
+	rows, err := a.RegressionRows(ctx, RowFilter{})
 	if err != nil {
 		return err
 	}
@@ -282,8 +284,8 @@ var paperTable7 = map[string]float64{
 
 // FitHOTypeModel fits the Table 4 univariate model on non-zero HOF rates
 // at sector-day granularity (the paper's unit of observation).
-func (a *Analyzer) FitHOTypeModel() (*stats.LinearModel, error) {
-	rows, err := a.RegressionRows(RowFilter{NonZeroOnly: true})
+func (a *Analyzer) FitHOTypeModel(ctx context.Context) (*stats.LinearModel, error) {
+	rows, err := a.RegressionRows(ctx, RowFilter{NonZeroOnly: true})
 	if err != nil {
 		return nil, err
 	}
@@ -297,8 +299,8 @@ func (a *Analyzer) FitHOTypeModel() (*stats.LinearModel, error) {
 // intra-4G/5G rates and compresses the HO-type contrast; window-level
 // aggregation restores per-row volume and recovers coefficients close to
 // the paper's (see EXPERIMENTS.md).
-func (a *Analyzer) WindowRows(f RowFilter) ([]SectorDayRow, error) {
-	s, err := a.Scan()
+func (a *Analyzer) WindowRows(ctx context.Context, f RowFilter) ([]SectorDayRow, error) {
+	s, err := a.Require(ctx, NeedSectorDay)
 	if err != nil {
 		return nil, err
 	}
@@ -343,12 +345,20 @@ func (a *Analyzer) WindowRows(f RowFilter) ([]SectorDayRow, error) {
 		}
 		out = append(out, *w)
 	}
+	// Canonical (sector, type) order: map iteration would otherwise feed
+	// the OLS/quantile fits in a different order every run.
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Sector != out[j].Sector {
+			return out[i].Sector < out[j].Sector
+		}
+		return out[i].Type < out[j].Type
+	})
 	return out, nil
 }
 
 // FitHOTypeModelWindow is FitHOTypeModel over window-aggregated rows.
-func (a *Analyzer) FitHOTypeModelWindow() (*stats.LinearModel, error) {
-	rows, err := a.WindowRows(RowFilter{NonZeroOnly: true})
+func (a *Analyzer) FitHOTypeModelWindow(ctx context.Context) (*stats.LinearModel, error) {
+	rows, err := a.WindowRows(ctx, RowFilter{NonZeroOnly: true})
 	if err != nil {
 		return nil, err
 	}
@@ -356,15 +366,15 @@ func (a *Analyzer) FitHOTypeModelWindow() (*stats.LinearModel, error) {
 	return stats.FitOLS(y, X, names, true)
 }
 
-func runTable4(a *Analyzer, art *report.Artifact) error {
-	m, err := a.FitHOTypeModel()
+func runTable4(ctx context.Context, a *Analyzer, art *report.Artifact) error {
+	m, err := a.FitHOTypeModel(ctx)
 	if err != nil {
 		return err
 	}
 	art.AddNote("Sector-day granularity (the paper's unit):")
 	art.AddTable(modelTable(m, paperTable4))
 
-	mw, err := a.FitHOTypeModelWindow()
+	mw, err := a.FitHOTypeModelWindow(ctx)
 	if err != nil {
 		return err
 	}
@@ -383,8 +393,8 @@ func runTable4(a *Analyzer, art *report.Artifact) error {
 	return nil
 }
 
-func runTable5(a *Analyzer, art *report.Artifact) error {
-	rows, err := a.RegressionRows(a.outlierFilter())
+func runTable5(ctx context.Context, a *Analyzer, art *report.Artifact) error {
+	rows, err := a.RegressionRows(ctx, a.outlierFilter())
 	if err != nil {
 		return err
 	}
@@ -399,10 +409,10 @@ func runTable5(a *Analyzer, art *report.Artifact) error {
 	return nil
 }
 
-func runTable7(a *Analyzer, art *report.Artifact) error {
+func runTable7(ctx context.Context, a *Analyzer, art *report.Artifact) error {
 	f := a.outlierFilter()
 	f.Exclude2G = true
-	rows, err := a.RegressionRows(f)
+	rows, err := a.RegressionRows(ctx, f)
 	if err != nil {
 		return err
 	}
@@ -422,8 +432,8 @@ var paperQuantile = map[float64][2]float64{ // tau -> paper coef {2G, 3G}, outli
 	0.8: {5.72, 4.97},
 }
 
-func runQuantileTable(a *Analyzer, art *report.Artifact, filter RowFilter, paperRef string) error {
-	rows, err := a.RegressionRows(filter)
+func runQuantileTable(ctx context.Context, a *Analyzer, art *report.Artifact, filter RowFilter, paperRef string) error {
+	rows, err := a.RegressionRows(ctx, filter)
 	if err != nil {
 		return err
 	}
@@ -461,15 +471,15 @@ func runQuantileTable(a *Analyzer, art *report.Artifact, filter RowFilter, paper
 	return nil
 }
 
-func runTable8(a *Analyzer, art *report.Artifact) error {
-	return runQuantileTable(a, art, a.outlierFilter(), "Table 8 (outlier-filtered)")
+func runTable8(ctx context.Context, a *Analyzer, art *report.Artifact) error {
+	return runQuantileTable(ctx, a, art, a.outlierFilter(), "Table 8 (outlier-filtered)")
 }
 
-func runTable9(a *Analyzer, art *report.Artifact) error {
-	return runQuantileTable(a, art, RowFilter{NonZeroOnly: true}, "Table 9 (all non-zero HOF rates)")
+func runTable9(ctx context.Context, a *Analyzer, art *report.Artifact) error {
+	return runQuantileTable(ctx, a, art, RowFilter{NonZeroOnly: true}, "Table 9 (all non-zero HOF rates)")
 }
 
-func runFig16(a *Analyzer, art *report.Artifact) error {
+func runFig16(ctx context.Context, a *Analyzer, art *report.Artifact) error {
 	views := []struct {
 		name   string
 		filter RowFilter
@@ -479,7 +489,7 @@ func runFig16(a *Analyzer, art *report.Artifact) error {
 		{"non-zero, outlier-filtered", a.outlierFilter()},
 	}
 	for _, v := range views {
-		rows, err := a.RegressionRows(v.filter)
+		rows, err := a.RegressionRows(ctx, v.filter)
 		if err != nil {
 			return err
 		}
@@ -509,8 +519,8 @@ func runFig16(a *Analyzer, art *report.Artifact) error {
 	return nil
 }
 
-func runFig17(a *Analyzer, art *report.Artifact) error {
-	s, err := a.Scan()
+func runFig17(ctx context.Context, a *Analyzer, art *report.Artifact) error {
+	s, err := a.Require(ctx, NeedTypes)
 	if err != nil {
 		return err
 	}
@@ -552,8 +562,8 @@ func runFig17(a *Analyzer, art *report.Artifact) error {
 	return nil
 }
 
-func runFig18(a *Analyzer, art *report.Artifact) error {
-	rows, err := a.RegressionRows(RowFilter{NonZeroOnly: true})
+func runFig18(ctx context.Context, a *Analyzer, art *report.Artifact) error {
+	rows, err := a.RegressionRows(ctx, RowFilter{NonZeroOnly: true})
 	if err != nil {
 		return err
 	}
@@ -602,8 +612,8 @@ func runFig18(a *Analyzer, art *report.Artifact) error {
 	return nil
 }
 
-func runANOVA(a *Analyzer, art *report.Artifact) error {
-	rows, err := a.RegressionRows(RowFilter{NonZeroOnly: true})
+func runANOVA(ctx context.Context, a *Analyzer, art *report.Artifact) error {
+	rows, err := a.RegressionRows(ctx, RowFilter{NonZeroOnly: true})
 	if err != nil {
 		return err
 	}

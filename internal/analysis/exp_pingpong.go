@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -17,7 +18,7 @@ import (
 // "future work" direction the related-work section implies.
 
 func init() {
-	register("pingpong", "Ping-pong handover analysis (extension, §7 related work)", "§7 (Feher'12, Zidic'23)", runPingPong)
+	register("pingpong", "Ping-pong handover analysis (extension, §7 related work)", "§7 (Feher'12, Zidic'23)", 0, runPingPong)
 }
 
 // PingPongStats summarizes ping-pong behaviour for one detection window.
@@ -40,7 +41,7 @@ func (p *PingPongStats) Rate() float64 {
 // PingPong scans the trace for A→B→A bounces completed within the window.
 // Only successful handovers advance the serving sector, matching the PP
 // definition of the prior studies.
-func (a *Analyzer) PingPong(window time.Duration) (*PingPongStats, error) {
+func (a *Analyzer) PingPong(ctx context.Context, window time.Duration) (*PingPongStats, error) {
 	type lastHO struct {
 		src, dst uint32
 		ts       int64
@@ -50,7 +51,17 @@ func (a *Analyzer) PingPong(window time.Duration) (*PingPongStats, error) {
 	out := &PingPongStats{Window: window}
 	winMs := window.Milliseconds()
 
+	// A sequential pass: the per-UE bounce state must survive day
+	// boundaries, which the per-partition collector states do not. The
+	// result is sharding-invariant anyway because ForEach's canonical
+	// partition order preserves every UE's record sequence.
+	var n int
 	err := trace.ForEach(a.DS.Store, func(_ int, rec *trace.Record) error {
+		if n++; n%8192 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		if rec.Result != trace.Success {
 			return nil
 		}
@@ -79,13 +90,13 @@ func (a *Analyzer) PingPong(window time.Duration) (*PingPongStats, error) {
 	return out, nil
 }
 
-func runPingPong(a *Analyzer, art *report.Artifact) error {
+func runPingPong(ctx context.Context, a *Analyzer, art *report.Artifact) error {
 	tbl := report.Table{
 		Title:   "Ping-pong handovers (A→B→A within window)",
 		Columns: []string{"Window", "HOs", "Ping-pongs", "Rate", "Urban rate", "Rural rate"},
 	}
 	for _, w := range []time.Duration{2 * time.Second, 10 * time.Second, time.Minute, 5 * time.Minute} {
-		s, err := a.PingPong(w)
+		s, err := a.PingPong(ctx, w)
 		if err != nil {
 			return err
 		}

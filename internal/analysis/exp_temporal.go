@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
 
 	"telcolens/internal/mobility"
@@ -9,15 +10,15 @@ import (
 )
 
 func init() {
-	register("fig7", "Temporal evolution of HOs and active sectors (urban/rural)", "Figure 7", runFig7)
-	register("fig12", "Hourly HOF counts in urban and rural areas", "Figure 12", runFig12)
+	register("fig7", "Temporal evolution of HOs and active sectors (urban/rural)", "Figure 7", NeedTemporal, runFig7)
+	register("fig12", "Hourly HOF counts in urban and rural areas", "Figure 12", NeedTemporal, runFig12)
 }
 
 // TemporalProfile returns, per 30-minute bin, the average HO count and
 // average active-sector count for one area class (0=rural, 1=urban),
 // averaged over all study days of the same day-of-week category.
-func (a *Analyzer) TemporalProfile(area int, weekend bool) (hos, active [mobility.BinsPerDay]float64, err error) {
-	s, err := a.Scan()
+func (a *Analyzer) TemporalProfile(ctx context.Context, area int, weekend bool) (hos, active [mobility.BinsPerDay]float64, err error) {
+	s, err := a.Require(ctx, NeedTemporal)
 	if err != nil {
 		return hos, active, err
 	}
@@ -41,17 +42,17 @@ func (a *Analyzer) TemporalProfile(area int, weekend bool) (hos, active [mobilit
 	return hos, active, nil
 }
 
-func runFig7(a *Analyzer, art *report.Artifact) error {
+func runFig7(ctx context.Context, a *Analyzer, art *report.Artifact) error {
 	// Weekday urban/rural HO profiles, peak-normalized like the paper.
-	urbanHOs, urbanAct, err := a.TemporalProfile(1, false)
+	urbanHOs, urbanAct, err := a.TemporalProfile(ctx, 1, false)
 	if err != nil {
 		return err
 	}
-	ruralHOs, _, err := a.TemporalProfile(0, false)
+	ruralHOs, _, err := a.TemporalProfile(ctx, 0, false)
 	if err != nil {
 		return err
 	}
-	weekendHOs, _, err := a.TemporalProfile(1, true)
+	weekendHOs, _, err := a.TemporalProfile(ctx, 1, true)
 	if err != nil {
 		return err
 	}
@@ -61,7 +62,7 @@ func runFig7(a *Analyzer, art *report.Artifact) error {
 	weekendPeak := argmax(weekendHOs[:])
 
 	// Urban share of HOs.
-	s, err := a.Scan()
+	s, err := a.Require(ctx, NeedTemporal)
 	if err != nil {
 		return err
 	}
@@ -134,9 +135,9 @@ func argmin(xs []float64) int {
 
 // HourlyHOFProfile returns the average per-hour HOF count normalized by
 // the hour's active sector count, per area class.
-func (a *Analyzer) HourlyHOFProfile(area int) ([24]float64, error) {
+func (a *Analyzer) HourlyHOFProfile(ctx context.Context, area int) ([24]float64, error) {
 	var out [24]float64
-	s, err := a.Scan()
+	s, err := a.Require(ctx, NeedTemporal)
 	if err != nil {
 		return out, err
 	}
@@ -157,12 +158,12 @@ func (a *Analyzer) HourlyHOFProfile(area int) ([24]float64, error) {
 	return out, nil
 }
 
-func runFig12(a *Analyzer, art *report.Artifact) error {
-	rural, err := a.HourlyHOFProfile(0)
+func runFig12(ctx context.Context, a *Analyzer, art *report.Artifact) error {
+	rural, err := a.HourlyHOFProfile(ctx, 0)
 	if err != nil {
 		return err
 	}
-	urban, err := a.HourlyHOFProfile(1)
+	urban, err := a.HourlyHOFProfile(ctx, 1)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -8,12 +9,16 @@ import (
 	"telcolens/internal/report"
 )
 
-// Experiment regenerates one paper table or figure from a dataset.
+// Experiment regenerates one paper table or figure from a dataset. Needs
+// declares the scan-state units the experiment consumes; Run computes
+// exactly those (in one fused parallel pass when several are missing)
+// before invoking the body.
 type Experiment struct {
 	ID       string
 	Title    string
 	PaperRef string
-	Run      func(a *Analyzer) (*report.Artifact, error)
+	Needs    Need
+	Run      func(ctx context.Context, a *Analyzer) (*report.Artifact, error)
 }
 
 var (
@@ -22,8 +27,8 @@ var (
 )
 
 // register wires an experiment body into the registry; the body receives a
-// pre-labelled artifact to fill.
-func register(id, title, paperRef string, run func(a *Analyzer, art *report.Artifact) error) {
+// pre-labelled artifact to fill and may assume its Needs are computed.
+func register(id, title, paperRef string, needs Need, run func(ctx context.Context, a *Analyzer, art *report.Artifact) error) {
 	if _, dup := byID[id]; dup {
 		panic("analysis: duplicate experiment id " + id)
 	}
@@ -31,9 +36,15 @@ func register(id, title, paperRef string, run func(a *Analyzer, art *report.Arti
 		ID:       id,
 		Title:    title,
 		PaperRef: paperRef,
-		Run: func(a *Analyzer) (*report.Artifact, error) {
+		Needs:    needs,
+		Run: func(ctx context.Context, a *Analyzer) (*report.Artifact, error) {
+			if needs != 0 {
+				if _, err := a.Require(ctx, needs); err != nil {
+					return nil, err
+				}
+			}
 			art := &report.Artifact{ID: id, Title: title, PaperRef: paperRef}
-			if err := run(a, art); err != nil {
+			if err := run(ctx, a, art); err != nil {
 				return nil, err
 			}
 			return art, nil
@@ -71,10 +82,20 @@ func IDs() []string {
 }
 
 // RunAll executes every experiment against the analyzer, rendering each
-// artifact to w.
-func RunAll(a *Analyzer, w io.Writer) error {
+// artifact to w. The first scan computes the union of every experiment's
+// needs in one fused pass, so the whole report costs a single trace read.
+func RunAll(ctx context.Context, a *Analyzer, w io.Writer) error {
+	var union Need
 	for _, e := range registry {
-		art, err := e.Run(a)
+		union |= e.Needs
+	}
+	if union != 0 {
+		if _, err := a.Require(ctx, union); err != nil {
+			return fmt.Errorf("analysis: scanning: %w", err)
+		}
+	}
+	for _, e := range registry {
+		art, err := e.Run(ctx, a)
 		if err != nil {
 			return fmt.Errorf("analysis: experiment %s: %w", e.ID, err)
 		}

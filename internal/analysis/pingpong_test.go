@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"testing"
 	"time"
 )
@@ -9,7 +10,7 @@ func TestPingPongMonotoneInWindow(t *testing.T) {
 	a := shared(t)
 	var prev int64 = -1
 	for _, w := range []time.Duration{time.Second, 30 * time.Second, 5 * time.Minute} {
-		s, err := a.PingPong(w)
+		s, err := a.PingPong(context.Background(), w)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -27,7 +28,7 @@ func TestPingPongDetectsBounces(t *testing.T) {
 	a := shared(t)
 	// Local random walks bounce between neighbor sites regularly: at a
 	// 5-minute window the PP rate should be visible but far from total.
-	s, err := a.PingPong(5 * time.Minute)
+	s, err := a.PingPong(context.Background(), 5*time.Minute)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -33,8 +34,8 @@ type DistrictProfile struct {
 }
 
 // DistrictProfile builds the summary for one district.
-func (a *Analyzer) DistrictProfile(id int) (*DistrictProfile, error) {
-	s, err := a.Scan()
+func (a *Analyzer) DistrictProfile(ctx context.Context, id int) (*DistrictProfile, error) {
+	s, err := a.Require(ctx, NeedDistricts|NeedUEDay)
 	if err != nil {
 		return nil, err
 	}
@@ -42,7 +43,7 @@ func (a *Analyzer) DistrictProfile(id int) (*DistrictProfile, error) {
 	if d == nil {
 		return nil, fmt.Errorf("analysis: unknown district %d", id)
 	}
-	homeCounts, _, err := a.HomeDetection(a.DefaultMinNights())
+	homeCounts, _, err := a.HomeDetection(ctx, a.DefaultMinNights())
 	if err != nil {
 		return nil, err
 	}
@@ -84,8 +85,8 @@ type LegacyDependence struct {
 
 // RankLegacyDependence returns the top-n districts by vertical-HO share
 // (districts with fewer than minHOs handovers are skipped as noise).
-func (a *Analyzer) RankLegacyDependence(n int, minHOs int64) ([]LegacyDependence, error) {
-	s, err := a.Scan()
+func (a *Analyzer) RankLegacyDependence(ctx context.Context, n int, minHOs int64) ([]LegacyDependence, error) {
+	s, err := a.Require(ctx, NeedDistricts)
 	if err != nil {
 		return nil, err
 	}

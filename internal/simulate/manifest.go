@@ -38,6 +38,7 @@ type manifestConfig struct {
 	RareBoost      float64 `json:"rare_boost"`
 	LongTailCauses int     `json:"long_tail_causes"`
 	FullScaleUEs   int     `json:"full_scale_ues"`
+	Shards         int     `json:"shards,omitempty"`
 }
 
 // SaveManifest writes the campaign descriptor into dir.
@@ -53,6 +54,7 @@ func (d *Dataset) SaveManifest(dir string) error {
 			RareBoost:      d.Config.RareBoost,
 			LongTailCauses: d.Config.LongTailCauses,
 			FullScaleUEs:   d.Config.FullScaleUEs,
+			Shards:         d.Config.Shards,
 		},
 		DayStats: d.DayStats,
 	}
@@ -87,6 +89,7 @@ func Load(dir string) (*Dataset, error) {
 		RareBoost:      m.Config.RareBoost,
 		LongTailCauses: m.Config.LongTailCauses,
 		FullScaleUEs:   m.Config.FullScaleUEs,
+		Shards:         m.Config.Shards,
 	}
 
 	censusCfg := census.DefaultGenConfig(cfg.Seed)

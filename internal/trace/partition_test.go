@@ -1,0 +1,270 @@
+package trace
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func partitionRoundTrip(t *testing.T, s Store) {
+	t.Helper()
+	// Two days, three shards each.
+	for day := 0; day < 2; day++ {
+		for shard := 0; shard < 3; shard++ {
+			w, err := s.AppendPartition(day, shard)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 10*(shard+1); i++ {
+				rec := sampleRecord()
+				rec.UE = UEID(shard*1000 + i)
+				if err := w.Write(&rec); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	parts, err := s.Partitions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Partition{{0, 0}, {0, 1}, {0, 2}, {1, 0}, {1, 1}, {1, 2}}
+	if len(parts) != len(want) {
+		t.Fatalf("partitions = %v", parts)
+	}
+	for i := range want {
+		if parts[i] != want[i] {
+			t.Fatalf("partitions[%d] = %v, want %v", i, parts[i], want[i])
+		}
+	}
+	days, err := s.Days()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(days) != 2 || days[0] != 0 || days[1] != 1 {
+		t.Fatalf("days = %v", days)
+	}
+	// OpenDay chains shards: each day holds 10+20+30 records.
+	it, err := s.OpenDay(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec Record
+	n := 0
+	for {
+		ok, err := it.Next(&rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		n++
+	}
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 60 {
+		t.Fatalf("day 0 chained %d records, want 60", n)
+	}
+	total, err := Count(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 120 {
+		t.Fatalf("count = %d, want 120", total)
+	}
+	// Double-write and missing-partition rejection.
+	if _, err := s.AppendPartition(0, 1); err == nil {
+		t.Fatal("rewriting partition accepted")
+	}
+	if _, err := s.OpenPartition(0, 9); err == nil {
+		t.Fatal("missing shard opened")
+	}
+	if _, err := s.OpenDay(7); err == nil {
+		t.Fatal("missing day opened")
+	}
+}
+
+func TestMemStorePartitions(t *testing.T) { partitionRoundTrip(t, NewMemStore()) }
+
+func TestFileStorePartitions(t *testing.T) {
+	fs, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	partitionRoundTrip(t, fs)
+}
+
+func TestFileStoreStrictNameParsing(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := fs.AppendPartition(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := sampleRecord()
+	if err := w.Write(&rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w, err = fs.AppendPartition(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	// Droppings that the old Sscanf-based parser accepted as day 1.
+	for _, name := range []string{
+		"ho_day_001.tlho.tmp",
+		"ho_day_001.tlho.bak",
+		"ho_day_001.tlhoX",
+		"ho_day_0010.tlho",
+		"ho_day_01.tlho",
+		"xho_day_001.tlho",
+		"ho_day_001_s002.tlho.tmp",
+		"ho_day_001_s0002.tlho",
+		"ho_day_001_s000.tlho", // shard 0 is always the bare day file
+		"census.csv",
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("junk"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	parts, err := fs.Partitions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 2 || parts[0] != (Partition{1, 0}) || parts[1] != (Partition{1, 2}) {
+		t.Fatalf("partitions = %v, want [{1 0} {1 2}]", parts)
+	}
+	days, err := fs.Days()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(days) != 1 || days[0] != 1 {
+		t.Fatalf("days = %v, want [1]", days)
+	}
+}
+
+func TestParsePartitionName(t *testing.T) {
+	cases := []struct {
+		name string
+		want Partition
+		ok   bool
+	}{
+		{"ho_day_000.tlho", Partition{0, 0}, true},
+		{"ho_day_027.tlho", Partition{27, 0}, true},
+		{"ho_day_003_s001.tlho", Partition{3, 1}, true},
+		{"ho_day_003_s127.tlho", Partition{3, 127}, true},
+		{"ho_day_003_s000.tlho", Partition{}, false},
+		{"ho_day_3.tlho", Partition{}, false},
+		{"ho_day_003.tlho.tmp", Partition{}, false},
+		{"ho_day_003_s01.tlho", Partition{}, false},
+		{"", Partition{}, false},
+	}
+	for _, c := range cases {
+		got, ok := parsePartitionName(c.name)
+		if ok != c.ok || got != c.want {
+			t.Errorf("parsePartitionName(%q) = %v, %v; want %v, %v", c.name, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestFileStoreShardRange(t *testing.T) {
+	fs, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.AppendPartition(0, -1); err == nil {
+		t.Fatal("negative shard accepted")
+	}
+	if _, err := fs.AppendPartition(0, 1000); err == nil {
+		t.Fatal("shard 1000 accepted")
+	}
+}
+
+func TestForEachPropagatesCallbackError(t *testing.T) {
+	s := buildShardedStore(t, 2, 10, 2)
+	sentinel := errors.New("stop here")
+	calls := 0
+	err := ForEach(s, func(day int, rec *Record) error {
+		calls++
+		if calls == 5 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	if calls != 5 {
+		t.Fatalf("callback ran %d times after error", calls)
+	}
+}
+
+func TestForEachClosesIteratorsOnError(t *testing.T) {
+	es := &errStore{}
+	w, err := es.MemStore.AppendPartition(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		rec := sampleRecord()
+		if err := w.Write(&rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ForEach(es, func(int, *Record) error { return nil }); err == nil {
+		t.Fatal("iterator error not propagated")
+	}
+	if es.opened == 0 || es.opened != es.closed {
+		t.Fatalf("iterator leak: opened %d, closed %d", es.opened, es.closed)
+	}
+}
+
+func TestChainIteratorSurfacesOpenError(t *testing.T) {
+	// A day listed in Partitions but whose shard cannot be opened must
+	// surface the error from Next, not panic.
+	fs, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := fs.AppendPartition(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := sampleRecord()
+	if err := w.Write(&rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	it, err := fs.OpenDay(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	// Corrupt the file out from under the chained iterator.
+	if err := os.Remove(filepath.Join(fs.Dir(), "ho_day_000.tlho")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := it.Next(&rec); err == nil {
+		t.Fatal("open failure not surfaced")
+	}
+}
+

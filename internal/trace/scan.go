@@ -1,0 +1,201 @@
+package trace
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// The composable scan engine: a Collector accumulates one analysis's
+// state from the trace. Scan fans a worker pool out over the store's
+// partitions, gives every (collector, partition) pair its own ShardState,
+// and folds the states back in canonical partition order, so the result
+// is bit-for-bit independent of worker scheduling.
+
+// ShardState accumulates one collector's view of a single partition.
+// Observe is called once per record, in the partition's storage order,
+// from exactly one goroutine.
+type ShardState interface {
+	Observe(day int, rec *Record) error
+}
+
+// Collector builds per-partition states and folds them. NewShardState may
+// be called from any goroutine; MergeShard is called exactly once per
+// partition, sequentially, in canonical (day, shard) order.
+type Collector interface {
+	NewShardState(day, shard int) ShardState
+	MergeShard(s ShardState) error
+}
+
+// ScanOptions tunes a Scan.
+type ScanOptions struct {
+	// Parallelism bounds the number of partitions read concurrently;
+	// 0 means GOMAXPROCS.
+	Parallelism int
+	// Progress, if set, is invoked after each partition is merged with
+	// the number of merged partitions and the total.
+	Progress func(done, total int)
+}
+
+// checkEvery is how many records a scan worker processes between context
+// cancellation checks.
+const checkEvery = 8192
+
+// Scan streams every partition of the store through all collectors. Each
+// partition is read once; records are observed in storage order within a
+// partition, and per-partition states are merged in canonical order, so
+// the outcome is deterministic for any parallelism level.
+func Scan(ctx context.Context, s Store, opts ScanOptions, collectors ...Collector) error {
+	if len(collectors) == 0 {
+		return fmt.Errorf("trace: scan without collectors")
+	}
+	parts, err := s.Partitions()
+	if err != nil {
+		return err
+	}
+	if len(parts) == 0 {
+		return nil
+	}
+	sort.Slice(parts, func(i, j int) bool { return parts[i].Less(parts[j]) })
+
+	workers := opts.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(parts) {
+		workers = len(parts)
+	}
+
+	// Workers pull partition indices in order; each completed partition's
+	// states land in pending[i]. A single merge goroutine folds completed
+	// partitions strictly in index order and releases their memory, so at
+	// most O(workers) partition states are live at once in the common
+	// case of roughly in-order completion.
+	type partStates struct {
+		states []ShardState
+	}
+	var (
+		idxCh   = make(chan int)
+		doneCh  = make(chan int, len(parts))
+		pending = make([]*partStates, len(parts))
+		pendMu  sync.Mutex
+		wg      sync.WaitGroup
+		errMu   sync.Mutex
+		scanErr error
+	)
+	scanCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	fail := func(err error) {
+		errMu.Lock()
+		if scanErr == nil {
+			scanErr = err
+			cancel()
+		}
+		errMu.Unlock()
+	}
+	getErr := func() error {
+		errMu.Lock()
+		defer errMu.Unlock()
+		return scanErr
+	}
+
+	scanPartition := func(i int) error {
+		p := parts[i]
+		states := make([]ShardState, len(collectors))
+		for c, col := range collectors {
+			states[c] = col.NewShardState(p.Day, p.Shard)
+		}
+		it, err := s.OpenPartition(p.Day, p.Shard)
+		if err != nil {
+			return err
+		}
+		defer it.Close()
+		var rec Record
+		for n := 0; ; n++ {
+			if n%checkEvery == 0 {
+				if err := scanCtx.Err(); err != nil {
+					return err
+				}
+			}
+			ok, err := it.Next(&rec)
+			if err != nil {
+				return fmt.Errorf("trace: day %d shard %d: %w", p.Day, p.Shard, err)
+			}
+			if !ok {
+				break
+			}
+			for _, st := range states {
+				if err := st.Observe(p.Day, &rec); err != nil {
+					return fmt.Errorf("trace: day %d shard %d: %w", p.Day, p.Shard, err)
+				}
+			}
+		}
+		pendMu.Lock()
+		pending[i] = &partStates{states: states}
+		pendMu.Unlock()
+		return nil
+	}
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				if scanCtx.Err() != nil {
+					doneCh <- i
+					continue
+				}
+				if err := scanPartition(i); err != nil {
+					fail(err)
+				}
+				doneCh <- i
+			}
+		}()
+	}
+
+	// The producer always dispatches every index: canceled workers ack
+	// each one without scanning, so the merge loop's completion count
+	// converges even on failure.
+	go func() {
+		defer close(idxCh)
+		for i := range parts {
+			idxCh <- i
+		}
+	}()
+
+	// Merge loop: fold partitions in index order as they complete.
+	next := 0
+	merged := 0
+	for completed := 0; completed < len(parts); completed++ {
+		<-doneCh
+		for next < len(parts) && getErr() == nil {
+			pendMu.Lock()
+			ps := pending[next]
+			pendMu.Unlock()
+			if ps == nil {
+				break
+			}
+			for c, col := range collectors {
+				if err := col.MergeShard(ps.states[c]); err != nil {
+					fail(err)
+					break
+				}
+			}
+			pendMu.Lock()
+			pending[next] = nil
+			pendMu.Unlock()
+			next++
+			merged++
+			if opts.Progress != nil && getErr() == nil {
+				opts.Progress(merged, len(parts))
+			}
+		}
+	}
+	wg.Wait()
+	if err := getErr(); err != nil {
+		return err
+	}
+	return ctx.Err()
+}

@@ -1,0 +1,297 @@
+package trace
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// buildShardedStore writes records for nUEs over days, hash-partitioned
+// into the given shard count, with deterministic content.
+func buildShardedStore(t testing.TB, days, nUEs, shards int) *MemStore {
+	t.Helper()
+	s := NewMemStore()
+	for day := 0; day < days; day++ {
+		writers := make([]RecordWriter, shards)
+		for sh := 0; sh < shards; sh++ {
+			w, err := s.AppendPartition(day, sh)
+			if err != nil {
+				t.Fatal(err)
+			}
+			writers[sh] = w
+		}
+		// Timestamp-ordered within the day; bucketed by UE hash.
+		for i := 0; i < nUEs*4; i++ {
+			ue := UEID(i % nUEs)
+			rec := sampleRecord()
+			rec.UE = ue
+			rec.Timestamp = DayStart(day).UnixMilli() + int64(i)*1000
+			if err := writers[ShardOf(ue, shards)].Write(&rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, w := range writers {
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return s
+}
+
+// countingCollector counts records and day-weighted sums; both are exact
+// integers, so any scan schedule must agree.
+type countingCollector struct {
+	total   int64
+	daySum  int64
+	merges  []Partition // order of MergeShard calls
+	mergeMu sync.Mutex
+}
+
+type countingShard struct {
+	part  Partition
+	count int64
+	dsum  int64
+}
+
+func (c *countingCollector) NewShardState(day, shard int) ShardState {
+	return &countingShard{part: Partition{Day: day, Shard: shard}}
+}
+
+func (s *countingShard) Observe(day int, rec *Record) error {
+	s.count++
+	s.dsum += int64(day)*1_000_003 + int64(rec.UE)
+	return nil
+}
+
+func (c *countingCollector) MergeShard(st ShardState) error {
+	s := st.(*countingShard)
+	c.mergeMu.Lock()
+	c.merges = append(c.merges, s.part)
+	c.mergeMu.Unlock()
+	c.total += s.count
+	c.daySum += s.dsum
+	return nil
+}
+
+func TestScanMatchesSequentialForEach(t *testing.T) {
+	for _, shards := range []int{1, 4, 7} {
+		s := buildShardedStore(t, 3, 50, shards)
+		want := &countingCollector{}
+		if err := Scan(context.Background(), s, ScanOptions{Parallelism: 1}, want); err != nil {
+			t.Fatal(err)
+		}
+		for _, par := range []int{2, 4, 16} {
+			got := &countingCollector{}
+			if err := Scan(context.Background(), s, ScanOptions{Parallelism: par}, got); err != nil {
+				t.Fatal(err)
+			}
+			if got.total != want.total || got.daySum != want.daySum {
+				t.Fatalf("shards=%d parallelism=%d: got (%d, %d), want (%d, %d)",
+					shards, par, got.total, got.daySum, want.total, want.daySum)
+			}
+		}
+	}
+}
+
+func TestScanMergesInCanonicalOrder(t *testing.T) {
+	s := buildShardedStore(t, 4, 30, 5)
+	c := &countingCollector{}
+	if err := Scan(context.Background(), s, ScanOptions{Parallelism: 8}, c); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.merges) != 20 {
+		t.Fatalf("merged %d partitions, want 20", len(c.merges))
+	}
+	for i := 1; i < len(c.merges); i++ {
+		if !c.merges[i-1].Less(c.merges[i]) {
+			t.Fatalf("merge order not canonical at %d: %v then %v", i, c.merges[i-1], c.merges[i])
+		}
+	}
+}
+
+func TestScanProgress(t *testing.T) {
+	s := buildShardedStore(t, 2, 20, 3)
+	var events []int
+	opts := ScanOptions{Parallelism: 2, Progress: func(done, total int) {
+		if total != 6 {
+			t.Fatalf("total = %d, want 6", total)
+		}
+		events = append(events, done)
+	}}
+	if err := Scan(context.Background(), s, opts, &countingCollector{}); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 6 || events[0] != 1 || events[5] != 6 {
+		t.Fatalf("progress events = %v", events)
+	}
+}
+
+type failingCollector struct {
+	countingCollector
+	failObserveAt int64 // fail Observe after N records (0 = never)
+	failMerge     bool
+}
+
+var errBoom = errors.New("boom")
+
+type failingShard struct {
+	c     *failingCollector
+	inner ShardState
+	seen  int64
+}
+
+func (c *failingCollector) NewShardState(day, shard int) ShardState {
+	return &failingShard{c: c, inner: c.countingCollector.NewShardState(day, shard)}
+}
+
+func (s *failingShard) Observe(day int, rec *Record) error {
+	s.seen++
+	if s.c.failObserveAt > 0 && s.seen >= s.c.failObserveAt {
+		return errBoom
+	}
+	return s.inner.Observe(day, rec)
+}
+
+func (c *failingCollector) MergeShard(st ShardState) error {
+	if c.failMerge {
+		return errBoom
+	}
+	return c.countingCollector.MergeShard(st.(*failingShard).inner)
+}
+
+func TestScanPropagatesObserveError(t *testing.T) {
+	s := buildShardedStore(t, 2, 20, 4)
+	c := &failingCollector{failObserveAt: 5}
+	err := Scan(context.Background(), s, ScanOptions{Parallelism: 4}, c)
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("err = %v, want errBoom", err)
+	}
+}
+
+func TestScanPropagatesMergeError(t *testing.T) {
+	s := buildShardedStore(t, 2, 20, 4)
+	c := &failingCollector{failMerge: true}
+	err := Scan(context.Background(), s, ScanOptions{Parallelism: 4}, c)
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("err = %v, want errBoom", err)
+	}
+}
+
+func TestScanCanceledContext(t *testing.T) {
+	s := buildShardedStore(t, 3, 50, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := Scan(ctx, s, ScanOptions{Parallelism: 4}, &countingCollector{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestScanWithoutCollectors(t *testing.T) {
+	s := buildShardedStore(t, 1, 5, 1)
+	if err := Scan(context.Background(), s, ScanOptions{}); err == nil {
+		t.Fatal("collector-less scan accepted")
+	}
+}
+
+func TestScanEmptyStore(t *testing.T) {
+	if err := Scan(context.Background(), NewMemStore(), ScanOptions{}, &countingCollector{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShardOfStableAndBounded(t *testing.T) {
+	for _, shards := range []int{1, 2, 8, 13} {
+		counts := make([]int, shards)
+		for ue := 0; ue < 10000; ue++ {
+			sh := ShardOf(UEID(ue), shards)
+			if sh < 0 || sh >= shards {
+				t.Fatalf("ShardOf(%d, %d) = %d out of range", ue, shards, sh)
+			}
+			if sh != ShardOf(UEID(ue), shards) {
+				t.Fatal("ShardOf not deterministic")
+			}
+			counts[sh]++
+		}
+		// Hash partitioning should be roughly balanced.
+		for sh, n := range counts {
+			want := 10000 / shards
+			if n < want/2 || n > want*2 {
+				t.Fatalf("shard %d/%d holds %d of 10000 UEs (want ≈%d)", sh, shards, n, want)
+			}
+		}
+	}
+}
+
+// errIterator fails after a few records; its store tracks Close calls so
+// the test can assert no iterator leaks on the error path.
+type errStore struct {
+	MemStore
+	mu     sync.Mutex
+	opened int
+	closed int
+}
+
+func (e *errStore) OpenPartition(day, shard int) (RecordIterator, error) {
+	it, err := e.MemStore.OpenPartition(day, shard)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	e.opened++
+	e.mu.Unlock()
+	return &errIterator{store: e, inner: it}, nil
+}
+
+type errIterator struct {
+	store *errStore
+	inner RecordIterator
+	n     int
+}
+
+func (it *errIterator) Next(rec *Record) (bool, error) {
+	it.n++
+	if it.n > 3 {
+		return false, fmt.Errorf("disk gremlin")
+	}
+	return it.inner.Next(rec)
+}
+
+func (it *errIterator) Close() error {
+	it.store.mu.Lock()
+	it.store.closed++
+	it.store.mu.Unlock()
+	return it.inner.Close()
+}
+
+func TestScanClosesIteratorsOnReadError(t *testing.T) {
+	es := &errStore{}
+	for day := 0; day < 2; day++ {
+		w, err := es.MemStore.AppendPartition(day, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 10; i++ {
+			rec := sampleRecord()
+			rec.Timestamp = DayStart(day).UnixMilli() + int64(i)
+			if err := w.Write(&rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err := Scan(context.Background(), es, ScanOptions{Parallelism: 2}, &countingCollector{})
+	if err == nil {
+		t.Fatal("read error not propagated")
+	}
+	es.mu.Lock()
+	defer es.mu.Unlock()
+	if es.opened == 0 || es.opened != es.closed {
+		t.Fatalf("iterator leak: opened %d, closed %d", es.opened, es.closed)
+	}
+}

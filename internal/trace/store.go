@@ -5,44 +5,99 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"regexp"
 	"sort"
+	"strconv"
 	"sync"
 )
 
-// A Store holds day-partitioned handover traces (the paper's pipeline
-// lands one multi-terabyte capture per day; ours land one stream per day).
+// A Partition identifies one trace partition: a study day split into
+// hash-sharded sub-streams. Shard 0 of an unsharded store is the whole
+// day (the paper's pipeline lands one multi-terabyte capture per day;
+// sharding by UE lets the analysis fan out over cores and machines).
+type Partition struct {
+	Day   int
+	Shard int
+}
+
+// Less orders partitions by (day, shard), the canonical scan order.
+func (p Partition) Less(q Partition) bool {
+	if p.Day != q.Day {
+		return p.Day < q.Day
+	}
+	return p.Shard < q.Shard
+}
+
+// A Store holds (day, shard)-partitioned handover traces.
 //
-// AppendDay returns a writer for a day's partition; OpenDay returns an
-// iterator over it. A day may only be written once and must be closed
-// before it is read.
+// AppendPartition returns a writer for one partition; OpenPartition
+// returns an iterator over it. A partition may only be written once and
+// must be closed before it is read. Partitions lists finished partitions
+// in canonical (day, shard) order.
+//
+// The day-level methods are the single-shard degenerate case kept for
+// writers that do not shard: AppendDay(d) is AppendPartition(d, 0), and
+// OpenDay(d) iterates every shard of the day in shard order.
 type Store interface {
+	AppendPartition(day, shard int) (RecordWriter, error)
+	OpenPartition(day, shard int) (RecordIterator, error)
+	Partitions() ([]Partition, error)
+
 	AppendDay(day int) (RecordWriter, error)
 	OpenDay(day int) (RecordIterator, error)
 	Days() ([]int, error)
 }
 
-// RecordWriter receives records for one day partition.
+// RecordWriter receives records for one partition.
 type RecordWriter interface {
 	Write(*Record) error
 	Close() error
 }
 
-// RecordIterator streams records from one day partition. Next fills the
+// RecordIterator streams records from one partition. Next fills the
 // caller's Record and reports false at end of stream.
 type RecordIterator interface {
 	Next(*Record) (bool, error)
 	Close() error
 }
 
-// ForEach streams every record of every day (ascending) through fn.
+// ShardOf maps a UE to its shard via a 64-bit finalizer hash, so every
+// record of a UE lands in the same shard on every day. Partitioning by UE
+// keeps per-UE analyses (mobility, gyration, ping-pong) shard-local.
+func ShardOf(ue UEID, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	x := uint64(ue)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return int(x % uint64(shards))
+}
+
+// daysOf reduces a partition list to its distinct days, ascending.
+func daysOf(parts []Partition) []int {
+	var days []int
+	for _, p := range parts {
+		if len(days) == 0 || days[len(days)-1] != p.Day {
+			days = append(days, p.Day)
+		}
+	}
+	return days
+}
+
+// ForEach streams every record of every partition in canonical
+// (day, shard) order through fn.
 func ForEach(s Store, fn func(day int, rec *Record) error) error {
-	days, err := s.Days()
+	parts, err := s.Partitions()
 	if err != nil {
 		return err
 	}
 	var rec Record
-	for _, day := range days {
-		it, err := s.OpenDay(day)
+	for _, p := range parts {
+		it, err := s.OpenPartition(p.Day, p.Shard)
 		if err != nil {
 			return err
 		}
@@ -55,7 +110,7 @@ func ForEach(s Store, fn func(day int, rec *Record) error) error {
 			if !ok {
 				break
 			}
-			if err := fn(day, &rec); err != nil {
+			if err := fn(p.Day, &rec); err != nil {
 				it.Close()
 				return err
 			}
@@ -74,74 +129,164 @@ func Count(s Store) (int64, error) {
 	return n, err
 }
 
-// MemStore keeps day partitions in memory. The zero value is ready to use.
+// chainIterator concatenates the shards of one day behind the day-level
+// OpenDay API.
+type chainIterator struct {
+	store  Store
+	parts  []Partition
+	cur    RecordIterator
+	closed bool
+}
+
+func (c *chainIterator) Next(rec *Record) (bool, error) {
+	for {
+		if c.cur == nil {
+			if len(c.parts) == 0 {
+				return false, nil
+			}
+			it, err := c.store.OpenPartition(c.parts[0].Day, c.parts[0].Shard)
+			if err != nil {
+				return false, err
+			}
+			c.cur = it
+			c.parts = c.parts[1:]
+		}
+		ok, err := c.cur.Next(rec)
+		if err != nil {
+			c.cur.Close()
+			c.cur = nil
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+		if err := c.cur.Close(); err != nil {
+			c.cur = nil
+			return false, err
+		}
+		c.cur = nil
+	}
+}
+
+func (c *chainIterator) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	if c.cur != nil {
+		err := c.cur.Close()
+		c.cur = nil
+		return err
+	}
+	return nil
+}
+
+// openDay builds the day-level chained iterator shared by both stores.
+func openDay(s Store, day int) (RecordIterator, error) {
+	parts, err := s.Partitions()
+	if err != nil {
+		return nil, err
+	}
+	var dayParts []Partition
+	for _, p := range parts {
+		if p.Day == day {
+			dayParts = append(dayParts, p)
+		}
+	}
+	if len(dayParts) == 0 {
+		return nil, fmt.Errorf("trace: day %d not present", day)
+	}
+	return &chainIterator{store: s, parts: dayParts}, nil
+}
+
+// MemStore keeps partitions in memory. The zero value is ready to use.
 type MemStore struct {
-	mu   sync.Mutex
-	days map[int][]Record
-	open map[int]bool
+	mu    sync.Mutex
+	parts map[Partition][]Record
+	open  map[Partition]bool
 }
 
 // NewMemStore returns an empty in-memory store.
 func NewMemStore() *MemStore {
-	return &MemStore{days: make(map[int][]Record), open: make(map[int]bool)}
+	return &MemStore{parts: make(map[Partition][]Record), open: make(map[Partition]bool)}
 }
 
-// AppendDay starts a new day partition.
-func (m *MemStore) AppendDay(day int) (RecordWriter, error) {
+// AppendPartition starts a new partition.
+func (m *MemStore) AppendPartition(day, shard int) (RecordWriter, error) {
+	if shard < 0 {
+		return nil, fmt.Errorf("trace: negative shard %d", shard)
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if m.days == nil {
-		m.days = make(map[int][]Record)
-		m.open = make(map[int]bool)
+	if m.parts == nil {
+		m.parts = make(map[Partition][]Record)
+		m.open = make(map[Partition]bool)
 	}
-	if _, exists := m.days[day]; exists {
-		return nil, fmt.Errorf("trace: day %d already written", day)
+	p := Partition{Day: day, Shard: shard}
+	if _, exists := m.parts[p]; exists {
+		return nil, fmt.Errorf("trace: partition day %d shard %d already written", day, shard)
 	}
-	m.days[day] = nil
-	m.open[day] = true
-	return &memWriter{store: m, day: day}, nil
+	m.parts[p] = nil
+	m.open[p] = true
+	return &memWriter{store: m, part: p}, nil
 }
 
-// OpenDay iterates a closed day partition.
-func (m *MemStore) OpenDay(day int) (RecordIterator, error) {
+// OpenPartition iterates a closed partition.
+func (m *MemStore) OpenPartition(day, shard int) (RecordIterator, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	recs, ok := m.days[day]
+	p := Partition{Day: day, Shard: shard}
+	recs, ok := m.parts[p]
 	if !ok {
-		return nil, fmt.Errorf("trace: day %d not present", day)
+		return nil, fmt.Errorf("trace: partition day %d shard %d not present", day, shard)
 	}
-	if m.open[day] {
-		return nil, fmt.Errorf("trace: day %d still open for writing", day)
+	if m.open[p] {
+		return nil, fmt.Errorf("trace: partition day %d shard %d still open for writing", day, shard)
 	}
 	return &memIterator{recs: recs}, nil
 }
 
-// Days lists finished day partitions in ascending order.
-func (m *MemStore) Days() ([]int, error) {
+// Partitions lists finished partitions in canonical order.
+func (m *MemStore) Partitions() ([]Partition, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	var days []int
-	for d := range m.days {
-		if !m.open[d] {
-			days = append(days, d)
+	var parts []Partition
+	for p := range m.parts {
+		if !m.open[p] {
+			parts = append(parts, p)
 		}
 	}
-	sort.Ints(days)
-	return days, nil
+	sort.Slice(parts, func(i, j int) bool { return parts[i].Less(parts[j]) })
+	return parts, nil
+}
+
+// AppendDay starts the single-shard partition of a day.
+func (m *MemStore) AppendDay(day int) (RecordWriter, error) { return m.AppendPartition(day, 0) }
+
+// OpenDay iterates every shard of a day in shard order.
+func (m *MemStore) OpenDay(day int) (RecordIterator, error) { return openDay(m, day) }
+
+// Days lists the distinct finished days in ascending order.
+func (m *MemStore) Days() ([]int, error) {
+	parts, err := m.Partitions()
+	if err != nil {
+		return nil, err
+	}
+	return daysOf(parts), nil
 }
 
 type memWriter struct {
 	store  *MemStore
-	day    int
+	part   Partition
 	closed bool
 }
 
 func (w *memWriter) Write(rec *Record) error {
 	if w.closed {
-		return fmt.Errorf("trace: write to closed day %d", w.day)
+		return fmt.Errorf("trace: write to closed partition day %d shard %d", w.part.Day, w.part.Shard)
 	}
 	w.store.mu.Lock()
-	w.store.days[w.day] = append(w.store.days[w.day], *rec)
+	w.store.parts[w.part] = append(w.store.parts[w.part], *rec)
 	w.store.mu.Unlock()
 	return nil
 }
@@ -152,7 +297,7 @@ func (w *memWriter) Close() error {
 	}
 	w.closed = true
 	w.store.mu.Lock()
-	w.store.open[w.day] = false
+	w.store.open[w.part] = false
 	w.store.mu.Unlock()
 	return nil
 }
@@ -173,7 +318,9 @@ func (it *memIterator) Next(rec *Record) (bool, error) {
 
 func (it *memIterator) Close() error { return nil }
 
-// FileStore persists day partitions as binary trace files in a directory.
+// FileStore persists partitions as binary trace files in a directory.
+// Shard 0 keeps the legacy day-file name so unsharded campaign
+// directories stay readable and byte-compatible with earlier layouts.
 type FileStore struct {
 	dir string
 }
@@ -189,19 +336,52 @@ func NewFileStore(dir string) (*FileStore, error) {
 // Dir returns the backing directory.
 func (f *FileStore) Dir() string { return f.dir }
 
-func (f *FileStore) dayPath(day int) string {
-	return filepath.Join(f.dir, fmt.Sprintf("ho_day_%03d.tlho", day))
+func (f *FileStore) partitionPath(day, shard int) string {
+	if shard == 0 {
+		return filepath.Join(f.dir, fmt.Sprintf("ho_day_%03d.tlho", day))
+	}
+	return filepath.Join(f.dir, fmt.Sprintf("ho_day_%03d_s%03d.tlho", day, shard))
 }
 
-// AppendDay starts a new day partition file.
-func (f *FileStore) AppendDay(day int) (RecordWriter, error) {
-	path := f.dayPath(day)
-	if _, err := os.Stat(path); err == nil {
-		return nil, fmt.Errorf("trace: day %d already written (%s)", day, path)
+// partitionNameRE matches exactly the two partition file layouts; anything
+// else (tmp files, backups, editor droppings) is not a partition. Sscanf
+// parsing accepted trailing garbage like "ho_day_001.tlho.bak".
+var partitionNameRE = regexp.MustCompile(`^ho_day_(\d{3})(?:_s(\d{3}))?\.tlho$`)
+
+// parsePartitionName resolves a directory entry to its partition, strictly.
+func parsePartitionName(name string) (Partition, bool) {
+	m := partitionNameRE.FindStringSubmatch(name)
+	if m == nil {
+		return Partition{}, false
 	}
+	day, err := strconv.Atoi(m[1])
+	if err != nil {
+		return Partition{}, false
+	}
+	shard := 0
+	if m[2] != "" {
+		shard, err = strconv.Atoi(m[2])
+		if err != nil || shard == 0 {
+			// Shard 0 is always the bare day file; an explicit _s000
+			// suffix is not a name this store ever writes.
+			return Partition{}, false
+		}
+	}
+	return Partition{Day: day, Shard: shard}, true
+}
+
+// AppendPartition starts a new partition file.
+func (f *FileStore) AppendPartition(day, shard int) (RecordWriter, error) {
+	if shard < 0 || shard > 999 {
+		return nil, fmt.Errorf("trace: shard %d out of range [0, 999]", shard)
+	}
+	path := f.partitionPath(day, shard)
 	file, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if err != nil {
-		return nil, fmt.Errorf("trace: creating day file: %w", err)
+		if os.IsExist(err) {
+			return nil, fmt.Errorf("trace: partition day %d shard %d already written (%s)", day, shard, path)
+		}
+		return nil, fmt.Errorf("trace: creating partition file: %w", err)
 	}
 	w, err := NewWriter(file)
 	if err != nil {
@@ -212,11 +392,11 @@ func (f *FileStore) AppendDay(day int) (RecordWriter, error) {
 	return &fileWriter{file: file, w: w}, nil
 }
 
-// OpenDay iterates a day partition file.
-func (f *FileStore) OpenDay(day int) (RecordIterator, error) {
-	file, err := os.Open(f.dayPath(day))
+// OpenPartition iterates a partition file.
+func (f *FileStore) OpenPartition(day, shard int) (RecordIterator, error) {
+	file, err := os.Open(f.partitionPath(day, shard))
 	if err != nil {
-		return nil, fmt.Errorf("trace: opening day %d: %w", day, err)
+		return nil, fmt.Errorf("trace: opening day %d shard %d: %w", day, shard, err)
 	}
 	r, err := NewReader(file)
 	if err != nil {
@@ -226,21 +406,35 @@ func (f *FileStore) OpenDay(day int) (RecordIterator, error) {
 	return &fileIterator{file: file, r: r}, nil
 }
 
-// Days lists day partitions present on disk in ascending order.
-func (f *FileStore) Days() ([]int, error) {
+// Partitions lists partition files present on disk in canonical order.
+func (f *FileStore) Partitions() ([]Partition, error) {
 	entries, err := os.ReadDir(f.dir)
 	if err != nil {
 		return nil, fmt.Errorf("trace: listing store dir: %w", err)
 	}
-	var days []int
+	var parts []Partition
 	for _, e := range entries {
-		var day int
-		if _, err := fmt.Sscanf(e.Name(), "ho_day_%03d.tlho", &day); err == nil {
-			days = append(days, day)
+		if p, ok := parsePartitionName(e.Name()); ok {
+			parts = append(parts, p)
 		}
 	}
-	sort.Ints(days)
-	return days, nil
+	sort.Slice(parts, func(i, j int) bool { return parts[i].Less(parts[j]) })
+	return parts, nil
+}
+
+// AppendDay starts the single-shard partition of a day.
+func (f *FileStore) AppendDay(day int) (RecordWriter, error) { return f.AppendPartition(day, 0) }
+
+// OpenDay iterates every shard of a day in shard order.
+func (f *FileStore) OpenDay(day int) (RecordIterator, error) { return openDay(f, day) }
+
+// Days lists the distinct days present on disk in ascending order.
+func (f *FileStore) Days() ([]int, error) {
+	parts, err := f.Partitions()
+	if err != nil {
+		return nil, err
+	}
+	return daysOf(parts), nil
 }
 
 type fileWriter struct {

@@ -6,21 +6,28 @@
 // complete analysis pipeline that regenerates every table and figure of
 // the paper's evaluation.
 //
+// The v2 analysis API is context-aware and parallel: traces are stored
+// as (day, shard) partitions, experiments declare the scan state they
+// need, and the engine fans a worker pool out over partitions with
+// deterministic (bit-identical) results at any parallelism.
+//
 // Typical use:
 //
 //	cfg := telcolens.DefaultConfig(42)
 //	cfg.UEs, cfg.Days = 5000, 14
-//	ds, err := telcolens.Generate(cfg)
+//	ds, err := telcolens.Generate(cfg, telcolens.WithShards(8))
 //	// handle err
 //	a, err := telcolens.NewAnalyzer(ds)
 //	// handle err
-//	err = telcolens.RunExperiment("fig8", a, os.Stdout)
+//	err = telcolens.RunExperiment(ctx, "fig8", a, os.Stdout,
+//		telcolens.WithParallelism(8))
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// paper-vs-measured record of every experiment.
+// See DESIGN.md for the v2 store/collector architecture, the system
+// inventory and the calibration substitutions.
 package telcolens
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -45,11 +52,17 @@ type Experiment = analysis.Experiment
 // Artifact is a rendered experiment result.
 type Artifact = report.Artifact
 
-// Store is a day-partitioned handover trace store.
+// Store is a (day, shard)-partitioned handover trace store.
 type Store = trace.Store
 
 // Record is one captured handover event.
 type Record = trace.Record
+
+// Partition identifies one (day, shard) trace partition.
+type Partition = trace.Partition
+
+// ProgressEvent reports analysis scan progress (partitions merged).
+type ProgressEvent = analysis.ProgressEvent
 
 // DistrictProfile is the per-district drill-down summary.
 type DistrictProfile = analysis.DistrictProfile
@@ -57,19 +70,82 @@ type DistrictProfile = analysis.DistrictProfile
 // LegacyDependence ranks districts by vertical-handover reliance.
 type LegacyDependence = analysis.LegacyDependence
 
+// Option tunes generation and analysis entry points. Options are shared:
+// each entry point applies the fields that concern it and ignores the
+// rest.
+type Option func(*options)
+
+type options struct {
+	parallelism int
+	shards      int
+	progress    func(ProgressEvent)
+}
+
+// WithParallelism bounds how many trace partitions an analysis scan
+// reads concurrently (0 = GOMAXPROCS). On Generate it also bounds the
+// simulation worker count.
+func WithParallelism(n int) Option {
+	return func(o *options) { o.parallelism = n }
+}
+
+// WithShards sets how many hash-partitioned shards Generate writes per
+// study day. More shards let analysis scans use more cores; results are
+// identical for any shard count.
+func WithShards(n int) Option {
+	return func(o *options) { o.shards = n }
+}
+
+// WithProgress installs a callback invoked as analysis scan partitions
+// complete.
+func WithProgress(fn func(ProgressEvent)) Option {
+	return func(o *options) { o.progress = fn }
+}
+
+func buildOptions(opts []Option) options {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+// analyzerOptions translates facade options for the analysis engine.
+func analyzerOptions(o options) []analysis.Option {
+	var out []analysis.Option
+	if o.parallelism > 0 {
+		out = append(out, analysis.WithParallelism(o.parallelism))
+	}
+	if o.progress != nil {
+		out = append(out, analysis.WithProgress(o.progress))
+	}
+	return out
+}
+
 // DefaultConfig returns the calibrated laptop-scale configuration for the
 // given seed (20k UEs, 28 days, 320 districts, 2.4k sites).
 func DefaultConfig(seed uint64) Config { return simulate.DefaultConfig(seed) }
 
-// Generate runs a full synthetic campaign.
-func Generate(cfg Config) (*Dataset, error) { return simulate.Generate(cfg) }
+// Generate runs a full synthetic campaign. WithShards and
+// WithParallelism override the corresponding Config fields.
+func Generate(cfg Config, opts ...Option) (*Dataset, error) {
+	o := buildOptions(opts)
+	if o.shards > 0 {
+		cfg.Shards = o.shards
+	}
+	if o.parallelism > 0 {
+		cfg.Workers = o.parallelism
+	}
+	return simulate.Generate(cfg)
+}
 
 // Load reopens a campaign directory produced by Generate with a file
 // store and a saved manifest (see cmd/telcogen).
 func Load(dir string) (*Dataset, error) { return simulate.Load(dir) }
 
 // NewAnalyzer wraps a dataset for analysis.
-func NewAnalyzer(ds *Dataset) (*Analyzer, error) { return analysis.New(ds) }
+func NewAnalyzer(ds *Dataset, opts ...Option) (*Analyzer, error) {
+	return analysis.New(ds, analyzerOptions(buildOptions(opts))...)
+}
 
 // NewMemStore returns an in-memory trace store.
 func NewMemStore() Store { return trace.NewMemStore() }
@@ -83,18 +159,25 @@ func Experiments() []Experiment { return analysis.Experiments() }
 // ExperimentIDs lists experiment IDs alphabetically.
 func ExperimentIDs() []string { return analysis.IDs() }
 
-// RunExperiment executes one experiment by ID and renders it to w.
-func RunExperiment(id string, a *Analyzer, w io.Writer) error {
+// RunExperiment executes one experiment by ID and renders it to w. Only
+// the scan state the experiment declares is computed (and cached on the
+// analyzer), so a single figure never pays for the whole pipeline.
+func RunExperiment(ctx context.Context, id string, a *Analyzer, w io.Writer, opts ...Option) error {
 	e, ok := analysis.ByID(id)
 	if !ok {
 		return fmt.Errorf("telcolens: unknown experiment %q (known: %v)", id, analysis.IDs())
 	}
-	art, err := e.Run(a)
+	a.Configure(analyzerOptions(buildOptions(opts))...)
+	art, err := e.Run(ctx, a)
 	if err != nil {
 		return err
 	}
 	return art.Render(w)
 }
 
-// RunAll executes every experiment, rendering each artifact to w.
-func RunAll(a *Analyzer, w io.Writer) error { return analysis.RunAll(a, w) }
+// RunAll executes every experiment, rendering each artifact to w. All
+// scan state is computed by one fused parallel pass over the trace.
+func RunAll(ctx context.Context, a *Analyzer, w io.Writer, opts ...Option) error {
+	a.Configure(analyzerOptions(buildOptions(opts))...)
+	return analysis.RunAll(ctx, a, w)
+}

@@ -2,6 +2,7 @@ package telcolens
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -38,13 +39,13 @@ func TestFacadeGenerateAnalyze(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := RunExperiment("table2", a, &buf); err != nil {
+	if err := RunExperiment(context.Background(), "table2", a, &buf); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "TABLE2") {
 		t.Fatal("experiment output malformed")
 	}
-	if err := RunExperiment("definitely-not-real", a, &buf); err == nil {
+	if err := RunExperiment(context.Background(), "definitely-not-real", a, &buf); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }
@@ -110,7 +111,7 @@ func TestFacadeFileStoreRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := RunExperiment("fig8", a, &buf); err != nil {
+	if err := RunExperiment(context.Background(), "fig8", a, &buf); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "FIG8") {
@@ -130,17 +131,17 @@ func TestFacadeProfiles(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p, err := a.DistrictProfile(0)
+	p, err := a.DistrictProfile(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if p.Name == "" || p.Population <= 0 {
 		t.Fatalf("profile malformed: %+v", p)
 	}
-	if _, err := a.DistrictProfile(-1); err == nil {
+	if _, err := a.DistrictProfile(context.Background(), -1); err == nil {
 		t.Fatal("invalid district accepted")
 	}
-	ranked, err := a.RankLegacyDependence(5, 1)
+	ranked, err := a.RankLegacyDependence(context.Background(), 5, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
