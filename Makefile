@@ -1,11 +1,38 @@
-GO ?= go
+# telcolens build/CI entry points.
+#
+#   make build        compile everything
+#   make vet          go vet
+#   make lint         gofmt -l must be empty + staticcheck ./...
+#                     (override STATICCHECK to pin a local binary)
+#   make test         go test ./...
+#   make race         go test -race ./...
+#   make bench-smoke  one pass over the scan benchmarks (cheap CI check
+#                     that benches still run; no statistics)
+#   make bench-gate-run
+#                     the measured bench pass the CI regression gate
+#                     feeds to cmd/benchgate: BenchmarkScan +
+#                     BenchmarkScanSharded, -count 5, written to
+#                     $(BENCH_OUT) (default BENCH_out.txt)
+#   make fuzz-smoke   30s of FuzzDecodeBlock on the v2 block decoder
+#   make ci           vet + build + race + bench-smoke (the PR gate also
+#                     runs lint, the determinism matrix and benchgate —
+#                     see .github/workflows/ci.yml)
 
-.PHONY: all vet build test race bench-smoke ci
+GO ?= go
+STATICCHECK ?= $(GO) run honnef.co/go/tools/cmd/staticcheck@2025.1
+BENCH_OUT ?= BENCH_out.txt
+
+.PHONY: all vet lint build test race bench-smoke bench-gate-run fuzz-smoke ci
 
 all: ci
 
 vet:
 	$(GO) vet ./...
+
+lint:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	$(STATICCHECK) ./...
 
 build:
 	$(GO) build ./...
@@ -20,5 +47,15 @@ race:
 # without paying for a full statistical run.
 bench-smoke:
 	$(GO) test -run NONE -bench 'BenchmarkScanSharded|BenchmarkScan$$' -benchtime 1x .
+
+# The measured pass the CI bench gate compares across branches. Written
+# to the file first and cat'ed after, so a bench failure fails the
+# target (a `| tee` pipe under make's default shell would mask it).
+bench-gate-run:
+	@$(GO) test -run NONE -bench 'BenchmarkScanSharded|BenchmarkScan$$' \
+		-benchtime 2x -count 5 . > $(BENCH_OUT); s=$$?; cat $(BENCH_OUT); exit $$s
+
+fuzz-smoke:
+	$(GO) test -run NONE -fuzz FuzzDecodeBlock -fuzztime 30s ./internal/trace/
 
 ci: vet build race bench-smoke

@@ -1,0 +1,94 @@
+// Command benchgate compares two `go test -bench` output files and fails
+// (exit 2) when any benchmark's median time/op regressed by more than
+// the threshold. CI runs it on a pull request with -old from the main
+// branch and -new from the PR head, and uploads the -json report as the
+// BENCH_compare.json artifact for the performance trajectory.
+//
+// Usage:
+//
+//	benchgate -old BENCH_main.txt -new BENCH_head.txt
+//	benchgate -old old.txt -new new.txt -threshold 0.10 -json BENCH_compare.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"telcolens/internal/benchfmt"
+)
+
+func main() {
+	var (
+		oldPath   = flag.String("old", "", "bench output of the baseline (e.g. main branch)")
+		newPath   = flag.String("new", "", "bench output of the candidate (e.g. PR head)")
+		threshold = flag.Float64("threshold", 0.10, "relative time/op growth that fails the gate (0.10 = +10%)")
+		jsonPath  = flag.String("json", "", "write the comparison report as JSON to this path")
+	)
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -old and -new are required")
+		os.Exit(2)
+	}
+
+	parse := func(path string) map[string]*benchfmt.Result {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		res, err := benchfmt.Parse(f)
+		if err != nil {
+			fatal(err)
+		}
+		return res
+	}
+	oldRes := parse(*oldPath)
+	newRes := parse(*newPath)
+	rep := benchfmt.Compare(oldRes, newRes, *threshold)
+
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+
+	fmt.Printf("%-50s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, e := range rep.Entries {
+		flag := ""
+		if e.Regression {
+			flag = "  << REGRESSION"
+		}
+		fmt.Printf("%-50s %14.0f %14.0f %+7.1f%%%s\n", e.Name, e.OldNsPerOp, e.NewNsPerOp, e.DeltaPct, flag)
+	}
+	for _, name := range rep.OnlyOld {
+		fmt.Printf("%-50s (only in baseline — removed or renamed)\n", name)
+	}
+	for _, name := range rep.OnlyNew {
+		fmt.Printf("%-50s (only in candidate — new benchmark)\n", name)
+	}
+	// A vacuous comparison must never count as a passing gate: an empty
+	// intersection means one side's bench run broke or produced no
+	// results, and waving it through would mask any regression.
+	if len(rep.Entries) == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: no common benchmarks between baseline and candidate — refusing to pass a vacuous gate")
+		os.Exit(2)
+	}
+
+	if regs := rep.Regressions(); len(regs) > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d benchmark(s) regressed beyond +%.0f%% time/op\n",
+			len(regs), *threshold*100)
+		os.Exit(2)
+	}
+	fmt.Printf("benchgate: OK (threshold +%.0f%% time/op)\n", *threshold*100)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(1)
+}

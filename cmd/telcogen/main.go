@@ -6,7 +6,9 @@
 // Usage:
 //
 //	telcogen -out ./campaign -seed 42 -ues 20000 -days 28
-//	telcogen -out ./campaign -shards 8    # hash-sharded day partitions
+//	telcogen -out ./campaign -shards 8        # hash-sharded day partitions
+//	telcogen -out ./campaign -codec 1         # legacy fixed-width v1 streams
+//	telcogen -out ./campaign -compress        # flate-compressed v2 blocks
 package main
 
 import (
@@ -31,6 +33,8 @@ func main() {
 		districts = flag.Int("districts", 320, "census districts")
 		shards    = flag.Int("shards", 1, "trace shards per day (hash-partitioned by UE)")
 		rareBoost = flag.Float64("rareboost", 1, "2G fallback probability multiplier (see DESIGN.md)")
+		codec     = flag.Int("codec", 2, "trace stream codec: 1 (fixed-width records) or 2 (columnar blocks)")
+		compress  = flag.Bool("compress", false, "flate-compress v2 block payloads (smaller files, slower scans)")
 	)
 	flag.Parse()
 
@@ -42,15 +46,21 @@ func main() {
 	cfg.Shards = *shards
 	cfg.RareBoost = *rareBoost
 
-	store, err := telcolens.NewFileStore(*out)
+	if *codec != int(trace.CodecV1) && *codec != int(trace.CodecV2) {
+		fatal(fmt.Errorf("unknown codec %d (want 1 or 2)", *codec))
+	}
+	store, err := trace.NewFileStoreOpts(*out, trace.FileStoreOptions{
+		Codec:    trace.Codec(*codec),
+		Compress: *compress,
+	})
 	if err != nil {
 		fatal(err)
 	}
 	cfg.Store = store
 
 	start := time.Now()
-	fmt.Printf("generating campaign: seed=%d ues=%d days=%d sites=%d districts=%d shards=%d\n",
-		*seed, *ues, *days, *sites, *districts, *shards)
+	fmt.Printf("generating campaign: seed=%d ues=%d days=%d sites=%d districts=%d shards=%d codec=v%d\n",
+		*seed, *ues, *days, *sites, *districts, *shards, *codec)
 	ds, err := telcolens.Generate(cfg)
 	if err != nil {
 		fatal(err)

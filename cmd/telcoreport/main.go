@@ -33,8 +33,14 @@ func main() {
 		parallel  = flag.Int("parallel", 0, "analysis scan parallelism (0 = GOMAXPROCS)")
 		rareBoost = flag.Float64("rareboost", 1, "2G fallback multiplier for fresh campaigns")
 		out       = flag.String("out", "", "output file (empty = stdout)")
+		fromDay   = flag.Int("from", -1, "first study day of the analysis window (-1 = study start)")
+		toDay     = flag.Int("to", -1, "last study day of the analysis window, inclusive (-1 = study end); multi-day experiments (home detection) need a wide enough window")
 	)
 	flag.Parse()
+
+	if *fromDay >= 0 && *toDay >= 0 && *fromDay > *toDay {
+		fatal(fmt.Errorf("empty window [%d, %d]", *fromDay, *toDay))
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -72,7 +78,11 @@ func main() {
 	bw := bufio.NewWriter(w)
 	defer bw.Flush()
 
-	a, err := telcolens.NewAnalyzer(ds, telcolens.WithParallelism(*parallel))
+	aOpts := []telcolens.Option{telcolens.WithParallelism(*parallel)}
+	if *fromDay >= 0 || *toDay >= 0 {
+		aOpts = append(aOpts, telcolens.WithWindow(*fromDay, *toDay))
+	}
+	a, err := telcolens.NewAnalyzer(ds, aOpts...)
 	if err != nil {
 		fatal(err)
 	}

@@ -1,3 +1,3 @@
 module telcolens
 
-go 1.24
+go 1.23

@@ -74,6 +74,19 @@ func WithProgress(fn func(ProgressEvent)) Option {
 	return func(a *Analyzer) { a.progress = fn }
 }
 
+// WithWindow restricts the analysis to study days [fromDay, toDay]
+// inclusive; -1 leaves the corresponding bound open. Scans become
+// time-ranged (trace.ScanRange), so v2 block stores only decode the
+// blocks inside the window, and window-aware experiments average over
+// window days only. Changing the window invalidates any cached scan
+// state.
+func WithWindow(fromDay, toDay int) Option {
+	return func(a *Analyzer) {
+		a.winFrom = fromDay
+		a.winTo = toDay
+	}
+}
+
 // Analyzer wraps a generated dataset with the cached derived views the
 // experiments share. Views are built on demand by parallel streaming
 // passes over the trace; each Need unit is computed at most once.
@@ -82,6 +95,10 @@ type Analyzer struct {
 
 	parallelism int
 	progress    func(ProgressEvent)
+	// winFrom/winTo bound the analysis window in study days (inclusive);
+	// -1 leaves a bound open.
+	winFrom int
+	winTo   int
 
 	mu    sync.Mutex
 	env   *scanEnv
@@ -94,21 +111,55 @@ func New(ds *simulate.Dataset, opts ...Option) (*Analyzer, error) {
 	if ds == nil {
 		return nil, fmt.Errorf("analysis: nil dataset")
 	}
-	a := &Analyzer{DS: ds}
+	a := &Analyzer{DS: ds, winFrom: -1, winTo: -1}
 	a.Configure(opts...)
+	if a.winFrom >= 0 && a.winTo >= 0 && a.winFrom > a.winTo {
+		return nil, fmt.Errorf("analysis: window [%d, %d] is empty", a.winFrom, a.winTo)
+	}
 	return a, nil
 }
 
 // Configure applies options to an existing Analyzer (per-call overrides
 // from the public RunExperiment/RunAll entry points land here; they
 // stay in effect for later calls on the same Analyzer). Safe to call
-// concurrently with Require.
+// concurrently with Require. Changing the analysis window drops any
+// cached scan state: a ranged scan and a full scan are different views.
 func (a *Analyzer) Configure(opts ...Option) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	oldFrom, oldTo := a.winFrom, a.winTo
 	for _, o := range opts {
 		o(a)
 	}
+	if (a.winFrom != oldFrom || a.winTo != oldTo) && a.state != nil {
+		a.env = nil
+		a.state = nil
+		a.have = 0
+	}
+}
+
+// clampWindow resolves a (-1 = open) window bound pair against the study
+// length, returning the inclusive day span. Shared by Require (which
+// holds a.mu) and windowSpan so the scanned range and the span the
+// experiments iterate can never diverge.
+func clampWindow(winFrom, winTo, days int) (lo, hi int) {
+	lo, hi = 0, days-1
+	if winFrom > 0 {
+		lo = winFrom
+	}
+	if winTo >= 0 && winTo < hi {
+		hi = winTo
+	}
+	return lo, hi
+}
+
+// windowSpan clamps the configured window to [0, days-1] and returns the
+// inclusive day span experiments should iterate.
+func (a *Analyzer) windowSpan(days int) (lo, hi int) {
+	a.mu.Lock()
+	winFrom, winTo := a.winFrom, a.winTo
+	a.mu.Unlock()
+	return clampWindow(winFrom, winTo, days)
 }
 
 // UEDayMetric is one UE's mobility/performance summary for one day
@@ -275,13 +326,33 @@ func (a *Analyzer) Require(ctx context.Context, need Need) (*scanState, error) {
 		}
 	}
 	tcols := make([]trace.Collector, len(cols))
+	// Project the union of the fused collectors' declared columns, so a
+	// v2 block store only decodes what this pass actually reads (e.g. a
+	// temporal-only scan skips the UE, device and cause columns).
+	var proj trace.ColumnSet
 	for i, c := range cols {
 		tcols[i] = c
+		proj |= c.columns()
 	}
-	opts := trace.ScanOptions{Parallelism: a.parallelism}
+	opts := trace.ScanOptions{Parallelism: a.parallelism, Projection: proj | trace.ColTimestamp}
 	if a.progress != nil {
 		progress := a.progress
 		opts.Progress = func(done, total int) { progress(ProgressEvent{Done: done, Total: total}) }
+	}
+	if a.winFrom >= 0 || a.winTo >= 0 {
+		// Time-ranged scan: v2 block partitions prune whole blocks outside
+		// the window; everything else filters record by record, so the
+		// observed sequence is codec-independent. Validate here rather
+		// than silently scanning an empty range: Configure (the per-call
+		// options path) cannot return an error.
+		if a.winFrom >= 0 && a.winTo >= 0 && a.winFrom > a.winTo {
+			return nil, fmt.Errorf("analysis: window [%d, %d] is empty", a.winFrom, a.winTo)
+		}
+		if a.winFrom >= a.env.days {
+			return nil, fmt.Errorf("analysis: window starts at day %d but the study has %d days", a.winFrom, a.env.days)
+		}
+		tr := trace.DayRange(clampWindow(a.winFrom, a.winTo, a.env.days))
+		opts.Range = &tr
 	}
 	if err := trace.Scan(ctx, a.DS.Store, opts, tcols...); err != nil {
 		return nil, err

@@ -42,6 +42,12 @@ import (
 type collector interface {
 	trace.Collector
 	finalize(s *scanState) error
+	// columns declares exactly which record fields the collector's
+	// Observe reads (timestamps are always available). Scans project the
+	// union of the fused collectors' columns, so v2 block stores skip
+	// decoding everything else; an understated set would read
+	// unspecified field values.
+	columns() trace.ColumnSet
 }
 
 // scanEnv is the immutable per-dataset context shared by all collectors:
@@ -312,6 +318,12 @@ func (s *typesShard) Observe(day int, rec *trace.Record) error {
 	return nil
 }
 
+// typesShard reads the device (TAC), source sector, and the HO-type and
+// result bits of the outcome tail.
+func (c *typesCollector) columns() trace.ColumnSet {
+	return trace.ColTAC | trace.ColSectors | trace.ColOutcome
+}
+
 func (c *typesCollector) MergeShard(st trace.ShardState) error {
 	s := st.(*typesShard)
 	if err := checkDay(c.env, s.day); err != nil {
@@ -395,6 +407,13 @@ func (s *durationsShard) Observe(day int, rec *trace.Record) error {
 		s.durSuccess[rec.HOType()].Add(float64(rec.DurationMs), recKey(rec))
 	}
 	return nil
+}
+
+// durationsShard reads result/HO-type/duration from the outcome tail,
+// the cause, and the UE (the deterministic sample key mixes UE and
+// timestamp).
+func (c *durationsCollector) columns() trace.ColumnSet {
+	return trace.ColUE | trace.ColCause | trace.ColOutcome
 }
 
 func (c *durationsCollector) MergeShard(st trace.ShardState) error {
@@ -482,6 +501,12 @@ func (s *causesShard) Observe(day int, rec *trace.Record) error {
 		}
 	}
 	return nil
+}
+
+// causesShard reads result/HO-type, the cause, the device and the
+// source sector (area lookup).
+func (c *causesCollector) columns() trace.ColumnSet {
+	return trace.ColTAC | trace.ColSectors | trace.ColCause | trace.ColOutcome
 }
 
 func (c *causesCollector) MergeShard(st trace.ShardState) error {
@@ -620,6 +645,12 @@ func (c *temporalCollector) flushDay() {
 	}
 }
 
+// temporalShard reads the source sector (area and active-sector bitsets)
+// and the result bit; everything else is timestamp arithmetic.
+func (c *temporalCollector) columns() trace.ColumnSet {
+	return trace.ColSectors | trace.ColOutcome
+}
+
 func (c *temporalCollector) MergeShard(st trace.ShardState) error {
 	s := st.(*temporalShard)
 	if err := checkDay(c.env, s.day); err != nil {
@@ -706,6 +737,12 @@ func (s *districtsShard) Observe(day int, rec *trace.Record) error {
 		s.fails[d]++
 	}
 	return nil
+}
+
+// districtsShard reads the source sector (district lookup) and the
+// HO-type/result bits.
+func (c *districtsCollector) columns() trace.ColumnSet {
+	return trace.ColSectors | trace.ColOutcome
 }
 
 func (c *districtsCollector) MergeShard(st trace.ShardState) error {
@@ -848,6 +885,12 @@ func (c *uedayCollector) flushDay() {
 	c.dayBuf = c.dayBuf[:0]
 }
 
+// uedayShard reads the UE, both sectors (visited set and gyration
+// locations) and the result bit.
+func (c *uedayCollector) columns() trace.ColumnSet {
+	return trace.ColUE | trace.ColSectors | trace.ColOutcome
+}
+
 func (c *uedayCollector) MergeShard(st trace.ShardState) error {
 	s := st.(*uedayShard)
 	if err := checkDay(c.env, s.day); err != nil {
@@ -959,6 +1002,11 @@ func (c *sectordayCollector) flushDay() {
 	}
 	c.dayAgg = nil
 	c.dayTotals = nil
+}
+
+// sectordayShard reads the source sector and the HO-type/result bits.
+func (c *sectordayCollector) columns() trace.ColumnSet {
+	return trace.ColSectors | trace.ColOutcome
 }
 
 func (c *sectordayCollector) MergeShard(st trace.ShardState) error {

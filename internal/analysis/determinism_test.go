@@ -3,10 +3,14 @@ package analysis
 import (
 	"bytes"
 	"context"
+	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 
 	"telcolens/internal/simulate"
+	"telcolens/internal/trace"
 )
 
 // The acceptance bar for the v2 engine: scanning a sharded store with a
@@ -189,4 +193,131 @@ func truncate(b []byte) []byte {
 		return b[:max]
 	}
 	return b
+}
+
+// detFileDataset generates the detSeed campaign into a file store with an
+// explicit codec, so tests can pit stream formats against each other.
+func detFileDataset(t *testing.T, shards int, opts trace.FileStoreOptions) *simulate.Dataset {
+	t.Helper()
+	fs, err := trace.NewFileStoreOpts(t.TempDir(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := simulate.DefaultConfig(detSeed)
+	cfg.UEs = detUEs
+	cfg.Days = detDays
+	cfg.Shards = shards
+	cfg.Store = fs
+	ds, err := simulate.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// dumpArtifacts writes rendered artifacts under $TELCOLENS_ARTIFACT_DIR
+// (set by the CI determinism job) so a failing comparison leaves both
+// sides on disk for diffing.
+func dumpArtifacts(t *testing.T, label string, arts map[string][]byte) {
+	dir := os.Getenv("TELCOLENS_ARTIFACT_DIR")
+	if dir == "" {
+		return
+	}
+	sub := filepath.Join(dir, label)
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Logf("artifact dump: %v", err)
+		return
+	}
+	for id, b := range arts {
+		if err := os.WriteFile(filepath.Join(sub, id+".txt"), b, 0o644); err != nil {
+			t.Logf("artifact dump %s: %v", id, err)
+		}
+	}
+	t.Logf("dumped %d artifacts to %s", len(arts), sub)
+}
+
+// compareArtifacts asserts got == want artifact-for-artifact, dumping
+// both sides for offline diffing on mismatch.
+func compareArtifacts(t *testing.T, label string, want, got map[string][]byte) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Errorf("%s: artifact counts differ: %d vs %d", label, len(got), len(want))
+	}
+	bad := false
+	for id, w := range want {
+		g, ok := got[id]
+		if !ok {
+			t.Errorf("%s: %s missing", label, id)
+			bad = true
+			continue
+		}
+		if !bytes.Equal(g, w) {
+			t.Errorf("%s: %s differs from baseline", label, id)
+			bad = true
+		}
+	}
+	if bad {
+		dumpArtifacts(t, "baseline", want)
+		dumpArtifacts(t, label, got)
+	}
+}
+
+// TestCodecMatrixByteIdentical is the cross-codec acceptance bar: the
+// same seed generated through the legacy v1 fixed-width codec (one shard,
+// scanned sequentially) and through the v2 columnar block codec (8
+// shards, parallel workers, with and without flate) must render every
+// experiment byte-identically. Durations make this non-trivial: both
+// codecs quantize through the same canonical fixed-point transform.
+func TestCodecMatrixByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates several campaigns")
+	}
+	baseline, err := New(detFileDataset(t, 1, trace.FileStoreOptions{Codec: trace.CodecV1}), WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderAll(t, baseline)
+
+	variants := []struct {
+		label  string
+		shards int
+		par    int
+		opts   trace.FileStoreOptions
+	}{
+		{"v1-sharded-parallel", 8, 8, trace.FileStoreOptions{Codec: trace.CodecV1}},
+		{"v2-sequential", 1, 1, trace.FileStoreOptions{Codec: trace.CodecV2}},
+		{"v2-sharded-parallel", 8, 8, trace.FileStoreOptions{Codec: trace.CodecV2, BlockRecords: 512}},
+		{"v2-flate-sharded-parallel", 8, 8, trace.FileStoreOptions{Codec: trace.CodecV2, Compress: true}},
+	}
+	for _, v := range variants {
+		t.Run(v.label, func(t *testing.T) {
+			a, err := New(detFileDataset(t, v.shards, v.opts), WithParallelism(v.par))
+			if err != nil {
+				t.Fatal(err)
+			}
+			compareArtifacts(t, v.label, want, renderAll(t, a))
+		})
+	}
+}
+
+// TestWindowByteIdenticalAcrossCodecs: a day-windowed analysis must not
+// depend on whether the window was enforced by v2 block pruning or by
+// v1 record filtering.
+func TestWindowByteIdenticalAcrossCodecs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates two campaigns")
+	}
+	lo, hi := 1, 2
+	v1, err := New(detFileDataset(t, 1, trace.FileStoreOptions{Codec: trace.CodecV1}),
+		WithParallelism(1), WithWindow(lo, hi))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderAll(t, v1)
+	v2, err := New(detFileDataset(t, 8, trace.FileStoreOptions{Codec: trace.CodecV2, BlockRecords: 256}),
+		WithParallelism(8), WithWindow(lo, hi))
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareArtifacts(t, fmt.Sprintf("v2-window-%d-%d", lo, hi), want, renderAll(t, v2))
 }

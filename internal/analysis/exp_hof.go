@@ -172,9 +172,11 @@ func runFig14a(ctx context.Context, a *Analyzer, art *report.Artifact) error {
 			cells = append(cells, fmt.Sprintf("%.2f", share))
 		}
 		mainSum += rowTotal
-		// Daily min/max of this cause's share of daily failures.
+		// Daily min/max of this cause's share of daily failures, over the
+		// analysis window's days.
+		lo, hi := a.windowSpan(s.days)
 		minD, maxD := 100.0, 0.0
-		for day := 0; day < s.days; day++ {
+		for day := lo; day <= hi; day++ {
 			var dayFails, dayCause float64
 			for _, t := range ho.AllTypes() {
 				dayFails += float64(s.perDayTypeFails[day][t])

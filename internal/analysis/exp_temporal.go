@@ -16,14 +16,16 @@ func init() {
 
 // TemporalProfile returns, per 30-minute bin, the average HO count and
 // average active-sector count for one area class (0=rural, 1=urban),
-// averaged over all study days of the same day-of-week category.
+// averaged over the analysis window's study days of the same day-of-week
+// category (all study days unless WithWindow narrowed the view).
 func (a *Analyzer) TemporalProfile(ctx context.Context, area int, weekend bool) (hos, active [mobility.BinsPerDay]float64, err error) {
 	s, err := a.Require(ctx, NeedTemporal)
 	if err != nil {
 		return hos, active, err
 	}
+	lo, hi := a.windowSpan(s.days)
 	nDays := 0
-	for day := 0; day < s.days; day++ {
+	for day := lo; day <= hi; day++ {
 		if mobility.IsWeekend(day) != weekend {
 			continue
 		}
@@ -67,7 +69,8 @@ func runFig7(ctx context.Context, a *Analyzer, art *report.Artifact) error {
 		return err
 	}
 	var urbanTotal, allTotal float64
-	for day := 0; day < s.days; day++ {
+	lo, hi := a.windowSpan(s.days)
+	for day := lo; day <= hi; day++ {
 		for b := 0; b < mobility.BinsPerDay; b++ {
 			urbanTotal += float64(s.binHOs[day][b][1])
 			allTotal += float64(s.binHOs[day][b][0] + s.binHOs[day][b][1])
@@ -134,15 +137,17 @@ func argmin(xs []float64) int {
 }
 
 // HourlyHOFProfile returns the average per-hour HOF count normalized by
-// the hour's active sector count, per area class.
+// the hour's active sector count, per area class, over the analysis
+// window's days.
 func (a *Analyzer) HourlyHOFProfile(ctx context.Context, area int) ([24]float64, error) {
 	var out [24]float64
 	s, err := a.Require(ctx, NeedTemporal)
 	if err != nil {
 		return out, err
 	}
+	lo, hi := a.windowSpan(s.days)
 	var counts [24]float64
-	for day := 0; day < s.days; day++ {
+	for day := lo; day <= hi; day++ {
 		for h := 0; h < 24; h++ {
 			if act := s.hourActive[day][h][area]; act > 0 {
 				out[h] += float64(s.hourHOFs[day][h][area]) / float64(act)

@@ -1,0 +1,155 @@
+// Package benchfmt parses `go test -bench` output and compares two runs
+// for time/op regressions. It is the engine behind cmd/benchgate, the CI
+// gate that fails a pull request when a benchmark slows down by more
+// than the configured threshold against the main branch.
+//
+// Only the standard benchmark result lines are consumed:
+//
+//	BenchmarkScan/raw/v2-8   	      10	  24005239 ns/op	  48953731 records/s
+//
+// Repeated runs of the same benchmark (-count=N) are aggregated by the
+// median ns/op, which is robust to one-off scheduler noise the way
+// benchstat's summaries are.
+package benchfmt
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// resultLineRE matches one benchmark result line: name, iteration count,
+// ns/op. Extra metrics after ns/op are ignored.
+var resultLineRE = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op`)
+
+// Result aggregates every run of one benchmark in a file.
+type Result struct {
+	Name    string
+	Runs    int
+	NsPerOp []float64 // one entry per run, in file order
+}
+
+// MedianNs returns the median ns/op across runs.
+func (r *Result) MedianNs() float64 {
+	s := append([]float64(nil), r.NsPerOp...)
+	sort.Float64s(s)
+	n := len(s)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Parse reads a `go test -bench` output stream and returns results keyed
+// by benchmark name (GOMAXPROCS suffix stripped, so "-8" and "-4" runs
+// of the same benchmark compare against each other).
+func Parse(r io.Reader) (map[string]*Result, error) {
+	out := make(map[string]*Result)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		m := resultLineRE.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name := stripProcSuffix(m[1])
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchfmt: bad ns/op in %q: %w", sc.Text(), err)
+		}
+		res := out[name]
+		if res == nil {
+			res = &Result{Name: name}
+			out[name] = res
+		}
+		res.Runs++
+		res.NsPerOp = append(res.NsPerOp, ns)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// stripProcSuffix drops the trailing "-<gomaxprocs>" the bench runner
+// appends to every name.
+func stripProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// Entry is one benchmark's old-vs-new comparison.
+type Entry struct {
+	Name       string  `json:"name"`
+	OldNsPerOp float64 `json:"old_ns_per_op"`
+	NewNsPerOp float64 `json:"new_ns_per_op"`
+	DeltaPct   float64 `json:"delta_pct"` // positive = slower
+	Regression bool    `json:"regression"`
+}
+
+// Report is the full comparison of two bench runs.
+type Report struct {
+	Threshold float64 `json:"threshold"`
+	Entries   []Entry `json:"entries"`
+	// OnlyOld / OnlyNew list benchmarks present in one side only (renamed
+	// or newly added); they are reported but never gate.
+	OnlyOld []string `json:"only_old,omitempty"`
+	OnlyNew []string `json:"only_new,omitempty"`
+}
+
+// Regressions returns the entries that exceeded the threshold.
+func (r *Report) Regressions() []Entry {
+	var out []Entry
+	for _, e := range r.Entries {
+		if e.Regression {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Compare builds the old-vs-new report. A benchmark regresses when its
+// median time/op grew by more than threshold (e.g. 0.10 = +10%).
+// Benchmarks present on only one side are listed informationally.
+func Compare(old, new map[string]*Result, threshold float64) *Report {
+	rep := &Report{Threshold: threshold}
+	var names []string
+	for name := range old {
+		if _, ok := new[name]; ok {
+			names = append(names, name)
+		} else {
+			rep.OnlyOld = append(rep.OnlyOld, name)
+		}
+	}
+	for name := range new {
+		if _, ok := old[name]; !ok {
+			rep.OnlyNew = append(rep.OnlyNew, name)
+		}
+	}
+	sort.Strings(names)
+	sort.Strings(rep.OnlyOld)
+	sort.Strings(rep.OnlyNew)
+	for _, name := range names {
+		o, n := old[name].MedianNs(), new[name].MedianNs()
+		e := Entry{Name: name, OldNsPerOp: o, NewNsPerOp: n}
+		if o > 0 {
+			e.DeltaPct = (n - o) / o * 100
+			e.Regression = n > o*(1+threshold)
+		}
+		rep.Entries = append(rep.Entries, e)
+	}
+	return rep
+}

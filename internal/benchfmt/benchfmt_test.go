@@ -1,0 +1,121 @@
+package benchfmt
+
+import (
+	"strings"
+	"testing"
+)
+
+const baseRun = `goos: linux
+goarch: amd64
+pkg: telcolens
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkScan/raw/v1-8         	      15	  34199142 ns/op	  34361823 records/s
+BenchmarkScan/raw/v2-8         	      15	  24005239 ns/op	  48953731 records/s
+BenchmarkScanSharded/shards=4-8	      10	  52000000 ns/op
+PASS
+ok  	telcolens	33.567s
+`
+
+func TestParse(t *testing.T) {
+	res, err := Parse(strings.NewReader(baseRun))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(res))
+	}
+	v1, ok := res["BenchmarkScan/raw/v1"]
+	if !ok {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %v", res)
+	}
+	if v1.MedianNs() != 34199142 {
+		t.Fatalf("median = %g", v1.MedianNs())
+	}
+}
+
+func TestParseMultipleCountsUsesMedian(t *testing.T) {
+	runs := `BenchmarkScan-8   10   100 ns/op
+BenchmarkScan-8   10   300 ns/op
+BenchmarkScan-8   10   120 ns/op
+`
+	res, err := Parse(strings.NewReader(runs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res["BenchmarkScan"].MedianNs(); got != 120 {
+		t.Fatalf("median of {100,300,120} = %g, want 120", got)
+	}
+}
+
+// TestGateFailsOnInjectedSlowdown is the acceptance check for the CI
+// bench gate: a deliberate 20% slowdown must trip the 10% threshold,
+// and an unchanged run must pass.
+func TestGateFailsOnInjectedSlowdown(t *testing.T) {
+	old, err := Parse(strings.NewReader(baseRun))
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := strings.NewReader(`BenchmarkScan/raw/v1-8    15   41038970 ns/op
+BenchmarkScan/raw/v2-8    15   24005239 ns/op
+BenchmarkScanSharded/shards=4-8  10  52000000 ns/op
+`)
+	newRes, err := Parse(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Compare(old, newRes, 0.10)
+	regs := rep.Regressions()
+	if len(regs) != 1 || regs[0].Name != "BenchmarkScan/raw/v1" {
+		t.Fatalf("regressions = %+v, want exactly the 20%% slowdown", regs)
+	}
+	if regs[0].DeltaPct < 19 || regs[0].DeltaPct > 21 {
+		t.Fatalf("delta = %.1f%%, want ~20%%", regs[0].DeltaPct)
+	}
+
+	// Identical runs pass.
+	same, _ := Parse(strings.NewReader(baseRun))
+	if regs := Compare(old, same, 0.10).Regressions(); len(regs) != 0 {
+		t.Fatalf("identical runs flagged: %+v", regs)
+	}
+
+	// A small improvement passes too.
+	fast, _ := Parse(strings.NewReader(`BenchmarkScan/raw/v1-8  15  30000000 ns/op
+BenchmarkScan/raw/v2-8  15  23000000 ns/op
+BenchmarkScanSharded/shards=4-8  10  51000000 ns/op
+`))
+	if regs := Compare(old, fast, 0.10).Regressions(); len(regs) != 0 {
+		t.Fatalf("improvement flagged: %+v", regs)
+	}
+}
+
+// TestCompareTolerateMissingPairs: renamed or new benchmarks are listed
+// but never gate (otherwise every benchmark rename would block CI).
+func TestCompareTolerateMissingPairs(t *testing.T) {
+	old, _ := Parse(strings.NewReader("BenchmarkOld-8  10  100 ns/op\nBenchmarkShared-8  10  100 ns/op\n"))
+	new_, _ := Parse(strings.NewReader("BenchmarkNew-8  10  9999 ns/op\nBenchmarkShared-8  10  101 ns/op\n"))
+	rep := Compare(old, new_, 0.10)
+	if len(rep.Regressions()) != 0 {
+		t.Fatalf("unpaired benchmarks gated: %+v", rep.Regressions())
+	}
+	if len(rep.OnlyOld) != 1 || rep.OnlyOld[0] != "BenchmarkOld" {
+		t.Fatalf("OnlyOld = %v", rep.OnlyOld)
+	}
+	if len(rep.OnlyNew) != 1 || rep.OnlyNew[0] != "BenchmarkNew" {
+		t.Fatalf("OnlyNew = %v", rep.OnlyNew)
+	}
+	if len(rep.Entries) != 1 || rep.Entries[0].Name != "BenchmarkShared" {
+		t.Fatalf("Entries = %+v", rep.Entries)
+	}
+}
+
+func TestThresholdBoundary(t *testing.T) {
+	old, _ := Parse(strings.NewReader("BenchmarkX-8  10  1000 ns/op\n"))
+	within, _ := Parse(strings.NewReader("BenchmarkX-8  10  1099 ns/op\n"))
+	if regs := Compare(old, within, 0.10).Regressions(); len(regs) != 0 {
+		t.Fatalf("+9.9%% flagged at 10%% threshold: %+v", regs)
+	}
+	over, _ := Parse(strings.NewReader("BenchmarkX-8  10  1101 ns/op\n"))
+	if regs := Compare(old, over, 0.10).Regressions(); len(regs) != 1 {
+		t.Fatalf("+10.1%% not flagged at 10%% threshold")
+	}
+}

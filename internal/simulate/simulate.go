@@ -309,11 +309,21 @@ func (ds *Dataset) generateDay(planner *mobility.Planner, day int) error {
 	return nil
 }
 
-// writePartition lands one partition's records in the store.
+// writePartition lands one partition's records in the store, going
+// through the writer's batch path when it has one (the v2 block codec
+// appends a whole batch straight into its block buffer instead of paying
+// one interface call per record).
 func writePartition(store trace.Store, day, shard int, recs []trace.Record) error {
 	w, err := store.AppendPartition(day, shard)
 	if err != nil {
 		return err
+	}
+	if bw, ok := w.(trace.BatchWriter); ok {
+		if err := bw.WriteBatch(recs); err != nil {
+			w.Close()
+			return err
+		}
+		return w.Close()
 	}
 	for i := range recs {
 		if err := w.Write(&recs[i]); err != nil {

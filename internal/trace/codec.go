@@ -2,6 +2,8 @@ package trace
 
 import (
 	"bufio"
+	"bytes"
+	"compress/flate"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -25,7 +27,9 @@ import (
 // Magic identifies telcolens handover trace streams.
 var Magic = [4]byte{'T', 'L', 'H', 'O'}
 
-// Version is the current stream format version.
+// Version is the legacy fixed-width stream format version. New streams
+// default to VersionV2 (see codecv2.go); readers negotiate either from
+// the shared header.
 const Version uint16 = 1
 
 // HeaderSize is the encoded header length in bytes.
@@ -151,16 +155,38 @@ func (w *Writer) Flush() error {
 	return w.w.Flush()
 }
 
-// Reader decodes records from an io.Reader. Next reuses the caller's
-// Record, so iteration is allocation-free.
+// Reader decodes records from an io.Reader, negotiating the stream
+// version (fixed-width v1 or columnar-block v2) from the header. Next
+// reuses the caller's Record, so iteration is allocation-free; NextBatch
+// hands out whole decoded blocks. SetTimeRange restricts the stream to a
+// timestamp window — on v2 streams, blocks entirely outside the window
+// are skipped without decoding.
 type Reader struct {
-	r   *bufio.Reader
-	buf [RecordSize]byte
+	r       *bufio.Reader
+	version uint16
+	flags   uint16
+	buf     [RecordSize]byte // v1 record scratch
+
+	// v2 state: the current decoded block and read cursor.
+	block    []Record
+	blockPos int
+	head     [blockHeadSize]byte
+	payload  []byte
+	inflated []byte
+	tacDict  []devices.TAC
+	stats    BlockStats
+
+	hasRange     bool
+	minTS, maxTS int64
+	proj         ColumnSet // 0 = decode everything
 }
 
-// NewReader validates the stream header and returns a Reader.
+// NewReader validates the stream header and returns a Reader for either
+// supported version.
 func NewReader(r io.Reader) (*Reader, error) {
-	br := bufio.NewReaderSize(r, 1<<16)
+	// The window is sized so default v2 blocks always fit a zero-copy
+	// Peek (see readBlockInto); larger blocks fall back to a copy.
+	br := bufio.NewReaderSize(r, 1<<18)
 	var hdr [HeaderSize]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
 		return nil, fmt.Errorf("trace: reading header: %w", err)
@@ -168,21 +194,287 @@ func NewReader(r io.Reader) (*Reader, error) {
 	if [4]byte(hdr[0:4]) != Magic {
 		return nil, ErrBadMagic
 	}
-	if v := binary.LittleEndian.Uint16(hdr[4:6]); v != Version {
+	v := binary.LittleEndian.Uint16(hdr[4:6])
+	if v != Version && v != VersionV2 {
 		return nil, fmt.Errorf("%w: %d", ErrBadVersion, v)
 	}
-	return &Reader{r: br}, nil
+	flags := binary.LittleEndian.Uint16(hdr[6:8])
+	if v == Version && flags != 0 {
+		return nil, fmt.Errorf("%w: v1 stream with flags %#x", ErrBadVersion, flags)
+	}
+	if v == VersionV2 && flags&^FlagFlate != 0 {
+		return nil, fmt.Errorf("%w: unknown v2 flags %#x", ErrBadVersion, flags)
+	}
+	return &Reader{r: br, version: v, flags: flags}, nil
+}
+
+// Version reports the negotiated stream version.
+func (r *Reader) Version() uint16 { return r.version }
+
+// Stats returns block read/skip counters (v2 streams only; zero for v1).
+func (r *Reader) Stats() BlockStats { return r.stats }
+
+// SetTimeRange restricts the stream to records with
+// minTS <= Timestamp <= maxTS. On v2 streams, blocks whose [min, max]
+// descriptor misses the window are skipped without decoding.
+func (r *Reader) SetTimeRange(minTS, maxTS int64) {
+	r.hasRange = true
+	r.minTS = minTS
+	r.maxTS = maxTS
+}
+
+// SetProjection restricts which columns v2 blocks decode (timestamps are
+// always decoded). Skipped sections are jumped over without reading;
+// the corresponding Record fields are left unspecified. A no-op on v1
+// streams, which are fixed-width and always decode fully — callers must
+// treat projection as an optimization hint, not a masking guarantee.
+func (r *Reader) SetProjection(cols ColumnSet) { r.proj = cols }
+
+// inRange reports whether ts passes the configured window.
+func (r *Reader) inRange(ts int64) bool {
+	return !r.hasRange || (ts >= r.minTS && ts <= r.maxTS)
 }
 
 // Next decodes the next record into rec. It returns io.EOF at a clean end
 // of stream and ErrTruncated if the stream ends mid-record.
 func (r *Reader) Next(rec *Record) error {
-	n, err := io.ReadFull(r.r, r.buf[:])
-	if err == io.EOF && n == 0 {
-		return io.EOF
+	if r.version == VersionV2 {
+		for {
+			if r.blockPos < len(r.block) {
+				*rec = r.block[r.blockPos]
+				r.blockPos++
+				if r.inRange(rec.Timestamp) {
+					return nil
+				}
+				continue
+			}
+			if err := r.readBlock(); err != nil {
+				return err
+			}
+		}
 	}
+	for {
+		n, err := io.ReadFull(r.r, r.buf[:])
+		if err == io.EOF && n == 0 {
+			return io.EOF
+		}
+		if err != nil {
+			return ErrTruncated
+		}
+		if err := DecodeRecord(r.buf[:], rec); err != nil {
+			return err
+		}
+		if r.inRange(rec.Timestamp) {
+			return nil
+		}
+	}
+}
+
+// NextBatch fills *batch with the next run of records, growing it as
+// needed, and returns how many were decoded. On v2 streams one call
+// yields one decoded block (minus any records outside the time range);
+// on v1 streams it fills up to the batch capacity (DefaultBlockRecords
+// when the slice is empty). It returns (0, io.EOF) at a clean end of
+// stream.
+func (r *Reader) NextBatch(batch *[]Record) (int, error) {
+	if r.version == VersionV2 {
+		for {
+			if r.blockPos < len(r.block) {
+				// Remainder of a block partially consumed by Next.
+				recs := r.block[r.blockPos:]
+				r.blockPos = len(r.block)
+				*batch = append((*batch)[:0], recs...)
+			} else {
+				// Decode the next in-range block straight into the caller's
+				// batch — no intermediate copy.
+				n, err := r.readBlockInto(batch)
+				if err != nil {
+					return 0, err
+				}
+				*batch = (*batch)[:n]
+			}
+			n := len(*batch)
+			if r.hasRange {
+				n = filterRange(*batch, r.minTS, r.maxTS)
+				*batch = (*batch)[:n]
+			}
+			if n > 0 {
+				return n, nil
+			}
+		}
+	}
+	max := cap(*batch)
+	if max == 0 {
+		max = DefaultBlockRecords
+	}
+	*batch = (*batch)[:0]
+	var rec Record
+	for len(*batch) < max {
+		err := r.Next(&rec)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return len(*batch), err
+		}
+		*batch = append(*batch, rec)
+	}
+	if len(*batch) == 0 {
+		return 0, io.EOF
+	}
+	return len(*batch), nil
+}
+
+// filterRange compacts recs to those inside [minTS, maxTS], preserving
+// order, and returns the new length.
+func filterRange(recs []Record, minTS, maxTS int64) int {
+	n := 0
+	for i := range recs {
+		if ts := recs[i].Timestamp; ts >= minTS && ts <= maxTS {
+			if n != i {
+				recs[n] = recs[i]
+			}
+			n++
+		}
+	}
+	return n
+}
+
+// readBlock loads the next v2 block into r.block, pruning blocks outside
+// the configured time range. It returns io.EOF at a clean block boundary
+// and ErrTruncated or ErrCorruptBlock otherwise.
+func (r *Reader) readBlock() error {
+	n, err := r.readBlockInto(&r.block)
 	if err != nil {
-		return ErrTruncated
+		return err
 	}
-	return DecodeRecord(r.buf[:], rec)
+	r.block = r.block[:n]
+	r.blockPos = 0
+	return nil
+}
+
+// readBlockInto reads the next block whose time bounds intersect the
+// configured range and decodes it into *dst, growing it as needed. It
+// returns the record count, io.EOF at a clean block boundary, and
+// ErrTruncated or ErrCorruptBlock otherwise.
+func (r *Reader) readBlockInto(dst *[]Record) (int, error) {
+	for {
+		n, err := io.ReadFull(r.r, r.head[:])
+		if err == io.EOF && n == 0 {
+			return 0, io.EOF
+		}
+		if err != nil {
+			return 0, ErrTruncated
+		}
+		count := binary.LittleEndian.Uint32(r.head[0:4])
+		minTS := int64(binary.LittleEndian.Uint64(r.head[4:12]))
+		maxTS := int64(binary.LittleEndian.Uint64(r.head[12:20]))
+		rawLen := binary.LittleEndian.Uint32(r.head[20:24])
+		encLen := binary.LittleEndian.Uint32(r.head[24:28])
+		secs := blockSections{
+			tsLen:       binary.LittleEndian.Uint32(r.head[28:32]),
+			ueLen:       binary.LittleEndian.Uint32(r.head[32:36]),
+			dictEntries: binary.LittleEndian.Uint32(r.head[36:40]),
+			idxLen:      binary.LittleEndian.Uint32(r.head[40:44]),
+			srcLen:      binary.LittleEndian.Uint32(r.head[44:48]),
+			dstLen:      binary.LittleEndian.Uint32(r.head[48:52]),
+			causeLen:    binary.LittleEndian.Uint32(r.head[52:56]),
+		}
+		if count == 0 || count > maxBlockRecords || minTS > maxTS ||
+			rawLen > maxBlockPayload || encLen > maxBlockPayload {
+			return 0, fmt.Errorf("%w: bad block descriptor (count=%d raw=%d enc=%d)",
+				ErrCorruptBlock, count, rawLen, encLen)
+		}
+		// Structural bounds before any allocation: every varint column
+		// holds at least one byte per record, the dictionary at most one
+		// entry per record, and the sections plus the fixed-width tail
+		// must tile rawLen exactly — so a lying descriptor cannot trigger
+		// a large allocation relative to the bytes actually present.
+		if secs.tsLen < count || secs.ueLen < count || secs.idxLen < count ||
+			secs.srcLen < count || secs.dstLen < count || secs.causeLen < count ||
+			secs.dictEntries > count {
+			return 0, fmt.Errorf("%w: implausible column extents", ErrCorruptBlock)
+		}
+		sum := uint64(secs.tsLen) + uint64(secs.ueLen) + 4*uint64(secs.dictEntries) +
+			uint64(secs.idxLen) + uint64(secs.srcLen) + uint64(secs.dstLen) +
+			uint64(secs.causeLen) + 6*uint64(count)
+		if sum != uint64(rawLen) {
+			return 0, fmt.Errorf("%w: column extents sum %d != payload %d",
+				ErrCorruptBlock, sum, rawLen)
+		}
+		if r.flags&FlagFlate == 0 {
+			if rawLen != encLen {
+				return 0, fmt.Errorf("%w: uncompressed block with raw %d != enc %d",
+					ErrCorruptBlock, rawLen, encLen)
+			}
+		} else if uint64(rawLen) > uint64(encLen)*maxFlateRatio+64 {
+			return 0, fmt.Errorf("%w: implausible compression ratio (raw %d from enc %d)",
+				ErrCorruptBlock, rawLen, encLen)
+		}
+		if r.hasRange && (maxTS < r.minTS || minTS > r.maxTS) {
+			if _, err := r.r.Discard(int(encLen)); err != nil {
+				return 0, ErrTruncated
+			}
+			r.stats.BlocksSkipped++
+			continue
+		}
+		// Zero-copy fast path: blocks that fit the bufio window are decoded
+		// straight out of it (the payload is fully consumed before the next
+		// read invalidates the peek). Oversized blocks fall back to a copy.
+		var payload []byte
+		peeked := false
+		if int(encLen) <= r.r.Size() {
+			p, err := r.r.Peek(int(encLen))
+			if err != nil {
+				return 0, ErrTruncated
+			}
+			payload = p
+			peeked = true
+		} else {
+			if cap(r.payload) < int(encLen) {
+				r.payload = make([]byte, encLen)
+			}
+			r.payload = r.payload[:encLen]
+			if _, err := io.ReadFull(r.r, r.payload); err != nil {
+				return 0, ErrTruncated
+			}
+			payload = r.payload
+		}
+		if r.flags&FlagFlate != 0 {
+			fr := flate.NewReader(bytes.NewReader(payload))
+			if cap(r.inflated) < int(rawLen) {
+				r.inflated = make([]byte, rawLen)
+			}
+			r.inflated = r.inflated[:rawLen]
+			if _, err := io.ReadFull(fr, r.inflated); err != nil {
+				return 0, fmt.Errorf("%w: inflating payload: %v", ErrCorruptBlock, err)
+			}
+			// The compressed payload must not hide extra data.
+			if n, _ := fr.Read(make([]byte, 1)); n != 0 {
+				return 0, fmt.Errorf("%w: compressed payload longer than rawLen", ErrCorruptBlock)
+			}
+			payload = r.inflated
+		}
+		if cap(*dst) < int(count) {
+			*dst = make([]Record, count)
+		}
+		out := (*dst)[:count]
+		var decErr error
+		if r.proj == 0 || r.proj&optionalColumns == optionalColumns {
+			decErr = decodeBlockPayload(payload, minTS, maxTS, secs, out, &r.tacDict)
+		} else {
+			decErr = decodeBlockProjected(payload, minTS, maxTS, secs, r.proj, out, &r.tacDict)
+		}
+		if decErr != nil {
+			return 0, decErr
+		}
+		if peeked {
+			// The peeked window is decoded; release it to the bufio reader.
+			if _, err := r.r.Discard(int(encLen)); err != nil {
+				return 0, ErrTruncated
+			}
+		}
+		r.stats.BlocksRead++
+		return int(count), nil
+	}
 }

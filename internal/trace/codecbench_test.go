@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+)
+
+var benchBlockRecords = DefaultBlockRecords
+
+func benchStream(b *testing.B, codec Codec, compress bool) ([]byte, int) {
+	r := rand.New(rand.NewSource(5))
+	const n = 200_000
+	recs := make([]Record, n)
+	base := StudyStart.UnixMilli()
+	for i := range recs {
+		recs[i] = randRecord(r, base)
+		recs[i].Timestamp = base + int64(i)*700 // sorted, like real partitions
+		recs[i].UE = UEID(i % 20_000)           // sequential id space, like generation
+	}
+	var buf bytes.Buffer
+	if codec == CodecV1 {
+		w, err := NewWriter(&buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := range recs {
+			if err := w.Write(&recs[i]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			b.Fatal(err)
+		}
+	} else {
+		w, err := NewWriterV2(&buf, WriterV2Options{Compress: compress, BlockRecords: benchBlockRecords})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := w.WriteBatch(recs); err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return buf.Bytes(), n
+}
+
+func benchDecode(b *testing.B, codec Codec, compress bool, batched bool) {
+	data, n := benchStream(b, codec, compress)
+	b.SetBytes(int64(n))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			b.Fatal(err)
+		}
+		total := 0
+		if batched {
+			var batch []Record
+			for {
+				k, err := r.NextBatch(&batch)
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += k
+			}
+		} else {
+			var rec Record
+			for {
+				err := r.Next(&rec)
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				total++
+			}
+		}
+		if total != n {
+			b.Fatalf("decoded %d", total)
+		}
+	}
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+}
+
+func BenchmarkDecodeStreamV1(b *testing.B)      { benchDecode(b, CodecV1, false, false) }
+func BenchmarkDecodeStreamV1Batch(b *testing.B) { benchDecode(b, CodecV1, false, true) }
+func BenchmarkDecodeStreamV2(b *testing.B)      { benchDecode(b, CodecV2, false, true) }
+func BenchmarkDecodeStreamV2Flate(b *testing.B) { benchDecode(b, CodecV2, true, true) }

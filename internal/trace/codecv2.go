@@ -1,0 +1,734 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"telcolens/internal/causes"
+	"telcolens/internal/devices"
+	"telcolens/internal/topology"
+)
+
+// v2 columnar block stream layout (little-endian), negotiated by the
+// shared 8-byte header (magic "TLHO" | version=2 u16 | flags u16):
+//
+//	block:  count u32 | minTS i64 | maxTS i64 | rawLen u32 | encLen u32 |
+//	        tsLen u32 | ueLen u32 | dictEntries u32 | idxLen u32 |
+//	        srcLen u32 | dstLen u32 | causeLen u32 |
+//	        payload [encLen]byte
+//
+// A clean end of stream is an EOF exactly at a block boundary. Each block
+// holds up to BlockRecords records encoded column-at-a-time, in payload
+// order:
+//
+//	timestamps  zigzag-varint deltas (first delta is from minTS)
+//	UE          uvarint
+//	TAC dict    raw u32 entries in first-appearance order
+//	TAC indexes uvarint per record into the dict
+//	source      uvarint
+//	target      uvarint
+//	cause       uvarint
+//	rats        1 byte per record (srcRAT<<4 | dstRAT)
+//	result      1 byte per record
+//	duration    raw f32, canonically quantized (see quantizeDuration)
+//
+// The per-block (minTS, maxTS, count) descriptor lets readers skip whole
+// blocks that fall outside a requested time range without decoding (or,
+// when FlagFlate is set, without inflating) the payload: rawLen is the
+// payload size before compression, encLen the stored size, so a pruned
+// block costs one Discard of encLen bytes.
+//
+// The descriptor also carries each varint column's byte extent (the
+// fixed-width tail is implied by count). That lets the decoder place an
+// independent cursor per column and fill whole records in one fused pass:
+// the six variable-width cursors advance as independent dependency
+// chains the CPU can overlap, instead of one serial varint chain per
+// column pass, and the batch is written once instead of once per column.
+//
+// Durations pass through the v1 fixed-point quantizer before encoding, so
+// a record decoded from a v2 stream is bit-identical to the same record
+// decoded from a v1 stream. That invariant is what keeps rendered
+// analysis artifacts byte-identical across codecs.
+
+// VersionV2 identifies the columnar block stream format.
+const VersionV2 uint16 = 2
+
+// FlagFlate marks a v2 stream whose block payloads are flate-compressed.
+const FlagFlate uint16 = 1 << 0
+
+// DefaultBlockRecords is the default number of records per v2 block.
+const DefaultBlockRecords = 4096
+
+// Sanity caps enforced while decoding untrusted streams.
+const (
+	maxBlockRecords = 1 << 20
+	maxBlockPayload = 1 << 28
+	blockHeadSize   = 4 + 8 + 8 + 4 + 4 + 7*4
+	// maxFlateRatio is DEFLATE's theoretical expansion bound (~1032:1).
+	maxFlateRatio = 1032
+)
+
+// ErrCorruptBlock is returned when a v2 block fails structural validation.
+var ErrCorruptBlock = errors.New("trace: corrupt v2 block")
+
+// ColumnSet selects which record fields a v2 scan must decode. The
+// sectioned block layout makes skipping a column free: the decoder jumps
+// the cursor straight to the section end without touching the bytes.
+// Timestamps are always decoded (range filtering and block validation
+// depend on them). Fields outside the projection hold unspecified values
+// — collectors must only read what they projected.
+type ColumnSet uint8
+
+// Projectable column groups of a v2 block.
+const (
+	// ColUE is the subscriber id column.
+	ColUE ColumnSet = 1 << iota
+	// ColTAC is the dictionary-encoded device column.
+	ColTAC
+	// ColSectors covers the source and target sector columns.
+	ColSectors
+	// ColCause is the failure-cause column.
+	ColCause
+	// ColOutcome covers the fixed-width tail: RATs, result and duration.
+	ColOutcome
+	// ColTimestamp marks a projection that needs nothing beyond the
+	// timestamps (which every projection decodes anyway); use it alone
+	// for pure counting/temporal scans.
+	ColTimestamp
+)
+
+// AllColumns decodes every field (the default; a zero ColumnSet means
+// the same).
+const AllColumns ColumnSet = ColUE | ColTAC | ColSectors | ColCause | ColOutcome | ColTimestamp
+
+// optionalColumns are the groups a projection can actually skip.
+const optionalColumns ColumnSet = ColUE | ColTAC | ColSectors | ColCause | ColOutcome
+
+// quantizeDuration maps a duration onto the codec's canonical resolution
+// (the v1 fixed-point encode/decode round trip), so every stream version
+// stores exactly the same value.
+func quantizeDuration(ms float32) float32 {
+	var buf [2]byte
+	encodeDuration(buf[:], ms)
+	return decodeDuration(buf[:])
+}
+
+// putZigzag appends the zigzag varint encoding of v.
+func putZigzag(dst []byte, v int64) []byte {
+	return binary.AppendUvarint(dst, uint64(v<<1)^uint64(v>>63))
+}
+
+// blockSections carries the byte extents of the variable-width columns
+// (and the TAC dictionary entry count), stored in each block's
+// descriptor so the decoder can run every column cursor independently.
+type blockSections struct {
+	tsLen       uint32
+	ueLen       uint32
+	dictEntries uint32
+	idxLen      uint32
+	srcLen      uint32
+	dstLen      uint32
+	causeLen    uint32
+}
+
+// appendBlockPayload encodes recs column-at-a-time onto dst, returning
+// the extended slice and the column extents. minTS is the block's
+// timestamp floor (the first delta base). tacDict and tacIdx are
+// caller-owned scratch reused across blocks.
+func appendBlockPayload(dst []byte, recs []Record, minTS int64, tacDict *[]uint32, tacIdx map[devices.TAC]int) ([]byte, blockSections) {
+	var secs blockSections
+	// Timestamps: zigzag deltas.
+	prev := minTS
+	mark := len(dst)
+	for i := range recs {
+		dst = putZigzag(dst, recs[i].Timestamp-prev)
+		prev = recs[i].Timestamp
+	}
+	secs.tsLen = uint32(len(dst) - mark)
+	// UEs.
+	mark = len(dst)
+	for i := range recs {
+		dst = binary.AppendUvarint(dst, uint64(recs[i].UE))
+	}
+	secs.ueLen = uint32(len(dst) - mark)
+	// TAC dictionary, frequency-ordered (ties broken by first
+	// appearance, so the encoding stays deterministic): the most common
+	// device models land on the smallest — and most branch-predictable —
+	// one-byte indexes.
+	*tacDict = (*tacDict)[:0]
+	clear(tacIdx)
+	for i := range recs {
+		if _, ok := tacIdx[recs[i].TAC]; !ok {
+			tacIdx[recs[i].TAC] = len(*tacDict)
+			*tacDict = append(*tacDict, uint32(recs[i].TAC))
+		}
+	}
+	counts := make([]int, len(*tacDict))
+	for i := range recs {
+		counts[tacIdx[recs[i].TAC]]++
+	}
+	order := make([]int, len(*tacDict))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if counts[order[a]] != counts[order[b]] {
+			return counts[order[a]] > counts[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	rank := counts // reuse: counts are no longer needed
+	for r, old := range order {
+		rank[old] = r
+	}
+	secs.dictEntries = uint32(len(*tacDict))
+	for _, old := range order {
+		dst = binary.LittleEndian.AppendUint32(dst, (*tacDict)[old])
+	}
+	mark = len(dst)
+	for i := range recs {
+		dst = binary.AppendUvarint(dst, uint64(rank[tacIdx[recs[i].TAC]]))
+	}
+	secs.idxLen = uint32(len(dst) - mark)
+	// Sectors.
+	mark = len(dst)
+	for i := range recs {
+		dst = binary.AppendUvarint(dst, uint64(recs[i].Source))
+	}
+	secs.srcLen = uint32(len(dst) - mark)
+	mark = len(dst)
+	for i := range recs {
+		dst = binary.AppendUvarint(dst, uint64(recs[i].Target))
+	}
+	secs.dstLen = uint32(len(dst) - mark)
+	// Causes.
+	mark = len(dst)
+	for i := range recs {
+		dst = binary.AppendUvarint(dst, uint64(recs[i].Cause))
+	}
+	secs.causeLen = uint32(len(dst) - mark)
+	// Fixed-width tail: RAT pairs, results, then raw f32 durations of the
+	// canonically quantized values.
+	for i := range recs {
+		dst = append(dst, byte(recs[i].SourceRAT)<<4|byte(recs[i].TargetRAT)&0x0f)
+	}
+	for i := range recs {
+		dst = append(dst, byte(recs[i].Result))
+	}
+	for i := range recs {
+		dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(recs[i].DurationMs))
+	}
+	return dst, secs
+}
+
+// decodeBlockProjected decodes only the projected columns of a block
+// (timestamps always included), jumping the cursor over skipped sections
+// without reading them. Unprojected fields in out are left untouched and
+// unspecified. Used by scans that declared a column projection; the
+// full-decode path is decodeBlockPayload.
+func decodeBlockProjected(payload []byte, minTS, maxTS int64, secs blockSections, proj ColumnSet, out []Record, dictScratch *[]devices.TAC) error {
+	n := len(out)
+	pos := 0
+	// Timestamps.
+	prev := minTS
+	var tsOut uint64
+	for i := 0; i < n; i++ {
+		var u uint64
+		if uint(pos+1) < uint(len(payload)) && payload[pos]&payload[pos+1] < 0x80 {
+			b0 := payload[pos]
+			wide := b0 >> 7
+			mask := -uint64(wide)
+			u = uint64(b0&0x7f) | (uint64(payload[pos+1])<<7)&mask
+			pos += 1 + int(wide)
+		} else if u, pos = uvarintSlow(payload, pos); pos < 0 {
+			return fmt.Errorf("%w: timestamp column", ErrCorruptBlock)
+		}
+		prev += int64(u>>1) ^ -int64(u&1)
+		tsOut |= uint64(prev-minTS)>>63 | uint64(maxTS-prev)>>63
+		out[i].Timestamp = prev
+	}
+	if pos != int(secs.tsLen) || tsOut != 0 {
+		return fmt.Errorf("%w: timestamp column", ErrCorruptBlock)
+	}
+	// UE.
+	if proj&ColUE != 0 {
+		end := pos + int(secs.ueLen)
+		for i := 0; i < n; i++ {
+			var v uint64
+			if uint(pos+1) < uint(len(payload)) && payload[pos]&payload[pos+1] < 0x80 {
+				b0 := payload[pos]
+				wide := b0 >> 7
+				mask := -uint64(wide)
+				v = uint64(b0&0x7f) | (uint64(payload[pos+1])<<7)&mask
+				pos += 1 + int(wide)
+			} else if v, pos = uvarintSlow(payload, pos); pos < 0 || v > math.MaxUint32 {
+				return fmt.Errorf("%w: ue column", ErrCorruptBlock)
+			}
+			out[i].UE = UEID(v)
+		}
+		if pos != end {
+			return fmt.Errorf("%w: ue column", ErrCorruptBlock)
+		}
+	} else {
+		pos += int(secs.ueLen)
+	}
+	// TAC dictionary and indexes.
+	dictLen := uint64(secs.dictEntries)
+	if proj&ColTAC != 0 {
+		if dictLen > uint64(n) {
+			return fmt.Errorf("%w: tac dictionary size", ErrCorruptBlock)
+		}
+		if cap(*dictScratch) < int(dictLen) {
+			*dictScratch = make([]devices.TAC, dictLen)
+		}
+		dict := (*dictScratch)[:dictLen]
+		for i := range dict {
+			dict[i] = devices.TAC(binary.LittleEndian.Uint32(payload[pos+i*4:]))
+		}
+		pos += int(dictLen) * 4
+		end := pos + int(secs.idxLen)
+		for i := 0; i < n; i++ {
+			var idx uint64
+			if uint(pos+1) < uint(len(payload)) && payload[pos]&payload[pos+1] < 0x80 {
+				b0 := payload[pos]
+				wide := b0 >> 7
+				mask := -uint64(wide)
+				idx = uint64(b0&0x7f) | (uint64(payload[pos+1])<<7)&mask
+				pos += 1 + int(wide)
+			} else if idx, pos = uvarintSlow(payload, pos); pos < 0 {
+				return fmt.Errorf("%w: tac index column", ErrCorruptBlock)
+			}
+			if idx >= dictLen {
+				return fmt.Errorf("%w: tac index column", ErrCorruptBlock)
+			}
+			out[i].TAC = dict[idx]
+		}
+		if pos != end {
+			return fmt.Errorf("%w: tac index column", ErrCorruptBlock)
+		}
+	} else {
+		pos += int(dictLen)*4 + int(secs.idxLen)
+	}
+	// Sectors.
+	if proj&ColSectors != 0 {
+		for col, secLen := range [2]uint32{secs.srcLen, secs.dstLen} {
+			end := pos + int(secLen)
+			for i := 0; i < n; i++ {
+				var v uint64
+				if uint(pos+1) < uint(len(payload)) && payload[pos]&payload[pos+1] < 0x80 {
+					b0 := payload[pos]
+					wide := b0 >> 7
+					mask := -uint64(wide)
+					v = uint64(b0&0x7f) | (uint64(payload[pos+1])<<7)&mask
+					pos += 1 + int(wide)
+				} else if v, pos = uvarintSlow(payload, pos); pos < 0 || v > math.MaxUint32 {
+					return fmt.Errorf("%w: sector column", ErrCorruptBlock)
+				}
+				if col == 0 {
+					out[i].Source = topology.SectorID(v)
+				} else {
+					out[i].Target = topology.SectorID(v)
+				}
+			}
+			if pos != end {
+				return fmt.Errorf("%w: sector column", ErrCorruptBlock)
+			}
+		}
+	} else {
+		pos += int(secs.srcLen) + int(secs.dstLen)
+	}
+	// Cause.
+	if proj&ColCause != 0 {
+		end := pos + int(secs.causeLen)
+		for i := 0; i < n; i++ {
+			var v uint64
+			if uint(pos+1) < uint(len(payload)) && payload[pos]&payload[pos+1] < 0x80 {
+				b0 := payload[pos]
+				wide := b0 >> 7
+				mask := -uint64(wide)
+				v = uint64(b0&0x7f) | (uint64(payload[pos+1])<<7)&mask
+				pos += 1 + int(wide)
+			} else if v, pos = uvarintSlow(payload, pos); pos < 0 {
+				return fmt.Errorf("%w: cause column", ErrCorruptBlock)
+			}
+			if v > math.MaxUint16 {
+				return fmt.Errorf("%w: cause column", ErrCorruptBlock)
+			}
+			out[i].Cause = causes.Code(v)
+		}
+		if pos != end {
+			return fmt.Errorf("%w: cause column", ErrCorruptBlock)
+		}
+	} else {
+		pos += int(secs.causeLen)
+	}
+	// Fixed-width tail.
+	if proj&ColOutcome != 0 {
+		rats := payload[pos : pos+n]
+		results := payload[pos+n : pos+2*n]
+		durs := payload[pos+2*n : pos+6*n]
+		for i := 0; i < n; i++ {
+			b := rats[i]
+			out[i].SourceRAT = topology.RAT(b >> 4)
+			out[i].TargetRAT = topology.RAT(b & 0x0f)
+			out[i].Result = Result(results[i])
+			out[i].DurationMs = math.Float32frombits(binary.LittleEndian.Uint32(durs[i*4:]))
+		}
+	}
+	return nil
+}
+
+// uvarintSlow handles varints of any width plus end-of-buffer edges; the
+// hot one- and two-byte cases are open-coded in decodeBlockPayload's
+// column loops (helpers with a fallback call blow the inlining budget).
+func uvarintSlow(buf []byte, pos int) (uint64, int) {
+	v, n := binary.Uvarint(buf[pos:])
+	if n <= 0 {
+		return 0, -1
+	}
+	return v, pos + n
+}
+
+// decodeBlockPayload decodes count records from payload into out, which
+// must have length count. It validates every column strictly and never
+// panics on corrupt input.
+//
+// The section extents from the block descriptor place one independent
+// cursor per variable-width column, so a single fused loop fills whole
+// records: the six varint dependency chains advance in parallel (the CPU
+// overlaps them) and the batch is written once, instead of one serial
+// chain and one batch pass per column. The one- and two-byte varint
+// cases (the dominant ones for every column) are open-coded because a
+// shared helper with a fallback call exceeds the inlining budget and
+// costs a call per value. dictScratch is reused across blocks for the
+// decoded TAC dictionary.
+func decodeBlockPayload(payload []byte, minTS, maxTS int64, secs blockSections, out []Record, dictScratch *[]devices.TAC) error {
+	n := len(out)
+	// Section layout (byte offsets into payload).
+	tsPos := 0
+	tsEnd := int(secs.tsLen)
+	uePos := tsEnd
+	ueEnd := uePos + int(secs.ueLen)
+	dictOff := ueEnd
+	dictLen := uint64(secs.dictEntries)
+	idxPos := dictOff + int(dictLen)*4
+	idxEnd := idxPos + int(secs.idxLen)
+	srcPos := idxEnd
+	srcEnd := srcPos + int(secs.srcLen)
+	dstPos := srcEnd
+	dstEnd := dstPos + int(secs.dstLen)
+	causePos := dstEnd
+	causeEnd := causePos + int(secs.causeLen)
+	ratsOff := causeEnd
+	resultsOff := ratsOff + n
+	dursOff := resultsOff + n
+	if dursOff+4*n != len(payload) {
+		return fmt.Errorf("%w: section extents disagree with payload size", ErrCorruptBlock)
+	}
+	if dictLen > uint64(n) {
+		return fmt.Errorf("%w: tac dictionary size", ErrCorruptBlock)
+	}
+	if cap(*dictScratch) < int(dictLen) {
+		*dictScratch = make([]devices.TAC, dictLen)
+	}
+	dict := (*dictScratch)[:dictLen]
+	for i := range dict {
+		dict[i] = devices.TAC(binary.LittleEndian.Uint32(payload[dictOff+i*4:]))
+	}
+	rats := payload[ratsOff:resultsOff]
+	results := payload[resultsOff:dursOff]
+	durs := payload[dursOff:]
+
+	prev := minTS
+	var tsOut uint64 // branchless out-of-bounds accumulator, checked once
+	for i := 0; i < n; i++ {
+		var u uint64
+		if uint(tsPos+1) < uint(len(payload)) && payload[tsPos]&payload[tsPos+1] < 0x80 {
+			// Branchless 1/2-byte fast path: width comes from b0's top bit,
+			// so the only data-dependent branch left is the rare >=3-byte
+			// fallback above.
+			b0 := payload[tsPos]
+			wide := b0 >> 7
+			mask := -uint64(wide)
+			u = uint64(b0&0x7f) | (uint64(payload[tsPos+1])<<7)&mask
+			tsPos += 1 + int(wide)
+		} else if u, tsPos = uvarintSlow(payload, tsPos); tsPos < 0 {
+			return fmt.Errorf("%w: timestamp column", ErrCorruptBlock)
+		}
+		prev += int64(u>>1) ^ -int64(u&1)
+		tsOut |= uint64(prev-minTS)>>63 | uint64(maxTS-prev)>>63
+		out[i].Timestamp = prev
+
+		var ue uint64
+		if uint(uePos+1) < uint(len(payload)) && payload[uePos]&payload[uePos+1] < 0x80 {
+			// Branchless 1/2-byte fast path: width comes from b0's top bit,
+			// so the only data-dependent branch left is the rare >=3-byte
+			// fallback above.
+			b0 := payload[uePos]
+			wide := b0 >> 7
+			mask := -uint64(wide)
+			ue = uint64(b0&0x7f) | (uint64(payload[uePos+1])<<7)&mask
+			uePos += 1 + int(wide)
+		} else if ue, uePos = uvarintSlow(payload, uePos); uePos < 0 || ue > math.MaxUint32 {
+			return fmt.Errorf("%w: ue column", ErrCorruptBlock)
+		}
+		out[i].UE = UEID(ue)
+
+		var idx uint64
+		if uint(idxPos+1) < uint(len(payload)) && payload[idxPos]&payload[idxPos+1] < 0x80 {
+			// Branchless 1/2-byte fast path: width comes from b0's top bit,
+			// so the only data-dependent branch left is the rare >=3-byte
+			// fallback above.
+			b0 := payload[idxPos]
+			wide := b0 >> 7
+			mask := -uint64(wide)
+			idx = uint64(b0&0x7f) | (uint64(payload[idxPos+1])<<7)&mask
+			idxPos += 1 + int(wide)
+		} else if idx, idxPos = uvarintSlow(payload, idxPos); idxPos < 0 {
+			return fmt.Errorf("%w: tac index column", ErrCorruptBlock)
+		}
+		if idx >= dictLen {
+			return fmt.Errorf("%w: tac index column", ErrCorruptBlock)
+		}
+		out[i].TAC = dict[idx]
+
+		var src uint64
+		if uint(srcPos+1) < uint(len(payload)) && payload[srcPos]&payload[srcPos+1] < 0x80 {
+			// Branchless 1/2-byte fast path: width comes from b0's top bit,
+			// so the only data-dependent branch left is the rare >=3-byte
+			// fallback above.
+			b0 := payload[srcPos]
+			wide := b0 >> 7
+			mask := -uint64(wide)
+			src = uint64(b0&0x7f) | (uint64(payload[srcPos+1])<<7)&mask
+			srcPos += 1 + int(wide)
+		} else if src, srcPos = uvarintSlow(payload, srcPos); srcPos < 0 || src > math.MaxUint32 {
+			return fmt.Errorf("%w: source column", ErrCorruptBlock)
+		}
+		out[i].Source = topology.SectorID(src)
+
+		var dst uint64
+		if uint(dstPos+1) < uint(len(payload)) && payload[dstPos]&payload[dstPos+1] < 0x80 {
+			// Branchless 1/2-byte fast path: width comes from b0's top bit,
+			// so the only data-dependent branch left is the rare >=3-byte
+			// fallback above.
+			b0 := payload[dstPos]
+			wide := b0 >> 7
+			mask := -uint64(wide)
+			dst = uint64(b0&0x7f) | (uint64(payload[dstPos+1])<<7)&mask
+			dstPos += 1 + int(wide)
+		} else if dst, dstPos = uvarintSlow(payload, dstPos); dstPos < 0 || dst > math.MaxUint32 {
+			return fmt.Errorf("%w: target column", ErrCorruptBlock)
+		}
+		out[i].Target = topology.SectorID(dst)
+
+		var cause uint64
+		if uint(causePos+1) < uint(len(payload)) && payload[causePos]&payload[causePos+1] < 0x80 {
+			// Branchless 1/2-byte fast path: width comes from b0's top bit,
+			// so the only data-dependent branch left is the rare >=3-byte
+			// fallback above.
+			b0 := payload[causePos]
+			wide := b0 >> 7
+			mask := -uint64(wide)
+			cause = uint64(b0&0x7f) | (uint64(payload[causePos+1])<<7)&mask
+			causePos += 1 + int(wide)
+		} else if cause, causePos = uvarintSlow(payload, causePos); causePos < 0 {
+			return fmt.Errorf("%w: cause column", ErrCorruptBlock)
+		}
+		if cause > math.MaxUint16 {
+			return fmt.Errorf("%w: cause column", ErrCorruptBlock)
+		}
+		out[i].Cause = causes.Code(cause)
+
+		b := rats[i]
+		out[i].SourceRAT = topology.RAT(b >> 4)
+		out[i].TargetRAT = topology.RAT(b & 0x0f)
+		out[i].Result = Result(results[i])
+		out[i].DurationMs = math.Float32frombits(binary.LittleEndian.Uint32(durs[i*4:]))
+	}
+	// Every cursor must land exactly on its section boundary; a varint
+	// straying into a neighboring section reads safely (payload-bounded)
+	// but is rejected here.
+	if tsPos != tsEnd || uePos != ueEnd || idxPos != idxEnd ||
+		srcPos != srcEnd || dstPos != dstEnd || causePos != causeEnd {
+		return fmt.Errorf("%w: column cursors misaligned with section extents", ErrCorruptBlock)
+	}
+	if tsOut != 0 {
+		return fmt.Errorf("%w: timestamp outside block bounds", ErrCorruptBlock)
+	}
+	return nil
+}
+
+// WriterV2Options tunes a v2 block writer. The zero value means
+// DefaultBlockRecords per block, uncompressed.
+type WriterV2Options struct {
+	// BlockRecords is the number of records per block (0 = default).
+	BlockRecords int
+	// Compress flate-compresses block payloads (FlagFlate).
+	Compress bool
+}
+
+// WriterV2 encodes records as a v2 columnar block stream.
+type WriterV2 struct {
+	w        *bufio.Writer
+	recs     []Record
+	perBlock int
+	compress bool
+	count    int64
+	err      error
+
+	payload []byte
+	frame   []byte
+	tacDict []uint32
+	tacIdx  map[devices.TAC]int
+	flateW  *flate.Writer
+	flateB  bytes.Buffer
+}
+
+// NewWriterV2 writes a v2 stream header and returns the block writer.
+func NewWriterV2(w io.Writer, opts WriterV2Options) (*WriterV2, error) {
+	perBlock := opts.BlockRecords
+	if perBlock <= 0 {
+		perBlock = DefaultBlockRecords
+	}
+	if perBlock > maxBlockRecords {
+		return nil, fmt.Errorf("trace: block size %d exceeds %d", perBlock, maxBlockRecords)
+	}
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var flags uint16
+	if opts.Compress {
+		flags |= FlagFlate
+	}
+	var hdr [HeaderSize]byte
+	copy(hdr[0:4], Magic[:])
+	binary.LittleEndian.PutUint16(hdr[4:6], VersionV2)
+	binary.LittleEndian.PutUint16(hdr[6:8], flags)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: writing header: %w", err)
+	}
+	v2 := &WriterV2{
+		w:        bw,
+		recs:     make([]Record, 0, perBlock),
+		perBlock: perBlock,
+		compress: opts.Compress,
+		tacIdx:   make(map[devices.TAC]int),
+	}
+	if opts.Compress {
+		fw, err := flate.NewWriter(io.Discard, flate.DefaultCompression)
+		if err != nil {
+			return nil, err
+		}
+		v2.flateW = fw
+	}
+	return v2, nil
+}
+
+// Write buffers one record, emitting a block when it fills. The duration
+// is canonically quantized on the way in.
+func (w *WriterV2) Write(rec *Record) error {
+	if w.err != nil {
+		return w.err
+	}
+	r := *rec
+	r.DurationMs = quantizeDuration(r.DurationMs)
+	w.recs = append(w.recs, r)
+	w.count++
+	if len(w.recs) >= w.perBlock {
+		return w.flushBlock()
+	}
+	return nil
+}
+
+// WriteBatch buffers a batch of records, emitting blocks as they fill.
+func (w *WriterV2) WriteBatch(recs []Record) error {
+	for i := range recs {
+		if err := w.Write(&recs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Count returns the number of records written so far.
+func (w *WriterV2) Count() int64 { return w.count }
+
+// flushBlock encodes and emits the buffered records as one block.
+func (w *WriterV2) flushBlock() error {
+	if len(w.recs) == 0 {
+		return nil
+	}
+	minTS, maxTS := w.recs[0].Timestamp, w.recs[0].Timestamp
+	for i := 1; i < len(w.recs); i++ {
+		if ts := w.recs[i].Timestamp; ts < minTS {
+			minTS = ts
+		} else if ts > maxTS {
+			maxTS = ts
+		}
+	}
+	var secs blockSections
+	w.payload, secs = appendBlockPayload(w.payload[:0], w.recs, minTS, &w.tacDict, w.tacIdx)
+	stored := w.payload
+	if w.compress {
+		w.flateB.Reset()
+		w.flateW.Reset(&w.flateB)
+		if _, err := w.flateW.Write(w.payload); err != nil {
+			w.err = fmt.Errorf("trace: compressing block: %w", err)
+			return w.err
+		}
+		if err := w.flateW.Close(); err != nil {
+			w.err = fmt.Errorf("trace: compressing block: %w", err)
+			return w.err
+		}
+		stored = w.flateB.Bytes()
+	}
+	w.frame = w.frame[:0]
+	w.frame = binary.LittleEndian.AppendUint32(w.frame, uint32(len(w.recs)))
+	w.frame = binary.LittleEndian.AppendUint64(w.frame, uint64(minTS))
+	w.frame = binary.LittleEndian.AppendUint64(w.frame, uint64(maxTS))
+	w.frame = binary.LittleEndian.AppendUint32(w.frame, uint32(len(w.payload)))
+	w.frame = binary.LittleEndian.AppendUint32(w.frame, uint32(len(stored)))
+	w.frame = binary.LittleEndian.AppendUint32(w.frame, secs.tsLen)
+	w.frame = binary.LittleEndian.AppendUint32(w.frame, secs.ueLen)
+	w.frame = binary.LittleEndian.AppendUint32(w.frame, secs.dictEntries)
+	w.frame = binary.LittleEndian.AppendUint32(w.frame, secs.idxLen)
+	w.frame = binary.LittleEndian.AppendUint32(w.frame, secs.srcLen)
+	w.frame = binary.LittleEndian.AppendUint32(w.frame, secs.dstLen)
+	w.frame = binary.LittleEndian.AppendUint32(w.frame, secs.causeLen)
+	if _, err := w.w.Write(w.frame); err != nil {
+		w.err = fmt.Errorf("trace: writing block: %w", err)
+		return w.err
+	}
+	if _, err := w.w.Write(stored); err != nil {
+		w.err = fmt.Errorf("trace: writing block: %w", err)
+		return w.err
+	}
+	w.recs = w.recs[:0]
+	return nil
+}
+
+// Flush emits any partial block and flushes the underlying writer.
+func (w *WriterV2) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	if err := w.flushBlock(); err != nil {
+		return err
+	}
+	return w.w.Flush()
+}
+
+// BlockStats counts v2 block activity during a read.
+type BlockStats struct {
+	// BlocksRead is the number of block payloads decoded.
+	BlocksRead int64
+	// BlocksSkipped is the number of blocks pruned by the time range
+	// without decoding their payload.
+	BlocksSkipped int64
+}

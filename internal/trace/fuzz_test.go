@@ -1,0 +1,71 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+)
+
+// FuzzDecodeBlock feeds arbitrary bytes to the v2 block decoder through
+// the public Reader. Truncated frames, bad varints, oversized counts,
+// lying compression descriptors and trailing garbage must all surface as
+// errors — never as panics or unbounded allocations.
+func FuzzDecodeBlock(f *testing.F) {
+	// Seed corpus: valid streams across block sizes and compression, plus
+	// targeted corruptions.
+	r := rand.New(rand.NewSource(1))
+	base := StudyStart.UnixMilli()
+	for _, n := range []int{1, 5, 130} {
+		recs := make([]Record, n)
+		for i := range recs {
+			recs[i] = randRecord(r, base)
+		}
+		for _, opts := range []WriterV2Options{{BlockRecords: 64}, {BlockRecords: 64, Compress: true}} {
+			data := encodeV2(f, recs, opts)
+			f.Add(data)
+			f.Add(data[:len(data)-1])
+			f.Add(data[:HeaderSize+blockHeadSize-2])
+			mut := bytes.Clone(data)
+			mut[HeaderSize] ^= 0x7f // count
+			f.Add(mut)
+			mut = bytes.Clone(data)
+			mut[len(mut)-1] ^= 0xff // last payload byte
+			f.Add(mut)
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte("TLHO"))
+	f.Add(append([]byte("TLHO"), 2, 0, 0, 0))
+	f.Add(append([]byte("TLHO"), 2, 0, 1, 0)) // flate flag, no blocks
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rd, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var rec Record
+		for i := 0; i < 4*maxBlockRecords; i++ {
+			if err := rd.Next(&rec); err != nil {
+				// Any terminal condition must be one of the codec's
+				// declared error kinds (or a wrapped form of them).
+				if err != io.EOF && err != ErrTruncated && !errors.Is(err, ErrCorruptBlock) {
+					t.Fatalf("undeclared error kind: %v", err)
+				}
+				break
+			}
+		}
+		// The batched path must agree error-for-error in kind (no panic).
+		rd2, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var batch []Record
+		for i := 0; i < 8; i++ {
+			if _, err := rd2.NextBatch(&batch); err != nil {
+				break
+			}
+		}
+	})
+}

@@ -267,4 +267,3 @@ func TestChainIteratorSurfacesOpenError(t *testing.T) {
 		t.Fatal("open failure not surfaced")
 	}
 }
-

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // The composable scan engine: a Collector accumulates one analysis's
@@ -21,12 +22,54 @@ type ShardState interface {
 	Observe(day int, rec *Record) error
 }
 
+// BatchShardState is implemented by shard states that can consume a
+// whole decoded block per call. ObserveBatch(day, recs) must be
+// equivalent to calling Observe(day, &recs[i]) for each record in order;
+// the engine uses it on the batched scan path to drop the per-record
+// interface call.
+type BatchShardState interface {
+	ObserveBatch(day int, recs []Record) error
+}
+
 // Collector builds per-partition states and folds them. NewShardState may
 // be called from any goroutine; MergeShard is called exactly once per
 // partition, sequentially, in canonical (day, shard) order.
 type Collector interface {
 	NewShardState(day, shard int) ShardState
 	MergeShard(s ShardState) error
+}
+
+// TimeRange restricts a scan to records with
+// MinTS <= Timestamp <= MaxTS (Unix milliseconds, inclusive bounds).
+type TimeRange struct {
+	MinTS int64
+	MaxTS int64
+}
+
+// Contains reports whether ts falls inside the range.
+func (t TimeRange) Contains(ts int64) bool { return ts >= t.MinTS && ts <= t.MaxTS }
+
+// DayRange returns the TimeRange covering study days [fromDay, toDay]
+// inclusive.
+func DayRange(fromDay, toDay int) TimeRange {
+	return TimeRange{
+		MinTS: DayStart(fromDay).UnixMilli(),
+		MaxTS: DayStart(toDay+1).UnixMilli() - 1,
+	}
+}
+
+// ScanMetrics accumulates observability counters across a scan's
+// workers. All fields are updated atomically; read them after Scan
+// returns.
+type ScanMetrics struct {
+	// Partitions is the number of partitions opened.
+	Partitions atomic.Int64
+	// Records is the number of records observed (post range filtering).
+	Records atomic.Int64
+	// BlocksRead / BlocksSkipped count v2 codec blocks decoded vs pruned
+	// by the time range without decoding (zero for v1/memory stores).
+	BlocksRead    atomic.Int64
+	BlocksSkipped atomic.Int64
 }
 
 // ScanOptions tunes a Scan.
@@ -37,6 +80,19 @@ type ScanOptions struct {
 	// Progress, if set, is invoked after each partition is merged with
 	// the number of merged partitions and the total.
 	Progress func(done, total int)
+	// Range, if set, restricts the scan to records inside the window.
+	// Iterators that support TimeRangeSetter prune natively (the v2
+	// codec skips whole blocks); others are filtered record by record.
+	// Either way collectors observe exactly the same record sequence.
+	Range *TimeRange
+	// Projection, if nonzero, declares the columns the collectors read;
+	// v2 block partitions skip decoding everything else. This is an
+	// optimization hint — iterators without projection support decode
+	// all fields — so collectors must only read projected columns.
+	// Timestamps are always decoded.
+	Projection ColumnSet
+	// Metrics, if set, receives scan counters.
+	Metrics *ScanMetrics
 }
 
 // checkEvery is how many records a scan worker processes between context
@@ -112,24 +168,105 @@ func Scan(ctx context.Context, s Store, opts ScanOptions, collectors ...Collecto
 			return err
 		}
 		defer it.Close()
-		var rec Record
-		for n := 0; ; n++ {
-			if n%checkEvery == 0 {
+		if opts.Metrics != nil {
+			opts.Metrics.Partitions.Add(1)
+		}
+		// Push the range down to the iterator when it can prune (the v2
+		// codec skips whole blocks); otherwise filter record by record so
+		// collectors observe an identical sequence either way.
+		filter := false
+		if opts.Range != nil {
+			if rs, ok := it.(TimeRangeSetter); ok {
+				rs.SetTimeRange(opts.Range.MinTS, opts.Range.MaxTS)
+			} else {
+				filter = true
+			}
+		}
+		if opts.Projection != 0 && opts.Projection&AllColumns != AllColumns {
+			if ps, ok := it.(ProjectionSetter); ok {
+				ps.SetProjection(opts.Projection)
+			}
+		}
+		var nRecs int64
+		if bi, ok := it.(BatchIterator); ok {
+			// Batched path: one NextBatch per decoded block instead of one
+			// interface call per record, and one ObserveBatch per block for
+			// states that consume blocks wholesale.
+			batchStates := make([]BatchShardState, len(states))
+			for c, st := range states {
+				if bs, ok := st.(BatchShardState); ok {
+					batchStates[c] = bs
+				}
+			}
+			batch := make([]Record, 0, DefaultBlockRecords)
+			for {
 				if err := scanCtx.Err(); err != nil {
 					return err
 				}
-			}
-			ok, err := it.Next(&rec)
-			if err != nil {
-				return fmt.Errorf("trace: day %d shard %d: %w", p.Day, p.Shard, err)
-			}
-			if !ok {
-				break
-			}
-			for _, st := range states {
-				if err := st.Observe(p.Day, &rec); err != nil {
+				n, err := bi.NextBatch(&batch)
+				if err != nil {
 					return fmt.Errorf("trace: day %d shard %d: %w", p.Day, p.Shard, err)
 				}
+				if n == 0 {
+					break
+				}
+				if filter {
+					// Non-native range enforcement: compact the batch to the
+					// window first, so batch-capable states stay usable and
+					// semantics match the native-pruning path exactly.
+					n = filterRange(batch[:n], opts.Range.MinTS, opts.Range.MaxTS)
+					if n == 0 {
+						continue
+					}
+				}
+				nRecs += int64(n)
+				recs := batch[:n]
+				for c, st := range states {
+					if bs := batchStates[c]; bs != nil {
+						if err := bs.ObserveBatch(p.Day, recs); err != nil {
+							return fmt.Errorf("trace: day %d shard %d: %w", p.Day, p.Shard, err)
+						}
+						continue
+					}
+					for j := range recs {
+						if err := st.Observe(p.Day, &recs[j]); err != nil {
+							return fmt.Errorf("trace: day %d shard %d: %w", p.Day, p.Shard, err)
+						}
+					}
+				}
+			}
+		} else {
+			var rec Record
+			for n := 0; ; n++ {
+				if n%checkEvery == 0 {
+					if err := scanCtx.Err(); err != nil {
+						return err
+					}
+				}
+				ok, err := it.Next(&rec)
+				if err != nil {
+					return fmt.Errorf("trace: day %d shard %d: %w", p.Day, p.Shard, err)
+				}
+				if !ok {
+					break
+				}
+				if filter && !opts.Range.Contains(rec.Timestamp) {
+					continue
+				}
+				nRecs++
+				for _, st := range states {
+					if err := st.Observe(p.Day, &rec); err != nil {
+						return fmt.Errorf("trace: day %d shard %d: %w", p.Day, p.Shard, err)
+					}
+				}
+			}
+		}
+		if opts.Metrics != nil {
+			opts.Metrics.Records.Add(nRecs)
+			if sr, ok := it.(BlockStatsReader); ok {
+				bs := sr.ReadStats()
+				opts.Metrics.BlocksRead.Add(bs.BlocksRead)
+				opts.Metrics.BlocksSkipped.Add(bs.BlocksSkipped)
 			}
 		}
 		pendMu.Lock()
@@ -198,4 +335,17 @@ func Scan(ctx context.Context, s Store, opts ScanOptions, collectors ...Collecto
 		return err
 	}
 	return ctx.Err()
+}
+
+// ScanRange is Scan restricted to records with Timestamp inside tr.
+// Partitions are still all opened (partition naming carries no time
+// bounds), but v2-codec partitions only decode the blocks whose
+// [minTS, maxTS] descriptor intersects the window — a one-day query over
+// a month-long store touches a small fraction of the blocks.
+func ScanRange(ctx context.Context, s Store, opts ScanOptions, tr TimeRange, collectors ...Collector) error {
+	if tr.MinTS > tr.MaxTS {
+		return fmt.Errorf("trace: invalid time range [%d, %d]", tr.MinTS, tr.MaxTS)
+	}
+	opts.Range = &tr
+	return Scan(ctx, s, opts, collectors...)
 }

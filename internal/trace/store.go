@@ -54,11 +54,48 @@ type RecordWriter interface {
 	Close() error
 }
 
+// BatchWriter is implemented by RecordWriters that can land a batch of
+// records more cheaply than record-at-a-time Write calls (the v2 block
+// writer appends a whole batch straight into its block buffer).
+type BatchWriter interface {
+	WriteBatch([]Record) error
+}
+
 // RecordIterator streams records from one partition. Next fills the
 // caller's Record and reports false at end of stream.
 type RecordIterator interface {
 	Next(*Record) (bool, error)
 	Close() error
+}
+
+// BatchIterator is implemented by RecordIterators that can hand out
+// decoded batches. NextBatch fills *batch (growing it as needed) and
+// returns how many records it holds; 0 with a nil error means end of
+// stream. Records arrive in the same order Next would produce them.
+type BatchIterator interface {
+	NextBatch(batch *[]Record) (int, error)
+}
+
+// TimeRangeSetter is implemented by RecordIterators that can restrict
+// themselves to minTS <= Timestamp <= maxTS. Iterators backed by the v2
+// block codec additionally prune whole blocks outside the window without
+// decoding them.
+type TimeRangeSetter interface {
+	SetTimeRange(minTS, maxTS int64)
+}
+
+// ProjectionSetter is implemented by RecordIterators that can skip
+// decoding columns outside the projection (v2 block files). Projection
+// is an optimization hint: non-supporting iterators decode everything,
+// so collectors may only rely on projected fields being valid.
+type ProjectionSetter interface {
+	SetProjection(cols ColumnSet)
+}
+
+// BlockStatsReader is implemented by iterators that track v2 block
+// read/skip counters (see ScanMetrics).
+type BlockStatsReader interface {
+	ReadStats() BlockStats
 }
 
 // ShardOf maps a UE to its shard via a 64-bit finalizer hash, so every
@@ -291,6 +328,17 @@ func (w *memWriter) Write(rec *Record) error {
 	return nil
 }
 
+// WriteBatch appends a batch of records under one lock acquisition.
+func (w *memWriter) WriteBatch(recs []Record) error {
+	if w.closed {
+		return fmt.Errorf("trace: write to closed partition day %d shard %d", w.part.Day, w.part.Shard)
+	}
+	w.store.mu.Lock()
+	w.store.parts[w.part] = append(w.store.parts[w.part], recs...)
+	w.store.mu.Unlock()
+	return nil
+}
+
 func (w *memWriter) Close() error {
 	if w.closed {
 		return nil
@@ -303,34 +351,106 @@ func (w *memWriter) Close() error {
 }
 
 type memIterator struct {
-	recs []Record
-	pos  int
+	recs     []Record
+	pos      int
+	hasRange bool
+	minTS    int64
+	maxTS    int64
 }
 
 func (it *memIterator) Next(rec *Record) (bool, error) {
-	if it.pos >= len(it.recs) {
-		return false, nil
+	for it.pos < len(it.recs) {
+		*rec = it.recs[it.pos]
+		it.pos++
+		if !it.hasRange || (rec.Timestamp >= it.minTS && rec.Timestamp <= it.maxTS) {
+			return true, nil
+		}
 	}
-	*rec = it.recs[it.pos]
-	it.pos++
-	return true, nil
+	return false, nil
+}
+
+// NextBatch copies the next run of records into *batch (up to its
+// capacity, or DefaultBlockRecords when empty).
+func (it *memIterator) NextBatch(batch *[]Record) (int, error) {
+	max := cap(*batch)
+	if max == 0 {
+		max = DefaultBlockRecords
+	}
+	*batch = (*batch)[:0]
+	var rec Record
+	for len(*batch) < max {
+		ok, err := it.Next(&rec)
+		if err != nil {
+			return len(*batch), err
+		}
+		if !ok {
+			break
+		}
+		*batch = append(*batch, rec)
+	}
+	return len(*batch), nil
+}
+
+// SetTimeRange restricts iteration to minTS <= Timestamp <= maxTS.
+func (it *memIterator) SetTimeRange(minTS, maxTS int64) {
+	it.hasRange = true
+	it.minTS = minTS
+	it.maxTS = maxTS
 }
 
 func (it *memIterator) Close() error { return nil }
+
+// Codec selects the on-disk stream format a FileStore writes for new
+// partitions. Reading always negotiates the per-file version, so a
+// directory may mix codecs.
+type Codec uint16
+
+// Supported partition codecs.
+const (
+	// CodecV1 is the legacy fixed-width record stream.
+	CodecV1 Codec = Codec(Version)
+	// CodecV2 is the columnar block format with per-block time bounds.
+	CodecV2 Codec = Codec(VersionV2)
+)
+
+// FileStoreOptions tunes how a FileStore writes new partitions.
+type FileStoreOptions struct {
+	// Codec is the stream format for new partitions (0 = CodecV2).
+	Codec Codec
+	// BlockRecords is the v2 records-per-block size (0 = default).
+	BlockRecords int
+	// Compress flate-compresses v2 block payloads.
+	Compress bool
+}
 
 // FileStore persists partitions as binary trace files in a directory.
 // Shard 0 keeps the legacy day-file name so unsharded campaign
 // directories stay readable and byte-compatible with earlier layouts.
 type FileStore struct {
-	dir string
+	dir  string
+	opts FileStoreOptions
 }
 
-// NewFileStore creates (if needed) and opens a directory-backed store.
+// NewFileStore creates (if needed) and opens a directory-backed store
+// writing the default codec (v2 blocks, uncompressed).
 func NewFileStore(dir string) (*FileStore, error) {
+	return NewFileStoreOpts(dir, FileStoreOptions{})
+}
+
+// NewFileStoreOpts creates (if needed) and opens a directory-backed
+// store with explicit codec options.
+func NewFileStoreOpts(dir string, opts FileStoreOptions) (*FileStore, error) {
+	switch opts.Codec {
+	case 0:
+		opts.Codec = CodecV2
+	case CodecV1, CodecV2:
+	default:
+		return nil, fmt.Errorf("trace: unsupported codec %d", opts.Codec)
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("trace: creating store dir: %w", err)
 	}
-	return &FileStore{dir: dir}, nil
+	return &FileStore{dir: dir, opts: opts}, nil
 }
 
 // Dir returns the backing directory.
@@ -383,7 +503,15 @@ func (f *FileStore) AppendPartition(day, shard int) (RecordWriter, error) {
 		}
 		return nil, fmt.Errorf("trace: creating partition file: %w", err)
 	}
-	w, err := NewWriter(file)
+	var w streamWriter
+	if f.opts.Codec == CodecV1 {
+		w, err = NewWriter(file)
+	} else {
+		w, err = NewWriterV2(file, WriterV2Options{
+			BlockRecords: f.opts.BlockRecords,
+			Compress:     f.opts.Compress,
+		})
+	}
 	if err != nil {
 		file.Close()
 		os.Remove(path)
@@ -437,12 +565,33 @@ func (f *FileStore) Days() ([]int, error) {
 	return daysOf(parts), nil
 }
 
+// streamWriter is the codec-agnostic surface fileWriter needs.
+type streamWriter interface {
+	Write(*Record) error
+	Flush() error
+	Count() int64
+}
+
 type fileWriter struct {
 	file *os.File
-	w    *Writer
+	w    streamWriter
 }
 
 func (w *fileWriter) Write(rec *Record) error { return w.w.Write(rec) }
+
+// WriteBatch lands a batch, going through the codec's batch path when it
+// has one.
+func (w *fileWriter) WriteBatch(recs []Record) error {
+	if bw, ok := w.w.(BatchWriter); ok {
+		return bw.WriteBatch(recs)
+	}
+	for i := range recs {
+		if err := w.w.Write(&recs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 func (w *fileWriter) Close() error {
 	if err := w.w.Flush(); err != nil {
@@ -467,5 +616,23 @@ func (it *fileIterator) Next(rec *Record) (bool, error) {
 	}
 	return true, nil
 }
+
+// NextBatch hands out the next decoded batch (one block on v2 streams).
+func (it *fileIterator) NextBatch(batch *[]Record) (int, error) {
+	n, err := it.r.NextBatch(batch)
+	if err == io.EOF {
+		return 0, nil
+	}
+	return n, err
+}
+
+// SetTimeRange restricts the stream; v2 files prune whole blocks.
+func (it *fileIterator) SetTimeRange(minTS, maxTS int64) { it.r.SetTimeRange(minTS, maxTS) }
+
+// SetProjection restricts which columns v2 files decode.
+func (it *fileIterator) SetProjection(cols ColumnSet) { it.r.SetProjection(cols) }
+
+// ReadStats reports block read/skip counters (zero for v1 files).
+func (it *fileIterator) ReadStats() BlockStats { return it.r.Stats() }
 
 func (it *fileIterator) Close() error { return it.file.Close() }

@@ -79,6 +79,9 @@ type options struct {
 	parallelism int
 	shards      int
 	progress    func(ProgressEvent)
+	winFrom     int
+	winTo       int
+	winSet      bool
 }
 
 // WithParallelism bounds how many trace partitions an analysis scan
@@ -101,6 +104,15 @@ func WithProgress(fn func(ProgressEvent)) Option {
 	return func(o *options) { o.progress = fn }
 }
 
+// WithWindow restricts the analysis to study days [fromDay, toDay]
+// inclusive (-1 leaves a bound open). Scans become time-ranged: stores
+// written with the v2 block codec only decode blocks inside the window.
+func WithWindow(fromDay, toDay int) Option {
+	return func(o *options) {
+		o.winFrom, o.winTo, o.winSet = fromDay, toDay, true
+	}
+}
+
 func buildOptions(opts []Option) options {
 	var o options
 	for _, opt := range opts {
@@ -117,6 +129,9 @@ func analyzerOptions(o options) []analysis.Option {
 	}
 	if o.progress != nil {
 		out = append(out, analysis.WithProgress(o.progress))
+	}
+	if o.winSet {
+		out = append(out, analysis.WithWindow(o.winFrom, o.winTo))
 	}
 	return out
 }
