@@ -11,18 +11,29 @@
 #   make bench-gate-run
 #                     the measured bench pass the CI regression gate
 #                     feeds to cmd/benchgate: BenchmarkScan +
-#                     BenchmarkScanSharded, -count 5, written to
-#                     $(BENCH_OUT) (default BENCH_out.txt)
+#                     BenchmarkScanSharded + the paired BenchmarkRunAll
+#                     (record-at-a-time vs batch-native), -count 5 with
+#                     -benchmem, written to $(BENCH_OUT)
+#   make alloc-check  assert the steady-state batch scan loop allocates
+#                     nothing per block (internal/trace allocation tests)
+#   make profile      generate a campaign (once) and run telcoanalyze
+#                     under -cpuprofile/-memprofile, so perf work starts
+#                     from a pprof, not a guess; tune PROFILE_EXP/
+#                     PROFILE_DIR/PROFILE_ARGS
 #   make fuzz-smoke   30s of FuzzDecodeBlock on the v2 block decoder
-#   make ci           vet + build + race + bench-smoke (the PR gate also
-#                     runs lint, the determinism matrix and benchgate —
-#                     see .github/workflows/ci.yml)
+#   make ci           vet + build + race + bench-smoke + alloc-check
+#                     (the PR gate also runs lint, the determinism
+#                     matrix and benchgate — see .github/workflows/ci.yml)
 
 GO ?= go
 STATICCHECK ?= $(GO) run honnef.co/go/tools/cmd/staticcheck@2025.1
 BENCH_OUT ?= BENCH_out.txt
+BENCH_PATTERN ?= BenchmarkScanSharded|BenchmarkScan$$|BenchmarkRunAll
+PROFILE_DIR ?= profile-campaign
+PROFILE_EXP ?= table5
+PROFILE_ARGS ?=
 
-.PHONY: all vet lint build test race bench-smoke bench-gate-run fuzz-smoke ci
+.PHONY: all vet lint build test race bench-smoke bench-gate-run alloc-check profile fuzz-smoke ci
 
 all: ci
 
@@ -46,16 +57,34 @@ race:
 # One pass over the scan benchmarks to catch bench-only regressions
 # without paying for a full statistical run.
 bench-smoke:
-	$(GO) test -run NONE -bench 'BenchmarkScanSharded|BenchmarkScan$$' -benchtime 1x .
+	$(GO) test -run NONE -bench '$(BENCH_PATTERN)' -benchtime 1x .
 
 # The measured pass the CI bench gate compares across branches. Written
 # to the file first and cat'ed after, so a bench failure fails the
 # target (a `| tee` pipe under make's default shell would mask it).
+# -benchmem records B/op and allocs/op in the BENCH_* artifacts; the
+# hard zero-allocation assertion lives in `make alloc-check`.
 bench-gate-run:
-	@$(GO) test -run NONE -bench 'BenchmarkScanSharded|BenchmarkScan$$' \
+	@$(GO) test -run NONE -bench '$(BENCH_PATTERN)' -benchmem \
 		-benchtime 2x -count 5 . > $(BENCH_OUT); s=$$?; cat $(BENCH_OUT); exit $$s
+
+# Steady-state allocation check: decoding a block into a ColumnBatch (or
+# record batch) and the pooled scan loop must not allocate per block.
+# The tests are built out under -race (the detector skews allocation
+# counts), so this is a separate non-race invocation.
+alloc-check:
+	$(GO) test -run 'SteadyStateAllocs|SteadyStateBlockAllocs' -count 1 ./internal/trace/
+
+# Profile an experiment end to end. The campaign is generated once and
+# reused; delete $(PROFILE_DIR) to regenerate.
+profile: build
+	@test -d $(PROFILE_DIR) || $(GO) run ./cmd/telcogen -out $(PROFILE_DIR) \
+		-ues 6000 -days 14 -shards 4
+	$(GO) run ./cmd/telcoanalyze -data $(PROFILE_DIR) -exp $(PROFILE_EXP) -v \
+		-cpuprofile cpu.pprof -memprofile mem.pprof $(PROFILE_ARGS) > /dev/null
+	@echo "wrote cpu.pprof and mem.pprof — inspect with: $(GO) tool pprof cpu.pprof"
 
 fuzz-smoke:
 	$(GO) test -run NONE -fuzz FuzzDecodeBlock -fuzztime 30s ./internal/trace/
 
-ci: vet build race bench-smoke
+ci: vet build race bench-smoke alloc-check

@@ -310,6 +310,98 @@ func BenchmarkScan(b *testing.B) {
 	})
 }
 
+// recordOnlyStore strips the batch and column interfaces from a store's
+// iterators, forcing scans back onto the record-at-a-time path (one
+// iterator call plus one Observe interface call per collector per
+// record) — the baseline the batch-native engine is measured against.
+type recordOnlyStore struct{ trace.Store }
+
+type recordOnlyIterator struct{ inner trace.RecordIterator }
+
+func (s recordOnlyStore) OpenPartition(day, shard int) (trace.RecordIterator, error) {
+	it, err := s.Store.OpenPartition(day, shard)
+	if err != nil {
+		return nil, err
+	}
+	return recordOnlyIterator{it}, nil
+}
+
+func (it recordOnlyIterator) Next(rec *trace.Record) (bool, error) { return it.inner.Next(rec) }
+func (it recordOnlyIterator) Close() error                         { return it.inner.Close() }
+
+// The storage-layer capabilities (range pruning, column projection,
+// block stats) pass through — only the analysis-layer batch/column
+// interfaces are stripped, so the pair isolates the collector path.
+func (it recordOnlyIterator) SetTimeRange(minTS, maxTS int64) {
+	if rs, ok := it.inner.(trace.TimeRangeSetter); ok {
+		rs.SetTimeRange(minTS, maxTS)
+	}
+}
+
+func (it recordOnlyIterator) SetProjection(cols trace.ColumnSet) {
+	if ps, ok := it.inner.(trace.ProjectionSetter); ok {
+		ps.SetProjection(cols)
+	}
+}
+
+func (it recordOnlyIterator) ReadStats() trace.BlockStats {
+	if sr, ok := it.inner.(trace.BlockStatsReader); ok {
+		return sr.ReadStats()
+	}
+	return trace.BlockStats{}
+}
+
+// BenchmarkRunAll is the tentpole end-to-end pair: every experiment of
+// the paper regenerated from one v2 block store, once over the
+// record-at-a-time collector path and once over the batch-native
+// (columnar) path. The speedup sub-benchmark interleaves both inside
+// one timer window so machine drift cancels out of the reported ratio.
+func BenchmarkRunAll(b *testing.B) {
+	a := benchSetup(b)
+	s2 := codecBenchStore(b, "raw-v2", trace.FileStoreOptions{Codec: trace.CodecV2})
+	total, err := trace.Count(s2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	runOnce := func(s trace.Store) {
+		ds := *a.DS // shallow copy with the store swapped
+		ds.Store = s
+		fresh, err := NewAnalyzer(&ds)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := RunAll(context.Background(), fresh, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("record", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runOnce(recordOnlyStore{s2})
+		}
+		b.ReportMetric(float64(total)*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+	})
+	b.Run("batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runOnce(s2)
+		}
+		b.ReportMetric(float64(total)*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+	})
+	b.Run("speedup", func(b *testing.B) {
+		var dRec, dBatch time.Duration
+		for i := 0; i < b.N; i++ {
+			start := time.Now()
+			runOnce(recordOnlyStore{s2})
+			dRec += time.Since(start)
+			start = time.Now()
+			runOnce(s2)
+			dBatch += time.Since(start)
+		}
+		if dBatch > 0 {
+			b.ReportMetric(dRec.Seconds()/dBatch.Seconds(), "batch_speedup_x")
+		}
+	})
+}
+
 // BenchmarkScanRange pits a one-day windowed scan against the full-month
 // scan on the same v2 block store: the pruned scan touches only the
 // blocks whose descriptors intersect the window.

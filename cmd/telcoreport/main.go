@@ -33,6 +33,7 @@ func main() {
 		parallel  = flag.Int("parallel", 0, "analysis scan parallelism (0 = GOMAXPROCS)")
 		rareBoost = flag.Float64("rareboost", 1, "2G fallback multiplier for fresh campaigns")
 		out       = flag.String("out", "", "output file (empty = stdout)")
+		verbose   = flag.Bool("v", false, "print scan metrics (partitions, records, blocks pruned/decoded, bytes) on stderr")
 		fromDay   = flag.Int("from", -1, "first study day of the analysis window (-1 = study start)")
 		toDay     = flag.Int("to", -1, "last study day of the analysis window, inclusive (-1 = study end); multi-day experiments (home detection) need a wide enough window")
 	)
@@ -88,6 +89,9 @@ func main() {
 	}
 	if err := telcolens.RunAll(ctx, a, bw); err != nil {
 		fatal(err)
+	}
+	if *verbose {
+		fmt.Fprintln(os.Stderr, "scan:", a.ScanStats().Summary())
 	}
 }
 

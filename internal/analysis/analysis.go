@@ -104,6 +104,46 @@ type Analyzer struct {
 	env   *scanEnv
 	state *scanState
 	have  Need
+	stats ScanStats
+}
+
+// ScanStats snapshots the trace-scan observability counters an Analyzer
+// has accumulated across its Require passes: partitions and records
+// read, v2 blocks decoded vs pruned by time-range descriptors, and the
+// stored bytes consumed by decoded data (zero for stores without byte
+// accounting, such as the in-memory store).
+type ScanStats struct {
+	Scans         int64
+	Partitions    int64
+	Records       int64
+	BlocksRead    int64
+	BlocksSkipped int64
+	BytesRead     int64
+}
+
+// ScanStats returns the counters accumulated so far.
+func (a *Analyzer) ScanStats() ScanStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.stats
+}
+
+// Summary renders the counters the way the CLI -v flags print them.
+func (s ScanStats) Summary() string {
+	return fmt.Sprintf("%d scan(s), %d partitions, %d records, %d blocks decoded, %d blocks pruned, %.2f MB read",
+		s.Scans, s.Partitions, s.Records, s.BlocksRead, s.BlocksSkipped,
+		float64(s.BytesRead)/1e6)
+}
+
+// sharedEnv returns the per-dataset lookup tables, building them on
+// first use (pure tabulation, no scan).
+func (a *Analyzer) sharedEnv() *scanEnv {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.env == nil {
+		a.env = newScanEnv(a.DS)
+	}
+	return a.env
 }
 
 // New returns an Analyzer over the dataset.
@@ -227,7 +267,10 @@ type scanState struct {
 	typeFails       [ho.NumTypes]int64
 	perDayTypeFails [][ho.NumTypes]int64
 	vendorByType    [ho.NumTypes][4]int64 // Fig 17 bottom
-	bytesStored     int64
+	// bytesStored is the actual on-disk stored size of the scanned trace
+	// bytes (from ScanMetrics.BytesRead); for stores without byte
+	// accounting it falls back to the raw record-equivalent estimate.
+	bytesStored int64
 
 	// NeedDurations (deterministically bottom-k sampled).
 	durSuccess [ho.NumTypes]*sampler
@@ -263,8 +306,12 @@ type scanState struct {
 	sectorDay []SectorDayRow
 }
 
-// topManufacturers tracked for Fig 11/15 stacked views.
-var topManufacturers = []string{"Apple", "Samsung", "Motorola", "Google", "Huawei"}
+// topManufacturers tracked for Fig 11/15 stacked views. The array index
+// is the dense manufacturer id the causes collector accumulates under
+// (see tacInfo.mfr).
+const nTopMfr = 5
+
+var topManufacturers = [nTopMfr]string{"Apple", "Samsung", "Motorola", "Google", "Huawei"}
 
 // collectorFor builds the collector computing one Need unit.
 func collectorFor(need Need, env *scanEnv) collector {
@@ -293,8 +340,10 @@ func collectorFor(need Need, env *scanEnv) collector {
 func (a *Analyzer) Require(ctx context.Context, need Need) (*scanState, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	if a.state == nil {
+	if a.env == nil {
 		a.env = newScanEnv(a.DS)
+	}
+	if a.state == nil {
 		a.state = &scanState{
 			days:      a.env.days,
 			nUEs:      a.env.nUEs,
@@ -334,7 +383,12 @@ func (a *Analyzer) Require(ctx context.Context, need Need) (*scanState, error) {
 		tcols[i] = c
 		proj |= c.columns()
 	}
-	opts := trace.ScanOptions{Parallelism: a.parallelism, Projection: proj | trace.ColTimestamp}
+	var metrics trace.ScanMetrics
+	opts := trace.ScanOptions{
+		Parallelism: a.parallelism,
+		Projection:  proj | trace.ColTimestamp,
+		Metrics:     &metrics,
+	}
 	if a.progress != nil {
 		progress := a.progress
 		opts.Progress = func(done, total int) { progress(ProgressEvent{Done: done, Total: total}) }
@@ -357,9 +411,24 @@ func (a *Analyzer) Require(ctx context.Context, need Need) (*scanState, error) {
 	if err := trace.Scan(ctx, a.DS.Store, opts, tcols...); err != nil {
 		return nil, err
 	}
+	a.stats.Scans++
+	a.stats.Partitions += metrics.Partitions.Load()
+	a.stats.Records += metrics.Records.Load()
+	a.stats.BlocksRead += metrics.BlocksRead.Load()
+	a.stats.BlocksSkipped += metrics.BlocksSkipped.Load()
+	a.stats.BytesRead += metrics.BytesRead.Load()
 	for _, c := range cols {
 		if err := c.finalize(a.state); err != nil {
 			return nil, err
+		}
+	}
+	if missing&NeedTypes != 0 {
+		// Actual on-disk stored bytes for the scanned view: v2 blocks
+		// compress, so the v1-era totalHOs×RecordSize estimate (the
+		// finalize fallback, still used for byte-less stores) can be off
+		// by the compression factor.
+		if br := metrics.BytesRead.Load(); br > 0 {
+			a.state.bytesStored = br
 		}
 	}
 	a.have |= missing

@@ -51,8 +51,11 @@ type collector interface {
 }
 
 // scanEnv is the immutable per-dataset context shared by all collectors:
-// dimension sizes plus a flat per-sector metadata table so shard states
-// resolve area/vendor/district/site/location with one slice index.
+// dimension sizes plus flat metadata tables so the per-record hot loops
+// resolve everything with one slice index — per-sector
+// area/vendor/district/site/location, per-TAC device metadata (replacing
+// the Devices.ByTAC map probe), and per-day start millis (replacing the
+// DayStart time arithmetic).
 type scanEnv struct {
 	ds         *simulate.Dataset
 	days       int
@@ -60,6 +63,13 @@ type scanEnv struct {
 	nSectors   int
 	nDistricts int
 	sectors    []sectorMeta
+	// dayStartMs[d] is DayStart(d).UnixMilli() for d in [0, days].
+	dayStartMs []int64
+	// tacInfo is the dense TAC → device metadata table, indexed by
+	// TAC - tacBase; nil when the catalog's TAC space is too sparse to
+	// tabulate (lookupTAC then falls back to the catalog map).
+	tacBase devices.TAC
+	tacInfo []tacInfo
 }
 
 type sectorMeta struct {
@@ -70,6 +80,19 @@ type sectorMeta struct {
 	vendor   uint8
 }
 
+// tacInfo is one dense TAC-table entry: the device type plus the index
+// into topManufacturers (-1 when untracked or not a smartphone),
+// resolved once per dataset.
+type tacInfo struct {
+	known   bool
+	devType uint8
+	mfr     int8
+}
+
+// maxTACSpread bounds the dense table size; generated catalogs are
+// contiguous, so this only guards synthetic pathological inputs.
+const maxTACSpread = 1 << 22
+
 func newScanEnv(ds *simulate.Dataset) *scanEnv {
 	env := &scanEnv{
 		ds:         ds,
@@ -78,6 +101,7 @@ func newScanEnv(ds *simulate.Dataset) *scanEnv {
 		nSectors:   len(ds.Network.Sectors),
 		nDistricts: len(ds.Country.Districts),
 		sectors:    make([]sectorMeta, len(ds.Network.Sectors)),
+		dayStartMs: make([]int64, ds.Config.Days+1),
 	}
 	for i := range env.sectors {
 		sec := ds.Network.Sector(topology.SectorID(i))
@@ -90,8 +114,83 @@ func newScanEnv(ds *simulate.Dataset) *scanEnv {
 			m.areaIdx = 1
 		}
 	}
+	for d := range env.dayStartMs {
+		env.dayStartMs[d] = trace.DayStart(d).UnixMilli()
+	}
+	if models := ds.Devices.Models; len(models) > 0 {
+		minT, maxT := models[0].TAC, models[0].TAC
+		for i := range models {
+			if t := models[i].TAC; t < minT {
+				minT = t
+			} else if t > maxT {
+				maxT = t
+			}
+		}
+		if spread := uint64(maxT) - uint64(minT); spread < maxTACSpread {
+			env.tacBase = minT
+			env.tacInfo = make([]tacInfo, spread+1)
+			for i := range models {
+				env.tacInfo[models[i].TAC-minT] = tacInfoOf(&models[i])
+			}
+		}
+	}
 	return env
 }
+
+func tacInfoOf(m *devices.Model) tacInfo {
+	ti := tacInfo{known: true, devType: uint8(m.Type), mfr: -1}
+	if m.Type == devices.Smartphone {
+		for i, name := range topManufacturers {
+			if name == m.Manufacturer {
+				ti.mfr = int8(i)
+			}
+		}
+	}
+	return ti
+}
+
+// lookupTAC resolves a record's TAC to its device metadata: one slice
+// index on the dense fast path, the catalog map only when the dense
+// table could not be built. The second return is false for unknown TACs.
+func (env *scanEnv) lookupTAC(t devices.TAC) (tacInfo, bool) {
+	if idx := uint64(t) - uint64(env.tacBase); idx < uint64(len(env.tacInfo)) {
+		ti := env.tacInfo[idx]
+		return ti, ti.known
+	}
+	return env.lookupTACSlow(t)
+}
+
+func (env *scanEnv) lookupTACSlow(t devices.TAC) (tacInfo, bool) {
+	if env.tacInfo != nil {
+		// The dense table covers the whole catalog; out of range = unknown.
+		return tacInfo{}, false
+	}
+	m := env.ds.Devices.ByTAC(t)
+	if m == nil {
+		return tacInfo{}, false
+	}
+	return tacInfoOf(m), true
+}
+
+// dayStart returns DayStart(day).UnixMilli() from the hoisted table
+// (falling back to time arithmetic for out-of-window days, which only
+// direct trace.Scan callers can produce).
+func (env *scanEnv) dayStart(day int) int64 {
+	if day >= 0 && day < len(env.dayStartMs) {
+		return env.dayStartMs[day]
+	}
+	return trace.DayStart(day).UnixMilli()
+}
+
+// hoTypeByRAT maps a packed RAT byte's target nibble to its handover
+// type, hoisting the ho.Classify switch out of the batch loops. Index
+// with rats&0x0f.
+var hoTypeByRAT = func() (t [16]ho.Type) {
+	for r := range t {
+		t[r] = ho.Classify(topology.RAT(r))
+	}
+	return
+}()
 
 // --- deterministic bottom-k sampling -----------------------------------
 
@@ -115,14 +214,22 @@ func recKey(rec *trace.Record) uint64 {
 // sampler keeps the capacity values whose hashed priorities are smallest
 // ("bottom-k" sampling). Because the kept set is a pure function of the
 // observed multiset, it is identical for any partitioning or scan order —
-// unlike an RNG reservoir — while still being a uniform sample. The
-// priority arrays form a binary max-heap so eviction is O(log k).
+// unlike an RNG reservoir — while still being a uniform sample.
+//
+// The arrays are maintained lazily: the fill phase is plain appends, a
+// single O(k) heapify establishes the max-heap the first time an
+// eviction is needed, and absorb concatenates whole shard samplers,
+// pruning back to the exact bottom-k by quickselect only when the
+// buffer grows past a multiple of the capacity. Everything is an exact
+// bottom-k selection, so the kept set — and every artifact derived from
+// it — is independent of which maintenance path ran.
 type sampler struct {
 	capacity int
 	salt     uint64
 	n        int64
 	pri      []uint64
 	val      []float64
+	heaped   bool
 	sealed   bool
 }
 
@@ -139,21 +246,38 @@ func pvLess(p1 uint64, v1 float64, p2 uint64, v2 float64) bool {
 	return v1 < v2
 }
 
-// Add offers one value keyed by the record hash.
+// Add offers one value keyed by the record hash. The root-threshold
+// fast path makes the steady-state common case — a full sampler
+// rejecting a candidate — one hash, one compare and no heap motion,
+// without the insert call.
 func (s *sampler) Add(v float64, key uint64) {
 	s.n++
-	s.insert(mix64(key^s.salt), v)
+	p := mix64(key ^ s.salt)
+	if s.heaped && p > s.pri[0] {
+		// Root-threshold fast path: strictly above the max-heap root can
+		// never enter the bottom-k — one compare, no heap motion, and
+		// the dominant case once a sampler is full. (p == root falls
+		// through to insert for the value tiebreak.)
+		return
+	}
+	s.insert(p, v)
 }
 
 func (s *sampler) insert(p uint64, v float64) {
 	if len(s.pri) < s.capacity {
+		// Fill phase: plain append. Shard-local samplers that never
+		// fill pay nothing but the appends.
 		s.pri = append(s.pri, p)
 		s.val = append(s.val, v)
-		s.siftUp(len(s.pri) - 1)
 		return
 	}
+	if !s.heaped {
+		s.heapify()
+	}
 	// Keep the k smallest: replace the max root when the candidate is
-	// smaller.
+	// smaller. With more than capacity entries buffered (post-absorb),
+	// this maintains a bottom-len superset of the bottom-k; seal prunes
+	// exactly.
 	if !pvLess(p, v, s.pri[0], s.val[0]) {
 		return
 	}
@@ -161,17 +285,69 @@ func (s *sampler) insert(p uint64, v float64) {
 	s.siftDown(0)
 }
 
-func (s *sampler) siftUp(i int) {
-	for i > 0 {
-		parent := (i - 1) / 2
-		// Max-heap: swap while the parent is smaller than the child.
-		if !pvLess(s.pri[parent], s.val[parent], s.pri[i], s.val[i]) {
-			return
-		}
-		s.pri[i], s.pri[parent] = s.pri[parent], s.pri[i]
-		s.val[i], s.val[parent] = s.val[parent], s.val[i]
-		i = parent
+// heapify establishes the max-heap invariant over the buffered entries.
+func (s *sampler) heapify() {
+	for i := len(s.pri)/2 - 1; i >= 0; i-- {
+		s.siftDown(i)
 	}
+	s.heaped = true
+}
+
+// pruneToCapacity shrinks the buffer to exactly the bottom-capacity
+// entries by (priority, value) using in-place quickselect — O(len)
+// instead of one heap eviction per entry.
+func (s *sampler) pruneToCapacity() {
+	if len(s.pri) <= s.capacity {
+		return
+	}
+	lo, hi := 0, len(s.pri)-1
+	k := s.capacity // select so [0, k) holds the k smallest
+	for lo < hi {
+		// Median-of-three pivot, moved to hi-1 (deterministic).
+		mid := int(uint(lo+hi) >> 1)
+		if pvLess(s.pri[mid], s.val[mid], s.pri[lo], s.val[lo]) {
+			s.swap(mid, lo)
+		}
+		if pvLess(s.pri[hi], s.val[hi], s.pri[lo], s.val[lo]) {
+			s.swap(hi, lo)
+		}
+		if pvLess(s.pri[hi], s.val[hi], s.pri[mid], s.val[mid]) {
+			s.swap(hi, mid)
+		}
+		if hi-lo < 3 {
+			break
+		}
+		s.swap(mid, hi-1)
+		pp, pv := s.pri[hi-1], s.val[hi-1]
+		i, j := lo, hi-1
+		for {
+			for i++; pvLess(s.pri[i], s.val[i], pp, pv); i++ {
+			}
+			for j--; pvLess(pp, pv, s.pri[j], s.val[j]); j-- {
+			}
+			if i >= j {
+				break
+			}
+			s.swap(i, j)
+		}
+		s.swap(i, hi-1) // pivot into place at i
+		switch {
+		case k <= i:
+			hi = i - 1
+		case k > i+1:
+			lo = i + 1
+		default:
+			lo = hi // k == i+1: pivot closes the boundary
+		}
+	}
+	s.pri = s.pri[:s.capacity]
+	s.val = s.val[:s.capacity]
+	s.heaped = false
+}
+
+func (s *sampler) swap(i, j int) {
+	s.pri[i], s.pri[j] = s.pri[j], s.pri[i]
+	s.val[i], s.val[j] = s.val[j], s.val[i]
 }
 
 func (s *sampler) siftDown(i int) {
@@ -194,11 +370,24 @@ func (s *sampler) siftDown(i int) {
 	}
 }
 
-// absorb folds another sampler (same capacity and salt) into s.
+// absorb folds another sampler (same capacity and salt) into s: a bulk
+// concatenation with amortized-linear quickselect pruning, instead of
+// one heap insertion per entry. Exactness is unaffected — the kept set
+// after seal is still the bottom-capacity of everything observed.
 func (s *sampler) absorb(o *sampler) {
 	s.n += o.n
-	for i := range o.pri {
-		s.insert(o.pri[i], o.val[i])
+	if s.heaped {
+		// Already in eviction mode (a single stream overflowed):
+		// fall back to per-entry inserts.
+		for i := range o.pri {
+			s.insert(o.pri[i], o.val[i])
+		}
+		return
+	}
+	s.pri = append(s.pri, o.pri...)
+	s.val = append(s.val, o.val...)
+	if len(s.pri) >= 4*s.capacity {
+		s.pruneToCapacity()
 	}
 }
 
@@ -207,6 +396,7 @@ func (s *sampler) seal() {
 	if s.sealed {
 		return
 	}
+	s.pruneToCapacity()
 	idx := make([]int, len(s.pri))
 	for i := range idx {
 		idx[i] = i
@@ -299,6 +489,9 @@ func (c *typesCollector) NewShardState(day, shard int) trace.ShardState {
 	return &typesShard{env: c.env, day: day}
 }
 
+// Observe is the record-at-a-time compatibility path (stores without
+// batch support); it keeps the historical per-record catalog probe.
+// The batch path below replaces it with the dense TAC table.
 func (s *typesShard) Observe(day int, rec *trace.Record) error {
 	model := s.env.ds.Devices.ByTAC(rec.TAC)
 	if model == nil {
@@ -314,6 +507,31 @@ func (s *typesShard) Observe(day int, rec *trace.Record) error {
 		s.fails++
 		s.typeFails[t]++
 		s.dayFails[t]++
+	}
+	return nil
+}
+
+// ObserveColumns is the batch-native Observe: the record-count bump is
+// hoisted out of the loop and every per-record lookup is a slice index.
+func (s *typesShard) ObserveColumns(day int, cb *trace.ColumnBatch) error {
+	env := s.env
+	n := cb.Len()
+	s.hos += int64(n)
+	for i := 0; i < n; i++ {
+		ti, ok := env.lookupTAC(cb.TACs[i])
+		if !ok {
+			return fmt.Errorf("analysis: unknown TAC %d", cb.TACs[i])
+		}
+		t := hoTypeByRAT[cb.RATs[i]&0x0f]
+		s.counts[t]++
+		s.devCounts[t][ti.devType]++
+		s.dayTypeDev[t][ti.devType]++
+		s.vendor[t][env.sectors[cb.Sources[i]].vendor]++
+		if cb.Results[i] == trace.Failure {
+			s.fails++
+			s.typeFails[t]++
+			s.dayFails[t]++
+		}
 	}
 	return nil
 }
@@ -355,6 +573,10 @@ func (c *typesCollector) finalize(out *scanState) error {
 	out.typeFails = c.typeFails
 	out.perDayTypeFails = c.perDayFails
 	out.vendorByType = c.vendorByType
+	// Raw record-equivalent fallback for stores without byte accounting
+	// (e.g. the in-memory store); Require overwrites it with the actual
+	// on-disk stored bytes from the scan metrics when available — v2
+	// blocks compress, so the two can differ by the compression factor.
 	out.bytesStored = c.totalHOs * trace.RecordSize
 	return nil
 }
@@ -409,6 +631,22 @@ func (s *durationsShard) Observe(day int, rec *trace.Record) error {
 	return nil
 }
 
+// ObserveColumns computes the record key inline from the timestamp and
+// UE columns; the samplers' root-threshold fast path makes the common
+// full-sampler case one compare per record.
+func (s *durationsShard) ObserveColumns(day int, cb *trace.ColumnBatch) error {
+	n := cb.Len()
+	for i := 0; i < n; i++ {
+		key := mix64(uint64(cb.Timestamps[i])) ^ uint64(cb.UEs[i])*0x9e3779b97f4a7c15
+		if cb.Results[i] == trace.Failure {
+			s.durCause[causeIdx(cb.Causes[i])].Add(float64(cb.Durations[i]), key)
+		} else {
+			s.durSuccess[hoTypeByRAT[cb.RATs[i]&0x0f]].Add(float64(cb.Durations[i]), key)
+		}
+	}
+	return nil
+}
+
 // durationsShard reads result/HO-type/duration from the outcome tail,
 // the cause, and the UE (the deterministic sample key mixes UE and
 // timestamp).
@@ -447,19 +685,17 @@ type causesCollector struct {
 	perDayCauseType [][ho.NumTypes][nCauseIdx]int64
 	causeByDev      [3][nCauseIdx]int64
 	causeByArea     [2][nCauseIdx]int64
-	causeByMfr      map[string]*[2][nCauseIdx]int64
+	// causeByMfr is indexed by the dense topManufacturers index (see
+	// tacInfo.mfr); finalize publishes it as the name-keyed map the
+	// experiments consume.
+	causeByMfr [nTopMfr][2][nCauseIdx]int64
 }
 
 func newCausesCollector(env *scanEnv) *causesCollector {
-	c := &causesCollector{
+	return &causesCollector{
 		env:             env,
 		perDayCauseType: make([][ho.NumTypes][nCauseIdx]int64, env.days),
-		causeByMfr:      make(map[string]*[2][nCauseIdx]int64, len(topManufacturers)),
 	}
-	for _, m := range topManufacturers {
-		c.causeByMfr[m] = &[2][nCauseIdx]int64{}
-	}
-	return c
 }
 
 type causesShard struct {
@@ -469,17 +705,15 @@ type causesShard struct {
 	dayCauseType [ho.NumTypes][nCauseIdx]int64
 	causeByDev   [3][nCauseIdx]int64
 	causeByArea  [2][nCauseIdx]int64
-	causeByMfr   map[string]*[2][nCauseIdx]int64
+	causeByMfr   [nTopMfr][2][nCauseIdx]int64
 }
 
 func (c *causesCollector) NewShardState(day, shard int) trace.ShardState {
-	s := &causesShard{env: c.env, day: day, causeByMfr: make(map[string]*[2][nCauseIdx]int64, len(topManufacturers))}
-	for _, m := range topManufacturers {
-		s.causeByMfr[m] = &[2][nCauseIdx]int64{}
-	}
-	return s
+	return &causesShard{env: c.env, day: day}
 }
 
+// Observe is the record-at-a-time compatibility path, probing the
+// device catalog per failure the way the pre-batch engine did.
 func (s *causesShard) Observe(day int, rec *trace.Record) error {
 	if rec.Result != trace.Failure {
 		return nil
@@ -496,8 +730,38 @@ func (s *causesShard) Observe(day int, rec *trace.Record) error {
 	s.causeByDev[model.Type][ci]++
 	s.causeByArea[areaIdx][ci]++
 	if model.Type == devices.Smartphone {
-		if byMfr, ok := s.causeByMfr[model.Manufacturer]; ok {
-			byMfr[areaIdx][ci]++
+		for m, name := range topManufacturers {
+			if name == model.Manufacturer {
+				s.causeByMfr[m][areaIdx][ci]++
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// ObserveColumns skips the (dominant) success rows with one compare and
+// resolves everything else through the dense tables.
+func (s *causesShard) ObserveColumns(day int, cb *trace.ColumnBatch) error {
+	env := s.env
+	n := cb.Len()
+	for i := 0; i < n; i++ {
+		if cb.Results[i] != trace.Failure {
+			continue
+		}
+		ti, ok := env.lookupTAC(cb.TACs[i])
+		if !ok {
+			return fmt.Errorf("analysis: unknown TAC %d", cb.TACs[i])
+		}
+		t := hoTypeByRAT[cb.RATs[i]&0x0f]
+		ci := causeIdx(cb.Causes[i])
+		areaIdx := env.sectors[cb.Sources[i]].areaIdx
+		s.causeType[t][ci]++
+		s.dayCauseType[t][ci]++
+		s.causeByDev[ti.devType][ci]++
+		s.causeByArea[areaIdx][ci]++
+		if ti.mfr >= 0 {
+			s.causeByMfr[ti.mfr][areaIdx][ci]++
 		}
 	}
 	return nil
@@ -530,11 +794,10 @@ func (c *causesCollector) MergeShard(st trace.ShardState) error {
 			c.causeByArea[a][ci] += s.causeByArea[a][ci]
 		}
 	}
-	for _, m := range topManufacturers {
-		dst, src := c.causeByMfr[m], s.causeByMfr[m]
+	for m := 0; m < nTopMfr; m++ {
 		for a := 0; a < 2; a++ {
 			for ci := 0; ci < nCauseIdx; ci++ {
-				dst[a][ci] += src[a][ci]
+				c.causeByMfr[m][a][ci] += s.causeByMfr[m][a][ci]
 			}
 		}
 	}
@@ -546,7 +809,11 @@ func (c *causesCollector) finalize(out *scanState) error {
 	out.perDayCauseType = c.perDayCauseType
 	out.causeByDev = c.causeByDev
 	out.causeByArea = c.causeByArea
-	out.causeByMfr = c.causeByMfr
+	out.causeByMfr = make(map[string]*[2][nCauseIdx]int64, nTopMfr)
+	for m, name := range topManufacturers {
+		byMfr := c.causeByMfr[m]
+		out.causeByMfr[name] = &byMfr
+	}
 	return nil
 }
 
@@ -581,6 +848,7 @@ func newTemporalCollector(env *scanEnv) *temporalCollector {
 type temporalShard struct {
 	env      *scanEnv
 	day      int
+	dayBase  int64 // hoisted DayStart millis for the partition's day
 	binHOs   [mobility.BinsPerDay][2]int64
 	hourHOFs [24][2]int64
 	binSec   [mobility.BinsPerDay][2]bitset
@@ -588,13 +856,21 @@ type temporalShard struct {
 }
 
 func (c *temporalCollector) NewShardState(day, shard int) trace.ShardState {
-	return &temporalShard{env: c.env, day: day}
+	return &temporalShard{env: c.env, day: day, dayBase: c.env.dayStart(day)}
 }
 
-// binOf clamps a record's time-of-day into a 30-minute bin.
+// binOf clamps a record's time-of-day into a 30-minute bin, recomputing
+// the day start per record — the record-path cost the batch path hoists
+// into the shard state (see binOfMs).
 func binOf(day int, ts int64) int {
-	msOfDay := ts - trace.DayStart(day).UnixMilli()
-	bin := int(msOfDay / (30 * 60 * 1000))
+	return binOfMs(trace.DayStart(day).UnixMilli(), ts)
+}
+
+// binOfMs clamps a record's offset from its day-start millis into a
+// 30-minute bin. With the day start hoisted to the shard state the
+// per-record cost is one subtraction and one division.
+func binOfMs(dayBase, ts int64) int {
+	bin := int((ts - dayBase) / (30 * 60 * 1000))
 	if bin < 0 {
 		bin = 0
 	}
@@ -604,6 +880,8 @@ func binOf(day int, ts int64) int {
 	return bin
 }
 
+// Observe is the record-at-a-time compatibility path; it re-derives the
+// day start per record as the pre-batch engine did.
 func (s *temporalShard) Observe(day int, rec *trace.Record) error {
 	areaIdx := s.env.sectors[rec.Source].areaIdx
 	bin := binOf(day, rec.Timestamp)
@@ -619,6 +897,37 @@ func (s *temporalShard) Observe(day int, rec *trace.Record) error {
 	s.hourSec[hour][areaIdx].set(int(rec.Source))
 	if rec.Result == trace.Failure {
 		s.hourHOFs[hour][areaIdx]++
+	}
+	return nil
+}
+
+func (s *temporalShard) observe(ts int64, src topology.SectorID, res trace.Result) error {
+	areaIdx := s.env.sectors[src].areaIdx
+	bin := binOfMs(s.dayBase, ts)
+	hour := bin / 2
+	s.binHOs[bin][areaIdx]++
+	if s.binSec[bin][areaIdx] == nil {
+		s.binSec[bin][areaIdx] = newBitset(s.env.nSectors)
+	}
+	s.binSec[bin][areaIdx].set(int(src))
+	if s.hourSec[hour][areaIdx] == nil {
+		s.hourSec[hour][areaIdx] = newBitset(s.env.nSectors)
+	}
+	s.hourSec[hour][areaIdx].set(int(src))
+	if res == trace.Failure {
+		s.hourHOFs[hour][areaIdx]++
+	}
+	return nil
+}
+
+// ObserveColumns runs the bin/bitset accumulation over the timestamp,
+// source and result columns only.
+func (s *temporalShard) ObserveColumns(day int, cb *trace.ColumnBatch) error {
+	n := cb.Len()
+	for i := 0; i < n; i++ {
+		if err := s.observe(cb.Timestamps[i], cb.Sources[i], cb.Results[i]); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -739,6 +1048,22 @@ func (s *districtsShard) Observe(day int, rec *trace.Record) error {
 	return nil
 }
 
+// ObserveColumns is the batch loop over the source, RAT and result
+// columns.
+func (s *districtsShard) ObserveColumns(day int, cb *trace.ColumnBatch) error {
+	env := s.env
+	n := cb.Len()
+	for i := 0; i < n; i++ {
+		d := env.sectors[cb.Sources[i]].district
+		s.hos[d]++
+		s.types[d][hoTypeByRAT[cb.RATs[i]&0x0f]]++
+		if cb.Results[i] == trace.Failure {
+			s.fails[d]++
+		}
+	}
+	return nil
+}
+
 // districtsShard reads the source sector (district lookup) and the
 // HO-type/result bits.
 func (c *districtsCollector) columns() trace.ColumnSet {
@@ -785,18 +1110,160 @@ func newUEDayCollector(env *scanEnv) *uedayCollector {
 	}
 }
 
+// nightEndMs is the end of the §4.3 night window (08:00) as an offset
+// from day start. "msOfDay < nightEndMs" matches the historical
+// clamped-bin rule: negative offsets clamp into bin 0 (night) and
+// beyond-day offsets clamp into hour 23 (not night).
+const nightEndMs = 8 * 60 * 60 * 1000
+
+// secSet is a tiny open-addressed set of sector ids — stored +1 so the
+// zero word means empty — sized for the handful of distinct sectors a
+// UE touches in one day. It replaces a map[SectorID]struct{} per UE:
+// no per-UE map header, and membership is one hash plus a short probe.
+type secSet struct {
+	slots []uint32
+	n     int
+}
+
+func (s *secSet) add(id uint32) {
+	if len(s.slots) == 0 {
+		s.slots = make([]uint32, 16)
+	}
+	mask := uint32(len(s.slots) - 1)
+	j := uint32(mix64(uint64(id))) & mask
+	for {
+		w := s.slots[j]
+		if w == 0 {
+			break
+		}
+		if w == id+1 {
+			return
+		}
+		j = (j + 1) & mask
+	}
+	if s.n >= len(s.slots)*3/4 {
+		old := s.slots
+		s.slots = make([]uint32, 2*len(old))
+		mask = uint32(len(s.slots) - 1)
+		for _, w := range old {
+			if w == 0 {
+				continue
+			}
+			k := uint32(mix64(uint64(w-1))) & mask
+			for s.slots[k] != 0 {
+				k = (k + 1) & mask
+			}
+			s.slots[k] = w
+		}
+		j = uint32(mix64(uint64(id))) & mask
+		for s.slots[j] != 0 {
+			j = (j + 1) & mask
+		}
+	}
+	s.slots[j] = id + 1
+	s.n++
+}
+
 // ueState is one UE's in-flight state within one (day, shard) partition.
 // Because shards are hash-partitioned by UE, a UE's whole day lives in
 // exactly one partition, so the flush below sees complete days.
 type ueState struct {
+	ue        trace.UEID
 	hasLoc    bool
-	sectors   map[topology.SectorID]struct{}
 	hos       int32
 	fails     int32
 	nightSite int32
-	visits    []geo.Visit
-	lastTs    int64
-	lastLoc   geo.Point
+	sectors   secSet
+	// seen1/seen2 cache the last two sector ids added to the set (+1,
+	// 0 = none): successive handovers chain source := previous target,
+	// so most membership probes are answered by two register compares.
+	seen1, seen2 uint32
+	visits       []geo.Visit
+	lastTs       int64
+	lastLoc      geo.Point
+}
+
+// addSector records a visited sector through the two-entry cache.
+func (st *ueState) addSector(id uint32) {
+	if id+1 == st.seen1 || id+1 == st.seen2 {
+		return
+	}
+	st.sectors.add(id)
+	st.seen2 = st.seen1
+	st.seen1 = id + 1
+}
+
+// appendVisit grows the visit log with a useful starting capacity (a
+// typical UE-day closes a dozen-plus dwells; the default doubling from
+// 1 costs several small allocations per UE per day).
+func (st *ueState) appendVisit(v geo.Visit) {
+	if st.visits == nil {
+		st.visits = make([]geo.Visit, 0, 16)
+	}
+	st.visits = append(st.visits, v)
+}
+
+// ueTable is an open-addressed UE → state table over a flat arena,
+// replacing the map[UEID]*ueState accumulator: states are contiguous
+// (no per-UE pointer allocation), the common-case probe is one hash and
+// one compare, and the arena iterates in first-appearance order at
+// flush time. Slots hold arena index + 1 (0 = empty) with the key in a
+// parallel array so probing never touches the arena.
+type ueTable struct {
+	slots  []int32
+	keys   []trace.UEID
+	states []ueState
+}
+
+// at returns the state for ue, inserting a fresh one if needed. The
+// pointer is only valid until the next at call (the arena may move).
+func (t *ueTable) at(ue trace.UEID) *ueState {
+	if len(t.slots) == 0 {
+		t.slots = make([]int32, 2048)
+		t.keys = make([]trace.UEID, 2048)
+	}
+	mask := uint64(len(t.slots) - 1)
+	j := mix64(uint64(ue)) & mask
+	for {
+		idx := t.slots[j]
+		if idx == 0 {
+			break
+		}
+		if t.keys[j] == ue {
+			return &t.states[idx-1]
+		}
+		j = (j + 1) & mask
+	}
+	if len(t.states) >= len(t.slots)*3/4 {
+		t.grow()
+		mask = uint64(len(t.slots) - 1)
+		j = mix64(uint64(ue)) & mask
+		for t.slots[j] != 0 {
+			j = (j + 1) & mask
+		}
+	}
+	t.states = append(t.states, ueState{ue: ue, nightSite: -1})
+	t.slots[j] = int32(len(t.states))
+	t.keys[j] = ue
+	return &t.states[len(t.states)-1]
+}
+
+func (t *ueTable) grow() {
+	oldSlots, oldKeys := t.slots, t.keys
+	t.slots = make([]int32, 2*len(oldSlots))
+	t.keys = make([]trace.UEID, 2*len(oldSlots))
+	mask := uint64(len(t.slots) - 1)
+	for i, idx := range oldSlots {
+		if idx == 0 {
+			continue
+		}
+		j := mix64(uint64(oldKeys[i])) & mask
+		for t.slots[j] != 0 {
+			j = (j + 1) & mask
+		}
+		t.slots[j] = idx
+		t.keys[j] = oldKeys[i]
+	}
 }
 
 // uedayShard tracks only the UEs that actually appear in its partition
@@ -804,30 +1271,22 @@ type ueState struct {
 // must stay proportional to the partition, or countrywide-scale scans
 // would allocate full-population arrays once per (day, shard).
 type uedayShard struct {
-	env    *scanEnv
-	day    int
-	states map[trace.UEID]*ueState
+	env     *scanEnv
+	day     int
+	dayBase int64
+	tbl     ueTable
 }
 
 func (c *uedayCollector) NewShardState(day, shard int) trace.ShardState {
-	return &uedayShard{
-		env:    c.env,
-		day:    day,
-		states: make(map[trace.UEID]*ueState, 1024),
-	}
+	return &uedayShard{env: c.env, day: day, dayBase: c.env.dayStart(day)}
 }
 
+// Observe is the record-at-a-time compatibility path; like the
+// pre-batch engine it re-derives the night-window bound per record.
 func (s *uedayShard) Observe(day int, rec *trace.Record) error {
-	st := s.states[rec.UE]
-	if st == nil {
-		st = &ueState{
-			sectors:   make(map[topology.SectorID]struct{}, 16),
-			nightSite: -1,
-		}
-		s.states[rec.UE] = st
-	}
+	st := s.tbl.at(rec.UE)
 	st.hos++
-	st.sectors[rec.Source] = struct{}{}
+	st.addSector(uint32(rec.Source))
 	hour := binOf(day, rec.Timestamp) / 2
 	if st.nightSite < 0 && hour < 8 {
 		st.nightSite = s.env.sectors[rec.Source].site
@@ -836,12 +1295,11 @@ func (s *uedayShard) Observe(day int, rec *trace.Record) error {
 		st.fails++
 		return nil
 	}
-	st.sectors[rec.Target] = struct{}{}
-	// Visit tracking for gyration: close the previous dwell.
+	st.addSector(uint32(rec.Target))
 	loc := s.env.sectors[rec.Target].loc
 	if st.hasLoc {
 		if w := float64(rec.Timestamp - st.lastTs); w > 0 {
-			st.visits = append(st.visits, geo.Visit{Loc: st.lastLoc, Weight: w})
+			st.appendVisit(geo.Visit{Loc: st.lastLoc, Weight: w})
 		}
 	}
 	st.lastLoc = loc
@@ -850,21 +1308,56 @@ func (s *uedayShard) Observe(day int, rec *trace.Record) error {
 	return nil
 }
 
+func (s *uedayShard) observe(ts int64, ue trace.UEID, src, tgt topology.SectorID, res trace.Result) {
+	st := s.tbl.at(ue)
+	st.hos++
+	st.addSector(uint32(src))
+	if st.nightSite < 0 && ts-s.dayBase < nightEndMs {
+		st.nightSite = s.env.sectors[src].site
+	}
+	if res == trace.Failure {
+		st.fails++
+		return
+	}
+	st.addSector(uint32(tgt))
+	// Visit tracking for gyration: close the previous dwell.
+	loc := s.env.sectors[tgt].loc
+	if st.hasLoc {
+		if w := float64(ts - st.lastTs); w > 0 {
+			st.appendVisit(geo.Visit{Loc: st.lastLoc, Weight: w})
+		}
+	}
+	st.lastLoc = loc
+	st.lastTs = ts
+	st.hasLoc = true
+}
+
+// ObserveColumns runs the per-UE accumulation over the column batch.
+func (s *uedayShard) ObserveColumns(day int, cb *trace.ColumnBatch) error {
+	n := cb.Len()
+	for i := 0; i < n; i++ {
+		s.observe(cb.Timestamps[i], cb.UEs[i], cb.Sources[i], cb.Targets[i], cb.Results[i])
+	}
+	return nil
+}
+
 // flush turns the shard's in-flight UE states into finished day metrics
-// (in map order — the collector sorts each day's buffer canonically).
+// (in first-appearance order — the collector sorts each day's buffer
+// canonically).
 func (s *uedayShard) flush() []UEDayMetric {
-	endOfDay := trace.DayStart(s.day + 1).UnixMilli()
-	out := make([]UEDayMetric, 0, len(s.states))
-	for ue, st := range s.states {
+	endOfDay := s.env.dayStart(s.day + 1)
+	out := make([]UEDayMetric, 0, len(s.tbl.states))
+	for i := range s.tbl.states {
+		st := &s.tbl.states[i]
 		if st.hasLoc {
 			if w := float64(endOfDay - st.lastTs); w > 0 {
 				st.visits = append(st.visits, geo.Visit{Loc: st.lastLoc, Weight: w})
 			}
 		}
 		out = append(out, UEDayMetric{
-			UE:         ue,
+			UE:         st.ue,
 			Day:        int32(s.day),
-			Sectors:    int32(len(st.sectors)),
+			Sectors:    int32(st.sectors.n),
 			HOs:        st.hos,
 			Fails:      st.fails,
 			GyrationKm: float32(geo.RadiusOfGyrationKm(st.visits)),
@@ -900,9 +1393,10 @@ func (c *uedayCollector) MergeShard(st trace.ShardState) error {
 		c.flushDay()
 		c.curDay = s.day
 	}
-	for ue, st := range s.states {
-		c.ueHOs[ue] += st.hos
-		c.ueFails[ue] += st.fails
+	for i := range s.tbl.states {
+		st := &s.tbl.states[i]
+		c.ueHOs[st.ue] += st.hos
+		c.ueFails[st.ue] += st.fails
 	}
 	c.dayBuf = append(c.dayBuf, s.flush()...)
 	return nil
@@ -919,89 +1413,103 @@ func (c *uedayCollector) finalize(out *scanState) error {
 
 // --- sector-day collector: the §6.3 regression dataset -----------------
 
-type sdAgg struct {
-	hos, fails int32
-}
-
 type sectordayCollector struct {
 	env       *scanEnv
 	sectorDay []SectorDayRow
 
-	curDay    int
-	dayAgg    map[int64]*sdAgg
-	dayTotals map[topology.SectorID]int32
+	curDay int
+	// Dense per-day accumulators, indexed by sector*NumTypes+type (and
+	// by sector for totals); (nil, allocated lazily per day).
+	dayHOs    []int32
+	dayFails  []int32
+	dayTotals []int32
 }
 
 func newSectorDayCollector(env *scanEnv) *sectordayCollector {
 	return &sectordayCollector{env: env, curDay: -1}
 }
 
-func sectorDayKey(sec topology.SectorID, t ho.Type) int64 {
-	return int64(sec)*int64(ho.NumTypes) + int64(t)
-}
-
+// sectordayShard accumulates into dense arrays sized to the sector
+// universe instead of (sector, type)-keyed maps: one add per record at
+// a fixed offset, no hashing, and the ascending index order at flush
+// time *is* the canonical (sector, type) row order.
 type sectordayShard struct {
 	day    int
-	agg    map[int64]*sdAgg
-	totals map[topology.SectorID]int32
+	hos    []int32 // sector*NumTypes+type
+	fails  []int32
+	totals []int32 // per sector, all types
 }
 
 func (c *sectordayCollector) NewShardState(day, shard int) trace.ShardState {
+	nt := int(ho.NumTypes)
 	return &sectordayShard{
 		day:    day,
-		agg:    make(map[int64]*sdAgg, 4096),
-		totals: make(map[topology.SectorID]int32, 2048),
+		hos:    make([]int32, c.env.nSectors*nt),
+		fails:  make([]int32, c.env.nSectors*nt),
+		totals: make([]int32, c.env.nSectors),
 	}
 }
 
 func (s *sectordayShard) Observe(day int, rec *trace.Record) error {
-	key := sectorDayKey(rec.Source, rec.HOType())
-	a := s.agg[key]
-	if a == nil {
-		a = &sdAgg{}
-		s.agg[key] = a
-	}
-	a.hos++
+	k := int(rec.Source)*int(ho.NumTypes) + int(rec.HOType())
+	s.hos[k]++
 	if rec.Result == trace.Failure {
-		a.fails++
+		s.fails[k]++
 	}
 	s.totals[rec.Source]++
 	return nil
 }
 
+// ObserveColumns is the dense-accumulator batch loop.
+func (s *sectordayShard) ObserveColumns(day int, cb *trace.ColumnBatch) error {
+	n := cb.Len()
+	for i := 0; i < n; i++ {
+		src := int(cb.Sources[i])
+		k := src*int(ho.NumTypes) + int(hoTypeByRAT[cb.RATs[i]&0x0f])
+		s.hos[k]++
+		if cb.Results[i] == trace.Failure {
+			s.fails[k]++
+		}
+		s.totals[src]++
+	}
+	return nil
+}
+
 // flushDay emits the finished day's rows in canonical (sector, type)
-// order; v1 emitted them in map-iteration order, which made downstream
-// float accumulation (OLS, ANOVA) wobble run to run.
+// order — the dense arrays' natural index order; v1 emitted them in
+// map-iteration order, which made downstream float accumulation (OLS,
+// ANOVA) wobble run to run.
 func (c *sectordayCollector) flushDay() {
-	if c.curDay < 0 {
+	if c.curDay < 0 || c.dayHOs == nil {
 		return
 	}
-	keys := make([]int64, 0, len(c.dayAgg))
-	for k := range c.dayAgg {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	for _, key := range keys {
-		agg := c.dayAgg[key]
-		sec := topology.SectorID(key / int64(ho.NumTypes))
-		t := ho.Type(key % int64(ho.NumTypes))
-		sector := c.env.ds.Network.Sector(sec)
+	nt := int(ho.NumTypes)
+	for sec := 0; sec < c.env.nSectors; sec++ {
+		base := sec * nt
+		if c.dayTotals[sec] == 0 {
+			continue // no rows for this sector today
+		}
+		sector := c.env.ds.Network.Sector(topology.SectorID(sec))
 		district := c.env.ds.Country.District(sector.DistrictID)
-		c.sectorDay = append(c.sectorDay, SectorDayRow{
-			Sector:      sec,
-			Day:         int16(c.curDay),
-			Type:        t,
-			HOs:         agg.hos,
-			Fails:       agg.fails,
-			TotalDayHOs: c.dayTotals[sec],
-			Region:      sector.Region,
-			Area:        sector.Area,
-			Vendor:      sector.Vendor,
-			DistrictPop: int32(district.Population),
-		})
+		for t := 0; t < nt; t++ {
+			if c.dayHOs[base+t] == 0 {
+				continue
+			}
+			c.sectorDay = append(c.sectorDay, SectorDayRow{
+				Sector:      topology.SectorID(sec),
+				Day:         int16(c.curDay),
+				Type:        ho.Type(t),
+				HOs:         c.dayHOs[base+t],
+				Fails:       c.dayFails[base+t],
+				TotalDayHOs: c.dayTotals[sec],
+				Region:      sector.Region,
+				Area:        sector.Area,
+				Vendor:      sector.Vendor,
+				DistrictPop: int32(district.Population),
+			})
+		}
 	}
-	c.dayAgg = nil
-	c.dayTotals = nil
+	c.dayHOs, c.dayFails, c.dayTotals = nil, nil, nil
 }
 
 // sectordayShard reads the source sector and the HO-type/result bits.
@@ -1017,20 +1525,19 @@ func (c *sectordayCollector) MergeShard(st trace.ShardState) error {
 	if s.day != c.curDay {
 		c.flushDay()
 		c.curDay = s.day
-		c.dayAgg = make(map[int64]*sdAgg, 4096)
-		c.dayTotals = make(map[topology.SectorID]int32, 2048)
+		nt := int(ho.NumTypes)
+		c.dayHOs = make([]int32, c.env.nSectors*nt)
+		c.dayFails = make([]int32, c.env.nSectors*nt)
+		c.dayTotals = make([]int32, c.env.nSectors)
 	}
-	for key, agg := range s.agg {
-		dst := c.dayAgg[key]
-		if dst == nil {
-			dst = &sdAgg{}
-			c.dayAgg[key] = dst
-		}
-		dst.hos += agg.hos
-		dst.fails += agg.fails
+	for k, v := range s.hos {
+		c.dayHOs[k] += v
 	}
-	for sec, n := range s.totals {
-		c.dayTotals[sec] += n
+	for k, v := range s.fails {
+		c.dayFails[k] += v
+	}
+	for k, v := range s.totals {
+		c.dayTotals[k] += v
 	}
 	return nil
 }

@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"sync"
+	"testing"
+
+	"telcolens/internal/simulate"
+	"telcolens/internal/trace"
+)
+
+// Per-collector microbenchmarks: one day of generated records pushed
+// through each collector's record path (Observe per record) and batch
+// path (ObserveColumns per block-sized SoA chunk). The pair isolates
+// where the vectorization pays, collector by collector.
+
+var (
+	collBenchOnce sync.Once
+	collBenchDS   *simulate.Dataset
+	collBenchErr  error
+)
+
+func collBenchDataset(b *testing.B) *simulate.Dataset {
+	collBenchOnce.Do(func() {
+		cfg := simulate.DefaultConfig(31)
+		cfg.UEs = 1500
+		cfg.Days = 2
+		collBenchDS, collBenchErr = simulate.Generate(cfg)
+	})
+	if collBenchErr != nil {
+		b.Fatal(collBenchErr)
+	}
+	return collBenchDS
+}
+
+func BenchmarkCollectors(b *testing.B) {
+	ds := collBenchDataset(b)
+	env := newScanEnv(ds)
+	it, err := ds.Store.OpenDay(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var recs []trace.Record
+	var rec trace.Record
+	for {
+		ok, err := it.Next(&rec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		recs = append(recs, rec)
+	}
+	it.Close()
+	// Block-sized SoA chunks, as the scan engine would deliver them.
+	var chunks []trace.ColumnBatch
+	for off := 0; off < len(recs); off += trace.DefaultBlockRecords {
+		end := off + trace.DefaultBlockRecords
+		if end > len(recs) {
+			end = len(recs)
+		}
+		var cb trace.ColumnBatch
+		cb.FromRecords(recs[off:end])
+		chunks = append(chunks, cb)
+	}
+
+	for need, name := range map[Need]string{
+		NeedTypes:     "types",
+		NeedDurations: "durations",
+		NeedCauses:    "causes",
+		NeedTemporal:  "temporal",
+		NeedDistricts: "districts",
+		NeedUEDay:     "ueday",
+		NeedSectorDay: "sectorday",
+	} {
+		b.Run(name+"/record", func(b *testing.B) {
+			col := collectorFor(need, env)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st := col.NewShardState(0, 0)
+				for j := range recs {
+					if err := st.Observe(0, &recs[j]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportMetric(float64(len(recs))*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+		})
+		b.Run(name+"/batch", func(b *testing.B) {
+			col := collectorFor(need, env)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st := col.NewShardState(0, 0).(trace.ColumnShardState)
+				for c := range chunks {
+					if err := st.ObserveColumns(0, &chunks[c]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportMetric(float64(len(recs))*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+		})
+	}
+}

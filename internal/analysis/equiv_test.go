@@ -1,0 +1,294 @@
+package analysis
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"telcolens/internal/simulate"
+	"telcolens/internal/trace"
+)
+
+// The batch≡record equivalence property: for EVERY collector, folding a
+// partition through ObserveColumns must produce state identical to the
+// per-record Observe loop — the invariant that lets the scan engine
+// pick any path without changing a single published byte. The test
+// drives both paths by hand over the same generated partitions (in
+// canonical order, like the engine) and compares the finalized views
+// with reflect.DeepEqual, so any vectorization drift in a current or
+// future collector fails here first.
+
+// equivDataset is a small sharded campaign shared by the equivalence
+// runs (fresh per call: collectors are single-use).
+func equivDataset(t *testing.T) *simulate.Dataset {
+	t.Helper()
+	cfg := simulate.DefaultConfig(777)
+	cfg.UEs = 800
+	cfg.Days = 2
+	cfg.Shards = 2
+	ds, err := simulate.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// partitionRecords loads one partition fully.
+func partitionRecords(t *testing.T, s trace.Store, p trace.Partition) []trace.Record {
+	t.Helper()
+	it, err := s.OpenPartition(p.Day, p.Shard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	var out []trace.Record
+	var rec trace.Record
+	for {
+		ok, err := it.Next(&rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			return out
+		}
+		out = append(out, rec)
+	}
+}
+
+// foldCollector runs one collector over the dataset's partitions in
+// canonical order, through the record path or the column path (in
+// chunks of the given size, to exercise batch boundaries), and returns
+// its finalized scan state.
+func foldCollector(t *testing.T, ds *simulate.Dataset, need Need, columns bool, chunk int) *scanState {
+	t.Helper()
+	env := newScanEnv(ds)
+	col := collectorFor(need, env)
+	parts, err := ds.Store.Partitions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cb trace.ColumnBatch
+	for _, p := range parts {
+		recs := partitionRecords(t, ds.Store, p)
+		state := col.NewShardState(p.Day, p.Shard)
+		if columns {
+			cs, ok := state.(trace.ColumnShardState)
+			if !ok {
+				t.Fatalf("need %b: shard state %T does not implement ColumnShardState — every collector must be batch-native", need, state)
+			}
+			for off := 0; off < len(recs); off += chunk {
+				end := off + chunk
+				if end > len(recs) {
+					end = len(recs)
+				}
+				cb.FromRecords(recs[off:end])
+				if err := cs.ObserveColumns(p.Day, &cb); err != nil {
+					t.Fatal(err)
+				}
+			}
+		} else {
+			for i := range recs {
+				if err := state.Observe(p.Day, &recs[i]); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := col.MergeShard(state); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := &scanState{days: env.days, nUEs: env.nUEs, nSectors: env.nSectors, districts: env.nDistricts}
+	if err := col.finalize(out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestCollectorBatchRecordEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates a campaign")
+	}
+	ds := equivDataset(t)
+	needNames := map[Need]string{
+		NeedTypes:     "types",
+		NeedDurations: "durations",
+		NeedCauses:    "causes",
+		NeedTemporal:  "temporal",
+		NeedDistricts: "districts",
+		NeedUEDay:     "ueday",
+		NeedSectorDay: "sectorday",
+	}
+	for need := NeedTypes; need < needSentinel; need <<= 1 {
+		name := needNames[need]
+		if name == "" {
+			name = fmt.Sprintf("need_%b", need)
+		}
+		t.Run(name, func(t *testing.T) {
+			want := foldCollector(t, ds, need, false, 0)
+			// Odd chunk sizes exercise mid-partition batch boundaries;
+			// chunk 1 degenerates to record-at-a-time through the batch
+			// entry point.
+			for _, chunk := range []int{1, 113, 4096} {
+				got := foldCollector(t, ds, need, true, chunk)
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("chunk %d: ObserveColumns state differs from Observe state", chunk)
+				}
+			}
+		})
+	}
+}
+
+// TestBytesStoredReportsOnDiskBytes: the NeedTypes view's bytesStored
+// must be the trace's actual stored size, not totalHOs×RecordSize —
+// v2 blocks (especially flate-compressed ones) store fewer bytes.
+func TestBytesStoredReportsOnDiskBytes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates campaigns")
+	}
+	for _, tc := range []struct {
+		label string
+		opts  trace.FileStoreOptions
+	}{
+		{"v1", trace.FileStoreOptions{Codec: trace.CodecV1}},
+		{"v2", trace.FileStoreOptions{Codec: trace.CodecV2}},
+		{"v2flate", trace.FileStoreOptions{Codec: trace.CodecV2, Compress: true}},
+	} {
+		t.Run(tc.label, func(t *testing.T) {
+			fs, err := trace.NewFileStoreOpts(t.TempDir(), tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := simulate.DefaultConfig(778)
+			cfg.UEs = 600
+			cfg.Days = 2
+			cfg.Store = fs
+			ds, err := simulate.Generate(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, err := New(ds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := a.Require(context.Background(), NeedTypes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var onDisk int64
+			entries, err := os.ReadDir(fs.Dir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, e := range entries {
+				if filepath.Ext(e.Name()) != ".tlho" {
+					continue
+				}
+				info, err := e.Info()
+				if err != nil {
+					t.Fatal(err)
+				}
+				onDisk += info.Size()
+			}
+			if s.bytesStored != onDisk {
+				t.Fatalf("bytesStored = %d, want on-disk %d", s.bytesStored, onDisk)
+			}
+			rawEquivalent := s.totalHOs * trace.RecordSize
+			if tc.label == "v2flate" && s.bytesStored >= rawEquivalent {
+				t.Fatalf("compressed store reports %d stored bytes, not smaller than raw equivalent %d",
+					s.bytesStored, rawEquivalent)
+			}
+		})
+	}
+	// Stores without byte accounting keep the raw record-equivalent
+	// estimate.
+	t.Run("mem-fallback", func(t *testing.T) {
+		cfg := simulate.DefaultConfig(778)
+		cfg.UEs = 600
+		cfg.Days = 2
+		ds, err := simulate.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := New(ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := a.Require(context.Background(), NeedTypes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := s.totalHOs * trace.RecordSize; s.bytesStored != want {
+			t.Fatalf("mem-store bytesStored = %d, want estimate %d", s.bytesStored, want)
+		}
+	})
+}
+
+// TestScanStatsExposed: the Analyzer accumulates scan metrics across
+// Require passes and exposes them through ScanStats (what the CLI -v
+// flags print).
+func TestScanStatsExposed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates campaigns")
+	}
+	fs, err := trace.NewFileStoreOpts(t.TempDir(), trace.FileStoreOptions{Codec: trace.CodecV2, BlockRecords: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := simulate.DefaultConfig(779)
+	cfg.UEs = 600
+	cfg.Days = 2
+	cfg.Shards = 2
+	cfg.Store = fs
+	ds, err := simulate.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, err := trace.Count(ds.Store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := ds.Store.Partitions()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a, err := New(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := a.ScanStats(); st != (ScanStats{}) {
+		t.Fatalf("fresh analyzer reports %+v", st)
+	}
+	if _, err := a.Require(context.Background(), NeedTypes); err != nil {
+		t.Fatal(err)
+	}
+	st := a.ScanStats()
+	if st.Scans != 1 || st.Records != total || st.Partitions != int64(len(parts)) {
+		t.Fatalf("after one pass: %+v (want scans=1 records=%d partitions=%d)", st, total, len(parts))
+	}
+	if st.BlocksRead == 0 || st.BytesRead == 0 {
+		t.Fatalf("v2 store reported no blocks/bytes: %+v", st)
+	}
+	// A second Require for a missing unit runs one more scan.
+	if _, err := a.Require(context.Background(), NeedTemporal); err != nil {
+		t.Fatal(err)
+	}
+	if st := a.ScanStats(); st.Scans != 2 {
+		t.Fatalf("after two passes: %+v", st)
+	}
+
+	// A windowed analyzer over the same store prunes out-of-window blocks.
+	win, err := New(ds, WithWindow(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := win.Require(context.Background(), NeedTypes); err != nil {
+		t.Fatal(err)
+	}
+	if st := win.ScanStats(); st.BlocksSkipped == 0 {
+		t.Fatalf("windowed scan pruned no blocks: %+v", st)
+	}
+}

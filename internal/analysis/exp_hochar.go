@@ -105,8 +105,8 @@ func runFig8(ctx context.Context, a *Analyzer, art *report.Artifact) error {
 				report.FormatFloat(paperMed[t][0]), report.FormatFloat(paperMed[t][1])})
 			continue
 		}
-		med := stats.Quantile(samples, 0.5)
-		p95 := stats.Quantile(samples, 0.95)
+		q := stats.Quantiles(samples, 0.5, 0.95)
+		med, p95 := q[0], q[1]
 		tbl.Rows = append(tbl.Rows, []string{
 			t.String(), fmt.Sprintf("%d", rv.N()),
 			report.FormatFloat(med), report.FormatFloat(p95),
@@ -162,12 +162,14 @@ func runFig10(ctx context.Context, a *Analyzer, art *report.Artifact) error {
 			continue
 		}
 		p := paper[dt]
+		secQ := stats.Quantiles(sec, 0.5, 0.95)
+		gyrQ := stats.Quantiles(gyr, 0.5, 0.95)
 		tbl.Rows = append(tbl.Rows, []string{
 			dt.String(),
-			report.FormatFloat(stats.Median(sec)),
-			report.FormatFloat(stats.Quantile(sec, 0.95)),
-			report.FormatFloat(stats.Median(gyr)),
-			report.FormatFloat(stats.Quantile(gyr, 0.95)),
+			report.FormatFloat(secQ[0]),
+			report.FormatFloat(secQ[1]),
+			report.FormatFloat(gyrQ[0]),
+			report.FormatFloat(gyrQ[1]),
 			fmt.Sprintf("%g/%g, %g/%g", p[0], p[1], p[2], p[3]),
 		})
 	}

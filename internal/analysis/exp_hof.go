@@ -108,8 +108,9 @@ func (a *Analyzer) MobilityHOF(ctx context.Context, metric string) (*MobilityHOF
 			out.P75 = append(out.P75, 0)
 			continue
 		}
-		out.Median = append(out.Median, stats.Median(rs))
-		out.P75 = append(out.P75, stats.Quantile(rs, 0.75))
+		q := stats.Quantiles(rs, 0.5, 0.75)
+		out.Median = append(out.Median, q[0])
+		out.P75 = append(out.P75, q[1])
 	}
 	return out, nil
 }
@@ -227,8 +228,8 @@ func runFig14b(ctx context.Context, a *Analyzer, art *report.Artifact) error {
 		samples := rv.Samples()
 		med, p95 := 0.0, 0.0
 		if len(samples) > 0 {
-			med = stats.Quantile(samples, 0.5)
-			p95 = stats.Quantile(samples, 0.95)
+			q := stats.Quantiles(samples, 0.5, 0.95)
+			med, p95 = q[0], q[1]
 		}
 		tbl.Rows = append(tbl.Rows, []string{
 			fmt.Sprintf("#%d", ci), fmt.Sprintf("%d", rv.N()),

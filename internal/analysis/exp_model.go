@@ -506,10 +506,11 @@ func runFig16(ctx context.Context, a *Analyzer, art *report.Artifact) error {
 			if len(rates) == 0 {
 				continue
 			}
+			q := stats.Quantiles(rates, 0.5, 0.9)
 			tbl.Rows = append(tbl.Rows, []string{
 				t.String(), fmt.Sprintf("%d", len(rates)),
-				report.FormatFloat(stats.Median(rates)),
-				report.FormatFloat(stats.Quantile(rates, 0.9)),
+				report.FormatFloat(q[0]),
+				report.FormatFloat(q[1]),
 				report.FormatFloat(stats.Mean(rates)),
 			})
 		}

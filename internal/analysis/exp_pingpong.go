@@ -3,10 +3,11 @@ package analysis
 import (
 	"context"
 	"fmt"
+	"sort"
 	"time"
 
-	"telcolens/internal/census"
 	"telcolens/internal/report"
+	"telcolens/internal/topology"
 	"telcolens/internal/trace"
 )
 
@@ -42,50 +43,128 @@ func (p *PingPongStats) Rate() float64 {
 // Only successful handovers advance the serving sector, matching the PP
 // definition of the prior studies.
 func (a *Analyzer) PingPong(ctx context.Context, window time.Duration) (*PingPongStats, error) {
-	type lastHO struct {
-		src, dst uint32
-		ts       int64
-		valid    bool
-	}
-	states := make([]lastHO, a.DS.Population.Len())
-	out := &PingPongStats{Window: window}
-	winMs := window.Milliseconds()
-
-	// A sequential pass: the per-UE bounce state must survive day
-	// boundaries, which the per-partition collector states do not. The
-	// result is sharding-invariant anyway because ForEach's canonical
-	// partition order preserves every UE's record sequence.
-	var n int
-	err := trace.ForEach(a.DS.Store, func(_ int, rec *trace.Record) error {
-		if n++; n%8192 == 0 {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-		}
-		if rec.Result != trace.Success {
-			return nil
-		}
-		out.HOs++
-		areaIdx := 0
-		if a.DS.Network.Sector(rec.Source).Area == census.Urban {
-			areaIdx = 1
-		}
-		out.AreaHOs[areaIdx]++
-		st := &states[rec.UE]
-		if st.valid &&
-			uint32(rec.Source) == st.dst && uint32(rec.Target) == st.src &&
-			rec.Timestamp-st.ts <= winMs {
-			out.PingPongs++
-			out.ByArea[areaIdx]++
-			// A PP closes the pair; the bounce-back does not seed a new one.
-			st.valid = false
-			return nil
-		}
-		*st = lastHO{src: uint32(rec.Source), dst: uint32(rec.Target), ts: rec.Timestamp, valid: true}
-		return nil
-	})
+	out, err := a.PingPongAll(ctx, []time.Duration{window})
 	if err != nil {
 		return nil, err
+	}
+	return out[0], nil
+}
+
+// pingPongState is one UE's bounce automaton for one window.
+type pingPongState struct {
+	src, dst uint32
+	ts       int64
+	valid    bool
+}
+
+// PingPongAll computes ping-pong stats for every window in ONE pass over
+// the trace (the automata are independent, so all windows advance per
+// record); the v1 implementation re-scanned the whole store per window.
+// The pass is sequential — the per-UE bounce state must survive day
+// boundaries, which the per-partition collector states do not — but
+// batched: column-capable partitions (v2 block files, memory stores)
+// stream SoA batches instead of one iterator call per record. The
+// result is sharding-invariant because the canonical partition order
+// preserves every UE's record sequence.
+func (a *Analyzer) PingPongAll(ctx context.Context, windows []time.Duration) ([]*PingPongStats, error) {
+	if len(windows) == 0 {
+		return nil, fmt.Errorf("analysis: ping-pong without windows")
+	}
+	nW := len(windows)
+	winMs := make([]int64, nW)
+	out := make([]*PingPongStats, nW)
+	for w, win := range windows {
+		winMs[w] = win.Milliseconds()
+		out[w] = &PingPongStats{Window: win}
+	}
+	// Per-UE, per-window automata, window-major per UE so one record's
+	// updates stay on one cache line.
+	states := make([]pingPongState, a.DS.Population.Len()*nW)
+	// Urban/rural is per source sector; the shared scanEnv tables carry
+	// the same flat lookup the collectors use.
+	sectors := a.sharedEnv().sectors
+	var hos int64
+	var areaHOs [2]int64
+
+	observe := func(ts int64, ue trace.UEID, src, dst topology.SectorID, res trace.Result) {
+		if res != trace.Success {
+			return
+		}
+		hos++
+		areaIdx := sectors[src].areaIdx
+		areaHOs[areaIdx]++
+		base := int(ue) * nW
+		for w := 0; w < nW; w++ {
+			st := &states[base+w]
+			if st.valid &&
+				uint32(src) == st.dst && uint32(dst) == st.src &&
+				ts-st.ts <= winMs[w] {
+				out[w].PingPongs++
+				out[w].ByArea[areaIdx]++
+				// A PP closes the pair; the bounce-back does not seed a new one.
+				st.valid = false
+				continue
+			}
+			*st = pingPongState{src: uint32(src), dst: uint32(dst), ts: ts, valid: true}
+		}
+	}
+
+	parts, err := a.DS.Store.Partitions()
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(parts, func(i, j int) bool { return parts[i].Less(parts[j]) })
+	var cb trace.ColumnBatch
+	for _, p := range parts {
+		it, err := a.DS.Store.OpenPartition(p.Day, p.Shard)
+		if err != nil {
+			return nil, err
+		}
+		if ci, ok := it.(trace.ColumnIterator); ok {
+			for {
+				if err := ctx.Err(); err != nil {
+					it.Close()
+					return nil, err
+				}
+				n, err := ci.NextColumns(&cb)
+				if err != nil {
+					it.Close()
+					return nil, err
+				}
+				if n == 0 {
+					break
+				}
+				for i := 0; i < n; i++ {
+					observe(cb.Timestamps[i], cb.UEs[i], cb.Sources[i], cb.Targets[i], cb.Results[i])
+				}
+			}
+		} else {
+			var rec trace.Record
+			for n := 0; ; n++ {
+				if n%8192 == 0 {
+					if err := ctx.Err(); err != nil {
+						it.Close()
+						return nil, err
+					}
+				}
+				ok, err := it.Next(&rec)
+				if err != nil {
+					it.Close()
+					return nil, err
+				}
+				if !ok {
+					break
+				}
+				observe(rec.Timestamp, rec.UE, rec.Source, rec.Target, rec.Result)
+			}
+		}
+		if err := it.Close(); err != nil {
+			return nil, err
+		}
+	}
+	for w := 0; w < nW; w++ {
+		out[w].HOs = hos
+		out[w].AreaHOs = areaHOs
 	}
 	return out, nil
 }
@@ -95,11 +174,12 @@ func runPingPong(ctx context.Context, a *Analyzer, art *report.Artifact) error {
 		Title:   "Ping-pong handovers (A→B→A within window)",
 		Columns: []string{"Window", "HOs", "Ping-pongs", "Rate", "Urban rate", "Rural rate"},
 	}
-	for _, w := range []time.Duration{2 * time.Second, 10 * time.Second, time.Minute, 5 * time.Minute} {
-		s, err := a.PingPong(ctx, w)
-		if err != nil {
-			return err
-		}
+	windows := []time.Duration{2 * time.Second, 10 * time.Second, time.Minute, 5 * time.Minute}
+	all, err := a.PingPongAll(ctx, windows)
+	if err != nil {
+		return err
+	}
+	for _, s := range all {
 		rate := func(area int) string {
 			if s.AreaHOs[area] == 0 {
 				return "-"
@@ -107,7 +187,7 @@ func runPingPong(ctx context.Context, a *Analyzer, art *report.Artifact) error {
 			return report.FormatPct(float64(s.ByArea[area]) / float64(s.AreaHOs[area]))
 		}
 		tbl.Rows = append(tbl.Rows, []string{
-			w.String(),
+			s.Window.String(),
 			fmt.Sprintf("%d", s.HOs),
 			fmt.Sprintf("%d", s.PingPongs),
 			report.FormatPct(s.Rate()),

@@ -90,12 +90,25 @@ func RadiusOfGyrationKm(visits []Visit) float64 {
 	if !ok {
 		return 0
 	}
+	// Center-side trigonometry is loop-invariant; hoisting it halves the
+	// haversine cost per visit. The arithmetic below performs exactly
+	// the operations of DistanceKm(v.Loc, cm) in the same order, so the
+	// result is bit-identical to the per-pair form.
+	latC, lonC := deg2rad(cm.Lat), deg2rad(cm.Lon)
+	cosC := math.Cos(latC)
 	var sumW, sum float64
 	for _, v := range visits {
 		if v.Weight <= 0 {
 			continue
 		}
-		d := DistanceKm(v.Loc, cm)
+		lat1, lon1 := deg2rad(v.Loc.Lat), deg2rad(v.Loc.Lon)
+		s1 := math.Sin((latC - lat1) / 2)
+		s2 := math.Sin((lonC - lon1) / 2)
+		h := s1*s1 + math.Cos(lat1)*cosC*s2*s2
+		if h > 1 {
+			h = 1
+		}
+		d := 2 * EarthRadiusKm * math.Asin(math.Sqrt(h))
 		sum += v.Weight * d * d
 		sumW += v.Weight
 	}

@@ -102,6 +102,23 @@ func QuantileSorted(sorted []float64, q float64) float64 {
 // Median returns the 50th percentile.
 func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
 
+// Quantiles returns the requested quantiles of xs with a single
+// copy+sort; each entry equals Quantile(xs, q) exactly. Use it when an
+// experiment needs several quantiles of one large sample — repeated
+// Quantile calls re-sort the sample every time.
+func Quantiles(xs []float64, qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	if len(xs) == 0 {
+		return out
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	for i, q := range qs {
+		out[i] = QuantileSorted(s, q)
+	}
+	return out
+}
+
 // Summary is the descriptive summary the paper prints for its regression
 // dataset (Table 6): min, quartiles, mean, max.
 type Summary struct {

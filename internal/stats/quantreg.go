@@ -81,9 +81,13 @@ func FitQuantile(y []float64, X [][]float64, names []string, tau float64, addInt
 				w = (1 - tau) / math.Max(math.Abs(r), eps)
 			}
 			for a := 0; a < p; a++ {
-				xtwy[a] += w * row[a] * y[i]
+				// w*row[a] is the left-grouped common factor of both
+				// updates; hoisting it is bit-identical.
+				wra := w * row[a]
+				xtwy[a] += wra * y[i]
+				xa := xtwx[a]
 				for b := a; b < p; b++ {
-					xtwx[a][b] += w * row[a] * row[b]
+					xa[b] += wra * row[b]
 				}
 			}
 		}

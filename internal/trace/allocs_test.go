@@ -1,0 +1,109 @@
+//go:build !race
+
+package trace
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"testing"
+)
+
+// The steady-state batch scan loop must not allocate: after the first
+// block warms the reusable buffers, decoding the next block into a
+// ColumnBatch (or a record batch) costs zero allocations per call.
+// Gated off under -race (the detector instruments allocations).
+
+func steadyStateAllocs(t *testing.T, blocks int, decode func(r *Reader) bool) float64 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(21))
+	recs := make([]Record, blocks*256)
+	for i := range recs {
+		recs[i] = randRecord(rng, StudyStart.UnixMilli())
+	}
+	data := encodeV2(t, recs, WriterV2Options{BlockRecords: 256})
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the reader's scratch buffers on the first few blocks.
+	for i := 0; i < 4; i++ {
+		if !decode(r) {
+			t.Fatal("stream too short to warm up")
+		}
+	}
+	return testing.AllocsPerRun(64, func() {
+		if !decode(r) {
+			t.Fatal("stream exhausted mid-measurement")
+		}
+	})
+}
+
+func TestColumnDecodeSteadyStateAllocs(t *testing.T) {
+	var cb ColumnBatch
+	allocs := steadyStateAllocs(t, 128, func(r *Reader) bool {
+		n, err := r.NextColumns(&cb)
+		return err == nil && n > 0
+	})
+	if allocs > 0 {
+		t.Fatalf("NextColumns allocates %.1f times per block in steady state, want 0", allocs)
+	}
+}
+
+func TestBatchDecodeSteadyStateAllocs(t *testing.T) {
+	var batch []Record
+	allocs := steadyStateAllocs(t, 128, func(r *Reader) bool {
+		n, err := r.NextBatch(&batch)
+		return err == nil && n > 0
+	})
+	if allocs > 0 {
+		t.Fatalf("NextBatch allocates %.1f times per block in steady state, want 0", allocs)
+	}
+}
+
+// TestScanSteadyStateBlockAllocs bounds the whole engine path: scanning
+// a store with many blocks per partition must allocate O(partitions),
+// not O(blocks) — the pooled batch buffers absorb the per-block cost.
+func TestScanSteadyStateBlockAllocs(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(22))
+	const blocksPerPart = 64
+	w, err := fs.AppendPartition(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := make([]Record, blocksPerPart*DefaultBlockRecords)
+	for i := range recs {
+		recs[i] = randRecord(rng, StudyStart.UnixMilli())
+	}
+	if err := w.(BatchWriter).WriteBatch(recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	scanOnce := func() {
+		c := &columnSumCollector{}
+		if err := Scan(context.Background(), fs, ScanOptions{Parallelism: 1}, c); err != nil {
+			t.Fatal(err)
+		}
+		if c.total != int64(len(recs)) {
+			t.Fatalf("scan saw %d records, want %d", c.total, len(recs))
+		}
+	}
+	scanOnce() // warm the pools
+	allocs := testing.AllocsPerRun(5, scanOnce)
+	// One partition scan owns a fixed number of setup allocations
+	// (goroutines, channels, iterator, reader buffers); the bound fails
+	// loudly if any per-block allocation sneaks back in (64 blocks/run).
+	const maxPerScan = 48
+	if allocs > maxPerScan {
+		t.Fatalf("steady-state scan allocates %.0f times per run over %d blocks, want <= %d (per-partition setup only)",
+			allocs, blocksPerPart, maxPerScan)
+	}
+}

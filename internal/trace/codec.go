@@ -174,6 +174,7 @@ type Reader struct {
 	payload  []byte
 	inflated []byte
 	tacDict  []devices.TAC
+	scratch  []Record // v1 NextColumns transposition buffer
 	stats    BlockStats
 
 	hasRange     bool
@@ -205,7 +206,9 @@ func NewReader(r io.Reader) (*Reader, error) {
 	if v == VersionV2 && flags&^FlagFlate != 0 {
 		return nil, fmt.Errorf("%w: unknown v2 flags %#x", ErrBadVersion, flags)
 	}
-	return &Reader{r: br, version: v, flags: flags}, nil
+	// Byte accounting starts at the header, so a fully decoded stream
+	// reports exactly its stored size.
+	return &Reader{r: br, version: v, flags: flags, stats: BlockStats{BytesRead: HeaderSize}}, nil
 }
 
 // Version reports the negotiated stream version.
@@ -261,6 +264,7 @@ func (r *Reader) Next(rec *Record) error {
 		if err != nil {
 			return ErrTruncated
 		}
+		r.stats.BytesRead += RecordSize
 		if err := DecodeRecord(r.buf[:], rec); err != nil {
 			return err
 		}
@@ -325,6 +329,42 @@ func (r *Reader) NextBatch(batch *[]Record) (int, error) {
 	return len(*batch), nil
 }
 
+// NextColumns fills cb with the next run of records in columnar (SoA)
+// form and returns how many it holds. On v2 streams one call decodes
+// one block straight into the column slices — the payload is already
+// columnar, so no []Record is materialized; v1 streams decode a record
+// batch and transpose it. Column projection and time-range semantics
+// match NextBatch exactly. It returns (0, io.EOF) at a clean end of
+// stream.
+func (r *Reader) NextColumns(cb *ColumnBatch) (int, error) {
+	if r.version == VersionV2 {
+		for {
+			if r.blockPos < len(r.block) {
+				// Remainder of a block partially consumed by Next.
+				cb.FromRecords(r.block[r.blockPos:])
+				r.blockPos = len(r.block)
+			} else if err := r.readBlockColumns(cb); err != nil {
+				return 0, err
+			}
+			if r.hasRange {
+				cb.FilterRange(r.minTS, r.maxTS)
+			}
+			if n := cb.Len(); n > 0 {
+				return n, nil
+			}
+		}
+	}
+	if cap(r.scratch) == 0 {
+		r.scratch = make([]Record, 0, DefaultBlockRecords)
+	}
+	n, err := r.NextBatch(&r.scratch)
+	if err != nil {
+		return 0, err
+	}
+	cb.FromRecords(r.scratch[:n])
+	return n, nil
+}
+
 // filterRange compacts recs to those inside [minTS, maxTS], preserving
 // order, and returns the new length.
 func filterRange(recs []Record, minTS, maxTS int64) int {
@@ -353,18 +393,83 @@ func (r *Reader) readBlock() error {
 	return nil
 }
 
+// blockFrame is one v2 block's descriptor plus its acquired (and, when
+// compressed, inflated) payload, ready to decode. When peeked is set
+// the payload aliases the bufio window and must be fully consumed —
+// releaseFrame discards it — before the next read.
+type blockFrame struct {
+	count        int
+	minTS, maxTS int64
+	secs         blockSections
+	payload      []byte
+	encLen       int
+	peeked       bool
+}
+
+// releaseFrame returns a decoded frame's bytes to the reader and
+// credits the read counters.
+func (r *Reader) releaseFrame(f *blockFrame) error {
+	if f.peeked {
+		// The peeked window is decoded; release it to the bufio reader.
+		if _, err := r.r.Discard(f.encLen); err != nil {
+			return ErrTruncated
+		}
+	}
+	r.stats.BlocksRead++
+	r.stats.BytesRead += int64(blockHeadSize + f.encLen)
+	return nil
+}
+
 // readBlockInto reads the next block whose time bounds intersect the
 // configured range and decodes it into *dst, growing it as needed. It
 // returns the record count, io.EOF at a clean block boundary, and
 // ErrTruncated or ErrCorruptBlock otherwise.
 func (r *Reader) readBlockInto(dst *[]Record) (int, error) {
+	var f blockFrame
+	if err := r.nextBlockFrame(&f); err != nil {
+		return 0, err
+	}
+	if cap(*dst) < f.count {
+		*dst = make([]Record, f.count)
+	}
+	out := (*dst)[:f.count]
+	var decErr error
+	if r.proj == 0 || r.proj&optionalColumns == optionalColumns {
+		decErr = decodeBlockPayload(f.payload, f.minTS, f.maxTS, f.secs, out, &r.tacDict)
+	} else {
+		decErr = decodeBlockProjected(f.payload, f.minTS, f.maxTS, f.secs, r.proj, out, &r.tacDict)
+	}
+	if decErr != nil {
+		return 0, decErr
+	}
+	return f.count, r.releaseFrame(&f)
+}
+
+// readBlockColumns reads the next in-range block and decodes it
+// column-at-a-time straight into cb (resized to the block's count).
+func (r *Reader) readBlockColumns(cb *ColumnBatch) error {
+	var f blockFrame
+	if err := r.nextBlockFrame(&f); err != nil {
+		return err
+	}
+	if err := decodeBlockColumns(f.payload, f.minTS, f.maxTS, f.secs, r.proj, f.count, cb, &r.tacDict); err != nil {
+		return err
+	}
+	return r.releaseFrame(&f)
+}
+
+// nextBlockFrame reads block descriptors until one intersects the
+// configured time range, validates it structurally, and acquires its
+// (inflated) payload. It returns io.EOF at a clean block boundary and
+// ErrTruncated or ErrCorruptBlock otherwise.
+func (r *Reader) nextBlockFrame(f *blockFrame) error {
 	for {
 		n, err := io.ReadFull(r.r, r.head[:])
 		if err == io.EOF && n == 0 {
-			return 0, io.EOF
+			return io.EOF
 		}
 		if err != nil {
-			return 0, ErrTruncated
+			return ErrTruncated
 		}
 		count := binary.LittleEndian.Uint32(r.head[0:4])
 		minTS := int64(binary.LittleEndian.Uint64(r.head[4:12]))
@@ -382,7 +487,7 @@ func (r *Reader) readBlockInto(dst *[]Record) (int, error) {
 		}
 		if count == 0 || count > maxBlockRecords || minTS > maxTS ||
 			rawLen > maxBlockPayload || encLen > maxBlockPayload {
-			return 0, fmt.Errorf("%w: bad block descriptor (count=%d raw=%d enc=%d)",
+			return fmt.Errorf("%w: bad block descriptor (count=%d raw=%d enc=%d)",
 				ErrCorruptBlock, count, rawLen, encLen)
 		}
 		// Structural bounds before any allocation: every varint column
@@ -393,27 +498,27 @@ func (r *Reader) readBlockInto(dst *[]Record) (int, error) {
 		if secs.tsLen < count || secs.ueLen < count || secs.idxLen < count ||
 			secs.srcLen < count || secs.dstLen < count || secs.causeLen < count ||
 			secs.dictEntries > count {
-			return 0, fmt.Errorf("%w: implausible column extents", ErrCorruptBlock)
+			return fmt.Errorf("%w: implausible column extents", ErrCorruptBlock)
 		}
 		sum := uint64(secs.tsLen) + uint64(secs.ueLen) + 4*uint64(secs.dictEntries) +
 			uint64(secs.idxLen) + uint64(secs.srcLen) + uint64(secs.dstLen) +
 			uint64(secs.causeLen) + 6*uint64(count)
 		if sum != uint64(rawLen) {
-			return 0, fmt.Errorf("%w: column extents sum %d != payload %d",
+			return fmt.Errorf("%w: column extents sum %d != payload %d",
 				ErrCorruptBlock, sum, rawLen)
 		}
 		if r.flags&FlagFlate == 0 {
 			if rawLen != encLen {
-				return 0, fmt.Errorf("%w: uncompressed block with raw %d != enc %d",
+				return fmt.Errorf("%w: uncompressed block with raw %d != enc %d",
 					ErrCorruptBlock, rawLen, encLen)
 			}
 		} else if uint64(rawLen) > uint64(encLen)*maxFlateRatio+64 {
-			return 0, fmt.Errorf("%w: implausible compression ratio (raw %d from enc %d)",
+			return fmt.Errorf("%w: implausible compression ratio (raw %d from enc %d)",
 				ErrCorruptBlock, rawLen, encLen)
 		}
 		if r.hasRange && (maxTS < r.minTS || minTS > r.maxTS) {
 			if _, err := r.r.Discard(int(encLen)); err != nil {
-				return 0, ErrTruncated
+				return ErrTruncated
 			}
 			r.stats.BlocksSkipped++
 			continue
@@ -426,7 +531,7 @@ func (r *Reader) readBlockInto(dst *[]Record) (int, error) {
 		if int(encLen) <= r.r.Size() {
 			p, err := r.r.Peek(int(encLen))
 			if err != nil {
-				return 0, ErrTruncated
+				return ErrTruncated
 			}
 			payload = p
 			peeked = true
@@ -436,7 +541,7 @@ func (r *Reader) readBlockInto(dst *[]Record) (int, error) {
 			}
 			r.payload = r.payload[:encLen]
 			if _, err := io.ReadFull(r.r, r.payload); err != nil {
-				return 0, ErrTruncated
+				return ErrTruncated
 			}
 			payload = r.payload
 		}
@@ -447,34 +552,23 @@ func (r *Reader) readBlockInto(dst *[]Record) (int, error) {
 			}
 			r.inflated = r.inflated[:rawLen]
 			if _, err := io.ReadFull(fr, r.inflated); err != nil {
-				return 0, fmt.Errorf("%w: inflating payload: %v", ErrCorruptBlock, err)
+				return fmt.Errorf("%w: inflating payload: %v", ErrCorruptBlock, err)
 			}
 			// The compressed payload must not hide extra data.
 			if n, _ := fr.Read(make([]byte, 1)); n != 0 {
-				return 0, fmt.Errorf("%w: compressed payload longer than rawLen", ErrCorruptBlock)
+				return fmt.Errorf("%w: compressed payload longer than rawLen", ErrCorruptBlock)
 			}
 			payload = r.inflated
 		}
-		if cap(*dst) < int(count) {
-			*dst = make([]Record, count)
+		*f = blockFrame{
+			count:   int(count),
+			minTS:   minTS,
+			maxTS:   maxTS,
+			secs:    secs,
+			payload: payload,
+			encLen:  int(encLen),
+			peeked:  peeked,
 		}
-		out := (*dst)[:count]
-		var decErr error
-		if r.proj == 0 || r.proj&optionalColumns == optionalColumns {
-			decErr = decodeBlockPayload(payload, minTS, maxTS, secs, out, &r.tacDict)
-		} else {
-			decErr = decodeBlockProjected(payload, minTS, maxTS, secs, r.proj, out, &r.tacDict)
-		}
-		if decErr != nil {
-			return 0, decErr
-		}
-		if peeked {
-			// The peeked window is decoded; release it to the bufio reader.
-			if _, err := r.r.Discard(int(encLen)); err != nil {
-				return 0, ErrTruncated
-			}
-		}
-		r.stats.BlocksRead++
-		return int(count), nil
+		return nil
 	}
 }

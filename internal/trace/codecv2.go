@@ -385,6 +385,153 @@ func decodeBlockProjected(payload []byte, minTS, maxTS int64, secs blockSections
 	return nil
 }
 
+// uvarintColumn decodes one whole uvarint column section into out,
+// starting at pos and expected to end exactly at pos+secLen. Values
+// above max reject the block. The 1/2-byte branchless fast path matches
+// the fused record decoder; keeping the loop inside one generic helper
+// (instantiated per column type) means no per-value call overhead.
+func uvarintColumn[T ~uint16 | ~uint32 | ~uint64](payload []byte, pos int, secLen uint32, out []T, max uint64, col string) (int, error) {
+	end := pos + int(secLen)
+	for i := range out {
+		var v uint64
+		if uint(pos+1) < uint(len(payload)) && payload[pos]&payload[pos+1] < 0x80 {
+			b0 := payload[pos]
+			wide := b0 >> 7
+			mask := -uint64(wide)
+			v = uint64(b0&0x7f) | (uint64(payload[pos+1])<<7)&mask
+			pos += 1 + int(wide)
+		} else if v, pos = uvarintSlow(payload, pos); pos < 0 {
+			return 0, fmt.Errorf("%w: %s column", ErrCorruptBlock, col)
+		}
+		if v > max {
+			return 0, fmt.Errorf("%w: %s column", ErrCorruptBlock, col)
+		}
+		out[i] = T(v)
+	}
+	if pos != end {
+		return 0, fmt.Errorf("%w: %s column", ErrCorruptBlock, col)
+	}
+	return pos, nil
+}
+
+// decodeBlockColumns decodes a block payload straight into the SoA
+// ColumnBatch layout — the natural shape for the columnar payload: each
+// section decodes in its own tight loop with one write stream, and
+// skipped (unprojected) sections are jumped without touching their
+// bytes. Timestamps are always decoded. cb is resized to count; columns
+// outside proj hold unspecified values.
+func decodeBlockColumns(payload []byte, minTS, maxTS int64, secs blockSections, proj ColumnSet, count int, cb *ColumnBatch, dictScratch *[]devices.TAC) error {
+	if proj == 0 {
+		proj = AllColumns
+	}
+	cb.resize(count)
+	n := count
+	pos := 0
+	// Timestamps: zigzag deltas with branchless bounds accumulation.
+	prev := minTS
+	var tsOut uint64
+	tsCol := cb.Timestamps
+	for i := 0; i < n; i++ {
+		var u uint64
+		if uint(pos+1) < uint(len(payload)) && payload[pos]&payload[pos+1] < 0x80 {
+			b0 := payload[pos]
+			wide := b0 >> 7
+			mask := -uint64(wide)
+			u = uint64(b0&0x7f) | (uint64(payload[pos+1])<<7)&mask
+			pos += 1 + int(wide)
+		} else if u, pos = uvarintSlow(payload, pos); pos < 0 {
+			return fmt.Errorf("%w: timestamp column", ErrCorruptBlock)
+		}
+		prev += int64(u>>1) ^ -int64(u&1)
+		tsOut |= uint64(prev-minTS)>>63 | uint64(maxTS-prev)>>63
+		tsCol[i] = prev
+	}
+	if pos != int(secs.tsLen) || tsOut != 0 {
+		return fmt.Errorf("%w: timestamp column", ErrCorruptBlock)
+	}
+	// UE.
+	if proj&ColUE != 0 {
+		var err error
+		if pos, err = uvarintColumn(payload, pos, secs.ueLen, cb.UEs, math.MaxUint32, "ue"); err != nil {
+			return err
+		}
+	} else {
+		pos += int(secs.ueLen)
+	}
+	// TAC dictionary and indexes.
+	dictLen := uint64(secs.dictEntries)
+	if proj&ColTAC != 0 {
+		if dictLen > uint64(n) {
+			return fmt.Errorf("%w: tac dictionary size", ErrCorruptBlock)
+		}
+		if cap(*dictScratch) < int(dictLen) {
+			*dictScratch = make([]devices.TAC, dictLen)
+		}
+		dict := (*dictScratch)[:dictLen]
+		for i := range dict {
+			dict[i] = devices.TAC(binary.LittleEndian.Uint32(payload[pos+i*4:]))
+		}
+		pos += int(dictLen) * 4
+		end := pos + int(secs.idxLen)
+		tacCol := cb.TACs
+		for i := 0; i < n; i++ {
+			var idx uint64
+			if uint(pos+1) < uint(len(payload)) && payload[pos]&payload[pos+1] < 0x80 {
+				b0 := payload[pos]
+				wide := b0 >> 7
+				mask := -uint64(wide)
+				idx = uint64(b0&0x7f) | (uint64(payload[pos+1])<<7)&mask
+				pos += 1 + int(wide)
+			} else if idx, pos = uvarintSlow(payload, pos); pos < 0 {
+				return fmt.Errorf("%w: tac index column", ErrCorruptBlock)
+			}
+			if idx >= dictLen {
+				return fmt.Errorf("%w: tac index column", ErrCorruptBlock)
+			}
+			tacCol[i] = dict[idx]
+		}
+		if pos != end {
+			return fmt.Errorf("%w: tac index column", ErrCorruptBlock)
+		}
+	} else {
+		pos += int(dictLen)*4 + int(secs.idxLen)
+	}
+	// Sectors.
+	if proj&ColSectors != 0 {
+		var err error
+		if pos, err = uvarintColumn(payload, pos, secs.srcLen, cb.Sources, math.MaxUint32, "source"); err != nil {
+			return err
+		}
+		if pos, err = uvarintColumn(payload, pos, secs.dstLen, cb.Targets, math.MaxUint32, "target"); err != nil {
+			return err
+		}
+	} else {
+		pos += int(secs.srcLen) + int(secs.dstLen)
+	}
+	// Cause.
+	if proj&ColCause != 0 {
+		var err error
+		if pos, err = uvarintColumn(payload, pos, secs.causeLen, cb.Causes, math.MaxUint16, "cause"); err != nil {
+			return err
+		}
+	} else {
+		pos += int(secs.causeLen)
+	}
+	// Fixed-width tail: two memmoves and one f32 loop.
+	if proj&ColOutcome != 0 {
+		copy(cb.RATs, payload[pos:pos+n])
+		results := payload[pos+n : pos+2*n]
+		for i := 0; i < n; i++ {
+			cb.Results[i] = Result(results[i])
+		}
+		durs := payload[pos+2*n : pos+6*n]
+		for i := 0; i < n; i++ {
+			cb.Durations[i] = math.Float32frombits(binary.LittleEndian.Uint32(durs[i*4:]))
+		}
+	}
+	return nil
+}
+
 // uvarintSlow handles varints of any width plus end-of-buffer edges; the
 // hot one- and two-byte cases are open-coded in decodeBlockPayload's
 // column loops (helpers with a fallback call blow the inlining budget).
@@ -724,11 +871,17 @@ func (w *WriterV2) Flush() error {
 	return w.w.Flush()
 }
 
-// BlockStats counts v2 block activity during a read.
+// BlockStats counts stream activity during a read.
 type BlockStats struct {
 	// BlocksRead is the number of block payloads decoded.
 	BlocksRead int64
 	// BlocksSkipped is the number of blocks pruned by the time range
 	// without decoding their payload.
 	BlocksSkipped int64
+	// BytesRead is the number of stored stream bytes consumed by decoded
+	// data: the stream header plus, on v2, each decoded block's
+	// descriptor and stored (possibly compressed) payload, and on v1
+	// each decoded record. Range-pruned blocks do not count, so a full
+	// unwindowed read reports exactly the stream's on-disk size.
+	BytesRead int64
 }

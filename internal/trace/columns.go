@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"telcolens/internal/causes"
+	"telcolens/internal/devices"
+	"telcolens/internal/topology"
+)
+
+// ColumnBatch is the structure-of-arrays (SoA) view of one decoded run
+// of records: every field lives in its own parallel slice, all of the
+// same length. The v2 block codec decodes straight into this layout
+// (its payload is already columnar), so a column-native scan never
+// materializes []Record at all; stores without native column support
+// transpose record batches into it via FromRecords.
+//
+// RAT pairs stay packed exactly as stored on the wire — source nibble
+// high, target nibble low — so batch consumers that only classify the
+// handover type can mask the low nibble without unpacking. Fields
+// outside the scan's column projection are present but hold unspecified
+// values, mirroring the Record contract.
+type ColumnBatch struct {
+	Timestamps []int64
+	UEs        []UEID
+	TACs       []devices.TAC
+	Sources    []topology.SectorID
+	Targets    []topology.SectorID
+	Causes     []causes.Code
+	// RATs holds the packed RAT byte of each record: SourceRAT<<4 | TargetRAT.
+	RATs      []uint8
+	Results   []Result
+	Durations []float32
+}
+
+// Len returns the number of records in the batch.
+func (b *ColumnBatch) Len() int { return len(b.Timestamps) }
+
+// resize sets every column to length n, reusing capacity. Newly exposed
+// entries hold unspecified values; callers overwrite what they project.
+func (b *ColumnBatch) resize(n int) {
+	b.Timestamps = growCol(b.Timestamps, n)
+	b.UEs = growCol(b.UEs, n)
+	b.TACs = growCol(b.TACs, n)
+	b.Sources = growCol(b.Sources, n)
+	b.Targets = growCol(b.Targets, n)
+	b.Causes = growCol(b.Causes, n)
+	b.RATs = growCol(b.RATs, n)
+	b.Results = growCol(b.Results, n)
+	b.Durations = growCol(b.Durations, n)
+}
+
+func growCol[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// FromRecords transposes recs into the batch, replacing its contents.
+func (b *ColumnBatch) FromRecords(recs []Record) {
+	b.resize(len(recs))
+	for i := range recs {
+		r := &recs[i]
+		b.Timestamps[i] = r.Timestamp
+		b.UEs[i] = r.UE
+		b.TACs[i] = r.TAC
+		b.Sources[i] = r.Source
+		b.Targets[i] = r.Target
+		b.Causes[i] = r.Cause
+		b.RATs[i] = byte(r.SourceRAT)<<4 | byte(r.TargetRAT)&0x0f
+		b.Results[i] = r.Result
+		b.Durations[i] = r.DurationMs
+	}
+}
+
+// Record copies row i into rec (unpacking the RAT byte).
+func (b *ColumnBatch) Record(i int, rec *Record) {
+	rec.Timestamp = b.Timestamps[i]
+	rec.UE = b.UEs[i]
+	rec.TAC = b.TACs[i]
+	rec.Source = b.Sources[i]
+	rec.Target = b.Targets[i]
+	rec.Cause = b.Causes[i]
+	rec.SourceRAT = topology.RAT(b.RATs[i] >> 4)
+	rec.TargetRAT = topology.RAT(b.RATs[i] & 0x0f)
+	rec.Result = b.Results[i]
+	rec.DurationMs = b.Durations[i]
+}
+
+// FilterRange compacts the batch to rows with
+// minTS <= Timestamp <= maxTS, preserving order across every column,
+// and returns the new length.
+func (b *ColumnBatch) FilterRange(minTS, maxTS int64) int {
+	n := 0
+	for i, ts := range b.Timestamps {
+		if ts >= minTS && ts <= maxTS {
+			if n != i {
+				b.Timestamps[n] = ts
+				b.UEs[n] = b.UEs[i]
+				b.TACs[n] = b.TACs[i]
+				b.Sources[n] = b.Sources[i]
+				b.Targets[n] = b.Targets[i]
+				b.Causes[n] = b.Causes[i]
+				b.RATs[n] = b.RATs[i]
+				b.Results[n] = b.Results[i]
+				b.Durations[n] = b.Durations[i]
+			}
+			n++
+		}
+	}
+	b.resize(n)
+	return n
+}

@@ -1,0 +1,443 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// collectColumns drains a ColumnIterator into a flat record slice via
+// per-row transposition, exercising reuse of one batch across calls.
+func collectColumns(t testing.TB, ci ColumnIterator) []Record {
+	t.Helper()
+	var out []Record
+	var cb ColumnBatch
+	for {
+		n, err := ci.NextColumns(&cb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			return out
+		}
+		if n != cb.Len() {
+			t.Fatalf("NextColumns returned %d but batch holds %d", n, cb.Len())
+		}
+		for i := 0; i < n; i++ {
+			var rec Record
+			cb.Record(i, &rec)
+			out = append(out, rec)
+		}
+	}
+}
+
+func TestColumnBatchFromRecordsRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	recs := make([]Record, 300)
+	for i := range recs {
+		recs[i] = randRecord(r, StudyStart.UnixMilli())
+	}
+	var cb ColumnBatch
+	cb.FromRecords(recs)
+	if cb.Len() != len(recs) {
+		t.Fatalf("Len = %d, want %d", cb.Len(), len(recs))
+	}
+	for i := range recs {
+		var got Record
+		cb.Record(i, &got)
+		if got != recs[i] {
+			t.Fatalf("row %d: got %+v, want %+v", i, got, recs[i])
+		}
+	}
+	// Shrinking reuse must not leak stale rows.
+	cb.FromRecords(recs[:10])
+	if cb.Len() != 10 || len(cb.Durations) != 10 {
+		t.Fatalf("after shrink: Len = %d, durations = %d", cb.Len(), len(cb.Durations))
+	}
+}
+
+func TestColumnBatchFilterRange(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	base := StudyStart.UnixMilli()
+	recs := make([]Record, 500)
+	for i := range recs {
+		recs[i] = randRecord(r, base)
+	}
+	lo, hi := base+3*3600*1000, base+9*3600*1000
+	var cb ColumnBatch
+	cb.FromRecords(recs)
+	n := cb.FilterRange(lo, hi)
+
+	want := append([]Record(nil), recs...)
+	wantN := filterRange(want, lo, hi)
+	if n != wantN {
+		t.Fatalf("FilterRange kept %d rows, record filter kept %d", n, wantN)
+	}
+	for i := 0; i < n; i++ {
+		var got Record
+		cb.Record(i, &got)
+		if got != want[i] {
+			t.Fatalf("row %d after filter: got %+v, want %+v", i, got, want[i])
+		}
+	}
+}
+
+// TestReaderNextColumnsMatchesNextBatch: for every codec/compression/
+// range/projection combination, the SoA stream must contain exactly the
+// records the batch stream produces.
+func TestReaderNextColumnsMatchesNextBatch(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	base := StudyStart.UnixMilli()
+	recs := make([]Record, 3000)
+	for i := range recs {
+		recs[i] = randRecord(r, base)
+	}
+	v2 := encodeV2(t, recs, WriterV2Options{BlockRecords: 256})
+	v2flate := encodeV2(t, recs, WriterV2Options{BlockRecords: 256, Compress: true})
+	var v1buf bytes.Buffer
+	w1, err := NewWriter(&v1buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range recs {
+		if err := w1.Write(&recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w1.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	streams := map[string][]byte{"v1": v1buf.Bytes(), "v2": v2, "v2flate": v2flate}
+	ranges := []*TimeRange{nil, {MinTS: base + 2*3600*1000, MaxTS: base + 7*3600*1000}}
+	projs := []ColumnSet{0, ColTimestamp, ColUE | ColOutcome, ColTAC | ColSectors | ColCause}
+	for name, data := range streams {
+		for ri, tr := range ranges {
+			for _, proj := range projs {
+				mk := func() *Reader {
+					rd, err := NewReader(bytes.NewReader(data))
+					if err != nil {
+						t.Fatal(err)
+					}
+					if tr != nil {
+						rd.SetTimeRange(tr.MinTS, tr.MaxTS)
+					}
+					rd.SetProjection(proj)
+					return rd
+				}
+				var want []Record
+				var batch []Record
+				br := mk()
+				for {
+					n, err := br.NextBatch(&batch)
+					if err != nil {
+						break
+					}
+					want = append(want, batch[:n]...)
+				}
+				got := collectColumns(t, columnEOFAdapter{mk()})
+				if len(got) != len(want) {
+					t.Fatalf("%s range=%d proj=%b: columns=%d batch=%d records", name, ri, proj, len(got), len(want))
+				}
+				// Under a projection only the projected fields are
+				// specified; compare those.
+				for i := range want {
+					if !recordsEqualUnder(proj, &got[i], &want[i]) {
+						t.Fatalf("%s range=%d proj=%b row %d:\n col   %+v\n batch %+v",
+							name, ri, proj, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// columnEOFAdapter maps the Reader's io.EOF convention onto the
+// ColumnIterator end-of-stream convention (0, nil), like fileIterator.
+type columnEOFAdapter struct{ r *Reader }
+
+func (a columnEOFAdapter) NextColumns(cb *ColumnBatch) (int, error) {
+	n, err := a.r.NextColumns(cb)
+	if err != nil && n == 0 {
+		return 0, nil
+	}
+	return n, nil
+}
+
+// recordsEqualUnder compares only the fields inside proj (timestamps
+// always). A zero proj means every column.
+func recordsEqualUnder(proj ColumnSet, a, b *Record) bool {
+	if proj == 0 {
+		proj = AllColumns
+	}
+	if a.Timestamp != b.Timestamp {
+		return false
+	}
+	if proj&ColUE != 0 && a.UE != b.UE {
+		return false
+	}
+	if proj&ColTAC != 0 && a.TAC != b.TAC {
+		return false
+	}
+	if proj&ColSectors != 0 && (a.Source != b.Source || a.Target != b.Target) {
+		return false
+	}
+	if proj&ColCause != 0 && a.Cause != b.Cause {
+		return false
+	}
+	if proj&ColOutcome != 0 &&
+		(a.SourceRAT != b.SourceRAT || a.TargetRAT != b.TargetRAT ||
+			a.Result != b.Result || a.DurationMs != b.DurationMs) {
+		return false
+	}
+	return true
+}
+
+func TestMemIteratorNextColumns(t *testing.T) {
+	s := buildShardedStore(t, 2, 40, 3)
+	parts, err := s.Partitions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range parts {
+		recIt, err := s.OpenPartition(p.Day, p.Shard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want []Record
+		var rec Record
+		for {
+			ok, err := recIt.Next(&rec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			want = append(want, rec)
+		}
+		recIt.Close()
+
+		colIt, err := s.OpenPartition(p.Day, p.Shard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := collectColumns(t, colIt.(ColumnIterator))
+		colIt.Close()
+		if len(got) != len(want) {
+			t.Fatalf("day %d shard %d: %d vs %d records", p.Day, p.Shard, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("day %d shard %d row %d mismatch", p.Day, p.Shard, i)
+			}
+		}
+	}
+}
+
+// columnSumCollector accumulates order-free integer sums over every
+// column, implementing both the record and the column interfaces so the
+// scan paths can be pitted against each other.
+type columnSumCollector struct {
+	mu    sync.Mutex
+	total int64
+	sum   uint64
+}
+
+type columnSumShard struct {
+	total int64
+	sum   uint64
+}
+
+func (s *columnSumShard) observeOne(day int, rec *Record) {
+	s.total++
+	s.sum += uint64(rec.Timestamp) + uint64(rec.UE)*3 + uint64(rec.TAC)*5 +
+		uint64(rec.Source)*7 + uint64(rec.Target)*11 + uint64(rec.Cause)*13 +
+		uint64(rec.SourceRAT)*17 + uint64(rec.TargetRAT)*19 +
+		uint64(rec.Result)*23 + uint64(day)*29
+}
+
+func (s *columnSumShard) Observe(day int, rec *Record) error {
+	s.observeOne(day, rec)
+	return nil
+}
+
+func (s *columnSumShard) ObserveColumns(day int, cb *ColumnBatch) error {
+	var rec Record
+	for i := 0; i < cb.Len(); i++ {
+		cb.Record(i, &rec)
+		s.observeOne(day, &rec)
+	}
+	return nil
+}
+
+func (c *columnSumCollector) NewShardState(day, shard int) ShardState { return &columnSumShard{} }
+
+func (c *columnSumCollector) MergeShard(st ShardState) error {
+	s := st.(*columnSumShard)
+	c.mu.Lock()
+	c.total += s.total
+	c.sum += s.sum
+	c.mu.Unlock()
+	return nil
+}
+
+// stripColumnsStore hides ColumnIterator (and BatchIterator) from the
+// scan engine, forcing the record-at-a-time path.
+type stripColumnsStore struct{ Store }
+
+type stripColumnsIterator struct{ inner RecordIterator }
+
+func (s stripColumnsStore) OpenPartition(day, shard int) (RecordIterator, error) {
+	it, err := s.Store.OpenPartition(day, shard)
+	if err != nil {
+		return nil, err
+	}
+	return stripColumnsIterator{it}, nil
+}
+
+func (it stripColumnsIterator) Next(rec *Record) (bool, error) { return it.inner.Next(rec) }
+func (it stripColumnsIterator) Close() error                   { return it.inner.Close() }
+
+// batchOnlyStore keeps NextBatch but hides NextColumns, forcing the
+// engine's batch + column-transposition path.
+type batchOnlyStore struct{ Store }
+
+type batchOnlyIterator struct{ inner RecordIterator }
+
+func (s batchOnlyStore) OpenPartition(day, shard int) (RecordIterator, error) {
+	it, err := s.Store.OpenPartition(day, shard)
+	if err != nil {
+		return nil, err
+	}
+	return batchOnlyIterator{it}, nil
+}
+
+func (it batchOnlyIterator) Next(rec *Record) (bool, error) { return it.inner.Next(rec) }
+func (it batchOnlyIterator) NextBatch(batch *[]Record) (int, error) {
+	return it.inner.(BatchIterator).NextBatch(batch)
+}
+func (it batchOnlyIterator) Close() error { return it.inner.Close() }
+
+// TestScanColumnPathMatchesRecordPath: the pure-column scan path, the
+// mixed transposition path and the stripped-down record path must all
+// observe the identical record multiset, and report identical metrics.
+func TestScanColumnPathMatchesRecordPath(t *testing.T) {
+	s := buildShardedStore(t, 3, 60, 4)
+	run := func(store Store) (int64, uint64, int64) {
+		var m ScanMetrics
+		c := &columnSumCollector{}
+		if err := Scan(context.Background(), store, ScanOptions{Parallelism: 4, Metrics: &m}, c); err != nil {
+			t.Fatal(err)
+		}
+		return c.total, c.sum, m.Records.Load()
+	}
+	// Baseline: the stripped store forces the per-record Observe loop.
+	wantTotal, wantSum, wantRecs := run(stripColumnsStore{s})
+	if wantTotal == 0 {
+		t.Fatal("empty baseline")
+	}
+	for name, store := range map[string]Store{
+		"pure-column":     s,                 // native NextColumns
+		"batch-transpose": batchOnlyStore{s}, // NextBatch + engine transposition
+	} {
+		gotTotal, gotSum, gotRecs := run(store)
+		if gotTotal != wantTotal || gotSum != wantSum || gotRecs != wantRecs {
+			t.Fatalf("%s: (%d, %d, %d), want (%d, %d, %d)",
+				name, gotTotal, gotSum, gotRecs, wantTotal, wantSum, wantRecs)
+		}
+	}
+	// Windowed variant: native pruning vs record filtering must agree.
+	tr := DayRange(1, 1)
+	c1 := &columnSumCollector{}
+	if err := ScanRange(context.Background(), s, ScanOptions{}, tr, c1); err != nil {
+		t.Fatal(err)
+	}
+	c2 := &columnSumCollector{}
+	if err := ScanRange(context.Background(), stripColumnsStore{s}, ScanOptions{}, tr, c2); err != nil {
+		t.Fatal(err)
+	}
+	if c1.total != c2.total || c1.sum != c2.sum || c1.total == 0 {
+		t.Fatalf("windowed: column (%d, %d) vs record (%d, %d)", c1.total, c1.sum, c2.total, c2.sum)
+	}
+}
+
+// TestReaderBytesRead: a full decode of a stream must report exactly
+// its stored size, for every codec and both read shapes.
+func TestReaderBytesRead(t *testing.T) {
+	r := rand.New(rand.NewSource(14))
+	recs := make([]Record, 2500)
+	for i := range recs {
+		recs[i] = randRecord(r, StudyStart.UnixMilli())
+	}
+	// Time-ordered, as stored partitions are, so block descriptors carry
+	// narrow time bounds the pruning check below can exercise.
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Timestamp < recs[j].Timestamp })
+	var v1buf bytes.Buffer
+	w1, err := NewWriter(&v1buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range recs {
+		if err := w1.Write(&recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w1.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	streams := map[string][]byte{
+		"v1":      v1buf.Bytes(),
+		"v2":      encodeV2(t, recs, WriterV2Options{BlockRecords: 512}),
+		"v2flate": encodeV2(t, recs, WriterV2Options{BlockRecords: 512, Compress: true}),
+	}
+	for name, data := range streams {
+		for _, shape := range []string{"batch", "columns"} {
+			rd, err := NewReader(bytes.NewReader(data))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if shape == "batch" {
+				var batch []Record
+				for {
+					if _, err := rd.NextBatch(&batch); err != nil {
+						break
+					}
+				}
+			} else {
+				var cb ColumnBatch
+				for {
+					if _, err := rd.NextColumns(&cb); err != nil {
+						break
+					}
+				}
+			}
+			if got := rd.Stats().BytesRead; got != int64(len(data)) {
+				t.Errorf("%s/%s: BytesRead = %d, want stream size %d", name, shape, got, len(data))
+			}
+		}
+	}
+	// A range-pruned read must not count skipped block bytes.
+	rd, err := NewReader(bytes.NewReader(streams["v2"]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := StudyStart.UnixMilli()
+	rd.SetTimeRange(base, base+3600*1000)
+	var cb ColumnBatch
+	for {
+		if _, err := rd.NextColumns(&cb); err != nil {
+			break
+		}
+	}
+	st := rd.Stats()
+	if st.BlocksSkipped == 0 {
+		t.Fatal("narrow window pruned no blocks")
+	}
+	if st.BytesRead >= int64(len(streams["v2"])) {
+		t.Fatalf("pruned read counted %d bytes of a %d-byte stream", st.BytesRead, len(streams["v2"]))
+	}
+}

@@ -31,6 +31,20 @@ type BatchShardState interface {
 	ObserveBatch(day int, recs []Record) error
 }
 
+// ColumnShardState is implemented by shard states that can consume a
+// decoded block in columnar (SoA) form. ObserveColumns(day, cols) must
+// be equivalent to calling Observe(day, &rec_i) for every row of cols
+// in order — the batch≡record property the analysis equivalence tests
+// enforce. The engine prefers this interface over ObserveBatch/Observe:
+// when every collector implements it and the iterator decodes columns
+// natively (v2 block files), the scan never materializes []Record at
+// all; otherwise the engine transposes the record batch once per block.
+// The batch is engine-owned and reused — states must not retain its
+// slices across calls.
+type ColumnShardState interface {
+	ObserveColumns(day int, cols *ColumnBatch) error
+}
+
 // Collector builds per-partition states and folds them. NewShardState may
 // be called from any goroutine; MergeShard is called exactly once per
 // partition, sequentially, in canonical (day, shard) order.
@@ -70,6 +84,10 @@ type ScanMetrics struct {
 	// by the time range without decoding (zero for v1/memory stores).
 	BlocksRead    atomic.Int64
 	BlocksSkipped atomic.Int64
+	// BytesRead is the number of stored trace bytes consumed by decoded
+	// data (see BlockStats.BytesRead); zero for stores without byte
+	// accounting, such as the in-memory store.
+	BytesRead atomic.Int64
 }
 
 // ScanOptions tunes a Scan.
@@ -98,6 +116,17 @@ type ScanOptions struct {
 // checkEvery is how many records a scan worker processes between context
 // cancellation checks.
 const checkEvery = 8192
+
+// Pooled scan buffers, shared across partitions and scans: the
+// steady-state scan loop reuses batch memory, so after warm-up it
+// allocates nothing per block.
+var (
+	recordBatchPool = sync.Pool{New: func() any {
+		s := make([]Record, 0, DefaultBlockRecords)
+		return &s
+	}}
+	columnBatchPool = sync.Pool{New: func() any { return new(ColumnBatch) }}
+)
 
 // Scan streams every partition of the store through all collectors. Each
 // partition is read once; records are observed in storage order within a
@@ -187,23 +216,77 @@ func Scan(ctx context.Context, s Store, opts ScanOptions, collectors ...Collecto
 				ps.SetProjection(opts.Projection)
 			}
 		}
-		var nRecs int64
-		if bi, ok := it.(BatchIterator); ok {
-			// Batched path: one NextBatch per decoded block instead of one
-			// interface call per record, and one ObserveBatch per block for
-			// states that consume blocks wholesale.
-			batchStates := make([]BatchShardState, len(states))
-			for c, st := range states {
-				if bs, ok := st.(BatchShardState); ok {
-					batchStates[c] = bs
-				}
+		// Path selection, most vectorized first: column states fed from a
+		// column-native iterator never materialize records; otherwise the
+		// record batch is decoded once and column states get a transposed
+		// view, batch states the slice, and the rest a per-record loop.
+		colStates := make([]ColumnShardState, len(states))
+		allColumns := true
+		for c, st := range states {
+			if cs, ok := st.(ColumnShardState); ok {
+				colStates[c] = cs
+			} else {
+				allColumns = false
 			}
-			batch := make([]Record, 0, DefaultBlockRecords)
+		}
+		ci, haveCI := it.(ColumnIterator)
+		bi, haveBI := it.(BatchIterator)
+		var nRecs int64
+		if allColumns && haveCI {
+			// Pure columnar path: one SoA batch per decoded block, handed
+			// to every collector.
+			cb := columnBatchPool.Get().(*ColumnBatch)
+			defer columnBatchPool.Put(cb)
 			for {
 				if err := scanCtx.Err(); err != nil {
 					return err
 				}
-				n, err := bi.NextBatch(&batch)
+				n, err := ci.NextColumns(cb)
+				if err != nil {
+					return fmt.Errorf("trace: day %d shard %d: %w", p.Day, p.Shard, err)
+				}
+				if n == 0 {
+					break
+				}
+				if filter {
+					if n = cb.FilterRange(opts.Range.MinTS, opts.Range.MaxTS); n == 0 {
+						continue
+					}
+				}
+				nRecs += int64(n)
+				for _, cs := range colStates {
+					if err := cs.ObserveColumns(p.Day, cb); err != nil {
+						return fmt.Errorf("trace: day %d shard %d: %w", p.Day, p.Shard, err)
+					}
+				}
+			}
+		} else if haveBI {
+			// Batched path: one NextBatch per decoded block instead of one
+			// interface call per record; column-capable states get a SoA
+			// transposition of the block, batch-capable ones the slice.
+			batchStates := make([]BatchShardState, len(states))
+			anyCols := false
+			for c, st := range states {
+				if colStates[c] != nil {
+					anyCols = true
+					continue
+				}
+				if bs, ok := st.(BatchShardState); ok {
+					batchStates[c] = bs
+				}
+			}
+			bp := recordBatchPool.Get().(*[]Record)
+			defer recordBatchPool.Put(bp)
+			var cb *ColumnBatch
+			if anyCols {
+				cb = columnBatchPool.Get().(*ColumnBatch)
+				defer columnBatchPool.Put(cb)
+			}
+			for {
+				if err := scanCtx.Err(); err != nil {
+					return err
+				}
+				n, err := bi.NextBatch(bp)
 				if err != nil {
 					return fmt.Errorf("trace: day %d shard %d: %w", p.Day, p.Shard, err)
 				}
@@ -214,14 +297,23 @@ func Scan(ctx context.Context, s Store, opts ScanOptions, collectors ...Collecto
 					// Non-native range enforcement: compact the batch to the
 					// window first, so batch-capable states stay usable and
 					// semantics match the native-pruning path exactly.
-					n = filterRange(batch[:n], opts.Range.MinTS, opts.Range.MaxTS)
+					n = filterRange((*bp)[:n], opts.Range.MinTS, opts.Range.MaxTS)
 					if n == 0 {
 						continue
 					}
 				}
 				nRecs += int64(n)
-				recs := batch[:n]
+				recs := (*bp)[:n]
+				if anyCols {
+					cb.FromRecords(recs)
+				}
 				for c, st := range states {
+					if cs := colStates[c]; cs != nil {
+						if err := cs.ObserveColumns(p.Day, cb); err != nil {
+							return fmt.Errorf("trace: day %d shard %d: %w", p.Day, p.Shard, err)
+						}
+						continue
+					}
 					if bs := batchStates[c]; bs != nil {
 						if err := bs.ObserveBatch(p.Day, recs); err != nil {
 							return fmt.Errorf("trace: day %d shard %d: %w", p.Day, p.Shard, err)
@@ -267,6 +359,7 @@ func Scan(ctx context.Context, s Store, opts ScanOptions, collectors ...Collecto
 				bs := sr.ReadStats()
 				opts.Metrics.BlocksRead.Add(bs.BlocksRead)
 				opts.Metrics.BlocksSkipped.Add(bs.BlocksSkipped)
+				opts.Metrics.BytesRead.Add(bs.BytesRead)
 			}
 		}
 		pendMu.Lock()

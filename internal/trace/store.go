@@ -76,6 +76,17 @@ type BatchIterator interface {
 	NextBatch(batch *[]Record) (int, error)
 }
 
+// ColumnIterator is implemented by RecordIterators that can hand out
+// decoded batches in columnar (SoA) form. NextColumns fills cb, reusing
+// its slices, and returns how many records it holds; 0 with a nil error
+// means end of stream. Rows arrive in the same order Next would produce
+// them, so a column scan observes exactly the record-scan sequence.
+// Iterators backed by the v2 block codec decode straight into the
+// column slices without materializing records.
+type ColumnIterator interface {
+	NextColumns(cb *ColumnBatch) (int, error)
+}
+
 // TimeRangeSetter is implemented by RecordIterators that can restrict
 // themselves to minTS <= Timestamp <= maxTS. Iterators backed by the v2
 // block codec additionally prune whole blocks outside the window without
@@ -391,6 +402,26 @@ func (it *memIterator) NextBatch(batch *[]Record) (int, error) {
 	return len(*batch), nil
 }
 
+// NextColumns transposes the next run of records into cb.
+func (it *memIterator) NextColumns(cb *ColumnBatch) (int, error) {
+	for it.pos < len(it.recs) {
+		n := len(it.recs) - it.pos
+		if n > DefaultBlockRecords {
+			n = DefaultBlockRecords
+		}
+		cb.FromRecords(it.recs[it.pos : it.pos+n])
+		it.pos += n
+		if it.hasRange {
+			cb.FilterRange(it.minTS, it.maxTS)
+		}
+		if cb.Len() > 0 {
+			return cb.Len(), nil
+		}
+	}
+	cb.resize(0)
+	return 0, nil
+}
+
 // SetTimeRange restricts iteration to minTS <= Timestamp <= maxTS.
 func (it *memIterator) SetTimeRange(minTS, maxTS int64) {
 	it.hasRange = true
@@ -620,6 +651,16 @@ func (it *fileIterator) Next(rec *Record) (bool, error) {
 // NextBatch hands out the next decoded batch (one block on v2 streams).
 func (it *fileIterator) NextBatch(batch *[]Record) (int, error) {
 	n, err := it.r.NextBatch(batch)
+	if err == io.EOF {
+		return 0, nil
+	}
+	return n, err
+}
+
+// NextColumns hands out the next decoded batch in SoA form (one block
+// on v2 streams, decoded without materializing records).
+func (it *fileIterator) NextColumns(cb *ColumnBatch) (int, error) {
+	n, err := it.r.NextColumns(cb)
 	if err == io.EOF {
 		return 0, nil
 	}

@@ -64,6 +64,11 @@ type Partition = trace.Partition
 // ProgressEvent reports analysis scan progress (partitions merged).
 type ProgressEvent = analysis.ProgressEvent
 
+// ScanStats snapshots the trace-scan counters an Analyzer accumulated
+// (partitions/records read, v2 blocks decoded vs pruned, stored bytes);
+// read it after RunExperiment/RunAll via Analyzer.ScanStats.
+type ScanStats = analysis.ScanStats
+
 // DistrictProfile is the per-district drill-down summary.
 type DistrictProfile = analysis.DistrictProfile
 
