@@ -12,8 +12,10 @@
 #                     the measured bench pass the CI regression gate
 #                     feeds to cmd/benchgate: BenchmarkScan +
 #                     BenchmarkScanSharded + the paired BenchmarkRunAll
-#                     (record-at-a-time vs batch-native), -count 5 with
-#                     -benchmem, written to $(BENCH_OUT)
+#                     (record-at-a-time vs batch-native) + the paired
+#                     BenchmarkRefresh (cold full state build vs
+#                     checkpoint-resume + 1-new-day refresh), -count 5
+#                     with -benchmem, written to $(BENCH_OUT)
 #   make alloc-check  assert the steady-state batch scan loop allocates
 #                     nothing per block (internal/trace allocation tests)
 #   make profile      generate a campaign (once) and run telcoanalyze
@@ -28,7 +30,7 @@
 GO ?= go
 STATICCHECK ?= $(GO) run honnef.co/go/tools/cmd/staticcheck@2025.1
 BENCH_OUT ?= BENCH_out.txt
-BENCH_PATTERN ?= BenchmarkScanSharded|BenchmarkScan$$|BenchmarkRunAll
+BENCH_PATTERN ?= BenchmarkScanSharded|BenchmarkScan$$|BenchmarkRunAll|BenchmarkRefresh
 PROFILE_DIR ?= profile-campaign
 PROFILE_EXP ?= table5
 PROFILE_ARGS ?=

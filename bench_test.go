@@ -1,6 +1,7 @@
 package telcolens
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"io"
@@ -402,6 +403,155 @@ func BenchmarkRunAll(b *testing.B) {
 	})
 }
 
+// refreshBenchState is the shared fixture for BenchmarkRefresh: a
+// 31-day file-backed campaign whose first 30 days are covered by a
+// checkpoint, with day 31 landed afterwards (the growing-feed scenario).
+type refreshBenchState struct {
+	ds    *simulate.Dataset
+	ckpt  []byte
+	total int64
+}
+
+var (
+	refreshBenchOnce sync.Once
+	refreshBenchSt   *refreshBenchState
+	refreshBenchErr  error
+)
+
+func refreshBenchSetup(b *testing.B) *refreshBenchState {
+	refreshBenchOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "telcolens-bench-refresh-*")
+		if err != nil {
+			refreshBenchErr = err
+			return
+		}
+		codecBenchMu.Lock()
+		codecBenchDirs["refresh"] = dir // reuse TestMain's cleanup
+		codecBenchMu.Unlock()
+		fs, err := trace.NewFileStore(dir)
+		if err != nil {
+			refreshBenchErr = err
+			return
+		}
+		cfg := simulate.DefaultConfig(42)
+		cfg.UEs = 6000
+		cfg.Days = 30
+		cfg.Store = fs
+		ds, err := simulate.Generate(cfg)
+		if err != nil {
+			refreshBenchErr = err
+			return
+		}
+		warm, err := analysis.New(ds)
+		if err != nil {
+			refreshBenchErr = err
+			return
+		}
+		ctx := context.Background()
+		if _, err := warm.Scan(ctx); err != nil {
+			refreshBenchErr = err
+			return
+		}
+		if _, err := warm.PingPongAll(ctx, analysis.StandardPingPongWindows); err != nil {
+			refreshBenchErr = err
+			return
+		}
+		var ckpt bytes.Buffer
+		if err := warm.Checkpoint(&ckpt); err != nil {
+			refreshBenchErr = err
+			return
+		}
+		if err := ds.GenerateDays(1); err != nil { // day 31 lands
+			refreshBenchErr = err
+			return
+		}
+		total, err := trace.Count(ds.Store)
+		if err != nil {
+			refreshBenchErr = err
+			return
+		}
+		refreshBenchSt = &refreshBenchState{ds: ds, ckpt: ckpt.Bytes(), total: total}
+	})
+	if refreshBenchErr != nil {
+		b.Fatal(refreshBenchErr)
+	}
+	return refreshBenchSt
+}
+
+// BenchmarkRefresh is the incremental-engine pair: computing every
+// RunAll scan-state unit (the fused NeedAll scan plus the ping-pong
+// pass) for a 31-day store from scratch, against checkpoint-resume +
+// Refresh after 1 new day landed. Both arms end with identical warm
+// state (artifacts render byte-identically from either; the render
+// stage itself is the same either way and is benchmarked per experiment
+// above). The refresh arm asserts via ScanMetrics that only the new
+// day's partitions were scanned.
+func BenchmarkRefresh(b *testing.B) {
+	st := refreshBenchSetup(b)
+	ctx := context.Background()
+	days := st.ds.Config.Days
+	full := func() {
+		a, err := analysis.New(st.ds)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := a.Scan(ctx); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := a.PingPongAll(ctx, analysis.StandardPingPongWindows); err != nil {
+			b.Fatal(err)
+		}
+	}
+	refresh := func() {
+		a, err := analysis.ResumeAnalyzer(st.ds, bytes.NewReader(st.ckpt))
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := a.Refresh(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.FullRescan || res.PartitionsScanned != 1 {
+			b.Fatalf("refresh of 1 new day scanned %d partitions (full rescan: %v), want exactly 1",
+				res.PartitionsScanned, res.FullRescan)
+		}
+		if scanned := a.ScanStats().Partitions; scanned != 1 {
+			b.Fatalf("ScanStats shows %d partitions read of a %d-day store, want only the new day's 1",
+				scanned, days)
+		}
+		if _, err := a.PingPongAll(ctx, analysis.StandardPingPongWindows); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			full()
+		}
+		b.ReportMetric(float64(st.total)*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+	})
+	b.Run("refresh1day", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			refresh()
+		}
+	})
+	// Paired measurement inside one timer window, so machine drift
+	// cancels out of the reported speedup.
+	b.Run("speedup", func(b *testing.B) {
+		var dFull, dRefresh time.Duration
+		for i := 0; i < b.N; i++ {
+			start := time.Now()
+			full()
+			dFull += time.Since(start)
+			start = time.Now()
+			refresh()
+			dRefresh += time.Since(start)
+		}
+		if dRefresh > 0 {
+			b.ReportMetric(dFull.Seconds()/dRefresh.Seconds(), "refresh_speedup_x")
+		}
+	})
+}
+
 // BenchmarkScanRange pits a one-day windowed scan against the full-month
 // scan on the same v2 block store: the pruned scan touches only the
 // blocks whose descriptors intersect the window.
@@ -519,7 +669,7 @@ func BenchmarkGenerateDay(b *testing.B) {
 	b.ReportMetric(float64(handovers)/b.Elapsed().Seconds(), "HOs/s")
 }
 
-// --- Ablation benches (DESIGN.md §5) ---
+// --- Ablation benches (DESIGN.md §6) ---
 
 // BenchmarkAblationQuantileSketch compares exact sample quantiles against
 // the fixed-memory log-histogram sketch on the intra-HO duration stream.

@@ -9,6 +9,14 @@
 //	telcogen -out ./campaign -shards 8        # hash-sharded day partitions
 //	telcogen -out ./campaign -codec 1         # legacy fixed-width v1 streams
 //	telcogen -out ./campaign -compress        # flate-compressed v2 blocks
+//	telcogen -out ./campaign -append 1        # extend the campaign by a day
+//
+// -append extends an existing campaign day by day (the growing-feed
+// scenario telcoserve watches for): the world model is rebuilt from the
+// directory's manifest, the new days land as ordinary partitions, and
+// the manifest is rewritten. Flags that would change the campaign's
+// identity (seed, population, deployment, sharding) are refused when
+// they disagree with what the manifest records.
 package main
 
 import (
@@ -20,6 +28,7 @@ import (
 
 	"telcolens"
 	"telcolens/internal/census"
+	"telcolens/internal/simulate"
 	"telcolens/internal/trace"
 )
 
@@ -35,8 +44,26 @@ func main() {
 		rareBoost = flag.Float64("rareboost", 1, "2G fallback probability multiplier (see DESIGN.md)")
 		codec     = flag.Int("codec", 2, "trace stream codec: 1 (fixed-width records) or 2 (columnar blocks)")
 		compress  = flag.Bool("compress", false, "flate-compress v2 block payloads (smaller files, slower scans)")
+		appendN   = flag.Int("append", 0, "extend the existing campaign in -out by N days instead of generating")
 	)
 	flag.Parse()
+
+	if *appendN > 0 {
+		// Only explicitly set codec flags are passed down: zero-value
+		// options make LoadOpts default to the codec settings recorded in
+		// the campaign manifest (and refuse explicit contradictions).
+		var opts trace.FileStoreOptions
+		if flagVal("codec") != nil {
+			opts.Codec = trace.Codec(*codec)
+		}
+		if flagVal("compress") != nil {
+			opts.Compress = *compress
+		}
+		if err := appendDays(*out, *appendN, opts); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	cfg := telcolens.DefaultConfig(*seed)
 	cfg.UEs = *ues
@@ -91,6 +118,107 @@ func main() {
 		time.Since(start).Round(time.Millisecond), total, *days,
 		len(ds.Network.Sites), len(ds.Network.Sectors), ds.Population.Len())
 	fmt.Printf("wrote %s/, %s and %s/manifest.json\n", *out, censusPath, *out)
+}
+
+// appendDays extends an existing campaign directory by n days, refusing
+// to proceed when explicitly passed flags contradict the config
+// fingerprint the campaign manifest records — appending days generated
+// under a different seed, population or shard layout would silently
+// corrupt the study.
+func appendDays(dir string, n int, opts trace.FileStoreOptions) error {
+	ds, err := simulate.LoadOpts(dir, opts)
+	if err != nil {
+		return err
+	}
+	checks := map[string]struct{ got, want any }{
+		"seed":      {flagVal("seed"), ds.Config.Seed},
+		"ues":       {flagVal("ues"), ds.Config.UEs},
+		"shards":    {flagVal("shards"), max(ds.Config.Shards, 1)},
+		"sites":     {flagVal("sites"), ds.Config.SitesTarget},
+		"districts": {flagVal("districts"), ds.Config.Districts},
+		"rareboost": {flagVal("rareboost"), ds.Config.RareBoost},
+	}
+	if fs, ok := ds.Store.(*trace.FileStore); ok {
+		// LoadOpts resolved the campaign's recorded write options (and
+		// already refused an explicit codec contradiction); an explicit
+		// -compress that disagrees is refused the same way.
+		checks["compress"] = struct{ got, want any }{flagVal("compress"), fs.Options().Compress}
+	}
+	for name, c := range checks {
+		if c.got != nil && fmt.Sprint(c.got) != fmt.Sprint(c.want) {
+			return fmt.Errorf("-%s %v does not match the campaign manifest (%v); "+
+				"appending under a different config would corrupt the study", name, c.got, c.want)
+		}
+	}
+	if flagVal("days") != nil {
+		return fmt.Errorf("-days cannot be combined with -append (the manifest records %d days; -append %d extends to %d)",
+			ds.Config.Days, n, ds.Config.Days+n)
+	}
+	if err := discardOrphanDays(ds); err != nil {
+		return err
+	}
+
+	start := time.Now()
+	from := ds.Config.Days
+	fmt.Printf("appending %d day(s) to campaign %s: seed=%d ues=%d shards=%d days %d -> %d\n",
+		n, dir, ds.Config.Seed, ds.Config.UEs, max(ds.Config.Shards, 1), from, from+n)
+	// One day per step with the campaign manifest re-saved after each, so
+	// an interruption loses at most the in-flight day (which the next
+	// -append discards and regenerates).
+	for i := 0; i < n; i++ {
+		if err := ds.GenerateDays(1); err != nil {
+			return err
+		}
+		if err := ds.SaveManifest(dir); err != nil {
+			return err
+		}
+	}
+	var added int64
+	for _, day := range ds.DayStats[from:] {
+		added += day.Handovers
+	}
+	fmt.Printf("done in %s: %d handover records over days %d..%d; manifest updated\n",
+		time.Since(start).Round(time.Millisecond), added, from, ds.Config.Days-1)
+	return nil
+}
+
+// discardOrphanDays removes partitions beyond the campaign manifest's
+// day count — the debris of an append that died between landing a day's
+// partitions and re-saving the manifest. Generation is deterministic
+// (same seed, same world, per-day RNG streams), so the removed days are
+// regenerated byte-identically by the append that follows; keeping them
+// would wedge it on the partition already-written guard instead.
+func discardOrphanDays(ds *simulate.Dataset) error {
+	fs, ok := ds.Store.(*trace.FileStore)
+	if !ok {
+		return nil
+	}
+	parts, err := fs.Partitions()
+	if err != nil {
+		return err
+	}
+	for _, p := range parts {
+		if p.Day < ds.Config.Days {
+			continue
+		}
+		fmt.Printf("discarding orphan partition day %d shard %d (interrupted append; will be regenerated)\n",
+			p.Day, p.Shard)
+		if err := fs.RemovePartition(p.Day, p.Shard); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// flagVal returns the value of a flag only if it was explicitly set.
+func flagVal(name string) any {
+	var out any
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			out = f.Value.(flag.Getter).Get()
+		}
+	})
+	return out
 }
 
 func fatal(err error) {

@@ -1,0 +1,455 @@
+// Command telcoserve is a long-running HTTP daemon that serves the
+// paper's analysis artifacts from a campaign directory — the repo's
+// first serving workload. It keeps the full scan state warm in memory,
+// watches the trace store's MANIFEST, and when new days land (telcogen
+// -append) refreshes incrementally: the current state is checkpointed,
+// resumed against the reloaded campaign, and only the new partitions are
+// scanned before the rendered artifacts are atomically swapped. Clients
+// never see a cold cache and never trigger a rescan.
+//
+// Usage:
+//
+//	telcoserve -data ./campaign -addr :8480
+//	telcoserve -data ./campaign -poll 1s -parallel 4
+//
+// Endpoints:
+//
+//	GET /                  index of artifact ids
+//	GET /artifacts         JSON list of artifacts (id, title, paper ref)
+//	GET /artifacts/{id}    rendered text (Accept/?format=json for JSON)
+//	GET /stats             scan metrics, snapshot age, refresh history
+//	GET /healthz           liveness probe
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"telcolens"
+	"telcolens/internal/trace"
+)
+
+func main() {
+	var (
+		data     = flag.String("data", "campaign", "campaign directory (from telcogen)")
+		addr     = flag.String("addr", ":8480", "HTTP listen address")
+		poll     = flag.Duration("poll", 2*time.Second, "store manifest poll interval")
+		parallel = flag.Int("parallel", 0, "scan parallelism (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	if err := run(*data, *addr, *poll, *parallel); err != nil {
+		fmt.Fprintln(os.Stderr, "telcoserve:", err)
+		os.Exit(1)
+	}
+}
+
+// artifactView is one rendered experiment held in memory.
+type artifactView struct {
+	ID       string
+	Title    string
+	PaperRef string
+	Text     []byte
+	Artifact *telcolens.Artifact // nil when the experiment errored
+	Err      string
+}
+
+// snapshot is one immutable serving generation: the warm analyzer plus
+// every rendered artifact. Refreshes build a new snapshot and swap it.
+type snapshot struct {
+	analyzer    *telcolens.Analyzer
+	views       map[string]*artifactView
+	order       []string
+	days        int
+	partitions  int
+	manifestGen uint64
+	renderedAt  time.Time
+}
+
+// server owns the current snapshot and the refresh bookkeeping.
+type server struct {
+	dir      string
+	parallel int
+
+	mu  sync.RWMutex
+	cur *snapshot
+	// lastGen is the trace-manifest generation the serving state is
+	// synced to; the poll loop refreshes whenever the store moves past
+	// it. It only advances on success, so a failed warm-up or refresh is
+	// retried on the next poll.
+	lastGen uint64
+
+	started        time.Time
+	refreshes      int64
+	fullRescans    int64
+	refreshErrors  int64
+	lastScanned    int
+	lastRefreshDur time.Duration
+}
+
+func (s *server) options() []telcolens.Option {
+	if s.parallel > 0 {
+		return []telcolens.Option{telcolens.WithParallelism(s.parallel)}
+	}
+	return nil
+}
+
+// render runs every experiment against the warm analyzer. Individual
+// experiment failures (e.g. a window too short for home detection) are
+// served as error artifacts instead of taking the daemon down; a failed
+// warm scan is reported so the caller does not mark the state synced
+// (the poll loop then retries instead of serving errors forever).
+func render(ctx context.Context, a *telcolens.Analyzer) (views map[string]*artifactView, order []string, warmOK bool) {
+	// One fused pass computes every scan-state unit the experiments share
+	// (resumed analyzers already hold them and skip straight through);
+	// the per-experiment runs below then only read cached state.
+	warmOK = true
+	if _, err := a.Scan(ctx); err != nil {
+		warmOK = false
+		log.Printf("warming scan state: %v (experiments will retry individually)", err)
+	}
+	views = make(map[string]*artifactView)
+	for _, e := range telcolens.Experiments() {
+		v := &artifactView{ID: e.ID, Title: e.Title, PaperRef: e.PaperRef}
+		art, err := e.Run(ctx, a)
+		if err != nil {
+			v.Err = err.Error()
+			v.Text = []byte(fmt.Sprintf("%s — error: %v\n", e.ID, err))
+		} else {
+			var buf bytes.Buffer
+			if err := art.Render(&buf); err != nil {
+				v.Err = err.Error()
+			}
+			v.Text = buf.Bytes()
+			v.Artifact = art
+		}
+		views[e.ID] = v
+		order = append(order, e.ID)
+	}
+	return views, order, warmOK
+}
+
+// build turns a warm analyzer into a serving snapshot; warmOK reports
+// whether the shared scan state was computed (callers only mark the
+// state synced to the store generation when it was).
+func build(ctx context.Context, a *telcolens.Analyzer, ds *telcolens.Dataset, gen uint64) (*snapshot, bool) {
+	views, order, warmOK := render(ctx, a)
+	parts, _ := a.Covered()
+	return &snapshot{
+		analyzer:    a,
+		views:       views,
+		order:       order,
+		days:        ds.Config.Days,
+		partitions:  parts,
+		manifestGen: gen,
+		renderedAt:  time.Now(),
+	}, warmOK
+}
+
+// pendingBeyondWindow reports whether the store holds partitions for
+// days the campaign manifest does not describe yet — an append caught
+// between landing a day and re-saving manifest.json. The serving state
+// must not mark itself synced then: the campaign manifest update does
+// not bump the trace MANIFEST generation, so skipping now would skip
+// forever.
+func pendingBeyondWindow(ds *telcolens.Dataset) bool {
+	mr, ok := ds.Store.(trace.ManifestReader)
+	if !ok {
+		return false
+	}
+	m, err := mr.Manifest()
+	if err != nil || m == nil {
+		return false
+	}
+	for i := range m.Partitions {
+		if m.Partitions[i].Day >= ds.Config.Days {
+			return true
+		}
+	}
+	return false
+}
+
+// manifestGen reads the trace store's current manifest generation
+// without touching partition files (0 when no usable manifest).
+func manifestGen(store telcolens.Store) uint64 {
+	mr, ok := store.(trace.ManifestReader)
+	if !ok {
+		return 0
+	}
+	m, err := mr.Manifest()
+	if err != nil || m == nil {
+		return 0
+	}
+	return m.Gen
+}
+
+// refresh reloads the campaign and brings the serving state up to date:
+// checkpoint the current analyzer, resume it against the reloaded
+// dataset, Refresh (scanning only new partitions), re-render, swap. On
+// any error the previous snapshot keeps serving and the next poll
+// retries — a store caught mid-append simply fails validation until the
+// day finishes landing.
+func (s *server) refresh(ctx context.Context) error {
+	start := time.Now()
+	s.mu.RLock()
+	old := s.cur
+	s.mu.RUnlock()
+
+	ds, err := telcolens.Load(s.dir)
+	if err != nil {
+		return fmt.Errorf("reloading campaign: %w", err)
+	}
+	var a *telcolens.Analyzer
+	fullRescan := false
+	var ckpt bytes.Buffer
+	if err := old.analyzer.Checkpoint(&ckpt); err != nil {
+		return fmt.Errorf("checkpointing: %w", err)
+	}
+	a, err = telcolens.ResumeAnalyzer(ds, &ckpt, s.options()...)
+	if err != nil {
+		// The campaign changed identity (regenerated with another seed or
+		// shape): fall back to a cold rebuild.
+		log.Printf("refresh: checkpoint not resumable (%v); rebuilding cold", err)
+		fullRescan = true
+		if a, err = telcolens.NewAnalyzer(ds, s.options()...); err != nil {
+			return err
+		}
+	}
+	res, err := a.Refresh(ctx)
+	if err != nil {
+		return fmt.Errorf("refreshing: %w", err)
+	}
+	gen := manifestGen(ds.Store)
+	if res.PartitionsScanned == 0 && !res.FullRescan && ds.Config.Days == old.days {
+		// Nothing new to merge — usually a mid-append poll (some shards
+		// of a day landed, the day is incomplete). Skip the re-render and
+		// swap; only mark the generation consumed when no landed
+		// partition is still waiting for the campaign manifest to
+		// describe it, because that manifest update does not bump the
+		// trace MANIFEST generation and must not be skipped past.
+		if !pendingBeyondWindow(ds) {
+			s.mu.Lock()
+			s.lastGen = gen
+			s.mu.Unlock()
+		}
+		return nil
+	}
+	next, warmOK := build(ctx, a, ds, gen)
+
+	s.mu.Lock()
+	s.cur = next
+	if warmOK {
+		s.lastGen = gen
+	}
+	s.refreshes++
+	if fullRescan || res.FullRescan {
+		s.fullRescans++
+	}
+	s.lastScanned = res.PartitionsScanned
+	s.lastRefreshDur = time.Since(start)
+	s.mu.Unlock()
+	log.Printf("refresh: %d partitions merged (full rescan: %v), %d days, %d artifacts, took %s",
+		res.PartitionsScanned, fullRescan || res.FullRescan, res.Days, len(next.order),
+		time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// watch polls the store manifest and refreshes when its generation moves
+// past what the serving state is synced to.
+func (s *server) watch(ctx context.Context, interval time.Duration) {
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		store, err := trace.NewFileStore(s.dir)
+		if err != nil {
+			continue
+		}
+		gen := manifestGen(store)
+		s.mu.RLock()
+		synced := s.lastGen
+		s.mu.RUnlock()
+		if gen == synced {
+			continue
+		}
+		if err := s.refresh(ctx); err != nil {
+			s.mu.Lock()
+			s.refreshErrors++
+			s.mu.Unlock()
+			log.Printf("refresh failed (serving previous state): %v", err)
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	e := json.NewEncoder(w)
+	e.SetIndent("", " ")
+	if err := e.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	s.mu.RLock()
+	cur := s.cur
+	s.mu.RUnlock()
+	fmt.Fprintf(w, "telcolens serving %d artifacts over %d study days (snapshot %s)\n\n",
+		len(cur.order), cur.days, cur.renderedAt.UTC().Format(time.RFC3339))
+	for _, id := range cur.order {
+		v := cur.views[id]
+		status := ""
+		if v.Err != "" {
+			status = "  [error]"
+		}
+		fmt.Fprintf(w, "  /artifacts/%-10s %-12s %s%s\n", id, v.PaperRef, v.Title, status)
+	}
+	fmt.Fprintf(w, "\n  /stats   serving and scan statistics\n")
+}
+
+func (s *server) handleArtifacts(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	cur := s.cur
+	s.mu.RUnlock()
+	id := strings.TrimPrefix(r.URL.Path, "/artifacts")
+	id = strings.Trim(id, "/")
+	if id == "" {
+		type entry struct {
+			ID       string `json:"id"`
+			Title    string `json:"title"`
+			PaperRef string `json:"paper_ref"`
+			Error    string `json:"error,omitempty"`
+		}
+		out := make([]entry, 0, len(cur.order))
+		for _, id := range cur.order {
+			v := cur.views[id]
+			out = append(out, entry{ID: v.ID, Title: v.Title, PaperRef: v.PaperRef, Error: v.Err})
+		}
+		writeJSON(w, out)
+		return
+	}
+	wantJSON := r.URL.Query().Get("format") == "json" ||
+		strings.Contains(r.Header.Get("Accept"), "application/json")
+	v, ok := cur.views[id]
+	if !ok {
+		http.Error(w, fmt.Sprintf("unknown artifact %q", id), http.StatusNotFound)
+		return
+	}
+	if v.Err != "" {
+		http.Error(w, v.Err, http.StatusUnprocessableEntity)
+		return
+	}
+	if wantJSON {
+		writeJSON(w, v.Artifact)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write(v.Text)
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	cur := s.cur
+	refreshes, fullRescans, refreshErrors := s.refreshes, s.fullRescans, s.refreshErrors
+	lastScanned, lastDur := s.lastScanned, s.lastRefreshDur
+	s.mu.RUnlock()
+	st := cur.analyzer.ScanStats()
+	writeJSON(w, map[string]any{
+		"started":          s.started.UTC(),
+		"uptime_seconds":   time.Since(s.started).Seconds(),
+		"days":             cur.days,
+		"partitions":       cur.partitions,
+		"manifest_gen":     cur.manifestGen,
+		"snapshot_at":      cur.renderedAt.UTC(),
+		"snapshot_age_sec": time.Since(cur.renderedAt).Seconds(),
+		"artifacts":        len(cur.order),
+		"refreshes":        refreshes,
+		"full_rescans":     fullRescans,
+		"refresh_errors":   refreshErrors,
+		"last_refresh": map[string]any{
+			"partitions_merged": lastScanned,
+			"duration_seconds":  lastDur.Seconds(),
+		},
+		"scan": map[string]any{
+			"scans":          st.Scans,
+			"partitions":     st.Partitions,
+			"records":        st.Records,
+			"blocks_read":    st.BlocksRead,
+			"blocks_skipped": st.BlocksSkipped,
+			"bytes_read":     st.BytesRead,
+		},
+	})
+}
+
+func run(dir, addr string, poll time.Duration, parallel int) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	ds, err := telcolens.Load(dir)
+	if err != nil {
+		return err
+	}
+	s := &server{dir: dir, parallel: parallel, started: time.Now()}
+	a, err := telcolens.NewAnalyzer(ds, s.options()...)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	log.Printf("warming analysis state for %s (%d days)...", dir, ds.Config.Days)
+	gen := manifestGen(ds.Store)
+	snap, warmOK := build(ctx, a, ds, gen)
+	s.cur = snap
+	if warmOK {
+		// A failed warm-up leaves lastGen at 0, so the poll loop keeps
+		// retrying instead of serving error artifacts until restart.
+		s.lastGen = gen
+	}
+	log.Printf("serving %d artifacts on %s (initial scan took %s)",
+		len(s.cur.order), addr, time.Since(start).Round(time.Millisecond))
+
+	go s.watch(ctx, poll)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/artifacts", s.handleArtifacts)
+	mux.HandleFunc("/artifacts/", s.handleArtifacts)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	srv := &http.Server{Addr: addr, Handler: mux}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	return nil
+}

@@ -89,7 +89,10 @@ func WithWindow(fromDay, toDay int) Option {
 
 // Analyzer wraps a generated dataset with the cached derived views the
 // experiments share. Views are built on demand by parallel streaming
-// passes over the trace; each Need unit is computed at most once.
+// passes over the trace; each Need unit is computed at most once — and
+// kept as a live mergeable collector, so new partitions fold in
+// incrementally (Refresh) and the whole analysis state can round-trip
+// through a checkpoint (Checkpoint / ResumeAnalyzer).
 type Analyzer struct {
 	DS *simulate.Dataset
 
@@ -100,11 +103,24 @@ type Analyzer struct {
 	winFrom int
 	winTo   int
 
-	mu    sync.Mutex
-	env   *scanEnv
-	state *scanState
-	have  Need
-	stats ScanStats
+	mu  sync.Mutex
+	env *scanEnv
+	// cols holds the live collector per computed Need unit; the bits of
+	// have mirror its keys. Collectors accumulate across scans.
+	cols map[Need]collector
+	have Need
+	// state is the finalized view the experiments read, rebuilt from the
+	// collectors whenever stateDirty (a scan or merge happened).
+	state      *scanState
+	stateDirty bool
+	// covered lists the partitions folded into every computed collector,
+	// in canonical order; coveredGen is the store manifest generation
+	// that produced it (0 when the store has no manifest).
+	covered    []trace.PartitionInfo
+	coveredGen uint64
+	stats      ScanStats
+	// pp is the incremental ping-pong tracker (see exp_pingpong.go).
+	pp *ppTracker
 }
 
 // ScanStats snapshots the trace-scan observability counters an Analyzer
@@ -171,11 +187,23 @@ func (a *Analyzer) Configure(opts ...Option) {
 	for _, o := range opts {
 		o(a)
 	}
-	if (a.winFrom != oldFrom || a.winTo != oldTo) && a.state != nil {
+	if (a.winFrom != oldFrom || a.winTo != oldTo) && a.have != 0 {
 		a.env = nil
-		a.state = nil
-		a.have = 0
+		a.resetScanStateLocked()
 	}
+}
+
+// resetScanStateLocked drops every computed collector and its coverage;
+// the next Require recomputes from the store's current partitions. The
+// ping-pong tracker survives (it is window-independent and maintains its
+// own coverage).
+func (a *Analyzer) resetScanStateLocked() {
+	a.cols = nil
+	a.have = 0
+	a.state = nil
+	a.stateDirty = false
+	a.covered = nil
+	a.coveredGen = 0
 }
 
 // clampWindow resolves a (-1 = open) window bound pair against the study
@@ -334,46 +362,163 @@ func collectorFor(need Need, env *scanEnv) collector {
 	panic(fmt.Sprintf("analysis: unknown need %b", need))
 }
 
-// Require ensures every requested scan-state unit is computed, fusing all
-// missing collectors into a single parallel pass over the trace store. It
-// returns the shared view. Concurrent callers serialize.
-func (a *Analyzer) Require(ctx context.Context, need Need) (*scanState, error) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
+// syncEnvLocked (re)builds the shared env, rebasing live collectors when
+// the dataset's study window grew in place (simulate.GenerateDays): each
+// collector is snapshotted and re-merged into a fresh instance sized to
+// the new day count. A dataset whose fixed dimensions changed (different
+// world) drops all cached state instead.
+func (a *Analyzer) syncEnvLocked() error {
 	if a.env == nil {
 		a.env = newScanEnv(a.DS)
+		return nil
 	}
-	if a.state == nil {
-		a.state = &scanState{
-			days:      a.env.days,
-			nUEs:      a.env.nUEs,
-			nSectors:  a.env.nSectors,
-			districts: a.env.nDistricts,
+	if a.env.days == a.DS.Config.Days {
+		return nil
+	}
+	next := newScanEnv(a.DS)
+	if next.days < a.env.days || next.nUEs != a.env.nUEs ||
+		next.nSectors != a.env.nSectors || next.nDistricts != a.env.nDistricts {
+		a.resetScanStateLocked()
+		a.pp = nil
+		a.env = next
+		return nil
+	}
+	for need, col := range a.cols {
+		fresh := collectorFor(need, next)
+		if err := fresh.Merge(col.Snapshot()); err != nil {
+			return fmt.Errorf("analysis: rebasing %b onto %d days: %w", need, next.days, err)
+		}
+		a.cols[need] = fresh
+	}
+	a.env = next
+	a.stateDirty = true
+	return nil
+}
+
+// storeCoverage resolves the store's current partition set, preferring
+// the manifest (record counts, extents, fingerprints, generation) and
+// falling back to a bare listing for stores without one.
+func storeCoverage(s trace.Store) ([]trace.PartitionInfo, uint64, error) {
+	if mr, ok := s.(trace.ManifestReader); ok {
+		m, err := mr.Manifest()
+		if err != nil {
+			return nil, 0, err
+		}
+		if m != nil {
+			return m.Partitions, m.Gen, nil
 		}
 	}
-	missing := need &^ a.have
-	if missing == 0 {
-		return a.state, nil
-	}
-
-	// Validate the store against the configured window before paying for
-	// a scan: collectors index per-day arrays with partition days.
-	parts, err := a.DS.Store.Partitions()
+	parts, err := s.Partitions()
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	for _, p := range parts {
-		if p.Day < 0 || p.Day >= a.env.days {
-			return nil, fmt.Errorf("analysis: partition day %d beyond configured %d days", p.Day, a.env.days)
-		}
+	infos := make([]trace.PartitionInfo, len(parts))
+	for i, p := range parts {
+		infos[i] = trace.PartitionInfo{Day: p.Day, Shard: p.Shard}
 	}
+	return infos, 0, nil
+}
 
-	var cols []collector
-	for need := NeedTypes; need < needSentinel; need <<= 1 {
-		if missing&need != 0 {
-			cols = append(cols, collectorFor(need, a.env))
+// coverageDelta reports whether cur extends old append-only: old must be
+// a prefix of cur partition-for-partition (fingerprints matching where
+// both sides have them), with every extra partition strictly after it in
+// canonical order — exactly the shape a growing campaign produces. The
+// returned delta is the extra partitions; ok=false means the store
+// changed some other way and the consumer must rebuild from scratch.
+func coverageDelta(old, cur []trace.PartitionInfo) (delta []trace.PartitionInfo, ok bool) {
+	if len(cur) < len(old) {
+		return nil, false
+	}
+	for i := range old {
+		o, c := &old[i], &cur[i]
+		if o.Partition() != c.Partition() {
+			return nil, false
+		}
+		if o.Fingerprint != 0 && c.Fingerprint != 0 &&
+			(o.Fingerprint != c.Fingerprint || o.Records != c.Records) {
+			return nil, false
 		}
 	}
+	return cur[len(old):], true
+}
+
+// completeDayPrefix trims a canonical-order coverage list to its longest
+// prefix of whole days: a day counts as complete when its partitions are
+// exactly shards 0..n-1 with n matching the campaign's shard count (1
+// for unsharded stores). The flush-based collectors (temporal, UE-day,
+// sector-day) finalize each day's distinct counts and row groups exactly
+// once, so a scan must never consume half a day and pick the rest up
+// later — a store caught mid-append (telcoserve polling while telcogen
+// lands a sharded day) stays uncovered until the day finishes.
+func completeDayPrefix(infos []trace.PartitionInfo, shards int) []trace.PartitionInfo {
+	if shards < 1 {
+		shards = 1
+	}
+	keep := 0
+	for i := 0; i < len(infos); {
+		day := infos[i].Day
+		j := i
+		ok := true
+		for ; j < len(infos) && infos[j].Day == day; j++ {
+			if infos[j].Shard != j-i {
+				ok = false
+			}
+		}
+		if !ok || j-i != shards {
+			break
+		}
+		keep = j
+		i = j
+	}
+	return infos[:keep]
+}
+
+// currentCoverageLocked resolves the store's partitions, trimmed to
+// whole days inside the configured study window, plus the manifest
+// generation that produced the view. Partitions beyond the window
+// (days landed by an appender whose campaign manifest has not been
+// re-saved yet, or left by a crashed append) are simply not covered
+// yet — the analysis stays consistent with the campaign's declared
+// span instead of erroring, and a later Refresh picks the days up once
+// the campaign manifest describes them.
+func (a *Analyzer) currentCoverageLocked() ([]trace.PartitionInfo, uint64, error) {
+	infos, gen, err := storeCoverage(a.DS.Store)
+	if err != nil {
+		return nil, 0, err
+	}
+	days := a.DS.Config.Days
+	for i := range infos {
+		if infos[i].Day >= days {
+			infos = infos[:i]
+			break
+		}
+	}
+	return completeDayPrefix(infos, a.DS.Config.Shards), gen, nil
+}
+
+// partitionsOf projects a coverage list to bare partition keys.
+func partitionsOf(infos []trace.PartitionInfo) []trace.Partition {
+	parts := make([]trace.Partition, len(infos))
+	for i := range infos {
+		parts[i] = infos[i].Partition()
+	}
+	return parts
+}
+
+// checkPartitionDays validates partition days against the configured
+// study window before a scan (collectors index per-day arrays with them).
+func (a *Analyzer) checkPartitionDaysLocked(infos []trace.PartitionInfo) error {
+	for i := range infos {
+		if d := infos[i].Day; d < 0 || d >= a.env.days {
+			return fmt.Errorf("analysis: partition day %d beyond configured %d days", d, a.env.days)
+		}
+	}
+	return nil
+}
+
+// scanIntoLocked runs one fused pass over the given partitions, feeding
+// the given collectors, and folds the metrics into the analyzer stats.
+func (a *Analyzer) scanIntoLocked(ctx context.Context, cols []collector, parts []trace.Partition) error {
 	tcols := make([]trace.Collector, len(cols))
 	// Project the union of the fused collectors' declared columns, so a
 	// v2 block store only decodes what this pass actually reads (e.g. a
@@ -388,6 +533,7 @@ func (a *Analyzer) Require(ctx context.Context, need Need) (*scanState, error) {
 		Parallelism: a.parallelism,
 		Projection:  proj | trace.ColTimestamp,
 		Metrics:     &metrics,
+		Partitions:  parts,
 	}
 	if a.progress != nil {
 		progress := a.progress
@@ -400,16 +546,16 @@ func (a *Analyzer) Require(ctx context.Context, need Need) (*scanState, error) {
 		// than silently scanning an empty range: Configure (the per-call
 		// options path) cannot return an error.
 		if a.winFrom >= 0 && a.winTo >= 0 && a.winFrom > a.winTo {
-			return nil, fmt.Errorf("analysis: window [%d, %d] is empty", a.winFrom, a.winTo)
+			return fmt.Errorf("analysis: window [%d, %d] is empty", a.winFrom, a.winTo)
 		}
 		if a.winFrom >= a.env.days {
-			return nil, fmt.Errorf("analysis: window starts at day %d but the study has %d days", a.winFrom, a.env.days)
+			return fmt.Errorf("analysis: window starts at day %d but the study has %d days", a.winFrom, a.env.days)
 		}
 		tr := trace.DayRange(clampWindow(a.winFrom, a.winTo, a.env.days))
 		opts.Range = &tr
 	}
 	if err := trace.Scan(ctx, a.DS.Store, opts, tcols...); err != nil {
-		return nil, err
+		return err
 	}
 	a.stats.Scans++
 	a.stats.Partitions += metrics.Partitions.Load()
@@ -418,20 +564,98 @@ func (a *Analyzer) Require(ctx context.Context, need Need) (*scanState, error) {
 	a.stats.BlocksSkipped += metrics.BlocksSkipped.Load()
 	a.stats.BytesRead += metrics.BytesRead.Load()
 	for _, c := range cols {
-		if err := c.finalize(a.state); err != nil {
+		// The types collector owns the stored-bytes figure; accumulate the
+		// scan's byte accounting so it stays exact across refreshes.
+		if tc, ok := c.(*typesCollector); ok {
+			tc.bytesRead += metrics.BytesRead.Load()
+		}
+	}
+	return nil
+}
+
+// finalizeLocked publishes a fresh scanState from every live collector.
+func (a *Analyzer) finalizeLocked() error {
+	st := &scanState{
+		days:      a.env.days,
+		nUEs:      a.env.nUEs,
+		nSectors:  a.env.nSectors,
+		districts: a.env.nDistricts,
+	}
+	for need := NeedTypes; need < needSentinel; need <<= 1 {
+		if col, ok := a.cols[need]; ok {
+			if err := col.finalize(st); err != nil {
+				return err
+			}
+		}
+	}
+	a.state = st
+	a.stateDirty = false
+	return nil
+}
+
+// Require ensures every requested scan-state unit is computed, fusing all
+// missing collectors into a single parallel pass over the trace store. It
+// returns the shared view. Concurrent callers serialize.
+//
+// The first scan pins the analyzer's partition coverage to the store's
+// partitions at that moment; later Require calls compute missing units
+// over the same coverage, so all cached views stay mutually consistent
+// even while the store grows. Refresh advances the coverage to the
+// store's current state.
+func (a *Analyzer) Require(ctx context.Context, need Need) (*scanState, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.requireLocked(ctx, need)
+}
+
+func (a *Analyzer) requireLocked(ctx context.Context, need Need) (*scanState, error) {
+	if err := a.syncEnvLocked(); err != nil {
+		return nil, err
+	}
+	missing := need &^ a.have
+	if missing == 0 {
+		if a.state == nil || a.stateDirty {
+			if err := a.finalizeLocked(); err != nil {
+				return nil, err
+			}
+		}
+		return a.state, nil
+	}
+
+	if a.have == 0 && a.covered == nil {
+		infos, gen, err := a.currentCoverageLocked()
+		if err != nil {
 			return nil, err
 		}
+		a.covered = infos
+		a.coveredGen = gen
 	}
-	if missing&NeedTypes != 0 {
-		// Actual on-disk stored bytes for the scanned view: v2 blocks
-		// compress, so the v1-era totalHOs×RecordSize estimate (the
-		// finalize fallback, still used for byte-less stores) can be off
-		// by the compression factor.
-		if br := metrics.BytesRead.Load(); br > 0 {
-			a.state.bytesStored = br
+	if err := a.checkPartitionDaysLocked(a.covered); err != nil {
+		return nil, err
+	}
+
+	var cols []collector
+	var colNeeds []Need
+	for n := NeedTypes; n < needSentinel; n <<= 1 {
+		if missing&n != 0 {
+			cols = append(cols, collectorFor(n, a.env))
+			colNeeds = append(colNeeds, n)
 		}
 	}
+	if err := a.scanIntoLocked(ctx, cols, partitionsOf(a.covered)); err != nil {
+		return nil, err
+	}
+	if a.cols == nil {
+		a.cols = make(map[Need]collector)
+	}
+	for i, c := range cols {
+		a.cols[colNeeds[i]] = c
+	}
 	a.have |= missing
+	a.stateDirty = true
+	if err := a.finalizeLocked(); err != nil {
+		return nil, err
+	}
 	return a.state, nil
 }
 

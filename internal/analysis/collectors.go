@@ -38,7 +38,11 @@ import (
 //     accumulation (OLS, ANOVA) reproducible run to run.
 
 // collector is a trace.Collector that can publish its merged result into
-// the shared scan view once every partition has been folded.
+// the shared scan view once every partition has been folded. Collectors
+// are long-lived mergeable accumulators: the analyzer keeps them between
+// scans, folds delta partitions into them on Refresh, and snapshots them
+// for checkpoints, so finalize must be re-runnable (it publishes the
+// current merged view without consuming state).
 type collector interface {
 	trace.Collector
 	finalize(s *scanState) error
@@ -48,6 +52,17 @@ type collector interface {
 	// decoding everything else; an understated set would read
 	// unspecified field values.
 	columns() trace.ColumnSet
+	// Snapshot returns a serializable copy of the merged accumulators,
+	// detached from the collector (later merges do not mutate it). Only
+	// call it at a quiescent point — after finalize, never mid-scan.
+	Snapshot() CollectorState
+	// Merge folds a snapshot into the collector. Counter state merges
+	// freely; row state (UE-day metrics, sector-day observations) and
+	// per-day distinct counts require the snapshot's day range to be
+	// disjoint from and after everything already folded — the analyzer
+	// only merges snapshots into empty collectors (resume, day-growth
+	// rebase), which always satisfies this.
+	Merge(CollectorState) error
 }
 
 // scanEnv is the immutable per-dataset context shared by all collectors:
@@ -231,6 +246,13 @@ type sampler struct {
 	val      []float64
 	heaped   bool
 	sealed   bool
+	// sortedPrefix is the length of the leading run already in canonical
+	// (priority, value) order — established by a previous seal and
+	// preserved by absorb's append path. Re-sealing after an incremental
+	// delta then only sorts the small suffix and merges the two runs,
+	// instead of re-sorting the whole bottom-k. Any reordering operation
+	// (heapify, quickselect pruning) resets it to 0.
+	sortedPrefix int
 }
 
 func newSampler(capacity int, salt uint64) *sampler {
@@ -264,6 +286,7 @@ func (s *sampler) Add(v float64, key uint64) {
 }
 
 func (s *sampler) insert(p uint64, v float64) {
+	s.sealed = false
 	if len(s.pri) < s.capacity {
 		// Fill phase: plain append. Shard-local samplers that never
 		// fill pay nothing but the appends.
@@ -291,6 +314,7 @@ func (s *sampler) heapify() {
 		s.siftDown(i)
 	}
 	s.heaped = true
+	s.sortedPrefix = 0
 }
 
 // pruneToCapacity shrinks the buffer to exactly the bottom-capacity
@@ -300,6 +324,7 @@ func (s *sampler) pruneToCapacity() {
 	if len(s.pri) <= s.capacity {
 		return
 	}
+	s.sortedPrefix = 0
 	lo, hi := 0, len(s.pri)-1
 	k := s.capacity // select so [0, k) holds the k smallest
 	for lo < hi {
@@ -373,14 +398,42 @@ func (s *sampler) siftDown(i int) {
 // absorb folds another sampler (same capacity and salt) into s: a bulk
 // concatenation with amortized-linear quickselect pruning, instead of
 // one heap insertion per entry. Exactness is unaffected — the kept set
-// after seal is still the bottom-capacity of everything observed.
+// after seal is still the bottom-capacity of everything observed, which
+// is also why absorbing is the exact merge operation for snapshots:
+// bottom-k(A ∪ B) = bottom-k(bottom-k(A) ∪ bottom-k(B)). A previously
+// sealed sampler unseals (the next seal re-establishes canonical order).
 func (s *sampler) absorb(o *sampler) {
 	s.n += o.n
+	if len(o.pri) > 0 {
+		s.sealed = false
+	}
 	if s.heaped {
 		// Already in eviction mode (a single stream overflowed):
 		// fall back to per-entry inserts.
 		for i := range o.pri {
 			s.insert(o.pri[i], o.val[i])
+		}
+		return
+	}
+	if p := s.sortedPrefix; p >= s.capacity && p <= len(s.pri) {
+		// Sealed-full fast path (incremental refresh): the sorted prefix
+		// is an exact bottom-k at capacity, so anything at or above its
+		// k-th smallest can never enter the kept set — filter before
+		// appending, which keeps the re-seal's suffix sort tiny. Exact:
+		// the bottom-k of the union is unchanged by dropping elements
+		// that k smaller elements already dominate.
+		mp, mv := s.pri[p-1], s.val[p-1]
+		for i := range o.pri {
+			if pvLess(o.pri[i], o.val[i], mp, mv) {
+				s.pri = append(s.pri, o.pri[i])
+				s.val = append(s.val, o.val[i])
+			}
+		}
+		// Keep the same memory bound as the plain append path: a
+		// pathological delta that lands mostly under the threshold still
+		// prunes (which drops the sorted run — the next seal re-sorts).
+		if len(s.pri) >= 4*s.capacity {
+			s.pruneToCapacity()
 		}
 		return
 	}
@@ -391,26 +444,68 @@ func (s *sampler) absorb(o *sampler) {
 	}
 }
 
-// seal freezes the sampler, ordering samples canonically by priority.
+// pvPairs sorts parallel (priority, value) slices by pvLess without the
+// reflection-based swapper sort.Slice needs.
+type pvPairs struct {
+	pri []uint64
+	val []float64
+}
+
+func (p pvPairs) Len() int           { return len(p.pri) }
+func (p pvPairs) Less(i, j int) bool { return pvLess(p.pri[i], p.val[i], p.pri[j], p.val[j]) }
+func (p pvPairs) Swap(i, j int) {
+	p.pri[i], p.pri[j] = p.pri[j], p.pri[i]
+	p.val[i], p.val[j] = p.val[j], p.val[i]
+}
+
+// seal freezes the sampler, ordering samples canonically by (priority,
+// value) and pruning to the exact bottom-k. When a previous seal's
+// sorted run survived (incremental absorbs only append), only the
+// suffix is sorted and the two runs merge in linear time, truncated at
+// capacity — ascending order makes the first k entries exactly the
+// bottom-k, so the result is identical to the full re-sort.
 func (s *sampler) seal() {
 	if s.sealed {
 		return
 	}
-	s.pruneToCapacity()
-	idx := make([]int, len(s.pri))
-	for i := range idx {
-		idx[i] = i
+	switch {
+	case s.sortedPrefix == len(s.pri) && len(s.pri) <= s.capacity:
+		// Nothing new since the last seal.
+	case s.sortedPrefix > 0 && s.sortedPrefix <= len(s.pri) && !s.heaped:
+		s.sealMerge()
+	default:
+		s.pruneToCapacity()
+		sort.Sort(pvPairs{s.pri, s.val})
 	}
-	sort.Slice(idx, func(a, b int) bool {
-		return pvLess(s.pri[idx[a]], s.val[idx[a]], s.pri[idx[b]], s.val[idx[b]])
-	})
-	pri := make([]uint64, len(idx))
-	val := make([]float64, len(idx))
-	for i, j := range idx {
-		pri[i], val[i] = s.pri[j], s.val[j]
+	s.heaped = false
+	s.sealed = true
+	s.sortedPrefix = len(s.pri)
+}
+
+// sealMerge merges the sorted prefix with the (sorted here) appended
+// suffix, keeping at most capacity entries.
+func (s *sampler) sealMerge() {
+	pre := s.sortedPrefix
+	sort.Sort(pvPairs{s.pri[pre:], s.val[pre:]})
+	n := len(s.pri)
+	if n > s.capacity {
+		n = s.capacity
+	}
+	pri := make([]uint64, 0, n)
+	val := make([]float64, 0, n)
+	i, j := 0, pre
+	for len(pri) < n {
+		if j >= len(s.pri) || (i < pre && pvLess(s.pri[i], s.val[i], s.pri[j], s.val[j])) {
+			pri = append(pri, s.pri[i])
+			val = append(val, s.val[i])
+			i++
+		} else {
+			pri = append(pri, s.pri[j])
+			val = append(val, s.val[j])
+			j++
+		}
 	}
 	s.pri, s.val = pri, val
-	s.sealed = true
 }
 
 // Samples returns the sampled values (not a copy).
@@ -463,6 +558,12 @@ type typesCollector struct {
 	typeFails     [ho.NumTypes]int64
 	perDayFails   [][ho.NumTypes]int64
 	vendorByType  [ho.NumTypes][4]int64
+	// bytesRead accumulates the stored bytes consumed by every scan that
+	// fed this collector (the analyzer adds each scan's metrics), so the
+	// Table 1 stored-size figure stays exact across checkpoint + refresh.
+	// Zero for stores without byte accounting; finalize then falls back
+	// to the raw record-equivalent estimate.
+	bytesRead int64
 }
 
 func newTypesCollector(env *scanEnv) *typesCollector {
@@ -573,11 +674,15 @@ func (c *typesCollector) finalize(out *scanState) error {
 	out.typeFails = c.typeFails
 	out.perDayTypeFails = c.perDayFails
 	out.vendorByType = c.vendorByType
-	// Raw record-equivalent fallback for stores without byte accounting
-	// (e.g. the in-memory store); Require overwrites it with the actual
-	// on-disk stored bytes from the scan metrics when available — v2
-	// blocks compress, so the two can differ by the compression factor.
-	out.bytesStored = c.totalHOs * trace.RecordSize
+	// Actual on-disk stored bytes when the scans provided byte
+	// accounting; raw record-equivalent fallback otherwise (e.g. the
+	// in-memory store) — v2 blocks compress, so the two can differ by
+	// the compression factor.
+	if c.bytesRead > 0 {
+		out.bytesStored = c.bytesRead
+	} else {
+		out.bytesStored = c.totalHOs * trace.RecordSize
+	}
 	return nil
 }
 

@@ -1,0 +1,258 @@
+package analysis
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"telcolens/internal/simulate"
+	"telcolens/internal/trace"
+)
+
+// The incremental acceptance bar: an analyzer checkpointed on a partial
+// campaign, resumed after more days landed, and Refreshed — scanning
+// only the new partitions — must render every experiment byte-identical
+// to a cold full scan of the final store. Run with -race (make race and
+// the CI determinism job do) to double as the engine's concurrency check.
+
+const incTotalDays = 6
+
+// incDataset generates the first `days` days of the incremental test
+// campaign into a file store.
+func incDataset(t *testing.T, dir string, days, shards int) *simulate.Dataset {
+	t.Helper()
+	fs, err := trace.NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := simulate.DefaultConfig(detSeed)
+	cfg.UEs = detUEs
+	cfg.Days = days
+	cfg.Shards = shards
+	cfg.Store = fs
+	ds, err := simulate.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestIncrementalEqualsFull(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates several campaigns")
+	}
+	// Split points: one day in, mid-campaign, and all-but-last.
+	for _, split := range []int{1, incTotalDays / 2, incTotalDays - 1} {
+		t.Run(fmt.Sprintf("split=%d", split), func(t *testing.T) {
+			const shards = 2
+			ds := incDataset(t, t.TempDir(), split, shards)
+
+			// Warm the full scan state on the partial store and checkpoint
+			// it. (Require + the ping-pong pass rather than renderAll: some
+			// experiments legitimately refuse very short windows, e.g. the
+			// 1-day split has too few nights for home detection.)
+			warm, err := New(ds, WithParallelism(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := warm.Require(context.Background(), NeedAll); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := warm.PingPongAll(context.Background(), StandardPingPongWindows); err != nil {
+				t.Fatal(err)
+			}
+			var ckpt bytes.Buffer
+			if err := warm.Checkpoint(&ckpt); err != nil {
+				t.Fatal(err)
+			}
+
+			// The campaign grows: the remaining days land in the store.
+			if err := ds.GenerateDays(incTotalDays - split); err != nil {
+				t.Fatal(err)
+			}
+
+			// Cold full-scan baseline over the final store.
+			cold, err := New(ds, WithParallelism(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := renderAll(t, cold)
+
+			for _, par := range []int{1, 8} {
+				t.Run(fmt.Sprintf("parallelism=%d", par), func(t *testing.T) {
+					a, err := ResumeAnalyzer(ds, bytes.NewReader(ckpt.Bytes()), WithParallelism(par))
+					if err != nil {
+						t.Fatal(err)
+					}
+					res, err := a.Refresh(context.Background())
+					if err != nil {
+						t.Fatal(err)
+					}
+					if res.FullRescan {
+						t.Fatal("append-only growth triggered a full rescan")
+					}
+					wantParts := (incTotalDays - split) * shards
+					if res.PartitionsScanned != wantParts {
+						t.Fatalf("Refresh scanned %d partitions, want %d (only the new days)",
+							res.PartitionsScanned, wantParts)
+					}
+					// The scan metrics double-check it: the resumed analyzer
+					// never touched the checkpoint-covered partitions.
+					if st := a.ScanStats(); st.Partitions != int64(wantParts) {
+						t.Fatalf("ScanStats.Partitions = %d after Refresh, want %d",
+							st.Partitions, wantParts)
+					}
+					if res.Days != incTotalDays {
+						t.Fatalf("Refresh reports %d days, want %d", res.Days, incTotalDays)
+					}
+					compareArtifacts(t, fmt.Sprintf("incremental-split%d-par%d", split, par),
+						want, renderAll(t, a))
+				})
+			}
+		})
+	}
+}
+
+// TestRefreshInPlace: the same analyzer instance survives its dataset
+// growing in place (no checkpoint round-trip): Refresh rebases the live
+// collectors onto the larger study window and merges only the new days.
+func TestRefreshInPlace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates a campaign")
+	}
+	const split, shards = 2, 2
+	ds := incDataset(t, t.TempDir(), split, shards)
+	a, err := New(ds, WithParallelism(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderAll(t, a)
+	before := a.ScanStats().Partitions
+
+	if err := ds.GenerateDays(incTotalDays - split); err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.Refresh(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FullRescan {
+		t.Fatal("append-only growth triggered a full rescan")
+	}
+	wantParts := (incTotalDays - split) * shards
+	if res.PartitionsScanned != wantParts {
+		t.Fatalf("Refresh scanned %d partitions, want %d", res.PartitionsScanned, wantParts)
+	}
+	if got := a.ScanStats().Partitions - before; got != int64(wantParts) {
+		t.Fatalf("Refresh read %d partitions per ScanStats, want %d", got, wantParts)
+	}
+
+	cold, err := New(ds, WithParallelism(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareArtifacts(t, "refresh-in-place", renderAll(t, cold), renderAll(t, a))
+}
+
+// TestRefreshNoChange: refreshing an up-to-date analyzer scans nothing.
+func TestRefreshNoChange(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates a campaign")
+	}
+	ds := incDataset(t, t.TempDir(), 2, 1)
+	a, err := New(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Require(context.Background(), NeedAll); err != nil {
+		t.Fatal(err)
+	}
+	before := a.ScanStats()
+	res, err := a.Refresh(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PartitionsScanned != 0 || res.FullRescan {
+		t.Fatalf("no-op refresh reported %+v", res)
+	}
+	if after := a.ScanStats(); after.Scans != before.Scans {
+		t.Fatalf("no-op refresh ran a scan (%d -> %d)", before.Scans, after.Scans)
+	}
+}
+
+// TestRefreshFullRescanOnDivergence: a store that changed in a
+// non-append way (here: a partition removed, manifest invalidated)
+// rebuilds the state from scratch and still matches a cold run.
+func TestRefreshFullRescanOnDivergence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates a campaign")
+	}
+	dir := t.TempDir()
+	ds := incDataset(t, dir, 3, 1)
+	a, err := New(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderAll(t, a)
+
+	// Drop the last day behind the analyzer's back.
+	if err := os.Remove(filepath.Join(dir, "ho_day_002.tlho")); err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.Refresh(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.FullRescan {
+		t.Fatal("shrunken store did not trigger a full rescan")
+	}
+
+	// A cold analyzer over the (shrunken) store must agree. Day 2 still
+	// exists in the dataset config; it just has no partitions.
+	cold, err := New(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareArtifacts(t, "full-rescan", renderAll(t, cold), renderAll(t, a))
+}
+
+// TestResumeRejectsWrongCampaign: a checkpoint only resumes against the
+// campaign it was taken from.
+func TestResumeRejectsWrongCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates two campaigns")
+	}
+	ds := incDataset(t, t.TempDir(), 1, 1)
+	a, err := New(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Require(context.Background(), NeedTypes); err != nil {
+		t.Fatal(err)
+	}
+	var ckpt bytes.Buffer
+	if err := a.Checkpoint(&ckpt); err != nil {
+		t.Fatal(err)
+	}
+
+	otherCfg := simulate.DefaultConfig(detSeed + 1)
+	otherCfg.UEs = detUEs
+	otherCfg.Days = 1
+	other, err := simulate.Generate(otherCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ResumeAnalyzer(other, bytes.NewReader(ckpt.Bytes())); err == nil {
+		t.Fatal("checkpoint resumed against a different campaign")
+	}
+
+	// Corruption must be caught by the checksum.
+	bad := append([]byte(nil), ckpt.Bytes()...)
+	bad[len(bad)/2] ^= 0x40
+	if _, err := ResumeAnalyzer(ds, bytes.NewReader(bad)); err == nil {
+		t.Fatal("corrupted checkpoint accepted")
+	}
+}

@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"bytes"
+	"context"
+	"testing"
+)
+
+// allNeeds lists every scan-state unit with a printable name.
+var allNeeds = []struct {
+	name string
+	need Need
+}{
+	{"types", NeedTypes},
+	{"durations", NeedDurations},
+	{"causes", NeedCauses},
+	{"temporal", NeedTemporal},
+	{"districts", NeedDistricts},
+	{"ueday", NeedUEDay},
+	{"sectorday", NeedSectorDay},
+}
+
+// TestCollectorSnapshotRoundTrip is the per-collector property test:
+// Snapshot → MarshalBinary → UnmarshalBinary → Merge into an empty
+// collector must reproduce the original state exactly — asserted at the
+// byte level (the re-snapshot of the restored collector marshals to the
+// same bytes) and at the artifact level implicitly via
+// TestIncrementalEqualsFull. Marshaling must also be deterministic.
+func TestCollectorSnapshotRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates a campaign")
+	}
+	a, err := New(detDataset(t, 2), WithParallelism(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Require(context.Background(), NeedAll); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range allNeeds {
+		t.Run(tc.name, func(t *testing.T) {
+			col := a.cols[tc.need]
+			if col == nil {
+				t.Fatalf("no live collector for %s", tc.name)
+			}
+			snap := col.Snapshot()
+			if snap.Need() != tc.need {
+				t.Fatalf("snapshot reports need %b, want %b", snap.Need(), tc.need)
+			}
+			data, err := snap.MarshalBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			again, err := snap.MarshalBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(data, again) {
+				t.Fatal("MarshalBinary is not deterministic")
+			}
+
+			restored, err := newCollectorState(tc.need)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := restored.UnmarshalBinary(data); err != nil {
+				t.Fatal(err)
+			}
+			empty := collectorFor(tc.need, a.env)
+			if err := empty.Merge(restored); err != nil {
+				t.Fatal(err)
+			}
+			back, err := empty.Snapshot().MarshalBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(back, data) {
+				t.Fatalf("%s: merge-into-empty snapshot differs from original (%d vs %d bytes)",
+					tc.name, len(back), len(data))
+			}
+
+			// Corrupt headers must be rejected, not misparsed.
+			if len(data) > 0 {
+				bad := append([]byte(nil), data...)
+				bad[0] ^= 0xff
+				fresh, _ := newCollectorState(tc.need)
+				if err := fresh.UnmarshalBinary(bad); err == nil {
+					t.Fatal("corrupted version byte accepted")
+				}
+			}
+		})
+	}
+}
+
+// TestCollectorStateRejectsTruncation: every state decoder must fail
+// cleanly on truncated payloads instead of panicking or misreading.
+func TestCollectorStateRejectsTruncation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates a campaign")
+	}
+	a, err := New(detDataset(t, 1), WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Require(context.Background(), NeedAll); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range allNeeds {
+		data, err := a.cols[tc.need].Snapshot().MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cut := range []int{1, len(data) / 2, len(data) - 1} {
+			if cut >= len(data) {
+				continue
+			}
+			st, _ := newCollectorState(tc.need)
+			if err := st.UnmarshalBinary(data[:cut]); err == nil {
+				t.Errorf("%s: truncation at %d/%d accepted", tc.name, cut, len(data))
+			}
+		}
+	}
+}

@@ -195,7 +195,7 @@ func (c *Catalog) All() []Cause { return c.all }
 func IsMain(code Code) bool { return code >= 1 && code <= 8 }
 
 // baseMix gives the within-HO-type share of each main cause plus the long
-// tail ("other"), solved from the §6.2 marginals — see DESIGN.md §6 for
+// tail ("other"), solved from the §6.2 marginals — see DESIGN.md §5 for
 // the derivation. Indexed by cause 1..8; index 0 holds "other".
 var baseMix = map[ho.Type][9]float64{
 	// other, #1, #2, #3, #4, #5, #6, #7, #8

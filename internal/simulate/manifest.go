@@ -28,7 +28,9 @@ type manifest struct {
 	DayStats []DayAggregate `json:"day_stats"`
 }
 
-// manifestConfig mirrors Config without the non-serializable store.
+// manifestConfig mirrors Config without the non-serializable store,
+// plus the trace codec settings the campaign was written with (so
+// appenders keep writing the same format without being told).
 type manifestConfig struct {
 	Seed           uint64  `json:"seed"`
 	Days           int     `json:"days"`
@@ -39,6 +41,8 @@ type manifestConfig struct {
 	LongTailCauses int     `json:"long_tail_causes"`
 	FullScaleUEs   int     `json:"full_scale_ues"`
 	Shards         int     `json:"shards,omitempty"`
+	Codec          int     `json:"codec,omitempty"`
+	Compress       bool    `json:"compress,omitempty"`
 }
 
 // SaveManifest writes the campaign descriptor into dir.
@@ -58,6 +62,11 @@ func (d *Dataset) SaveManifest(dir string) error {
 		},
 		DayStats: d.DayStats,
 	}
+	if fs, ok := d.Store.(*trace.FileStore); ok {
+		opts := fs.Options()
+		m.Config.Codec = int(opts.Codec)
+		m.Config.Compress = opts.Compress
+	}
 	data, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return fmt.Errorf("simulate: encoding manifest: %w", err)
@@ -69,6 +78,18 @@ func (d *Dataset) SaveManifest(dir string) error {
 // deterministically from the manifest config and attaches the on-disk
 // trace store without re-simulating anything.
 func Load(dir string) (*Dataset, error) {
+	return LoadOpts(dir, trace.FileStoreOptions{})
+}
+
+// LoadOpts is Load with explicit file-store write options. Zero fields
+// fall back to the codec settings the campaign manifest records, so an
+// appender (telcogen -append) keeps writing the format the campaign was
+// generated with; an explicitly requested codec that contradicts the
+// recorded one is refused — silently mixing formats in one campaign is
+// almost never intended (reading always negotiates per file either
+// way). Campaigns saved before the settings were recorded behave as
+// before (explicit options or the store defaults).
+func LoadOpts(dir string, opts trace.FileStoreOptions) (*Dataset, error) {
 	data, err := os.ReadFile(filepath.Join(dir, manifestName))
 	if err != nil {
 		return nil, fmt.Errorf("simulate: reading manifest: %w", err)
@@ -79,6 +100,19 @@ func Load(dir string) (*Dataset, error) {
 	}
 	if m.Version != 1 {
 		return nil, fmt.Errorf("simulate: unsupported manifest version %d", m.Version)
+	}
+	if m.Config.Codec != 0 {
+		switch {
+		case opts.Codec == 0:
+			opts.Codec = trace.Codec(m.Config.Codec)
+		case int(opts.Codec) != m.Config.Codec:
+			return nil, fmt.Errorf("simulate: campaign was written with codec v%d; requested v%d would mix formats (omit the codec option to keep the campaign's)",
+				m.Config.Codec, opts.Codec)
+		}
+		if opts.Compress != m.Config.Compress && opts.Compress {
+			return nil, fmt.Errorf("simulate: campaign was written without compression; requested compression would mix formats")
+		}
+		opts.Compress = m.Config.Compress
 	}
 	cfg := Config{
 		Seed:           m.Config.Seed,
@@ -121,7 +155,7 @@ func Load(dir string) (*Dataset, error) {
 	if err != nil {
 		return nil, fmt.Errorf("simulate: rebuilding corenet: %w", err)
 	}
-	store, err := trace.NewFileStore(dir)
+	store, err := trace.NewFileStoreOpts(dir, opts)
 	if err != nil {
 		return nil, err
 	}

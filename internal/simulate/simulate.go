@@ -239,6 +239,51 @@ func Generate(cfg Config) (*Dataset, error) {
 	return ds, nil
 }
 
+// GenerateDays extends the campaign by n more days, appending day
+// partitions to the existing store: the growing-feed scenario of the
+// paper's pipeline, where a new countrywide capture lands every day.
+// The world model (census, topology, devices, subscribers) stays exactly
+// as originally generated — only the study window grows — and each new
+// day consumes its own derived RNG stream, so appending is deterministic:
+// the same campaign appended twice produces byte-identical partitions.
+// On success ds.Config.Days and ds.DayStats reflect the extended window;
+// callers persisting the campaign should SaveManifest again.
+//
+// Note an appended campaign is not byte-identical to one generated with
+// the larger day count from scratch: the topology's deployment timeline
+// is seeded by the original window length. Incremental analysis
+// (analysis.Refresh) compares against a full scan of the same store, so
+// this does not affect the determinism contract.
+func (ds *Dataset) GenerateDays(n int) error {
+	if n <= 0 {
+		return fmt.Errorf("simulate: non-positive day count %d", n)
+	}
+	if ds.Config.Workers <= 0 {
+		// Datasets reopened via Load carry no worker count (the manifest
+		// does not persist it); default like Generate does.
+		ds.Config.Workers = runtime.GOMAXPROCS(0)
+	}
+	if ds.Config.Shards <= 0 {
+		ds.Config.Shards = 1
+	}
+	planner, err := mobility.NewPlanner(ds.Country, ds.Network)
+	if err != nil {
+		return fmt.Errorf("simulate: mobility: %w", err)
+	}
+	from := ds.Config.Days
+	ds.DayStats = append(ds.DayStats, make([]DayAggregate, n)...)
+	for day := from; day < from+n; day++ {
+		// Grow the visible window day by day, so a failed append leaves a
+		// consistent prefix (Config.Days only ever counts fully landed days).
+		if err := ds.generateDay(planner, day); err != nil {
+			ds.DayStats = ds.DayStats[:ds.Config.Days]
+			return fmt.Errorf("simulate: day %d: %w", day, err)
+		}
+		ds.Config.Days = day + 1
+	}
+	return nil
+}
+
 // workerResult is one worker's share of a day.
 type workerResult struct {
 	records []trace.Record

@@ -48,7 +48,7 @@ func (c MobilityClass) String() string {
 
 // classMix gives the mobility class distribution per device type,
 // calibrated against Fig 10 (visited sectors and radius of gyration per
-// device type; see DESIGN.md §6).
+// device type; see DESIGN.md §5).
 var classMix = map[devices.DeviceType][numClasses]float64{
 	//                       Stationary, Local, Commuter, LongDist, HighSpeed
 	devices.Smartphone:   {0.06, 0.42, 0.46, 0.052, 0.008},

@@ -1,0 +1,256 @@
+package trace
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// The store manifest makes a partition directory self-describing at the
+// storage layer: one MANIFEST file listing every finished partition with
+// its record count, time extents and a content fingerprint, plus a
+// monotonically increasing generation number bumped on every rewrite.
+// Incremental consumers (Analyzer.Refresh, cmd/telcoserve) diff the
+// manifest against their last-seen generation instead of listing and
+// opening every partition file, and metadata queries (Count, Days)
+// answer straight from it.
+
+// ManifestName is the per-store partition index file a FileStore
+// maintains next to its partition files. (The campaign-level
+// manifest.json written by the simulate package describes the world
+// config; this one describes the trace bytes.)
+const ManifestName = "MANIFEST"
+
+// PartitionInfo is one manifest entry: a finished partition plus the
+// metadata recorded when its writer closed.
+type PartitionInfo struct {
+	Day   int `json:"day"`
+	Shard int `json:"shard"`
+	// Records is the number of records in the partition.
+	Records int64 `json:"records"`
+	// MinTS/MaxTS are the partition's timestamp extents (Unix millis,
+	// inclusive); both zero when the partition is empty.
+	MinTS int64 `json:"min_ts"`
+	MaxTS int64 `json:"max_ts"`
+	// Bytes is the stored (on-disk) partition size.
+	Bytes int64 `json:"bytes"`
+	// Fingerprint hashes the partition's stored content (FNV-1a over the
+	// stream bytes), so consumers can detect a rewritten partition
+	// without reading it.
+	Fingerprint uint64 `json:"fingerprint"`
+	// Gen is the manifest generation at which this entry was added or
+	// last changed; Manifest.Since filters on it.
+	Gen uint64 `json:"gen"`
+}
+
+// Partition returns the entry's partition key.
+func (pi *PartitionInfo) Partition() Partition { return Partition{Day: pi.Day, Shard: pi.Shard} }
+
+// Manifest is a store's partition index: every finished partition in
+// canonical (day, shard) order, plus the generation counter.
+type Manifest struct {
+	// Gen increments every time the manifest is rewritten.
+	Gen uint64 `json:"gen"`
+	// Partitions lists finished partitions in canonical order.
+	Partitions []PartitionInfo `json:"partitions"`
+}
+
+// TotalRecords sums the per-partition record counts.
+func (m *Manifest) TotalRecords() int64 {
+	var n int64
+	for i := range m.Partitions {
+		n += m.Partitions[i].Records
+	}
+	return n
+}
+
+// Since returns the entries added or changed after generation gen, in
+// canonical order. Since(0) returns every entry.
+func (m *Manifest) Since(gen uint64) []PartitionInfo {
+	var out []PartitionInfo
+	for _, pi := range m.Partitions {
+		if pi.Gen > gen {
+			out = append(out, pi)
+		}
+	}
+	return out
+}
+
+// Lookup returns the entry for p, or false.
+func (m *Manifest) Lookup(p Partition) (PartitionInfo, bool) {
+	for i := range m.Partitions {
+		if m.Partitions[i].Partition() == p {
+			return m.Partitions[i], true
+		}
+	}
+	return PartitionInfo{}, false
+}
+
+// ManifestReader is implemented by stores that maintain a partition
+// manifest. Manifest returns (nil, nil) when the store has no usable
+// manifest (legacy directory, or one that disagrees with the partition
+// files actually present) — callers must fall back to listing.
+type ManifestReader interface {
+	Manifest() (*Manifest, error)
+}
+
+// Since diffs a store's manifest against a previously observed
+// generation: it returns the partitions added or changed since gen and
+// the current generation. Stores without a usable manifest report an
+// error; callers that can rescan should fall back to Partitions.
+func Since(s Store, gen uint64) ([]PartitionInfo, uint64, error) {
+	mr, ok := s.(ManifestReader)
+	if !ok {
+		return nil, 0, fmt.Errorf("trace: store %T has no manifest", s)
+	}
+	m, err := mr.Manifest()
+	if err != nil {
+		return nil, 0, err
+	}
+	if m == nil {
+		return nil, 0, fmt.Errorf("trace: store has no usable manifest")
+	}
+	return m.Since(gen), m.Gen, nil
+}
+
+// upsert folds one freshly closed partition into the manifest: the entry
+// replaces any previous one for the same partition, canonical order is
+// restored, and the generation advances.
+func (m *Manifest) upsert(info PartitionInfo) {
+	m.Gen++
+	info.Gen = m.Gen
+	for i := range m.Partitions {
+		if m.Partitions[i].Partition() == info.Partition() {
+			m.Partitions[i] = info
+			return
+		}
+	}
+	m.Partitions = append(m.Partitions, info)
+	sort.Slice(m.Partitions, func(i, j int) bool {
+		return m.Partitions[i].Partition().Less(m.Partitions[j].Partition())
+	})
+}
+
+// loadManifest reads a MANIFEST file; a missing file is (nil, nil).
+func loadManifest(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading manifest: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("trace: decoding manifest: %w", err)
+	}
+	return &m, nil
+}
+
+// writeManifest persists the manifest atomically: full rewrite into a
+// temp file in the same directory, then rename over the old one, so a
+// concurrent reader sees either the previous or the new index, never a
+// torn write.
+func writeManifest(path string, m *Manifest) error {
+	data, err := json.MarshalIndent(m, "", " ")
+	if err != nil {
+		return fmt.Errorf("trace: encoding manifest: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".manifest-*")
+	if err != nil {
+		return fmt.Errorf("trace: staging manifest: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("trace: staging manifest: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("trace: staging manifest: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("trace: publishing manifest: %w", err)
+	}
+	return nil
+}
+
+// partitionDigest accumulates the metadata a manifest entry needs while a
+// partition is being written: record count is supplied by the codec, the
+// timestamp extents by the writer wrapper, and the content fingerprint
+// plus byte count by hashing the stream as it lands.
+type partitionDigest struct {
+	records int64
+	minTS   int64
+	maxTS   int64
+	bytes   int64
+	hash    uint64
+	seenTS  bool
+}
+
+func newPartitionDigest() *partitionDigest {
+	h := fnv.New64a()
+	return &partitionDigest{hash: h.Sum64()}
+}
+
+// observeTS folds one record timestamp into the extents.
+func (d *partitionDigest) observeTS(ts int64) {
+	if !d.seenTS {
+		d.minTS, d.maxTS, d.seenTS = ts, ts, true
+		return
+	}
+	if ts < d.minTS {
+		d.minTS = ts
+	}
+	if ts > d.maxTS {
+		d.maxTS = ts
+	}
+}
+
+// observeBytes folds stored stream bytes into the fingerprint (FNV-1a).
+func (d *partitionDigest) observeBytes(p []byte) {
+	h := d.hash
+	for _, b := range p {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	d.hash = h
+	d.bytes += int64(len(p))
+}
+
+// observeRecord folds one record into the extents and fingerprint for
+// stores without a byte stream (MemStore): the fields are serialized
+// into a fixed little-endian image and hashed like stream bytes.
+func (d *partitionDigest) observeRecord(rec *Record) {
+	d.observeTS(rec.Timestamp)
+	var buf [33]byte
+	binary.LittleEndian.PutUint64(buf[0:], uint64(rec.Timestamp))
+	binary.LittleEndian.PutUint32(buf[8:], uint32(rec.UE))
+	binary.LittleEndian.PutUint32(buf[12:], uint32(rec.TAC))
+	binary.LittleEndian.PutUint32(buf[16:], uint32(rec.Source))
+	binary.LittleEndian.PutUint32(buf[20:], uint32(rec.Target))
+	binary.LittleEndian.PutUint16(buf[24:], uint16(rec.Cause))
+	buf[26] = byte(rec.SourceRAT)<<4 | byte(rec.TargetRAT)&0x0f
+	buf[27] = byte(rec.Result)
+	binary.LittleEndian.PutUint32(buf[28:], math.Float32bits(rec.DurationMs))
+	d.observeBytes(buf[:])
+}
+
+func (d *partitionDigest) info(day, shard int, records int64) PartitionInfo {
+	return PartitionInfo{
+		Day:         day,
+		Shard:       shard,
+		Records:     records,
+		MinTS:       d.minTS,
+		MaxTS:       d.maxTS,
+		Bytes:       d.bytes,
+		Fingerprint: d.hash,
+	}
+}

@@ -111,6 +111,11 @@ type ScanOptions struct {
 	Projection ColumnSet
 	// Metrics, if set, receives scan counters.
 	Metrics *ScanMetrics
+	// Partitions, if non-nil, restricts the scan to exactly these
+	// partitions instead of everything the store lists. Incremental
+	// consumers use it to scan only the delta a manifest diff reported;
+	// order is normalized to canonical (day, shard) either way.
+	Partitions []Partition
 }
 
 // checkEvery is how many records a scan worker processes between context
@@ -136,9 +141,15 @@ func Scan(ctx context.Context, s Store, opts ScanOptions, collectors ...Collecto
 	if len(collectors) == 0 {
 		return fmt.Errorf("trace: scan without collectors")
 	}
-	parts, err := s.Partitions()
-	if err != nil {
-		return err
+	parts := opts.Partitions
+	if parts == nil {
+		var err error
+		parts, err = s.Partitions()
+		if err != nil {
+			return err
+		}
+	} else {
+		parts = append([]Partition(nil), parts...)
 	}
 	if len(parts) == 0 {
 		return nil

@@ -170,8 +170,20 @@ func ForEach(s Store, fn func(day int, rec *Record) error) error {
 	return nil
 }
 
-// Count returns the total number of records in the store.
+// Count returns the total number of records in the store. Stores with a
+// usable manifest answer from its per-partition record counts without
+// opening a single partition file; everything else pays for a full
+// streaming pass.
 func Count(s Store) (int64, error) {
+	if mr, ok := s.(ManifestReader); ok {
+		m, err := mr.Manifest()
+		if err != nil {
+			return 0, err
+		}
+		if m != nil {
+			return m.TotalRecords(), nil
+		}
+	}
 	var n int64
 	err := ForEach(s, func(int, *Record) error { n++; return nil })
 	return n, err
@@ -249,15 +261,30 @@ func openDay(s Store, day int) (RecordIterator, error) {
 
 // MemStore keeps partitions in memory. The zero value is ready to use.
 type MemStore struct {
-	mu    sync.Mutex
-	parts map[Partition][]Record
-	open  map[Partition]bool
+	mu       sync.Mutex
+	parts    map[Partition][]Record
+	open     map[Partition]bool
+	manifest Manifest
 }
 
 // NewMemStore returns an empty in-memory store.
 func NewMemStore() *MemStore {
 	return &MemStore{parts: make(map[Partition][]Record), open: make(map[Partition]bool)}
 }
+
+// Manifest returns the in-memory partition index (a copy). MemStore
+// manifests fingerprint record contents directly, so incremental
+// consumers behave identically over memory- and file-backed stores.
+func (m *MemStore) Manifest() (*Manifest, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := Manifest{Gen: m.manifest.Gen}
+	out.Partitions = append([]PartitionInfo(nil), m.manifest.Partitions...)
+	return &out, nil
+}
+
+// Since diffs the manifest against a previously observed generation.
+func (m *MemStore) Since(gen uint64) ([]PartitionInfo, uint64, error) { return Since(m, gen) }
 
 // AppendPartition starts a new partition.
 func (m *MemStore) AppendPartition(day, shard int) (RecordWriter, error) {
@@ -276,7 +303,7 @@ func (m *MemStore) AppendPartition(day, shard int) (RecordWriter, error) {
 	}
 	m.parts[p] = nil
 	m.open[p] = true
-	return &memWriter{store: m, part: p}, nil
+	return &memWriter{store: m, part: p, digest: newPartitionDigest()}, nil
 }
 
 // OpenPartition iterates a closed partition.
@@ -326,13 +353,17 @@ func (m *MemStore) Days() ([]int, error) {
 type memWriter struct {
 	store  *MemStore
 	part   Partition
+	digest *partitionDigest
 	closed bool
+	count  int64
 }
 
 func (w *memWriter) Write(rec *Record) error {
 	if w.closed {
 		return fmt.Errorf("trace: write to closed partition day %d shard %d", w.part.Day, w.part.Shard)
 	}
+	w.digest.observeRecord(rec)
+	w.count++
 	w.store.mu.Lock()
 	w.store.parts[w.part] = append(w.store.parts[w.part], *rec)
 	w.store.mu.Unlock()
@@ -344,6 +375,10 @@ func (w *memWriter) WriteBatch(recs []Record) error {
 	if w.closed {
 		return fmt.Errorf("trace: write to closed partition day %d shard %d", w.part.Day, w.part.Shard)
 	}
+	for i := range recs {
+		w.digest.observeRecord(&recs[i])
+	}
+	w.count += int64(len(recs))
 	w.store.mu.Lock()
 	w.store.parts[w.part] = append(w.store.parts[w.part], recs...)
 	w.store.mu.Unlock()
@@ -357,6 +392,7 @@ func (w *memWriter) Close() error {
 	w.closed = true
 	w.store.mu.Lock()
 	w.store.open[w.part] = false
+	w.store.manifest.upsert(w.digest.info(w.part.Day, w.part.Shard, w.count))
 	w.store.mu.Unlock()
 	return nil
 }
@@ -457,9 +493,19 @@ type FileStoreOptions struct {
 // FileStore persists partitions as binary trace files in a directory.
 // Shard 0 keeps the legacy day-file name so unsharded campaign
 // directories stay readable and byte-compatible with earlier layouts.
+//
+// Alongside the partition files the store maintains a MANIFEST index
+// (see Manifest): every writer close folds the finished partition's
+// record count, time extents and content fingerprint into it and
+// rewrites it atomically. The manifest is re-read from disk on every
+// update and query, so several FileStore instances (or processes — a
+// generator appending days while a serving daemon watches) can share one
+// directory.
 type FileStore struct {
 	dir  string
 	opts FileStoreOptions
+	// mu serializes this instance's manifest read-modify-write cycles.
+	mu sync.Mutex
 }
 
 // NewFileStore creates (if needed) and opens a directory-backed store
@@ -486,6 +532,10 @@ func NewFileStoreOpts(dir string, opts FileStoreOptions) (*FileStore, error) {
 
 // Dir returns the backing directory.
 func (f *FileStore) Dir() string { return f.dir }
+
+// Options returns the write options this store was opened with (the
+// resolved codec, never 0).
+func (f *FileStore) Options() FileStoreOptions { return f.opts }
 
 func (f *FileStore) partitionPath(day, shard int) string {
 	if shard == 0 {
@@ -534,11 +584,15 @@ func (f *FileStore) AppendPartition(day, shard int) (RecordWriter, error) {
 		}
 		return nil, fmt.Errorf("trace: creating partition file: %w", err)
 	}
+	// The codec writes through the digest tee, so the manifest
+	// fingerprint covers exactly the stored stream bytes.
+	digest := newPartitionDigest()
+	tee := &digestWriter{w: file, d: digest}
 	var w streamWriter
 	if f.opts.Codec == CodecV1 {
-		w, err = NewWriter(file)
+		w, err = NewWriter(tee)
 	} else {
-		w, err = NewWriterV2(file, WriterV2Options{
+		w, err = NewWriterV2(tee, WriterV2Options{
 			BlockRecords: f.opts.BlockRecords,
 			Compress:     f.opts.Compress,
 		})
@@ -548,7 +602,150 @@ func (f *FileStore) AppendPartition(day, shard int) (RecordWriter, error) {
 		os.Remove(path)
 		return nil, err
 	}
-	return &fileWriter{file: file, w: w}, nil
+	return &fileWriter{file: file, w: w, store: f, day: day, shard: shard, digest: digest}, nil
+}
+
+// manifestPath returns the store's MANIFEST location.
+func (f *FileStore) manifestPath() string { return filepath.Join(f.dir, ManifestName) }
+
+// Manifest returns the store's partition index. A missing MANIFEST
+// (legacy directory) or one that disagrees with the partition files
+// actually present (files added or removed behind the store's back)
+// returns (nil, nil): callers fall back to listing and opening files.
+// The one cheap consistency probe is an os.ReadDir — no partition file
+// is ever opened.
+func (f *FileStore) Manifest() (*Manifest, error) {
+	m, err := loadManifest(f.manifestPath())
+	if err != nil || m == nil {
+		return nil, err
+	}
+	onDisk, err := f.Partitions()
+	if err != nil {
+		return nil, err
+	}
+	if len(onDisk) != len(m.Partitions) {
+		return nil, nil
+	}
+	for i := range onDisk {
+		if m.Partitions[i].Partition() != onDisk[i] {
+			return nil, nil
+		}
+	}
+	return m, nil
+}
+
+// Since diffs the manifest against a previously observed generation.
+func (f *FileStore) Since(gen uint64) ([]PartitionInfo, uint64, error) { return Since(f, gen) }
+
+// notePartitionClosed folds one finished partition into the MANIFEST
+// under an atomic full rewrite. The index is re-read from disk first so
+// concurrent writers through other FileStore instances are preserved,
+// and partition files the manifest does not cover (campaigns written
+// before the store maintained one) are backfilled by reading them once
+// — otherwise appending to a legacy directory would leave an index that
+// never matches the listing and is therefore never usable.
+func (f *FileStore) notePartitionClosed(info PartitionInfo) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	m, err := loadManifest(f.manifestPath())
+	if err != nil {
+		return err
+	}
+	if m == nil {
+		m = &Manifest{}
+	}
+	onDisk, err := f.Partitions()
+	if err != nil {
+		return err
+	}
+	present := make(map[Partition]bool, len(onDisk)+1)
+	for _, p := range onDisk {
+		present[p] = true
+		if p == info.Partition() {
+			continue
+		}
+		if _, ok := m.Lookup(p); ok {
+			continue
+		}
+		entry, err := f.rebuildEntry(p)
+		if err != nil {
+			return fmt.Errorf("trace: backfilling manifest entry for day %d shard %d: %w", p.Day, p.Shard, err)
+		}
+		m.upsert(entry)
+	}
+	present[info.Partition()] = true
+	// Drop entries whose files vanished (partitions removed behind the
+	// store's back), so the rewritten index matches the listing again.
+	kept := m.Partitions[:0]
+	for _, pi := range m.Partitions {
+		if present[pi.Partition()] {
+			kept = append(kept, pi)
+		}
+	}
+	if len(kept) != len(m.Partitions) {
+		m.Partitions = kept
+		m.Gen++
+	}
+	m.upsert(info)
+	return writeManifest(f.manifestPath(), m)
+}
+
+// RemovePartition deletes a partition file and its manifest entry. The
+// only writer of this is campaign repair (telcogen -append discarding
+// the orphan days a crashed append left behind — they are regenerated
+// deterministically); analysis never removes data.
+func (f *FileStore) RemovePartition(day, shard int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := os.Remove(f.partitionPath(day, shard)); err != nil {
+		return fmt.Errorf("trace: removing partition day %d shard %d: %w", day, shard, err)
+	}
+	m, err := loadManifest(f.manifestPath())
+	if err != nil || m == nil {
+		return err
+	}
+	target := Partition{Day: day, Shard: shard}
+	kept := m.Partitions[:0]
+	for _, pi := range m.Partitions {
+		if pi.Partition() != target {
+			kept = append(kept, pi)
+		}
+	}
+	m.Partitions = kept
+	m.Gen++
+	return writeManifest(f.manifestPath(), m)
+}
+
+// rebuildEntry reconstructs the manifest entry of a partition written
+// before the store maintained a manifest: the raw stream is hashed for
+// the fingerprint (identical to what the write-time tee produces) and
+// decoded once for the record count and timestamp extents.
+func (f *FileStore) rebuildEntry(p Partition) (PartitionInfo, error) {
+	data, err := os.ReadFile(f.partitionPath(p.Day, p.Shard))
+	if err != nil {
+		return PartitionInfo{}, err
+	}
+	d := newPartitionDigest()
+	d.observeBytes(data)
+	it, err := f.OpenPartition(p.Day, p.Shard)
+	if err != nil {
+		return PartitionInfo{}, err
+	}
+	defer it.Close()
+	var records int64
+	var rec Record
+	for {
+		ok, err := it.Next(&rec)
+		if err != nil {
+			return PartitionInfo{}, err
+		}
+		if !ok {
+			break
+		}
+		d.observeTS(rec.Timestamp)
+		records++
+	}
+	return d.info(p.Day, p.Shard, records), nil
 }
 
 // OpenPartition iterates a partition file.
@@ -587,8 +784,16 @@ func (f *FileStore) AppendDay(day int) (RecordWriter, error) { return f.AppendPa
 // OpenDay iterates every shard of a day in shard order.
 func (f *FileStore) OpenDay(day int) (RecordIterator, error) { return openDay(f, day) }
 
-// Days lists the distinct days present on disk in ascending order.
+// Days lists the distinct days present on disk in ascending order,
+// answering from the MANIFEST when it is usable.
 func (f *FileStore) Days() ([]int, error) {
+	if m, err := f.Manifest(); err == nil && m != nil {
+		parts := make([]Partition, len(m.Partitions))
+		for i := range m.Partitions {
+			parts[i] = m.Partitions[i].Partition()
+		}
+		return daysOf(parts), nil
+	}
 	parts, err := f.Partitions()
 	if err != nil {
 		return nil, err
@@ -603,16 +808,40 @@ type streamWriter interface {
 	Count() int64
 }
 
-type fileWriter struct {
-	file *os.File
-	w    streamWriter
+// digestWriter tees stream bytes into the manifest digest on their way
+// to the partition file.
+type digestWriter struct {
+	w io.Writer
+	d *partitionDigest
 }
 
-func (w *fileWriter) Write(rec *Record) error { return w.w.Write(rec) }
+func (t *digestWriter) Write(p []byte) (int, error) {
+	n, err := t.w.Write(p)
+	t.d.observeBytes(p[:n])
+	return n, err
+}
+
+type fileWriter struct {
+	file   *os.File
+	w      streamWriter
+	store  *FileStore
+	day    int
+	shard  int
+	digest *partitionDigest
+	closed bool
+}
+
+func (w *fileWriter) Write(rec *Record) error {
+	w.digest.observeTS(rec.Timestamp)
+	return w.w.Write(rec)
+}
 
 // WriteBatch lands a batch, going through the codec's batch path when it
 // has one.
 func (w *fileWriter) WriteBatch(recs []Record) error {
+	for i := range recs {
+		w.digest.observeTS(recs[i].Timestamp)
+	}
 	if bw, ok := w.w.(BatchWriter); ok {
 		return bw.WriteBatch(recs)
 	}
@@ -625,11 +854,18 @@ func (w *fileWriter) WriteBatch(recs []Record) error {
 }
 
 func (w *fileWriter) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
 	if err := w.w.Flush(); err != nil {
 		w.file.Close()
 		return err
 	}
-	return w.file.Close()
+	if err := w.file.Close(); err != nil {
+		return err
+	}
+	return w.store.notePartitionClosed(w.digest.info(w.day, w.shard, w.w.Count()))
 }
 
 type fileIterator struct {

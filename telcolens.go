@@ -69,6 +69,15 @@ type ProgressEvent = analysis.ProgressEvent
 // read it after RunExperiment/RunAll via Analyzer.ScanStats.
 type ScanStats = analysis.ScanStats
 
+// RefreshResult summarizes what one Analyzer.Refresh did: how many
+// partitions were scanned into the warm state and whether the store
+// changed in a way that forced a full rebuild.
+type RefreshResult = analysis.RefreshResult
+
+// CollectorState is a serializable, mergeable snapshot of one analysis
+// collector (the unit Checkpoint/ResumeAnalyzer round-trip).
+type CollectorState = analysis.CollectorState
+
 // DistrictProfile is the per-district drill-down summary.
 type DistrictProfile = analysis.DistrictProfile
 
@@ -165,6 +174,16 @@ func Load(dir string) (*Dataset, error) { return simulate.Load(dir) }
 // NewAnalyzer wraps a dataset for analysis.
 func NewAnalyzer(ds *Dataset, opts ...Option) (*Analyzer, error) {
 	return analysis.New(ds, analyzerOptions(buildOptions(opts))...)
+}
+
+// ResumeAnalyzer reconstructs a warm analyzer from a checkpoint written
+// by Analyzer.Checkpoint against the same campaign (whose study window
+// may have grown since — telcogen -append). A subsequent
+// Analyzer.Refresh scans only the partitions the checkpoint does not
+// cover and merges them into the restored state, with artifacts
+// byte-identical to a cold full scan.
+func ResumeAnalyzer(ds *Dataset, r io.Reader, opts ...Option) (*Analyzer, error) {
+	return analysis.ResumeAnalyzer(ds, r, analyzerOptions(buildOptions(opts))...)
 }
 
 // NewMemStore returns an in-memory trace store.
