@@ -14,10 +14,15 @@
 #                     BenchmarkScanSharded + the paired BenchmarkRunAll
 #                     (record-at-a-time vs batch-native) + the paired
 #                     BenchmarkRefresh (cold full state build vs
-#                     checkpoint-resume + 1-new-day refresh), -count 5
-#                     with -benchmem, written to $(BENCH_OUT)
-#   make alloc-check  assert the steady-state batch scan loop allocates
-#                     nothing per block (internal/trace allocation tests)
+#                     checkpoint-resume + 1-new-day refresh) + the paired
+#                     write-path benches BenchmarkWrite (legacy record
+#                     encoder vs column-native encoder) and
+#                     BenchmarkGenerateDay (record-writer vs columnar
+#                     generation), -count 5 with -benchmem, written to
+#                     $(BENCH_OUT)
+#   make alloc-check  assert the steady-state batch scan loop and the
+#                     v2 column encode path allocate nothing per block
+#                     (internal/trace allocation tests)
 #   make profile      generate a campaign (once) and run telcoanalyze
 #                     under -cpuprofile/-memprofile, so perf work starts
 #                     from a pprof, not a guess; tune PROFILE_EXP/
@@ -30,7 +35,7 @@
 GO ?= go
 STATICCHECK ?= $(GO) run honnef.co/go/tools/cmd/staticcheck@2025.1
 BENCH_OUT ?= BENCH_out.txt
-BENCH_PATTERN ?= BenchmarkScanSharded|BenchmarkScan$$|BenchmarkRunAll|BenchmarkRefresh
+BENCH_PATTERN ?= BenchmarkScanSharded|BenchmarkScan$$|BenchmarkRunAll|BenchmarkRefresh|BenchmarkWrite|BenchmarkGenerateDay
 PROFILE_DIR ?= profile-campaign
 PROFILE_EXP ?= table5
 PROFILE_ARGS ?=
@@ -71,7 +76,8 @@ bench-gate-run:
 		-benchtime 2x -count 5 . > $(BENCH_OUT); s=$$?; cat $(BENCH_OUT); exit $$s
 
 # Steady-state allocation check: decoding a block into a ColumnBatch (or
-# record batch) and the pooled scan loop must not allocate per block.
+# record batch), encoding a block from columnar or record-batch ingest,
+# and the pooled scan loop must not allocate per block.
 # The tests are built out under -race (the detector skews allocation
 # counts), so this is a separate non-race invocation.
 alloc-check:

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/rand"
 	"os"
 	"strings"
 	"sync"
@@ -13,8 +14,11 @@ import (
 	"time"
 
 	"telcolens/internal/analysis"
+	"telcolens/internal/causes"
+	"telcolens/internal/devices"
 	"telcolens/internal/simulate"
 	"telcolens/internal/stats"
+	"telcolens/internal/topology"
 	"telcolens/internal/trace"
 )
 
@@ -650,23 +654,199 @@ func shardLabel(n int) string {
 	return fmt.Sprintf("shards=%d", n)
 }
 
-// BenchmarkGenerateDay measures end-to-end generation throughput.
+// writeBenchData synthesizes one partition's worth of records shaped
+// like real generation output (sorted timestamps, sequential UE id
+// space, a few hundred distinct TACs) plus its columnar transposition.
+var (
+	writeBenchOnce sync.Once
+	writeBenchRecs []trace.Record
+	writeBenchCols trace.ColumnBatch
+)
+
+func writeBenchData() ([]trace.Record, *trace.ColumnBatch) {
+	writeBenchOnce.Do(func() {
+		rng := rand.New(rand.NewSource(9))
+		const n = 200_000
+		base := trace.StudyStart.UnixMilli()
+		recs := make([]trace.Record, n)
+		for i := range recs {
+			rec := trace.Record{
+				Timestamp: base + int64(i)*700,
+				UE:        trace.UEID(i % 20_000),
+				TAC:       devices.TAC(35_000_000 + rng.Intn(500)),
+				Source:    topology.SectorID(rng.Intn(10_000)),
+				Target:    topology.SectorID(rng.Intn(10_000)),
+				SourceRAT: topology.FourG,
+				TargetRAT: topology.RAT(rng.Intn(4)),
+			}
+			if rng.Intn(50) == 0 {
+				rec.Result = trace.Failure
+				rec.Cause = causes.Code(1 + rng.Intn(900))
+				rec.DurationMs = float32(rng.Intn(30_000))
+			} else {
+				rec.DurationMs = float32(rng.Intn(3000)) / 10
+			}
+			recs[i] = rec
+		}
+		writeBenchRecs = recs
+		writeBenchCols.FromRecords(recs)
+	})
+	return writeBenchRecs, &writeBenchCols
+}
+
+// BenchmarkWrite is the write-side tentpole pair, mirroring
+// BenchmarkRunAll on the read side: encoding one partition's records as
+// a v2 block stream through the legacy record-at-a-time encoder
+// (buffered []Record, strided struct access, per-block dictionary
+// allocations) versus the column-native encoder (SoA slices in,
+// sequential per-column passes, pooled zero-alloc scratch). Both arms
+// produce byte-identical streams — TestWriteColumnsByteIdentical holds
+// the pair honest — so the ratio is pure encode throughput. The speedup
+// arm interleaves both inside one timer window so machine drift cancels
+// out.
+func BenchmarkWrite(b *testing.B) {
+	recs, cb := writeBenchData()
+	// encode takes the subtest's own *testing.B: each b.Run body runs on
+	// its own goroutine, and Fatal must be called from that goroutine.
+	encode := func(b *testing.B, compress, record bool) {
+		opts := trace.WriterV2Options{Compress: compress, RecordEncode: record}
+		w, err := trace.NewWriterV2(io.Discard, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if record {
+			err = w.WriteBatch(recs)
+		} else {
+			err = w.WriteColumns(cb)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		if w.Count() != int64(len(recs)) {
+			b.Fatalf("encoded %d records, want %d", w.Count(), len(recs))
+		}
+		w.Release()
+	}
+	for _, c := range []struct {
+		name     string
+		compress bool
+	}{{"", false}, {"flate/", true}} {
+		b.Run(c.name+"record", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				encode(b, c.compress, true)
+			}
+			b.ReportMetric(float64(len(recs))*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+		})
+		b.Run(c.name+"column", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				encode(b, c.compress, false)
+			}
+			b.ReportMetric(float64(len(recs))*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+		})
+		b.Run(c.name+"speedup", func(b *testing.B) {
+			var dRec, dCol time.Duration
+			for i := 0; i < b.N; i++ {
+				start := time.Now()
+				encode(b, c.compress, true)
+				dRec += time.Since(start)
+				start = time.Now()
+				encode(b, c.compress, false)
+				dCol += time.Since(start)
+			}
+			if dCol > 0 {
+				b.ReportMetric(dRec.Seconds()/dCol.Seconds(), "column_speedup_x")
+			}
+		})
+	}
+}
+
+// recordWriteOnlyStore strips the ColumnWriter surface from a store's
+// writers, forcing generation onto the record-path compatibility
+// fallback — the old write pipeline, kept as the baseline arm of
+// BenchmarkGenerateDay (the write-side analog of recordOnlyStore).
+type recordWriteOnlyStore struct{ trace.Store }
+
+type recordWriteOnlyWriter struct{ inner trace.RecordWriter }
+
+func (s recordWriteOnlyStore) AppendPartition(day, shard int) (trace.RecordWriter, error) {
+	w, err := s.Store.AppendPartition(day, shard)
+	if err != nil {
+		return nil, err
+	}
+	return recordWriteOnlyWriter{w}, nil
+}
+
+func (w recordWriteOnlyWriter) Write(rec *trace.Record) error { return w.inner.Write(rec) }
+func (w recordWriteOnlyWriter) Close() error                  { return w.inner.Close() }
+
+func (w recordWriteOnlyWriter) WriteBatch(recs []trace.Record) error {
+	if bw, ok := w.inner.(trace.BatchWriter); ok {
+		return bw.WriteBatch(recs)
+	}
+	for i := range recs {
+		if err := w.inner.Write(&recs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BenchmarkGenerateDay measures end-to-end generation throughput: the
+// full campaign build landing in an in-memory store through the
+// columnar write path (column arm) versus the record-writer fallback
+// (record arm). The simulation itself dominates, so the gap here is the
+// write path's share of end-to-end generation; the isolated encode
+// ratio is BenchmarkWrite.
 func BenchmarkGenerateDay(b *testing.B) {
-	cfg := simulate.DefaultConfig(7)
-	cfg.UEs = 1500
-	cfg.Days = 1
-	b.ResetTimer()
-	var handovers int64
-	for i := 0; i < b.N; i++ {
+	// genOnce takes the subtest's *testing.B for the same reason encode
+	// does in BenchmarkWrite.
+	genOnce := func(b *testing.B, i int, record bool) int64 {
+		cfg := simulate.DefaultConfig(7)
+		cfg.UEs = 1500
+		cfg.Days = 1
 		cfg.Seed = uint64(i + 1)
-		cfg.Store = nil
+		if record {
+			cfg.Store = recordWriteOnlyStore{trace.NewMemStore()}
+		}
 		ds, err := simulate.Generate(cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
-		handovers += ds.TotalHandovers()
+		return ds.TotalHandovers()
 	}
-	b.ReportMetric(float64(handovers)/b.Elapsed().Seconds(), "HOs/s")
+	b.Run("record", func(b *testing.B) {
+		var handovers int64
+		for i := 0; i < b.N; i++ {
+			handovers += genOnce(b, i, true)
+		}
+		b.ReportMetric(float64(handovers)/b.Elapsed().Seconds(), "HOs/s")
+	})
+	b.Run("column", func(b *testing.B) {
+		var handovers int64
+		for i := 0; i < b.N; i++ {
+			handovers += genOnce(b, i, false)
+		}
+		b.ReportMetric(float64(handovers)/b.Elapsed().Seconds(), "HOs/s")
+	})
+	b.Run("speedup", func(b *testing.B) {
+		var dRec, dCol time.Duration
+		for i := 0; i < b.N; i++ {
+			start := time.Now()
+			genOnce(b, i, true)
+			dRec += time.Since(start)
+			start = time.Now()
+			genOnce(b, i, false)
+			dCol += time.Since(start)
+		}
+		if dCol > 0 {
+			b.ReportMetric(dRec.Seconds()/dCol.Seconds(), "column_speedup_x")
+		}
+	})
 }
 
 // --- Ablation benches (DESIGN.md §6) ---

@@ -10,6 +10,12 @@
 //	telcogen -out ./campaign -codec 1         # legacy fixed-width v1 streams
 //	telcogen -out ./campaign -compress        # flate-compressed v2 blocks
 //	telcogen -out ./campaign -append 1        # extend the campaign by a day
+//	telcogen -out ./campaign -cpuprofile cpu.pprof -memprofile mem.pprof
+//
+// Generation reports a records/s summary on completion, and the
+// -cpuprofile/-memprofile flags (parity with telcoanalyze) capture pprof
+// profiles of the generate → encode pipeline, so write-path perf work
+// starts from a profile rather than a guess.
 //
 // -append extends an existing campaign day by day (the growing-feed
 // scenario telcoserve watches for): the world model is rebuilt from the
@@ -24,6 +30,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"telcolens"
@@ -34,90 +42,131 @@ import (
 
 func main() {
 	var (
-		out       = flag.String("out", "campaign", "output directory")
-		seed      = flag.Uint64("seed", 42, "deterministic campaign seed")
-		ues       = flag.Int("ues", 20000, "subscriber population size")
-		days      = flag.Int("days", 28, "study window length in days")
-		sites     = flag.Int("sites", 2400, "cell site count")
-		districts = flag.Int("districts", 320, "census districts")
-		shards    = flag.Int("shards", 1, "trace shards per day (hash-partitioned by UE)")
-		rareBoost = flag.Float64("rareboost", 1, "2G fallback probability multiplier (see DESIGN.md)")
-		codec     = flag.Int("codec", 2, "trace stream codec: 1 (fixed-width records) or 2 (columnar blocks)")
-		compress  = flag.Bool("compress", false, "flate-compress v2 block payloads (smaller files, slower scans)")
-		appendN   = flag.Int("append", 0, "extend the existing campaign in -out by N days instead of generating")
+		out        = flag.String("out", "campaign", "output directory")
+		seed       = flag.Uint64("seed", 42, "deterministic campaign seed")
+		ues        = flag.Int("ues", 20000, "subscriber population size")
+		days       = flag.Int("days", 28, "study window length in days")
+		sites      = flag.Int("sites", 2400, "cell site count")
+		districts  = flag.Int("districts", 320, "census districts")
+		shards     = flag.Int("shards", 1, "trace shards per day (hash-partitioned by UE)")
+		rareBoost  = flag.Float64("rareboost", 1, "2G fallback probability multiplier (see DESIGN.md)")
+		codec      = flag.Int("codec", 2, "trace stream codec: 1 (fixed-width records) or 2 (columnar blocks)")
+		compress   = flag.Bool("compress", false, "flate-compress v2 block payloads (smaller files, slower scans)")
+		appendN    = flag.Int("append", 0, "extend the existing campaign in -out by N days instead of generating")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile taken after the run to this file")
 	)
 	flag.Parse()
 
-	if *appendN > 0 {
+	if err := run(*out, *seed, *ues, *days, *sites, *districts, *shards, *rareBoost,
+		*codec, *compress, *appendN, *cpuprofile, *memprofile); err != nil {
+		fmt.Fprintln(os.Stderr, "telcogen:", err)
+		os.Exit(1)
+	}
+}
+
+// run wraps generation so profiles are flushed on every exit path (a
+// fatal os.Exit would silently drop a pending CPU profile) — the same
+// contract telcoanalyze keeps.
+func run(out string, seed uint64, ues, days, sites, districts, shards int, rareBoost float64,
+	codec int, compress bool, appendN int, cpuprofile, memprofile string) error {
+	if cpuprofile != "" {
+		f, err := os.Create(cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if memprofile != "" {
+		defer func() {
+			f, err := os.Create(memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "telcogen:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize a settled heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "telcogen:", err)
+			}
+		}()
+	}
+
+	if appendN > 0 {
 		// Only explicitly set codec flags are passed down: zero-value
 		// options make LoadOpts default to the codec settings recorded in
 		// the campaign manifest (and refuse explicit contradictions).
 		var opts trace.FileStoreOptions
 		if flagVal("codec") != nil {
-			opts.Codec = trace.Codec(*codec)
+			opts.Codec = trace.Codec(codec)
 		}
 		if flagVal("compress") != nil {
-			opts.Compress = *compress
+			opts.Compress = compress
 		}
-		if err := appendDays(*out, *appendN, opts); err != nil {
-			fatal(err)
-		}
-		return
+		return appendDays(out, appendN, opts)
 	}
 
-	cfg := telcolens.DefaultConfig(*seed)
-	cfg.UEs = *ues
-	cfg.Days = *days
-	cfg.SitesTarget = *sites
-	cfg.Districts = *districts
-	cfg.Shards = *shards
-	cfg.RareBoost = *rareBoost
+	cfg := telcolens.DefaultConfig(seed)
+	cfg.UEs = ues
+	cfg.Days = days
+	cfg.SitesTarget = sites
+	cfg.Districts = districts
+	cfg.Shards = shards
+	cfg.RareBoost = rareBoost
 
-	if *codec != int(trace.CodecV1) && *codec != int(trace.CodecV2) {
-		fatal(fmt.Errorf("unknown codec %d (want 1 or 2)", *codec))
+	if codec != int(trace.CodecV1) && codec != int(trace.CodecV2) {
+		return fmt.Errorf("unknown codec %d (want 1 or 2)", codec)
 	}
-	store, err := trace.NewFileStoreOpts(*out, trace.FileStoreOptions{
-		Codec:    trace.Codec(*codec),
-		Compress: *compress,
+	store, err := trace.NewFileStoreOpts(out, trace.FileStoreOptions{
+		Codec:    trace.Codec(codec),
+		Compress: compress,
 	})
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	cfg.Store = store
 
 	start := time.Now()
 	fmt.Printf("generating campaign: seed=%d ues=%d days=%d sites=%d districts=%d shards=%d codec=v%d\n",
-		*seed, *ues, *days, *sites, *districts, *shards, *codec)
+		seed, ues, days, sites, districts, shards, codec)
 	ds, err := telcolens.Generate(cfg)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	if err := ds.SaveManifest(*out); err != nil {
-		fatal(err)
+	genElapsed := time.Since(start)
+	if err := ds.SaveManifest(out); err != nil {
+		return err
 	}
 
 	// Census open data alongside the traces.
-	censusPath := filepath.Join(*out, "census.csv")
+	censusPath := filepath.Join(out, "census.csv")
 	f, err := os.Create(censusPath)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if err := census.WriteCSV(f, ds.Country); err != nil {
 		f.Close()
-		fatal(err)
+		return err
 	}
 	if err := f.Close(); err != nil {
-		fatal(err)
+		return err
 	}
 
 	total, err := trace.Count(ds.Store)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	fmt.Printf("done in %s: %d handover records over %d days (%d sites, %d sectors, %d UEs)\n",
-		time.Since(start).Round(time.Millisecond), total, *days,
+		time.Since(start).Round(time.Millisecond), total, days,
 		len(ds.Network.Sites), len(ds.Network.Sectors), ds.Population.Len())
-	fmt.Printf("wrote %s/, %s and %s/manifest.json\n", *out, censusPath, *out)
+	fmt.Printf("generated %.0f records/s (world build + simulation + columnar encode)\n",
+		float64(total)/genElapsed.Seconds())
+	fmt.Printf("wrote %s/, %s and %s/manifest.json\n", out, censusPath, out)
+	return nil
 }
 
 // appendDays extends an existing campaign directory by n days, refusing
@@ -177,8 +226,11 @@ func appendDays(dir string, n int, opts trace.FileStoreOptions) error {
 	for _, day := range ds.DayStats[from:] {
 		added += day.Handovers
 	}
+	elapsed := time.Since(start)
 	fmt.Printf("done in %s: %d handover records over days %d..%d; manifest updated\n",
-		time.Since(start).Round(time.Millisecond), added, from, ds.Config.Days-1)
+		elapsed.Round(time.Millisecond), added, from, ds.Config.Days-1)
+	fmt.Printf("appended %.0f records/s (simulation + columnar encode)\n",
+		float64(added)/elapsed.Seconds())
 	return nil
 }
 
@@ -219,9 +271,4 @@ func flagVal(name string) any {
 		}
 	})
 	return out
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "telcogen:", err)
-	os.Exit(1)
 }

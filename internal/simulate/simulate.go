@@ -284,15 +284,38 @@ func (ds *Dataset) GenerateDays(n int) error {
 	return nil
 }
 
-// workerResult is one worker's share of a day.
+// workerResult is one worker's share of a day. Captured handovers land
+// straight in a pooled columnar batch — the generation hot loop never
+// materializes a []trace.Record.
 type workerResult struct {
-	records []trace.Record
-	agg     DayAggregate
+	cols *trace.ColumnBatch
+	agg  DayAggregate
 }
+
+// colBatchPool recycles the generation-side column batches (per-worker
+// accumulators, the concatenated day batch, per-shard output batches)
+// across days, so steady-state generation reuses the same column memory.
+var colBatchPool = sync.Pool{New: func() any { return new(trace.ColumnBatch) }}
+
+func getBatch() *trace.ColumnBatch {
+	b := colBatchPool.Get().(*trace.ColumnBatch)
+	b.Reset()
+	return b
+}
+
+func putBatch(b *trace.ColumnBatch) { colBatchPool.Put(b) }
 
 // generateDay simulates one study day across the population in parallel.
 // Determinism holds because every UE-day consumes its own derived RNG
 // stream regardless of worker scheduling.
+//
+// The day's records flow in columnar (SoA) form end to end: workers
+// append rows to per-worker batches, the batches concatenate into one
+// day batch, a permutation index is sorted by timestamp (mirroring
+// exactly the record sort this replaced — sort.Slice over an index slice
+// issues the same Less/Swap sequence, so ties land in the same order and
+// output stays byte-identical), and each shard's rows are gathered and
+// handed to the store's column writer.
 func (ds *Dataset) generateDay(planner *mobility.Planner, day int) error {
 	cfg := ds.Config
 	nWorkers := cfg.Workers
@@ -308,6 +331,7 @@ func (ds *Dataset) generateDay(planner *mobility.Planner, day int) error {
 		if hi > cfg.UEs {
 			hi = cfg.UEs
 		}
+		results[w].cols = getBatch()
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
@@ -319,10 +343,13 @@ func (ds *Dataset) generateDay(planner *mobility.Planner, day int) error {
 	}
 	wg.Wait()
 
-	var dayRecs []trace.Record
+	dayCols := getBatch()
+	defer putBatch(dayCols)
 	agg := &ds.DayStats[day]
 	for w := range results {
-		dayRecs = append(dayRecs, results[w].records...)
+		dayCols.AppendColumns(results[w].cols)
+		putBatch(results[w].cols)
+		results[w].cols = nil
 		for r := 0; r < 4; r++ {
 			agg.RATTimeHours[r] += results[w].agg.RATTimeHours[r]
 			agg.ULMB[r] += results[w].agg.ULMB[r]
@@ -331,7 +358,12 @@ func (ds *Dataset) generateDay(planner *mobility.Planner, day int) error {
 		agg.Handovers += results[w].agg.Handovers
 		agg.Failures += results[w].agg.Failures
 	}
-	sort.Slice(dayRecs, func(a, b int) bool { return dayRecs[a].Timestamp < dayRecs[b].Timestamp })
+	ts := dayCols.Timestamps
+	perm := make([]int32, len(ts))
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	sort.Slice(perm, func(a, b int) bool { return ts[perm[a]] < ts[perm[b]] })
 
 	// One timestamp-sorted stream per shard: bucketing the single sorted
 	// day sequence keeps every UE's record order identical regardless of
@@ -339,39 +371,64 @@ func (ds *Dataset) generateDay(planner *mobility.Planner, day int) error {
 	// the same seed agree byte-for-byte.
 	shards := cfg.Shards
 	if shards <= 1 {
-		return writePartition(ds.Store, day, 0, dayRecs)
+		return writeGathered(ds.Store, day, 0, dayCols, perm)
 	}
-	buckets := make([][]trace.Record, shards)
-	for i := range dayRecs {
-		s := trace.ShardOf(dayRecs[i].UE, shards)
-		buckets[s] = append(buckets[s], dayRecs[i])
+	buckets := make([][]int32, shards)
+	for _, p := range perm {
+		s := trace.ShardOf(dayCols.UEs[p], shards)
+		buckets[s] = append(buckets[s], p)
 	}
 	for s := 0; s < shards; s++ {
-		if err := writePartition(ds.Store, day, s, buckets[s]); err != nil {
+		if err := writeGathered(ds.Store, day, s, dayCols, buckets[s]); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// writePartition lands one partition's records in the store, going
-// through the writer's batch path when it has one (the v2 block codec
-// appends a whole batch straight into its block buffer instead of paying
-// one interface call per record).
-func writePartition(store trace.Store, day, shard int, recs []trace.Record) error {
+// writeGathered gathers the day rows selected by perm (in perm order)
+// into a pooled batch and lands them as one partition.
+func writeGathered(store trace.Store, day, shard int, dayCols *trace.ColumnBatch, perm []int32) error {
+	out := getBatch()
+	defer putBatch(out)
+	out.AppendGather(dayCols, perm)
+	return writePartitionColumns(store, day, shard, out)
+}
+
+// writePartitionColumns lands one partition's columnar batch in the
+// store. Column-capable writers (the v2 block codec, MemStore) consume
+// the batch directly; anything else gets the record-path compatibility
+// fallback — the batch transposes block-wise into a scratch record slice
+// and goes through WriteBatch/Write, so stores without column support
+// see exactly the sequence of records they always did.
+func writePartitionColumns(store trace.Store, day, shard int, cols *trace.ColumnBatch) error {
 	w, err := store.AppendPartition(day, shard)
 	if err != nil {
 		return err
 	}
-	if bw, ok := w.(trace.BatchWriter); ok {
-		if err := bw.WriteBatch(recs); err != nil {
+	if cw, ok := w.(trace.ColumnWriter); ok {
+		if err := cw.WriteColumns(cols); err != nil {
 			w.Close()
 			return err
 		}
 		return w.Close()
 	}
-	for i := range recs {
-		if err := w.Write(&recs[i]); err != nil {
+	bw, isBatch := w.(trace.BatchWriter)
+	n := cols.Len()
+	recs := make([]trace.Record, min(n, trace.DefaultBlockRecords))
+	for off := 0; off < n; off += len(recs) {
+		k := min(len(recs), n-off)
+		for i := 0; i < k; i++ {
+			cols.Record(off+i, &recs[i])
+		}
+		if isBatch {
+			err = bw.WriteBatch(recs[:k])
+		} else {
+			for i := 0; i < k && err == nil; i++ {
+				err = w.Write(&recs[i])
+			}
+		}
+		if err != nil {
 			w.Close()
 			return err
 		}
@@ -447,7 +504,7 @@ func (ds *Dataset) simulateUEDay(planner *mobility.Planner, day, ueIdx int, res 
 			Cause:      out.Cause,
 			DurationMs: float32(out.DurationMs),
 		}
-		res.records = append(res.records, rec)
+		res.cols.AppendRecord(&rec)
 		res.agg.Handovers++
 		if out.Result == trace.Failure {
 			res.agg.Failures++

@@ -1,0 +1,124 @@
+package simulate
+
+import (
+	"fmt"
+	"testing"
+
+	"telcolens/internal/trace"
+)
+
+// recordWriteStore strips ColumnWriter from a store's writers, forcing
+// generation onto the record-path compatibility fallback (transpose +
+// WriteBatch/Write) — the write-side mirror of the scan benchmarks'
+// recordOnlyStore. The batch surface passes through untouched.
+type recordWriteStore struct{ trace.Store }
+
+type recordWriteWriter struct{ inner trace.RecordWriter }
+
+func (s recordWriteStore) AppendPartition(day, shard int) (trace.RecordWriter, error) {
+	w, err := s.Store.AppendPartition(day, shard)
+	if err != nil {
+		return nil, err
+	}
+	return recordWriteWriter{w}, nil
+}
+
+func (w recordWriteWriter) Write(rec *trace.Record) error { return w.inner.Write(rec) }
+func (w recordWriteWriter) Close() error                  { return w.inner.Close() }
+
+func (w recordWriteWriter) WriteBatch(recs []trace.Record) error {
+	if bw, ok := w.inner.(trace.BatchWriter); ok {
+		return bw.WriteBatch(recs)
+	}
+	for i := range recs {
+		if err := w.inner.Write(&recs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writePathConfig is the shared small campaign for the write-path
+// identity property: big enough for multi-block partitions, small
+// enough to generate repeatedly.
+func writePathConfig(shards int, store trace.Store) Config {
+	cfg := DefaultConfig(1234)
+	cfg.UEs = 500
+	cfg.Days = 2
+	cfg.Districts = 50
+	cfg.SitesTarget = 300
+	cfg.Shards = shards
+	cfg.Store = store
+	return cfg
+}
+
+// TestColumnWritePathByteIdentical is the write-path determinism
+// property: a campaign generated through the columnar write path
+// (workers → ColumnBatch → WriteColumns) must land byte-identical
+// partitions — equal manifest FNV fingerprints, byte counts and record
+// counts — to the same campaign forced through the record-writer path,
+// across codec options and shard counts.
+func TestColumnWritePathByteIdentical(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		for _, compress := range []bool{false, true} {
+			t.Run(fmt.Sprintf("file/shards=%d/compress=%v", shards, compress), func(t *testing.T) {
+				opts := trace.FileStoreOptions{Codec: trace.CodecV2, Compress: compress}
+				colFS, err := trace.NewFileStoreOpts(t.TempDir(), opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				recFS, err := trace.NewFileStoreOpts(t.TempDir(), opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := Generate(writePathConfig(shards, colFS)); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := Generate(writePathConfig(shards, recordWriteStore{recFS})); err != nil {
+					t.Fatal(err)
+				}
+				compareManifests(t, colFS, recFS)
+			})
+		}
+	}
+	t.Run("mem", func(t *testing.T) {
+		colMS := trace.NewMemStore()
+		recMS := trace.NewMemStore()
+		if _, err := Generate(writePathConfig(4, colMS)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Generate(writePathConfig(4, recordWriteStore{recMS})); err != nil {
+			t.Fatal(err)
+		}
+		compareManifests(t, colMS, recMS)
+	})
+}
+
+// compareManifests asserts two stores hold fingerprint-identical
+// partitions.
+func compareManifests(t *testing.T, a, b trace.ManifestReader) {
+	t.Helper()
+	ma, err := a.Manifest()
+	if err != nil || ma == nil {
+		t.Fatalf("column-path manifest: %v (nil: %v)", err, ma == nil)
+	}
+	mb, err := b.Manifest()
+	if err != nil || mb == nil {
+		t.Fatalf("record-path manifest: %v (nil: %v)", err, mb == nil)
+	}
+	if len(ma.Partitions) != len(mb.Partitions) {
+		t.Fatalf("partition counts differ: %d vs %d", len(ma.Partitions), len(mb.Partitions))
+	}
+	for i := range ma.Partitions {
+		pa, pb := ma.Partitions[i], mb.Partitions[i]
+		if pa.Partition() != pb.Partition() || pa.Records != pb.Records ||
+			pa.Bytes != pb.Bytes || pa.Fingerprint != pb.Fingerprint ||
+			pa.MinTS != pb.MinTS || pa.MaxTS != pb.MaxTS {
+			t.Fatalf("partition day %d shard %d differs between column and record write paths:\n  column: %+v\n  record: %+v",
+				pa.Day, pa.Shard, pa, pb)
+		}
+	}
+	if ma.TotalRecords() == 0 {
+		t.Fatal("campaign generated no records — property is vacuous")
+	}
+}

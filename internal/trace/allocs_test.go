@@ -5,6 +5,7 @@ package trace
 import (
 	"bytes"
 	"context"
+	"io"
 	"math/rand"
 	"testing"
 )
@@ -58,6 +59,105 @@ func TestBatchDecodeSteadyStateAllocs(t *testing.T) {
 	})
 	if allocs > 0 {
 		t.Fatalf("NextBatch allocates %.1f times per block in steady state, want 0", allocs)
+	}
+}
+
+// TestColumnDecodeFlateSteadyStateAllocs covers the compressed decode
+// path: the flate reader is Reset-reused across blocks, which removes
+// the per-block decompressor, window and source-reader allocations. What
+// remains is compress/flate's own per-flate-block dynamic-Huffman link
+// tables (allocated inside huffmanDecoder.init on every dynamic block —
+// unreachable from outside the stdlib), so the assertion is a tight
+// bound, not zero.
+func TestColumnDecodeFlateSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	recs := make([]Record, 128*256)
+	for i := range recs {
+		recs[i] = randRecord(rng, StudyStart.UnixMilli())
+	}
+	data := encodeV2(t, recs, WriterV2Options{BlockRecords: 256, Compress: true})
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cb ColumnBatch
+	for i := 0; i < 4; i++ {
+		if n, err := r.NextColumns(&cb); err != nil || n == 0 {
+			t.Fatal("stream too short to warm up")
+		}
+	}
+	allocs := testing.AllocsPerRun(64, func() {
+		if n, err := r.NextColumns(&cb); err != nil || n == 0 {
+			t.Fatal("stream exhausted mid-measurement")
+		}
+	})
+	const maxFlateAllocs = 28
+	if allocs > maxFlateAllocs {
+		t.Fatalf("flate NextColumns allocates %.1f times per block in steady state, want <= %d (huffman tables only)",
+			allocs, maxFlateAllocs)
+	}
+}
+
+// The steady-state encode loop mirrors the decode contract: once the
+// writer's pooled scratch (block buffer, payload, dictionary table,
+// flate writer) is warm, landing another block costs zero allocations —
+// on the columnar ingest path and on the record-batch ingest path, with
+// and without compression.
+func steadyStateEncodeAllocs(t *testing.T, compress bool, emit func(w *WriterV2) error) float64 {
+	t.Helper()
+	w, err := NewWriterV2(io.Discard, WriterV2Options{BlockRecords: 256, Compress: compress})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ { // warm the scratch buffers
+		if err := emit(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(64, func() {
+		if err := emit(w); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return allocs
+}
+
+func TestColumnEncodeSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	recs := make([]Record, 256)
+	for i := range recs {
+		recs[i] = randRecord(rng, StudyStart.UnixMilli())
+	}
+	var cb ColumnBatch
+	cb.FromRecords(recs)
+	for _, compress := range []bool{false, true} {
+		allocs := steadyStateEncodeAllocs(t, compress, func(w *WriterV2) error {
+			return w.WriteColumns(&cb)
+		})
+		if allocs > 0 {
+			t.Fatalf("compress=%v: WriteColumns allocates %.1f times per block in steady state, want 0",
+				compress, allocs)
+		}
+	}
+}
+
+func TestBatchEncodeSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	recs := make([]Record, 256)
+	for i := range recs {
+		recs[i] = randRecord(rng, StudyStart.UnixMilli())
+	}
+	for _, compress := range []bool{false, true} {
+		allocs := steadyStateEncodeAllocs(t, compress, func(w *WriterV2) error {
+			return w.WriteBatch(recs)
+		})
+		if allocs > 0 {
+			t.Fatalf("compress=%v: WriteBatch allocates %.1f times per block in steady state, want 0",
+				compress, allocs)
+		}
 	}
 }
 

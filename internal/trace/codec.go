@@ -144,6 +144,33 @@ func (w *Writer) Write(rec *Record) error {
 	return nil
 }
 
+// WriteBatch encodes a batch of records as one block-sized buffer write
+// per chunk instead of a buffered write per record.
+func (w *Writer) WriteBatch(recs []Record) error {
+	if w.err != nil {
+		return w.err
+	}
+	const chunk = DefaultBlockRecords
+	for len(recs) > 0 {
+		n := min(chunk, len(recs))
+		buf := w.buf[:0]
+		if cap(buf) < n*RecordSize {
+			buf = make([]byte, 0, n*RecordSize)
+		}
+		for i := 0; i < n; i++ {
+			buf = AppendRecord(buf, &recs[i])
+		}
+		w.buf = buf
+		if _, err := w.w.Write(buf); err != nil {
+			w.err = fmt.Errorf("trace: writing record: %w", err)
+			return w.err
+		}
+		w.count += int64(n)
+		recs = recs[n:]
+	}
+	return nil
+}
+
 // Count returns the number of records written so far.
 func (w *Writer) Count() int64 { return w.count }
 
@@ -176,6 +203,13 @@ type Reader struct {
 	tacDict  []devices.TAC
 	scratch  []Record // v1 NextColumns transposition buffer
 	stats    BlockStats
+
+	// Compressed-stream scratch, reused across blocks: the flate reader
+	// is Reset onto flateSrc per block instead of re-allocated, so the
+	// steady-state decode loop stays allocation-free under FlagFlate too.
+	flateSrc bytes.Reader
+	flateR   io.ReadCloser
+	trailing [1]byte
 
 	hasRange     bool
 	minTS, maxTS int64
@@ -546,16 +580,21 @@ func (r *Reader) nextBlockFrame(f *blockFrame) error {
 			payload = r.payload
 		}
 		if r.flags&FlagFlate != 0 {
-			fr := flate.NewReader(bytes.NewReader(payload))
+			r.flateSrc.Reset(payload)
+			if r.flateR == nil {
+				r.flateR = flate.NewReader(&r.flateSrc)
+			} else if err := r.flateR.(flate.Resetter).Reset(&r.flateSrc, nil); err != nil {
+				return fmt.Errorf("%w: inflating payload: %v", ErrCorruptBlock, err)
+			}
 			if cap(r.inflated) < int(rawLen) {
 				r.inflated = make([]byte, rawLen)
 			}
 			r.inflated = r.inflated[:rawLen]
-			if _, err := io.ReadFull(fr, r.inflated); err != nil {
+			if _, err := io.ReadFull(r.flateR, r.inflated); err != nil {
 				return fmt.Errorf("%w: inflating payload: %v", ErrCorruptBlock, err)
 			}
 			// The compressed payload must not hide extra data.
-			if n, _ := fr.Read(make([]byte, 1)); n != 0 {
+			if n, _ := r.flateR.Read(r.trailing[:]); n != 0 {
 				return fmt.Errorf("%w: compressed payload longer than rawLen", ErrCorruptBlock)
 			}
 			payload = r.inflated

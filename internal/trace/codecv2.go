@@ -9,7 +9,9 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"slices"
 	"sort"
+	"sync"
 
 	"telcolens/internal/causes"
 	"telcolens/internal/devices"
@@ -713,30 +715,229 @@ func decodeBlockPayload(payload []byte, minTS, maxTS int64, secs blockSections, 
 	return nil
 }
 
+// appendUvarintFast appends the uvarint encoding of v with open-coded
+// one- and two-byte paths (the dominant widths for every column of real
+// traces); wider values fall through to binary.AppendUvarint. The bytes
+// produced are identical for every width.
+func appendUvarintFast(dst []byte, v uint64) []byte {
+	if v < 0x80 {
+		return append(dst, byte(v))
+	}
+	if v < 0x4000 {
+		return append(dst, byte(v)|0x80, byte(v>>7))
+	}
+	return binary.AppendUvarint(dst, v)
+}
+
+// appendZigzagFast appends the zigzag varint encoding of v through the
+// open-coded fast path.
+func appendZigzagFast(dst []byte, v int64) []byte {
+	return appendUvarintFast(dst, uint64(v<<1)^uint64(v>>63))
+}
+
+// dictTable is an open-addressed TAC→dict-index table the column encoder
+// uses in place of a Go map: linear probing over flat arrays, with
+// epoch-stamped slots so resetting between blocks is one counter bump
+// instead of a table clear. Load factor stays ≤ 0.5 (the table holds
+// 2× the block size, and a block of n records has at most n distinct
+// TACs).
+type dictTable struct {
+	keys []uint32
+	vals []int32
+	gen  []uint32
+	cur  uint32
+	mask uint32
+}
+
+// init sizes the table for blocks of up to perBlock records, reusing the
+// arrays when already the right size.
+func (t *dictTable) init(perBlock int) {
+	need := 2
+	for need < 2*perBlock {
+		need <<= 1
+	}
+	if len(t.keys) != need {
+		t.keys = make([]uint32, need)
+		t.vals = make([]int32, need)
+		t.gen = make([]uint32, need)
+		t.cur = 0
+		t.mask = uint32(need - 1)
+	}
+}
+
+// reset invalidates every slot for the next block.
+func (t *dictTable) reset() {
+	t.cur++
+	if t.cur == 0 { // epoch counter wrapped: do the one real clear
+		clear(t.gen)
+		t.cur = 1
+	}
+}
+
+// slot returns the value slot for key, claiming an empty slot (value -1)
+// on first sight.
+func (t *dictTable) slot(key uint32) *int32 {
+	x := uint64(key)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	h := uint32(x) & t.mask
+	for {
+		if t.gen[h] != t.cur {
+			t.gen[h] = t.cur
+			t.keys[h] = key
+			t.vals[h] = -1
+			return &t.vals[h]
+		}
+		if t.keys[h] == key {
+			return &t.vals[h]
+		}
+		h = (h + 1) & t.mask
+	}
+}
+
+// encScratch is a writer's reusable encode state. It is pooled across
+// writers (partitions are written through many short-lived WriterV2
+// instances), so a fresh writer starts with buffers already sized by the
+// previous one's blocks and the steady-state encode path allocates
+// nothing per block.
+type encScratch struct {
+	// cols buffers ingested rows (column-native) until a block fills.
+	cols    ColumnBatch
+	payload []byte
+	frame   []byte
+	dictTab dictTable
+	tacDict []uint32
+	counts  []int32
+	order   []int32
+	flateW  *flate.Writer
+	flateB  bytes.Buffer
+	// Legacy record-path scratch (WriterV2Options.RecordEncode).
+	recTacDict []uint32
+	recTacIdx  map[devices.TAC]int
+}
+
+var encScratchPool = sync.Pool{New: func() any { return new(encScratch) }}
+
+// appendBlockColumns encodes rows [lo, hi) of cb column-at-a-time onto
+// dst: one sequential pass per column over a contiguous slice, the TAC
+// dictionary built through the open-addressed table, and durations
+// canonically quantized during the duration pass. The bytes produced are
+// identical to appendBlockPayload over the same records — that is the
+// write-path compatibility contract the byte-identity tests enforce.
+func appendBlockColumns(dst []byte, cb *ColumnBatch, lo, hi int, minTS int64, e *encScratch) ([]byte, blockSections) {
+	var secs blockSections
+	// Timestamps: zigzag deltas.
+	prev := minTS
+	mark := len(dst)
+	for _, ts := range cb.Timestamps[lo:hi] {
+		dst = appendZigzagFast(dst, ts-prev)
+		prev = ts
+	}
+	secs.tsLen = uint32(len(dst) - mark)
+	// UEs.
+	mark = len(dst)
+	for _, ue := range cb.UEs[lo:hi] {
+		dst = appendUvarintFast(dst, uint64(ue))
+	}
+	secs.ueLen = uint32(len(dst) - mark)
+	// TAC dictionary, frequency-ordered with ties broken by first
+	// appearance — the same total order appendBlockPayload produces, so
+	// the sort algorithm is free to differ.
+	tacs := cb.TACs[lo:hi]
+	e.dictTab.reset()
+	dict := e.tacDict[:0]
+	counts := e.counts[:0]
+	for _, t := range tacs {
+		v := e.dictTab.slot(uint32(t))
+		if *v < 0 {
+			*v = int32(len(dict))
+			dict = append(dict, uint32(t))
+			counts = append(counts, 0)
+		}
+		counts[*v]++
+	}
+	order := e.order[:0]
+	for i := range dict {
+		order = append(order, int32(i))
+	}
+	slices.SortFunc(order, func(a, b int32) int {
+		if counts[a] != counts[b] {
+			return int(counts[b] - counts[a]) // higher count first
+		}
+		return int(a - b) // earlier first appearance first
+	})
+	secs.dictEntries = uint32(len(dict))
+	for _, old := range order {
+		dst = binary.LittleEndian.AppendUint32(dst, dict[old])
+	}
+	for r, old := range order {
+		counts[old] = int32(r) // reuse: counts become ranks
+	}
+	mark = len(dst)
+	for _, t := range tacs {
+		dst = appendUvarintFast(dst, uint64(counts[*e.dictTab.slot(uint32(t))]))
+	}
+	secs.idxLen = uint32(len(dst) - mark)
+	e.tacDict, e.counts, e.order = dict, counts, order
+	// Sectors.
+	mark = len(dst)
+	for _, s := range cb.Sources[lo:hi] {
+		dst = appendUvarintFast(dst, uint64(s))
+	}
+	secs.srcLen = uint32(len(dst) - mark)
+	mark = len(dst)
+	for _, s := range cb.Targets[lo:hi] {
+		dst = appendUvarintFast(dst, uint64(s))
+	}
+	secs.dstLen = uint32(len(dst) - mark)
+	// Causes.
+	mark = len(dst)
+	for _, c := range cb.Causes[lo:hi] {
+		dst = appendUvarintFast(dst, uint64(c))
+	}
+	secs.causeLen = uint32(len(dst) - mark)
+	// Fixed-width tail. RAT pairs are stored packed in the batch exactly
+	// as they are on the wire, so that column is one contiguous copy.
+	dst = append(dst, cb.RATs[lo:hi]...)
+	for _, res := range cb.Results[lo:hi] {
+		dst = append(dst, byte(res))
+	}
+	for _, d := range cb.Durations[lo:hi] {
+		dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(quantizeDuration(d)))
+	}
+	return dst, secs
+}
+
 // WriterV2Options tunes a v2 block writer. The zero value means
-// DefaultBlockRecords per block, uncompressed.
+// DefaultBlockRecords per block, uncompressed, column-native encoding.
 type WriterV2Options struct {
 	// BlockRecords is the number of records per block (0 = default).
 	BlockRecords int
 	// Compress flate-compresses block payloads (FlagFlate).
 	Compress bool
+	// RecordEncode forces the pre-columnar record-at-a-time block
+	// encoder (buffered []Record, strided struct access). The stream
+	// bytes are identical either way; the flag exists as the baseline
+	// arm of the paired write benchmarks and the byte-identity property
+	// tests.
+	RecordEncode bool
 }
 
-// WriterV2 encodes records as a v2 columnar block stream.
+// WriterV2 encodes records as a v2 columnar block stream. Rows are
+// buffered in SoA (ColumnBatch) form and each block is encoded
+// column-at-a-time from contiguous slices; WriteColumns ingests columnar
+// batches without ever materializing records, and full blocks encode
+// straight from the caller's batch without an intermediate copy.
 type WriterV2 struct {
 	w        *bufio.Writer
-	recs     []Record
 	perBlock int
 	compress bool
+	recEnc   bool
 	count    int64
 	err      error
-
-	payload []byte
-	frame   []byte
-	tacDict []uint32
-	tacIdx  map[devices.TAC]int
-	flateW  *flate.Writer
-	flateB  bytes.Buffer
+	enc      *encScratch
+	recs     []Record // legacy record-path block buffer
 }
 
 // NewWriterV2 writes a v2 stream header and returns the block writer.
@@ -760,44 +961,133 @@ func NewWriterV2(w io.Writer, opts WriterV2Options) (*WriterV2, error) {
 	if _, err := bw.Write(hdr[:]); err != nil {
 		return nil, fmt.Errorf("trace: writing header: %w", err)
 	}
+	enc := encScratchPool.Get().(*encScratch)
+	enc.cols.Reset()
+	enc.dictTab.init(perBlock)
 	v2 := &WriterV2{
 		w:        bw,
-		recs:     make([]Record, 0, perBlock),
 		perBlock: perBlock,
 		compress: opts.Compress,
-		tacIdx:   make(map[devices.TAC]int),
+		recEnc:   opts.RecordEncode,
+		enc:      enc,
 	}
-	if opts.Compress {
+	if opts.RecordEncode {
+		v2.recs = make([]Record, 0, perBlock)
+		if enc.recTacIdx == nil {
+			enc.recTacIdx = make(map[devices.TAC]int)
+		}
+	}
+	if opts.Compress && enc.flateW == nil {
 		fw, err := flate.NewWriter(io.Discard, flate.DefaultCompression)
 		if err != nil {
+			encScratchPool.Put(enc)
 			return nil, err
 		}
-		v2.flateW = fw
+		enc.flateW = fw
 	}
 	return v2, nil
 }
 
-// Write buffers one record, emitting a block when it fills. The duration
-// is canonically quantized on the way in.
+// Release returns the writer's pooled encode scratch (block buffer,
+// payload/frame buffers, dictionary table, flate writer) for reuse by
+// the next writer. Call it after Flush; the writer must not be used
+// afterwards. Skipping Release only costs a pool miss.
+func (w *WriterV2) Release() {
+	if w.enc != nil {
+		encScratchPool.Put(w.enc)
+		w.enc = nil
+	}
+}
+
+// Write buffers one record, emitting a block when it fills.
 func (w *WriterV2) Write(rec *Record) error {
 	if w.err != nil {
 		return w.err
 	}
-	r := *rec
-	r.DurationMs = quantizeDuration(r.DurationMs)
-	w.recs = append(w.recs, r)
+	if w.recEnc {
+		r := *rec
+		r.DurationMs = quantizeDuration(r.DurationMs)
+		w.recs = append(w.recs, r)
+		w.count++
+		if len(w.recs) >= w.perBlock {
+			return w.flushRecordBlock()
+		}
+		return nil
+	}
+	w.enc.cols.AppendRecord(rec)
 	w.count++
-	if len(w.recs) >= w.perBlock {
+	if w.enc.cols.Len() >= w.perBlock {
 		return w.flushBlock()
 	}
 	return nil
 }
 
 // WriteBatch buffers a batch of records, emitting blocks as they fill.
+// The batch lands in block-sized column appends (one transpose pass per
+// field per chunk) instead of one buffered copy per record.
 func (w *WriterV2) WriteBatch(recs []Record) error {
-	for i := range recs {
-		if err := w.Write(&recs[i]); err != nil {
-			return err
+	if w.err != nil {
+		return w.err
+	}
+	if w.recEnc {
+		for i := range recs {
+			if err := w.Write(&recs[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for len(recs) > 0 {
+		room := w.perBlock - w.enc.cols.Len()
+		n := min(room, len(recs))
+		w.enc.cols.appendRecords(recs[:n])
+		recs = recs[n:]
+		w.count += int64(n)
+		if w.enc.cols.Len() >= w.perBlock {
+			if err := w.flushBlock(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteColumns buffers a columnar batch, emitting blocks as they fill.
+// Runs of whole blocks encode directly from cb's slices — no
+// intermediate copy at all; only a partial leading/trailing chunk lands
+// in the writer's buffer (nine contiguous column copies).
+func (w *WriterV2) WriteColumns(cb *ColumnBatch) error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.recEnc {
+		var rec Record
+		for i := 0; i < cb.Len(); i++ {
+			cb.Record(i, &rec)
+			if err := w.Write(&rec); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	n := cb.Len()
+	for off := 0; off < n; {
+		if w.enc.cols.Len() == 0 && n-off >= w.perBlock {
+			if err := w.emitColumns(cb, off, off+w.perBlock); err != nil {
+				return err
+			}
+			w.count += int64(w.perBlock)
+			off += w.perBlock
+			continue
+		}
+		take := min(w.perBlock-w.enc.cols.Len(), n-off)
+		w.enc.cols.appendRange(cb, off, off+take)
+		w.count += int64(take)
+		off += take
+		if w.enc.cols.Len() >= w.perBlock {
+			if err := w.flushBlock(); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -806,8 +1096,37 @@ func (w *WriterV2) WriteBatch(recs []Record) error {
 // Count returns the number of records written so far.
 func (w *WriterV2) Count() int64 { return w.count }
 
-// flushBlock encodes and emits the buffered records as one block.
+// flushBlock encodes and emits the buffered columns as one block.
 func (w *WriterV2) flushBlock() error {
+	if w.enc.cols.Len() == 0 {
+		return nil
+	}
+	if err := w.emitColumns(&w.enc.cols, 0, w.enc.cols.Len()); err != nil {
+		return err
+	}
+	w.enc.cols.Reset()
+	return nil
+}
+
+// emitColumns encodes rows [lo, hi) of cb as one block and writes it.
+func (w *WriterV2) emitColumns(cb *ColumnBatch, lo, hi int) error {
+	ts := cb.Timestamps[lo:hi]
+	minTS, maxTS := ts[0], ts[0]
+	for _, t := range ts[1:] {
+		if t < minTS {
+			minTS = t
+		} else if t > maxTS {
+			maxTS = t
+		}
+	}
+	var secs blockSections
+	w.enc.payload, secs = appendBlockColumns(w.enc.payload[:0], cb, lo, hi, minTS, w.enc)
+	return w.emitBlock(hi-lo, minTS, maxTS, secs)
+}
+
+// flushRecordBlock encodes and emits the buffered records as one block
+// (legacy record path).
+func (w *WriterV2) flushRecordBlock() error {
 	if len(w.recs) == 0 {
 		return nil
 	}
@@ -820,35 +1139,46 @@ func (w *WriterV2) flushBlock() error {
 		}
 	}
 	var secs blockSections
-	w.payload, secs = appendBlockPayload(w.payload[:0], w.recs, minTS, &w.tacDict, w.tacIdx)
-	stored := w.payload
-	if w.compress {
-		w.flateB.Reset()
-		w.flateW.Reset(&w.flateB)
-		if _, err := w.flateW.Write(w.payload); err != nil {
-			w.err = fmt.Errorf("trace: compressing block: %w", err)
-			return w.err
-		}
-		if err := w.flateW.Close(); err != nil {
-			w.err = fmt.Errorf("trace: compressing block: %w", err)
-			return w.err
-		}
-		stored = w.flateB.Bytes()
+	w.enc.payload, secs = appendBlockPayload(w.enc.payload[:0], w.recs, minTS, &w.enc.recTacDict, w.enc.recTacIdx)
+	if err := w.emitBlock(len(w.recs), minTS, maxTS, secs); err != nil {
+		return err
 	}
-	w.frame = w.frame[:0]
-	w.frame = binary.LittleEndian.AppendUint32(w.frame, uint32(len(w.recs)))
-	w.frame = binary.LittleEndian.AppendUint64(w.frame, uint64(minTS))
-	w.frame = binary.LittleEndian.AppendUint64(w.frame, uint64(maxTS))
-	w.frame = binary.LittleEndian.AppendUint32(w.frame, uint32(len(w.payload)))
-	w.frame = binary.LittleEndian.AppendUint32(w.frame, uint32(len(stored)))
-	w.frame = binary.LittleEndian.AppendUint32(w.frame, secs.tsLen)
-	w.frame = binary.LittleEndian.AppendUint32(w.frame, secs.ueLen)
-	w.frame = binary.LittleEndian.AppendUint32(w.frame, secs.dictEntries)
-	w.frame = binary.LittleEndian.AppendUint32(w.frame, secs.idxLen)
-	w.frame = binary.LittleEndian.AppendUint32(w.frame, secs.srcLen)
-	w.frame = binary.LittleEndian.AppendUint32(w.frame, secs.dstLen)
-	w.frame = binary.LittleEndian.AppendUint32(w.frame, secs.causeLen)
-	if _, err := w.w.Write(w.frame); err != nil {
+	w.recs = w.recs[:0]
+	return nil
+}
+
+// emitBlock compresses (when configured) and writes the encoded payload
+// in w.enc.payload as one framed block.
+func (w *WriterV2) emitBlock(count int, minTS, maxTS int64, secs blockSections) error {
+	e := w.enc
+	stored := e.payload
+	if w.compress {
+		e.flateB.Reset()
+		e.flateW.Reset(&e.flateB)
+		if _, err := e.flateW.Write(e.payload); err != nil {
+			w.err = fmt.Errorf("trace: compressing block: %w", err)
+			return w.err
+		}
+		if err := e.flateW.Close(); err != nil {
+			w.err = fmt.Errorf("trace: compressing block: %w", err)
+			return w.err
+		}
+		stored = e.flateB.Bytes()
+	}
+	e.frame = e.frame[:0]
+	e.frame = binary.LittleEndian.AppendUint32(e.frame, uint32(count))
+	e.frame = binary.LittleEndian.AppendUint64(e.frame, uint64(minTS))
+	e.frame = binary.LittleEndian.AppendUint64(e.frame, uint64(maxTS))
+	e.frame = binary.LittleEndian.AppendUint32(e.frame, uint32(len(e.payload)))
+	e.frame = binary.LittleEndian.AppendUint32(e.frame, uint32(len(stored)))
+	e.frame = binary.LittleEndian.AppendUint32(e.frame, secs.tsLen)
+	e.frame = binary.LittleEndian.AppendUint32(e.frame, secs.ueLen)
+	e.frame = binary.LittleEndian.AppendUint32(e.frame, secs.dictEntries)
+	e.frame = binary.LittleEndian.AppendUint32(e.frame, secs.idxLen)
+	e.frame = binary.LittleEndian.AppendUint32(e.frame, secs.srcLen)
+	e.frame = binary.LittleEndian.AppendUint32(e.frame, secs.dstLen)
+	e.frame = binary.LittleEndian.AppendUint32(e.frame, secs.causeLen)
+	if _, err := w.w.Write(e.frame); err != nil {
 		w.err = fmt.Errorf("trace: writing block: %w", err)
 		return w.err
 	}
@@ -856,7 +1186,6 @@ func (w *WriterV2) flushBlock() error {
 		w.err = fmt.Errorf("trace: writing block: %w", err)
 		return w.err
 	}
-	w.recs = w.recs[:0]
 	return nil
 }
 
@@ -865,7 +1194,11 @@ func (w *WriterV2) Flush() error {
 	if w.err != nil {
 		return w.err
 	}
-	if err := w.flushBlock(); err != nil {
+	if w.recEnc {
+		if err := w.flushRecordBlock(); err != nil {
+			return err
+		}
+	} else if err := w.flushBlock(); err != nil {
 		return err
 	}
 	return w.w.Flush()

@@ -55,6 +55,144 @@ func growCol[T any](s []T, n int) []T {
 	return s[:n]
 }
 
+// extend sets every column to length n like resize, but preserves the
+// existing rows when the columns must grow (resize may not: decode paths
+// overwrite everything anyway). Used by the append paths.
+func (b *ColumnBatch) extend(n int) {
+	b.Timestamps = growColKeep(b.Timestamps, n)
+	b.UEs = growColKeep(b.UEs, n)
+	b.TACs = growColKeep(b.TACs, n)
+	b.Sources = growColKeep(b.Sources, n)
+	b.Targets = growColKeep(b.Targets, n)
+	b.Causes = growColKeep(b.Causes, n)
+	b.RATs = growColKeep(b.RATs, n)
+	b.Results = growColKeep(b.Results, n)
+	b.Durations = growColKeep(b.Durations, n)
+}
+
+func growColKeep[T any](s []T, n int) []T {
+	if cap(s) < n {
+		t := make([]T, n, max(n, 2*cap(s)))
+		copy(t, s)
+		return t
+	}
+	return s[:n]
+}
+
+// Reset empties the batch, keeping column capacity for reuse.
+func (b *ColumnBatch) Reset() { b.resize(0) }
+
+// AppendRecord appends one record as a new row (packing the RAT pair).
+// This is the generation-side entry point: producers push rows straight
+// into column storage instead of materializing []Record.
+func (b *ColumnBatch) AppendRecord(rec *Record) {
+	b.Timestamps = append(b.Timestamps, rec.Timestamp)
+	b.UEs = append(b.UEs, rec.UE)
+	b.TACs = append(b.TACs, rec.TAC)
+	b.Sources = append(b.Sources, rec.Source)
+	b.Targets = append(b.Targets, rec.Target)
+	b.Causes = append(b.Causes, rec.Cause)
+	b.RATs = append(b.RATs, byte(rec.SourceRAT)<<4|byte(rec.TargetRAT)&0x0f)
+	b.Results = append(b.Results, rec.Result)
+	b.Durations = append(b.Durations, rec.DurationMs)
+}
+
+// AppendColumns appends every row of src to b: nine contiguous slice
+// copies, no per-row work.
+func (b *ColumnBatch) AppendColumns(src *ColumnBatch) {
+	b.Timestamps = append(b.Timestamps, src.Timestamps...)
+	b.UEs = append(b.UEs, src.UEs...)
+	b.TACs = append(b.TACs, src.TACs...)
+	b.Sources = append(b.Sources, src.Sources...)
+	b.Targets = append(b.Targets, src.Targets...)
+	b.Causes = append(b.Causes, src.Causes...)
+	b.RATs = append(b.RATs, src.RATs...)
+	b.Results = append(b.Results, src.Results...)
+	b.Durations = append(b.Durations, src.Durations...)
+}
+
+// AppendGather appends src's rows selected by perm, in perm order. It is
+// the columnar form of "copy these records out in sorted/sharded order":
+// one pass per column over a contiguous index list.
+func (b *ColumnBatch) AppendGather(src *ColumnBatch, perm []int32) {
+	base := b.Len()
+	b.extend(base + len(perm))
+	for i, p := range perm {
+		b.Timestamps[base+i] = src.Timestamps[p]
+	}
+	for i, p := range perm {
+		b.UEs[base+i] = src.UEs[p]
+	}
+	for i, p := range perm {
+		b.TACs[base+i] = src.TACs[p]
+	}
+	for i, p := range perm {
+		b.Sources[base+i] = src.Sources[p]
+	}
+	for i, p := range perm {
+		b.Targets[base+i] = src.Targets[p]
+	}
+	for i, p := range perm {
+		b.Causes[base+i] = src.Causes[p]
+	}
+	for i, p := range perm {
+		b.RATs[base+i] = src.RATs[p]
+	}
+	for i, p := range perm {
+		b.Results[base+i] = src.Results[p]
+	}
+	for i, p := range perm {
+		b.Durations[base+i] = src.Durations[p]
+	}
+}
+
+// appendRecords appends recs as new rows, transposing column-at-a-time
+// (one pass per field) rather than row-at-a-time.
+func (b *ColumnBatch) appendRecords(recs []Record) {
+	base := b.Len()
+	b.extend(base + len(recs))
+	for i := range recs {
+		b.Timestamps[base+i] = recs[i].Timestamp
+	}
+	for i := range recs {
+		b.UEs[base+i] = recs[i].UE
+	}
+	for i := range recs {
+		b.TACs[base+i] = recs[i].TAC
+	}
+	for i := range recs {
+		b.Sources[base+i] = recs[i].Source
+	}
+	for i := range recs {
+		b.Targets[base+i] = recs[i].Target
+	}
+	for i := range recs {
+		b.Causes[base+i] = recs[i].Cause
+	}
+	for i := range recs {
+		b.RATs[base+i] = byte(recs[i].SourceRAT)<<4 | byte(recs[i].TargetRAT)&0x0f
+	}
+	for i := range recs {
+		b.Results[base+i] = recs[i].Result
+	}
+	for i := range recs {
+		b.Durations[base+i] = recs[i].DurationMs
+	}
+}
+
+// appendRange appends rows [lo, hi) of src to b: nine contiguous copies.
+func (b *ColumnBatch) appendRange(src *ColumnBatch, lo, hi int) {
+	b.Timestamps = append(b.Timestamps, src.Timestamps[lo:hi]...)
+	b.UEs = append(b.UEs, src.UEs[lo:hi]...)
+	b.TACs = append(b.TACs, src.TACs[lo:hi]...)
+	b.Sources = append(b.Sources, src.Sources[lo:hi]...)
+	b.Targets = append(b.Targets, src.Targets[lo:hi]...)
+	b.Causes = append(b.Causes, src.Causes[lo:hi]...)
+	b.RATs = append(b.RATs, src.RATs[lo:hi]...)
+	b.Results = append(b.Results, src.Results[lo:hi]...)
+	b.Durations = append(b.Durations, src.Durations[lo:hi]...)
+}
+
 // FromRecords transposes recs into the batch, replacing its contents.
 func (b *ColumnBatch) FromRecords(recs []Record) {
 	b.resize(len(recs))

@@ -35,6 +35,34 @@ func FuzzDecodeBlock(f *testing.F) {
 			f.Add(mut)
 		}
 	}
+	// Column-written streams with degenerate column shapes (constant
+	// timestamps, single-entry TAC dictionary) — the WriteColumns →
+	// NextColumns round trip the column decode leg below chews on.
+	for _, compress := range []bool{false, true} {
+		var cb ColumnBatch
+		cb.resize(96)
+		for i := range cb.Timestamps {
+			cb.Timestamps[i] = base
+			cb.UEs[i] = UEID(i)
+			cb.TACs[i] = 35_000_001
+			cb.Sources[i] = 7
+			cb.Targets[i] = 9
+			cb.RATs[i] = 0x32
+			cb.Durations[i] = 12.5
+		}
+		var buf bytes.Buffer
+		w, err := NewWriterV2(&buf, WriterV2Options{BlockRecords: 64, Compress: compress})
+		if err != nil {
+			f.Fatal(err)
+		}
+		if err := w.WriteColumns(&cb); err != nil {
+			f.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
 	f.Add([]byte{})
 	f.Add([]byte("TLHO"))
 	f.Add(append([]byte("TLHO"), 2, 0, 0, 0))
@@ -64,6 +92,17 @@ func FuzzDecodeBlock(f *testing.F) {
 		var batch []Record
 		for i := 0; i < 8; i++ {
 			if _, err := rd2.NextBatch(&batch); err != nil {
+				break
+			}
+		}
+		// And the columnar decode path (SoA, independent column cursors).
+		rd3, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var cb ColumnBatch
+		for i := 0; i < 8; i++ {
+			if _, err := rd3.NextColumns(&cb); err != nil {
 				break
 			}
 		}

@@ -61,6 +61,16 @@ type BatchWriter interface {
 	WriteBatch([]Record) error
 }
 
+// ColumnWriter is implemented by RecordWriters that can land a columnar
+// (SoA) batch without the caller materializing records — the write-side
+// mirror of ColumnIterator. WriteColumns(cb) must store exactly what
+// Write(&rec_i) for every row of cb would, in row order; the batch stays
+// caller-owned and unmodified. Writers backed by the v2 block codec
+// encode straight from the column slices.
+type ColumnWriter interface {
+	WriteColumns(*ColumnBatch) error
+}
+
 // RecordIterator streams records from one partition. Next fills the
 // caller's Record and reports false at end of stream.
 type RecordIterator interface {
@@ -370,7 +380,9 @@ func (w *memWriter) Write(rec *Record) error {
 	return nil
 }
 
-// WriteBatch appends a batch of records under one lock acquisition.
+// WriteBatch appends a batch of records under one lock acquisition as a
+// single block-sized append (the slice grows once, pre-sized from the
+// batch length, never record by record).
 func (w *memWriter) WriteBatch(recs []Record) error {
 	if w.closed {
 		return fmt.Errorf("trace: write to closed partition day %d shard %d", w.part.Day, w.part.Shard)
@@ -382,6 +394,31 @@ func (w *memWriter) WriteBatch(recs []Record) error {
 	w.store.mu.Lock()
 	w.store.parts[w.part] = append(w.store.parts[w.part], recs...)
 	w.store.mu.Unlock()
+	return nil
+}
+
+// WriteColumns appends a columnar batch under one lock acquisition,
+// transposing straight into the partition's grown tail. The manifest
+// digest folds each row exactly as the record path does, so column- and
+// record-written MemStore partitions fingerprint identically.
+func (w *memWriter) WriteColumns(cb *ColumnBatch) error {
+	if w.closed {
+		return fmt.Errorf("trace: write to closed partition day %d shard %d", w.part.Day, w.part.Shard)
+	}
+	n := cb.Len()
+	w.count += int64(n)
+	w.store.mu.Lock()
+	recs := w.store.parts[w.part]
+	base := len(recs)
+	recs = append(recs, make([]Record, n)...)
+	for i := 0; i < n; i++ {
+		cb.Record(i, &recs[base+i])
+	}
+	w.store.parts[w.part] = recs
+	w.store.mu.Unlock()
+	for i := 0; i < n; i++ {
+		w.digest.observeRecord(&recs[base+i])
+	}
 	return nil
 }
 
@@ -837,7 +874,8 @@ func (w *fileWriter) Write(rec *Record) error {
 }
 
 // WriteBatch lands a batch, going through the codec's batch path when it
-// has one.
+// has one. Both codecs land batches in block-sized appends, so no
+// per-record copy loop survives on this path.
 func (w *fileWriter) WriteBatch(recs []Record) error {
 	for i := range recs {
 		w.digest.observeTS(recs[i].Timestamp)
@@ -853,6 +891,44 @@ func (w *fileWriter) WriteBatch(recs []Record) error {
 	return nil
 }
 
+// WriteColumns lands a columnar batch. The v2 codec encodes straight
+// from the column slices; the v1 fixed-width codec has no columnar
+// form, so the batch transposes block-wise into a scratch slice and
+// goes through the codec's chunked WriteBatch (one buffer write per
+// chunk, never a write per record). Timestamp extents fold into the
+// manifest digest from the contiguous timestamp column.
+func (w *fileWriter) WriteColumns(cb *ColumnBatch) error {
+	for _, ts := range cb.Timestamps {
+		w.digest.observeTS(ts)
+	}
+	if cw, ok := w.w.(ColumnWriter); ok {
+		return cw.WriteColumns(cb)
+	}
+	n := cb.Len()
+	if n == 0 {
+		return nil
+	}
+	recs := make([]Record, min(n, DefaultBlockRecords))
+	for off := 0; off < n; off += len(recs) {
+		k := min(len(recs), n-off)
+		for i := 0; i < k; i++ {
+			cb.Record(off+i, &recs[i])
+		}
+		if bw, ok := w.w.(BatchWriter); ok {
+			if err := bw.WriteBatch(recs[:k]); err != nil {
+				return err
+			}
+			continue
+		}
+		for i := 0; i < k; i++ {
+			if err := w.w.Write(&recs[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 func (w *fileWriter) Close() error {
 	if w.closed {
 		return nil
@@ -861,6 +937,11 @@ func (w *fileWriter) Close() error {
 	if err := w.w.Flush(); err != nil {
 		w.file.Close()
 		return err
+	}
+	// Return the codec's pooled encode scratch now that the stream is
+	// complete (v2 writers; a no-op surface for v1).
+	if rel, ok := w.w.(interface{ Release() }); ok {
+		rel.Release()
 	}
 	if err := w.file.Close(); err != nil {
 		return err

@@ -1,0 +1,158 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The write-path compatibility contract: every ingest route into the v2
+// writer — the legacy record-at-a-time encoder, per-record Write,
+// WriteBatch, and columnar WriteColumns (whole batches or ragged chunks)
+// — must produce byte-identical streams. Manifest fingerprints, append
+// determinism and the codec determinism matrix all stand on this.
+
+// encodeVia drives one ingest route over recs and returns the stream.
+func encodeVia(t *testing.T, recs []Record, opts WriterV2Options, route string) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriterV2(&buf, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	switch route {
+	case "write":
+		for i := range recs {
+			if err := w.Write(&recs[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	case "batch":
+		if err := w.WriteBatch(recs); err != nil {
+			t.Fatal(err)
+		}
+	case "columns":
+		var cb ColumnBatch
+		cb.FromRecords(recs)
+		if err := w.WriteColumns(&cb); err != nil {
+			t.Fatal(err)
+		}
+	case "columns-ragged":
+		// Ragged chunk sizes exercise both the buffered partial-block
+		// path and the direct whole-block encode path.
+		var cb ColumnBatch
+		sizes := []int{1, 7, 130, 4096, 33}
+		for off, k := 0, 0; off < len(recs); k++ {
+			n := min(sizes[k%len(sizes)], len(recs)-off)
+			cb.FromRecords(recs[off : off+n])
+			if err := w.WriteColumns(&cb); err != nil {
+				t.Fatal(err)
+			}
+			off += n
+		}
+	default:
+		t.Fatalf("unknown route %q", route)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != int64(len(recs)) {
+		t.Fatalf("route %s: count %d, want %d", route, w.Count(), len(recs))
+	}
+	w.Release()
+	return buf.Bytes()
+}
+
+func TestWriteColumnsByteIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	base := StudyStart.UnixMilli()
+	for _, n := range []int{1, 5, 256, 1000, 9000} {
+		recs := make([]Record, n)
+		for i := range recs {
+			recs[i] = randRecord(rng, base)
+		}
+		for _, compress := range []bool{false, true} {
+			for _, blockRecs := range []int{64, 256, DefaultBlockRecords} {
+				name := fmt.Sprintf("n=%d/compress=%v/block=%d", n, compress, blockRecs)
+				t.Run(name, func(t *testing.T) {
+					opts := WriterV2Options{BlockRecords: blockRecs, Compress: compress}
+					legacy := encodeVia(t, recs, WriterV2Options{
+						BlockRecords: blockRecs, Compress: compress, RecordEncode: true,
+					}, "write")
+					for _, route := range []string{"write", "batch", "columns", "columns-ragged"} {
+						got := encodeVia(t, recs, opts, route)
+						if !bytes.Equal(got, legacy) {
+							t.Fatalf("route %s: stream differs from the legacy record encoder (%d vs %d bytes)",
+								route, len(got), len(legacy))
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestWriteColumnsRoundTrip writes a columnar batch and reads it back
+// through NextColumns: every column must survive (durations at the
+// codec's canonical quantization).
+func TestWriteColumnsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	base := StudyStart.UnixMilli()
+	recs := make([]Record, 3000)
+	for i := range recs {
+		recs[i] = randRecord(rng, base)
+	}
+	var in ColumnBatch
+	in.FromRecords(recs)
+	for _, compress := range []bool{false, true} {
+		var buf bytes.Buffer
+		w, err := NewWriterV2(&buf, WriterV2Options{BlockRecords: 128, Compress: compress})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.WriteColumns(&in); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cb ColumnBatch
+		pos := 0
+		for {
+			n, err := r.NextColumns(&cb)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n == 0 {
+				break
+			}
+			for i := 0; i < n; i++ {
+				j := pos + i
+				if cb.Timestamps[i] != in.Timestamps[j] || cb.UEs[i] != in.UEs[j] ||
+					cb.TACs[i] != in.TACs[j] || cb.Sources[i] != in.Sources[j] ||
+					cb.Targets[i] != in.Targets[j] || cb.Causes[i] != in.Causes[j] ||
+					cb.RATs[i] != in.RATs[j] || cb.Results[i] != in.Results[j] {
+					t.Fatalf("compress=%v: row %d differs after round trip", compress, j)
+				}
+				if want := quantizeDuration(in.Durations[j]); cb.Durations[i] != want &&
+					!(math.IsNaN(float64(cb.Durations[i])) && math.IsNaN(float64(want))) {
+					t.Fatalf("compress=%v: row %d duration %g, want %g", compress, j, cb.Durations[i], want)
+				}
+			}
+			pos += n
+		}
+		if pos != len(recs) {
+			t.Fatalf("compress=%v: round trip saw %d rows, want %d", compress, pos, len(recs))
+		}
+	}
+}
