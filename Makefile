@@ -18,8 +18,9 @@
 #                     write-path benches BenchmarkWrite (legacy record
 #                     encoder vs column-native encoder) and
 #                     BenchmarkGenerateDay (record-writer vs columnar
-#                     generation), -count 5 with -benchmem, written to
-#                     $(BENCH_OUT)
+#                     generation) + BenchmarkIngest (streaming WAL
+#                     append and whole-day seal cycle), -count 5 with
+#                     -benchmem, written to $(BENCH_OUT)
 #   make alloc-check  assert the steady-state batch scan loop and the
 #                     v2 column encode path allocate nothing per block
 #                     (internal/trace allocation tests)
@@ -28,6 +29,10 @@
 #                     from a pprof, not a guess; tune PROFILE_EXP/
 #                     PROFILE_DIR/PROFILE_ARGS
 #   make fuzz-smoke   30s of FuzzDecodeBlock on the v2 block decoder
+#   make soak         streaming-ingest crash-recovery soak: replay a
+#                     campaign into telcoserve -ingest, kill -9 it
+#                     mid-stream, restart, assert byte-identical
+#                     artifacts (RACE=1 for race-instrumented binaries)
 #   make ci           vet + build + race + bench-smoke + alloc-check
 #                     (the PR gate also runs lint, the determinism
 #                     matrix and benchgate — see .github/workflows/ci.yml)
@@ -35,7 +40,7 @@
 GO ?= go
 STATICCHECK ?= $(GO) run honnef.co/go/tools/cmd/staticcheck@2025.1
 BENCH_OUT ?= BENCH_out.txt
-BENCH_PATTERN ?= BenchmarkScanSharded|BenchmarkScan$$|BenchmarkRunAll|BenchmarkRefresh|BenchmarkWrite|BenchmarkGenerateDay
+BENCH_PATTERN ?= BenchmarkScanSharded|BenchmarkScan$$|BenchmarkRunAll|BenchmarkRefresh|BenchmarkWrite|BenchmarkGenerateDay|BenchmarkIngest
 PROFILE_DIR ?= profile-campaign
 PROFILE_EXP ?= table5
 PROFILE_ARGS ?=
@@ -94,5 +99,14 @@ profile: build
 
 fuzz-smoke:
 	$(GO) test -run NONE -fuzz FuzzDecodeBlock -fuzztime 30s ./internal/trace/
+
+# End-to-end streaming ingest soak: telcoload replays a reference
+# campaign into telcoserve -ingest at a fixed rate, the daemon is
+# kill -9'd mid-stream and restarted (WAL replay), and every sealed
+# partition plus every rendered artifact must come out byte-identical
+# to the batch-generated reference. RACE=1 builds the binaries with the
+# race detector (the CI soak job does).
+soak:
+	scripts/ingest_soak.sh
 
 ci: vet build race bench-smoke alloc-check

@@ -16,6 +16,7 @@ import (
 	"telcolens/internal/analysis"
 	"telcolens/internal/causes"
 	"telcolens/internal/devices"
+	"telcolens/internal/ingest"
 	"telcolens/internal/simulate"
 	"telcolens/internal/stats"
 	"telcolens/internal/topology"
@@ -846,6 +847,148 @@ func BenchmarkGenerateDay(b *testing.B) {
 		if dCol > 0 {
 			b.ReportMetric(dRec.Seconds()/dCol.Seconds(), "column_speedup_x")
 		}
+	})
+}
+
+// ingestBenchData synthesizes one study day of ingest-shaped records as
+// request-sized column chunks for day 0 (timestamps deliberately
+// unsorted — the seal's canonical sort is part of the measured path);
+// the benchmark rebases chunks onto later days by shifting timestamps.
+var (
+	ingestBenchOnce   sync.Once
+	ingestBenchChunks []*trace.ColumnBatch
+)
+
+func ingestBenchData() []*trace.ColumnBatch {
+	ingestBenchOnce.Do(func() {
+		rng := rand.New(rand.NewSource(11))
+		const n, chunk = 50_000, 4096
+		base := trace.DayStart(0).UnixMilli()
+		var cb *trace.ColumnBatch
+		for i := 0; i < n; i++ {
+			if i%chunk == 0 {
+				cb = new(trace.ColumnBatch)
+				ingestBenchChunks = append(ingestBenchChunks, cb)
+			}
+			rec := trace.Record{
+				Timestamp:  base + int64(rng.Intn(86_400_000)),
+				UE:         trace.UEID(i % 20_000),
+				TAC:        devices.TAC(35_000_000 + rng.Intn(500)),
+				Source:     topology.SectorID(rng.Intn(10_000)),
+				Target:     topology.SectorID(rng.Intn(10_000)),
+				SourceRAT:  topology.FourG,
+				TargetRAT:  topology.RAT(rng.Intn(4)),
+				DurationMs: float32(rng.Intn(3000)) / 10,
+			}
+			if rng.Intn(50) == 0 {
+				rec.Result = trace.Failure
+				rec.Cause = causes.Code(1 + rng.Intn(900))
+			}
+			cb.AppendRecord(&rec)
+		}
+	})
+	return ingestBenchChunks
+}
+
+func ingestBenchService(b *testing.B, dir string) *ingest.Service {
+	b.Helper()
+	svc, err := ingest.Open(dir, ingest.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	meta := &simulate.CampaignMeta{
+		Config: simulate.Config{Seed: 11, Days: 0, WindowDays: 1000, UEs: 20_000},
+		Codec:  trace.CodecV2,
+	}
+	if err := svc.Init(meta); err != nil {
+		b.Fatal(err)
+	}
+	return svc
+}
+
+// BenchmarkIngest measures the streaming ingest write path: the append
+// arm isolates the per-request hot path (WAL frame encode + fsync-free
+// append + memtable gather) by sealing outside the timer window; the
+// day arm is the end-to-end cycle a live feed pays per study day —
+// request-sized appends, then DayComplete's synced WAL mark and the
+// seal itself (canonical sort, v2 partition encode, campaign manifest
+// bump, WAL retirement). Both rotate onto a fresh directory every 64
+// sealed days so disk usage stays bounded across long runs.
+func BenchmarkIngest(b *testing.B) {
+	chunks := ingestBenchData()
+	perDay := 0
+	for _, c := range chunks {
+		perDay += c.Len()
+	}
+	shift := func(dst, src *trace.ColumnBatch, day int) {
+		dst.Reset()
+		dst.AppendColumns(src)
+		off := trace.DayStart(day).UnixMilli() - trace.DayStart(0).UnixMilli()
+		for i := range dst.Timestamps {
+			dst.Timestamps[i] += off
+		}
+	}
+	const rotateDays = 64
+	b.Run("append", func(b *testing.B) {
+		svc := ingestBenchService(b, b.TempDir())
+		defer func() { svc.Close() }()
+		var scratch trace.ColumnBatch
+		var seq uint64
+		day, pending, appended := 0, 0, 0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			shift(&scratch, chunks[i%len(chunks)], day)
+			seq++
+			if _, err := svc.Append(1, seq, &scratch); err != nil {
+				b.Fatal(err)
+			}
+			pending += scratch.Len()
+			appended += scratch.Len()
+			if pending >= perDay {
+				b.StopTimer()
+				agg := simulate.DayAggregate{Handovers: int64(pending)}
+				if err := svc.DayComplete(day, agg); err != nil {
+					b.Fatal(err)
+				}
+				pending = 0
+				if day++; day%rotateDays == 0 {
+					svc.Close()
+					svc = ingestBenchService(b, b.TempDir())
+					day = 0
+				}
+				b.StartTimer()
+			}
+		}
+		b.ReportMetric(float64(appended)/b.Elapsed().Seconds(), "records/s")
+	})
+	b.Run("day", func(b *testing.B) {
+		svc := ingestBenchService(b, b.TempDir())
+		defer func() { svc.Close() }()
+		var scratch trace.ColumnBatch
+		var seq uint64
+		day := 0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, c := range chunks {
+				shift(&scratch, c, day)
+				seq++
+				if _, err := svc.Append(1, seq, &scratch); err != nil {
+					b.Fatal(err)
+				}
+			}
+			agg := simulate.DayAggregate{Handovers: int64(perDay)}
+			if err := svc.DayComplete(day, agg); err != nil {
+				b.Fatal(err)
+			}
+			if day++; day%rotateDays == 0 {
+				b.StopTimer()
+				svc.Close()
+				svc = ingestBenchService(b, b.TempDir())
+				day = 0
+				b.StartTimer()
+			}
+		}
+		b.ReportMetric(float64(perDay)*float64(b.N)/b.Elapsed().Seconds(), "records/s")
 	})
 }
 

@@ -1,0 +1,247 @@
+// Command telcoload replays a generated campaign directory against a
+// streaming ingest endpoint as a live measurement feed: records are
+// re-delivered in batches over parallel client streams at a configurable
+// rate, shuffled inside a bounded reorder window (late arrivals), and
+// each study day is closed with a day-completion marker carrying the
+// campaign's generation ground truth — after which the ingest side seals
+// the day into ordinary partitions.
+//
+// Usage:
+//
+//	telcogen -out ./campaign -ues 3000 -days 7    # the source material
+//	telcoserve -data ./live -ingest :8080 ...     # the receiving daemon
+//	telcoload -src ./campaign -url http://127.0.0.1:8080
+//	telcoload -src ./campaign -url ... -rate 50000 -jitter 0.3 -reorder 2048
+//
+// Because the ingest seal order is canonical, a replay at any rate, with
+// any reorder window, lands partitions byte-identical to the source
+// campaign's — `diff -r` of the two directories (minus the serving
+// MANIFEST) is the end-to-end correctness check, and the soak CI job
+// kills the daemon mid-replay to prove the crash-recovery half of that
+// contract.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+
+	"telcolens/internal/ingest"
+	"telcolens/internal/simulate"
+	"telcolens/internal/trace"
+)
+
+func main() {
+	var (
+		src     = flag.String("src", "", "source campaign directory (required)")
+		url     = flag.String("url", "", "ingest endpoint base URL (required), e.g. http://127.0.0.1:8080")
+		rate    = flag.Float64("rate", 0, "target records/second (0 = as fast as the endpoint accepts)")
+		batch   = flag.Int("batch", 512, "records per POST")
+		streams = flag.Int("streams", 4, "parallel client streams")
+		reorder = flag.Int("reorder", 1024, "reorder window in records (0 = deliver in stored order)")
+		jitter  = flag.Float64("jitter", 0.2, "pacing jitter as a fraction of the inter-batch interval")
+		days    = flag.Int("days", 0, "replay only the first N days (0 = all)")
+		seed    = flag.Int64("seed", 1, "shuffle seed for the reorder window")
+		noInit  = flag.Bool("noinit", false, "skip POST /ingest/init (the target is already initialized)")
+	)
+	flag.Parse()
+	if *src == "" || *url == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*src, *url, *rate, *batch, *streams, *reorder, *jitter, *days, *seed, *noInit); err != nil {
+		fmt.Fprintln(os.Stderr, "telcoload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(src, url string, rate float64, batchSize, streams, reorder int, jitter float64, dayLimit int, seed int64, noInit bool) error {
+	meta, err := simulate.LoadMeta(src)
+	if err != nil {
+		return err
+	}
+	store, err := trace.NewFileStore(src)
+	if err != nil {
+		return err
+	}
+	days := meta.Config.Days
+	if dayLimit > 0 && dayLimit < days {
+		days = dayLimit
+	}
+	if batchSize <= 0 {
+		batchSize = 512
+	}
+	if streams <= 0 {
+		streams = 1
+	}
+
+	clients := make([]*ingest.Client, streams)
+	for i := range clients {
+		clients[i] = &ingest.Client{Base: url, Stream: uint32(i + 1), RetryFor: 2 * time.Minute}
+	}
+	if !noInit {
+		// The stream target declares the full study window up front (the
+		// world-model deployment timeline depends on it) but starts with
+		// zero landed days.
+		streamMeta := *meta
+		streamMeta.Config.Days = 0
+		streamMeta.Config.WindowDays = meta.Config.Days
+		streamMeta.DayStats = nil
+		if err := clients[0].Init(&streamMeta); err != nil {
+			return fmt.Errorf("initializing ingest target: %w", err)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	var interval time.Duration
+	if rate > 0 {
+		interval = time.Duration(float64(batchSize) / rate * float64(time.Second))
+	}
+	start := time.Now()
+	var total int64
+	for day := 0; day < days; day++ {
+		cols, err := readDay(store, day)
+		if err != nil {
+			return err
+		}
+		shuffleWindow(cols, reorder, rng)
+		if err := sendDay(clients, cols, batchSize, interval, jitter, rng); err != nil {
+			return fmt.Errorf("day %d: %w", day, err)
+		}
+		if err := clients[0].DayDone(day, meta.DayStats[day]); err != nil {
+			return fmt.Errorf("closing day %d: %w", day, err)
+		}
+		total += int64(cols.Len())
+		fmt.Printf("telcoload: day %d streamed (%d records, %.0f rec/s cumulative)\n",
+			day, cols.Len(), float64(total)/time.Since(start).Seconds())
+	}
+	st, err := clients[0].Stats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("telcoload: done: %d records in %.1fs; server sealed %d days, manifest gen %d\n",
+		total, time.Since(start).Seconds(), st.SealedDays, st.ManifestGen)
+	if st.SealedDays < days {
+		return fmt.Errorf("server sealed %d of %d days", st.SealedDays, days)
+	}
+	return nil
+}
+
+// readDay collects every record of one study day across all shards.
+func readDay(store *trace.FileStore, day int) (*trace.ColumnBatch, error) {
+	parts, err := store.Partitions()
+	if err != nil {
+		return nil, err
+	}
+	cols := new(trace.ColumnBatch)
+	var rec trace.Record
+	for _, p := range parts {
+		if p.Day != day {
+			continue
+		}
+		it, err := store.OpenPartition(p.Day, p.Shard)
+		if err != nil {
+			return nil, err
+		}
+		for {
+			ok, err := it.Next(&rec)
+			if err != nil {
+				it.Close()
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			cols.AppendRecord(&rec)
+		}
+		if err := it.Close(); err != nil {
+			return nil, err
+		}
+	}
+	return cols, nil
+}
+
+// shuffleWindow models bounded out-of-order delivery: each record may be
+// displaced by up to window positions (a windowed Fisher-Yates), like
+// events reaching a collector over links with unequal latency.
+func shuffleWindow(cols *trace.ColumnBatch, window int, rng *rand.Rand) {
+	if window <= 0 {
+		return
+	}
+	n := cols.Len()
+	perm := make([]int32, n)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	for i := 0; i < n-1; i++ {
+		hi := min(i+window, n-1)
+		j := i + rng.Intn(hi-i+1)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	out := new(trace.ColumnBatch)
+	out.AppendGather(cols, perm)
+	*cols = *out
+}
+
+// sendDay fans the day's records out over the client streams in
+// round-robin batches, pacing each stream to the shared rate target.
+func sendDay(clients []*ingest.Client, cols *trace.ColumnBatch, batchSize int, interval time.Duration, jitter float64, rng *rand.Rand) error {
+	type job struct{ lo, hi int }
+	// Fully buffered so the producer never blocks even if every worker
+	// bails out on an error.
+	jobs := make(chan job, cols.Len()/batchSize+1)
+	errs := make(chan error, len(clients))
+	var wg sync.WaitGroup
+	// Per-stream jitter sources: rand.Rand is not goroutine-safe.
+	seeds := make([]int64, len(clients))
+	for i := range seeds {
+		seeds[i] = rng.Int63()
+	}
+	for i, cl := range clients {
+		wg.Add(1)
+		go func(cl *ingest.Client, seed int64) {
+			defer wg.Done()
+			jr := rand.New(rand.NewSource(seed))
+			for j := range jobs {
+				if _, err := cl.Send(slice(cols, j.lo, j.hi)); err != nil {
+					errs <- err
+					return
+				}
+				if interval > 0 {
+					// Each of the N streams paces to N×interval so the
+					// aggregate hits the target rate.
+					d := time.Duration(float64(interval) * float64(len(clients)))
+					if jitter > 0 {
+						d += time.Duration((jr.Float64()*2 - 1) * jitter * float64(d))
+					}
+					time.Sleep(d)
+				}
+			}
+		}(cl, seeds[i])
+	}
+	for lo := 0; lo < cols.Len(); lo += batchSize {
+		jobs <- job{lo: lo, hi: min(lo+batchSize, cols.Len())}
+	}
+	close(jobs)
+	wg.Wait()
+	close(errs)
+	return <-errs
+}
+
+// slice views rows [lo, hi) of b without copying.
+func slice(b *trace.ColumnBatch, lo, hi int) *trace.ColumnBatch {
+	return &trace.ColumnBatch{
+		Timestamps: b.Timestamps[lo:hi],
+		UEs:        b.UEs[lo:hi],
+		TACs:       b.TACs[lo:hi],
+		Sources:    b.Sources[lo:hi],
+		Targets:    b.Targets[lo:hi],
+		Causes:     b.Causes[lo:hi],
+		RATs:       b.RATs[lo:hi],
+		Results:    b.Results[lo:hi],
+		Durations:  b.Durations[lo:hi],
+	}
+}

@@ -18,7 +18,18 @@
 //	GET /artifacts         JSON list of artifacts (id, title, paper ref)
 //	GET /artifacts/{id}    rendered text (Accept/?format=json for JSON)
 //	GET /stats             scan metrics, snapshot age, refresh history
-//	GET /healthz           liveness probe
+//	GET /healthz           liveness probe (JSON: status, generation, ingest depth)
+//
+// With -ingest the daemon also mounts the streaming ingest endpoints
+// (POST /ingest, /ingest/day, /ingest/init, /ingest/flush — see the
+// internal/ingest package) on the same address: records stream in over
+// HTTP, accumulate in a WAL-backed memtable, and seal into ordinary
+// partitions, which the refresh loop merges incrementally. A local seal
+// nudges the refresh loop directly instead of waiting for the next
+// manifest poll (the poll stays as a fallback and covers external
+// writers like telcogen -append). The data directory may start empty:
+// the daemon serves 503s until a campaign descriptor arrives via
+// POST /ingest/init and then bootstraps the serving state.
 package main
 
 import (
@@ -38,19 +49,23 @@ import (
 	"time"
 
 	"telcolens"
+	"telcolens/internal/ingest"
 	"telcolens/internal/trace"
 )
 
 func main() {
 	var (
-		data     = flag.String("data", "campaign", "campaign directory (from telcogen)")
-		addr     = flag.String("addr", ":8480", "HTTP listen address")
-		poll     = flag.Duration("poll", 2*time.Second, "store manifest poll interval")
-		parallel = flag.Int("parallel", 0, "scan parallelism (0 = GOMAXPROCS)")
+		data      = flag.String("data", "campaign", "campaign directory (from telcogen)")
+		addr      = flag.String("addr", ":8480", "HTTP listen address")
+		poll      = flag.Duration("poll", 2*time.Second, "store manifest poll interval")
+		parallel  = flag.Int("parallel", 0, "scan parallelism (0 = GOMAXPROCS)")
+		ingestOn  = flag.Bool("ingest", false, "mount the streaming ingest endpoints (/ingest/*) on this address")
+		walSync   = flag.Bool("wal-sync", false, "fsync the ingest WAL on every batch (machine-crash durability)")
+		ingestMax = flag.Int64("ingest-pending", 0, "ingest backlog budget in records before 429s (0 = default)")
 	)
 	flag.Parse()
 
-	if err := run(*data, *addr, *poll, *parallel); err != nil {
+	if err := run(*data, *addr, *poll, *parallel, *ingestOn, *walSync, *ingestMax); err != nil {
 		fmt.Fprintln(os.Stderr, "telcoserve:", err)
 		os.Exit(1)
 	}
@@ -82,8 +97,14 @@ type snapshot struct {
 type server struct {
 	dir      string
 	parallel int
+	// ing is the co-hosted ingest service (nil without -ingest); nudge
+	// wakes the watch loop the moment a local seal lands.
+	ing   *ingest.Service
+	nudge chan struct{}
 
-	mu  sync.RWMutex
+	mu sync.RWMutex
+	// cur is nil while the campaign is pending: the data directory has no
+	// descriptor yet (ingest mode before /ingest/init).
 	cur *snapshot
 	// lastGen is the trace-manifest generation the serving state is
 	// synced to; the poll loop refreshes whenever the store moves past
@@ -266,8 +287,41 @@ func (s *server) refresh(ctx context.Context) error {
 	return nil
 }
 
-// watch polls the store manifest and refreshes when its generation moves
-// past what the serving state is synced to.
+// poke wakes the watch loop without blocking (seal notifications from
+// the co-hosted ingest service; coalesced by the 1-slot buffer).
+func (s *server) poke() {
+	select {
+	case s.nudge <- struct{}{}:
+	default:
+	}
+}
+
+// bootstrap brings a pending server live once the campaign descriptor
+// exists: load, cold scan, serve.
+func (s *server) bootstrap(ctx context.Context) error {
+	ds, err := telcolens.Load(s.dir)
+	if err != nil {
+		return err
+	}
+	a, err := telcolens.NewAnalyzer(ds, s.options()...)
+	if err != nil {
+		return err
+	}
+	gen := manifestGen(ds.Store)
+	snap, warmOK := build(ctx, a, ds, gen)
+	s.mu.Lock()
+	s.cur = snap
+	if warmOK {
+		s.lastGen = gen
+	}
+	s.mu.Unlock()
+	log.Printf("campaign bootstrapped: %d days, %d artifacts", snap.days, len(snap.order))
+	return nil
+}
+
+// watch polls the store manifest — and listens for local seal nudges —
+// and refreshes when the store generation moves past what the serving
+// state is synced to.
 func (s *server) watch(ctx context.Context, interval time.Duration) {
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
@@ -276,15 +330,27 @@ func (s *server) watch(ctx context.Context, interval time.Duration) {
 		case <-ctx.Done():
 			return
 		case <-ticker.C:
+		case <-s.nudge:
+		}
+		s.mu.RLock()
+		pending := s.cur == nil
+		synced := s.lastGen
+		s.mu.RUnlock()
+		if pending {
+			if _, err := os.Stat(s.dir); err != nil {
+				continue
+			}
+			if err := s.bootstrap(ctx); err != nil {
+				// Normal while no descriptor has been ingested yet.
+				continue
+			}
+			continue
 		}
 		store, err := trace.NewFileStore(s.dir)
 		if err != nil {
 			continue
 		}
 		gen := manifestGen(store)
-		s.mu.RLock()
-		synced := s.lastGen
-		s.mu.RUnlock()
 		if gen == synced {
 			continue
 		}
@@ -306,14 +372,28 @@ func writeJSON(w http.ResponseWriter, v any) {
 	}
 }
 
+// current returns the serving snapshot, or nil after replying 503 when
+// the campaign is still pending its first ingest.
+func (s *server) current(w http.ResponseWriter) *snapshot {
+	s.mu.RLock()
+	cur := s.cur
+	s.mu.RUnlock()
+	if cur == nil {
+		http.Error(w, "campaign pending: waiting for POST /ingest/init", http.StatusServiceUnavailable)
+		return nil
+	}
+	return cur
+}
+
 func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Path != "/" {
 		http.NotFound(w, r)
 		return
 	}
-	s.mu.RLock()
-	cur := s.cur
-	s.mu.RUnlock()
+	cur := s.current(w)
+	if cur == nil {
+		return
+	}
 	fmt.Fprintf(w, "telcolens serving %d artifacts over %d study days (snapshot %s)\n\n",
 		len(cur.order), cur.days, cur.renderedAt.UTC().Format(time.RFC3339))
 	for _, id := range cur.order {
@@ -328,9 +408,10 @@ func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleArtifacts(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	cur := s.cur
-	s.mu.RUnlock()
+	cur := s.current(w)
+	if cur == nil {
+		return
+	}
 	id := strings.TrimPrefix(r.URL.Path, "/artifacts")
 	id = strings.Trim(id, "/")
 	if id == "" {
@@ -367,65 +448,137 @@ func (s *server) handleArtifacts(w http.ResponseWriter, r *http.Request) {
 	w.Write(v.Text)
 }
 
+// ingestView summarizes the co-hosted ingest side for /stats and
+// /healthz (nil without -ingest).
+func (s *server) ingestView() map[string]any {
+	if s.ing == nil {
+		return nil
+	}
+	ist := s.ing.Stats()
+	return map[string]any{
+		"initialized":          ist.Initialized,
+		"sealed_days":          ist.SealedDays,
+		"pending_days":         ist.PendingDays,
+		"memtable_records":     ist.MemtableRecords,
+		"wal_bytes":            ist.WALBytes,
+		"ingest_lag_sec":       ist.IngestLagSec,
+		"ingested_records":     ist.IngestedRecords,
+		"duplicate_batches":    ist.DuplicateBatches,
+		"backpressure_rejects": ist.BackpressureRejects,
+		"seals":                ist.Seals,
+	}
+}
+
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	cur := s.cur
 	refreshes, fullRescans, refreshErrors := s.refreshes, s.fullRescans, s.refreshErrors
 	lastScanned, lastDur := s.lastScanned, s.lastRefreshDur
 	s.mu.RUnlock()
-	st := cur.analyzer.ScanStats()
-	writeJSON(w, map[string]any{
-		"started":          s.started.UTC(),
-		"uptime_seconds":   time.Since(s.started).Seconds(),
-		"days":             cur.days,
-		"partitions":       cur.partitions,
-		"manifest_gen":     cur.manifestGen,
-		"snapshot_at":      cur.renderedAt.UTC(),
-		"snapshot_age_sec": time.Since(cur.renderedAt).Seconds(),
-		"artifacts":        len(cur.order),
-		"refreshes":        refreshes,
-		"full_rescans":     fullRescans,
-		"refresh_errors":   refreshErrors,
+	out := map[string]any{
+		"started":        s.started.UTC(),
+		"uptime_seconds": time.Since(s.started).Seconds(),
+		"pending":        cur == nil,
+		"refreshes":      refreshes,
+		"full_rescans":   fullRescans,
+		"refresh_errors": refreshErrors,
 		"last_refresh": map[string]any{
 			"partitions_merged": lastScanned,
 			"duration_seconds":  lastDur.Seconds(),
 		},
-		"scan": map[string]any{
+	}
+	if cur != nil {
+		st := cur.analyzer.ScanStats()
+		out["days"] = cur.days
+		out["partitions"] = cur.partitions
+		out["manifest_gen"] = cur.manifestGen
+		out["snapshot_at"] = cur.renderedAt.UTC()
+		out["snapshot_age_sec"] = time.Since(cur.renderedAt).Seconds()
+		out["artifacts"] = len(cur.order)
+		out["scan"] = map[string]any{
 			"scans":          st.Scans,
 			"partitions":     st.Partitions,
 			"records":        st.Records,
 			"blocks_read":    st.BlocksRead,
 			"blocks_skipped": st.BlocksSkipped,
 			"bytes_read":     st.BytesRead,
-		},
-	})
+		}
+	}
+	if iv := s.ingestView(); iv != nil {
+		out["ingest"] = iv
+	}
+	writeJSON(w, out)
 }
 
-func run(dir, addr string, poll time.Duration, parallel int) error {
+// handleHealthz is the liveness probe: always 200 while the process
+// serves, with enough state to see the live pipeline at a glance —
+// serving generation, snapshot age, and (in ingest mode) WAL depth,
+// memtable backlog, and ingest lag.
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	cur := s.cur
+	s.mu.RUnlock()
+	out := map[string]any{"status": "ok"}
+	if cur == nil {
+		out["status"] = "pending"
+	} else {
+		out["days"] = cur.days
+		out["manifest_gen"] = cur.manifestGen
+		out["snapshot_age_sec"] = time.Since(cur.renderedAt).Seconds()
+	}
+	if iv := s.ingestView(); iv != nil {
+		out["ingest"] = iv
+	}
+	writeJSON(w, out)
+}
+
+func run(dir, addr string, poll time.Duration, parallel int, ingestOn, walSync bool, ingestMax int64) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	s := &server{dir: dir, parallel: parallel, started: time.Now(), nudge: make(chan struct{}, 1)}
+	if ingestOn {
+		svc, err := ingest.Open(dir, ingest.Options{
+			MaxPendingRecords: ingestMax,
+			SyncEvery:         walSync,
+			OnSeal: func(day int) {
+				log.Printf("ingest: day %d sealed", day)
+				s.poke()
+			},
+		})
+		if err != nil {
+			return fmt.Errorf("opening ingest service: %w", err)
+		}
+		defer svc.Close()
+		s.ing = svc
+	}
+
 	ds, err := telcolens.Load(dir)
-	if err != nil {
+	switch {
+	case err == nil:
+		a, err := telcolens.NewAnalyzer(ds, s.options()...)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		log.Printf("warming analysis state for %s (%d days)...", dir, ds.Config.Days)
+		gen := manifestGen(ds.Store)
+		snap, warmOK := build(ctx, a, ds, gen)
+		s.cur = snap
+		if warmOK {
+			// A failed warm-up leaves lastGen at 0, so the poll loop keeps
+			// retrying instead of serving error artifacts until restart.
+			s.lastGen = gen
+		}
+		log.Printf("serving %d artifacts on %s (initial scan took %s)",
+			len(s.cur.order), addr, time.Since(start).Round(time.Millisecond))
+	case ingestOn:
+		// No campaign yet: serve 503s and bootstrap once the descriptor
+		// arrives over POST /ingest/init.
+		log.Printf("no campaign in %s yet (%v); waiting for ingest", dir, err)
+	default:
 		return err
 	}
-	s := &server{dir: dir, parallel: parallel, started: time.Now()}
-	a, err := telcolens.NewAnalyzer(ds, s.options()...)
-	if err != nil {
-		return err
-	}
-	start := time.Now()
-	log.Printf("warming analysis state for %s (%d days)...", dir, ds.Config.Days)
-	gen := manifestGen(ds.Store)
-	snap, warmOK := build(ctx, a, ds, gen)
-	s.cur = snap
-	if warmOK {
-		// A failed warm-up leaves lastGen at 0, so the poll loop keeps
-		// retrying instead of serving error artifacts until restart.
-		s.lastGen = gen
-	}
-	log.Printf("serving %d artifacts on %s (initial scan took %s)",
-		len(s.cur.order), addr, time.Since(start).Round(time.Millisecond))
 
 	go s.watch(ctx, poll)
 
@@ -434,9 +587,12 @@ func run(dir, addr string, poll time.Duration, parallel int) error {
 	mux.HandleFunc("/artifacts", s.handleArtifacts)
 	mux.HandleFunc("/artifacts/", s.handleArtifacts)
 	mux.HandleFunc("/stats", s.handleStats)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	if s.ing != nil {
+		ih := s.ing.Handler()
+		mux.Handle("/ingest", ih)
+		mux.Handle("/ingest/", ih)
+	}
 	srv := &http.Server{Addr: addr, Handler: mux}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()

@@ -223,6 +223,11 @@ func runFig9(ctx context.Context, a *Analyzer, art *report.Artifact) error {
 			maxTo3G = r.share[ho.To3G]
 		}
 	}
+	if len(rows) == 0 {
+		// A campaign with no scanned handovers yet (e.g. a streaming
+		// target before its first sealed day).
+		return fmt.Errorf("analysis: no district handovers in the window")
+	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].density < rows[j].density })
 
 	// Least densely populated 6%: average 3G share (paper: 26.5%).

@@ -1,0 +1,189 @@
+package ingest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"telcolens/internal/simulate"
+	"telcolens/internal/trace"
+)
+
+// Client posts record batches to an ingest endpoint with the retry
+// discipline the durability contract expects: every batch carries a
+// monotonically increasing sequence number per stream, a failed or
+// unacknowledged send is retried with the same sequence number (the
+// server deduplicates), and backpressure responses are honored by
+// waiting out Retry-After. A Client is not safe for concurrent use; run
+// one per stream.
+type Client struct {
+	// Base is the endpoint root, e.g. "http://127.0.0.1:8080".
+	Base string
+	// Stream identifies this client's sequence space (e.g. a UE shard or
+	// worker index of the generator).
+	Stream uint32
+	// HTTP is the transport (nil = http.DefaultClient).
+	HTTP *http.Client
+	// RetryFor bounds how long one send keeps retrying before giving up
+	// (0 = 30s).
+	RetryFor time.Duration
+	// Sleep overrides the retry wait (tests); nil = time.Sleep.
+	Sleep func(time.Duration)
+
+	seq uint64
+	buf []byte
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) sleep(d time.Duration) {
+	if c.Sleep != nil {
+		c.Sleep(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+func (c *Client) retryFor() time.Duration {
+	if c.RetryFor > 0 {
+		return c.RetryFor
+	}
+	return 30 * time.Second
+}
+
+// post sends body once and classifies the outcome: ok, retryable (with
+// a wait), or terminal.
+func (c *Client) post(path, contentType string, body []byte) (respBody []byte, retryAfter time.Duration, err error) {
+	req, err := http.NewRequest(http.MethodPost, c.Base+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, err
+	}
+	req.Header.Set("Content-Type", contentType)
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		// Network errors are retryable: the request may or may not have
+		// landed, which is exactly what the seq dedup is for.
+		return nil, 200 * time.Millisecond, err
+	}
+	defer resp.Body.Close()
+	data, rerr := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if rerr != nil {
+		return nil, 200 * time.Millisecond, rerr
+	}
+	switch {
+	case resp.StatusCode < 300:
+		return data, 0, nil
+	case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable || resp.StatusCode >= 500:
+		wait := 250 * time.Millisecond
+		if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
+			wait = time.Duration(ra) * time.Second
+		}
+		return nil, wait, fmt.Errorf("ingest client: %s: %s (%s)", path, resp.Status, bytes.TrimSpace(data))
+	default:
+		return nil, -1, fmt.Errorf("ingest client: %s: %s (%s)", path, resp.Status, bytes.TrimSpace(data))
+	}
+}
+
+// postRetry keeps resending until success, a terminal response, or the
+// retry budget runs out.
+func (c *Client) postRetry(path, contentType string, body []byte) ([]byte, error) {
+	deadline := time.Now().Add(c.retryFor())
+	for {
+		data, wait, err := c.post(path, contentType, body)
+		if err == nil {
+			return data, nil
+		}
+		if wait < 0 || time.Now().After(deadline) {
+			return nil, err
+		}
+		c.sleep(wait)
+	}
+}
+
+// Send posts one batch of records, blocking through backpressure and
+// transient failures, and returns the server's acknowledgment. The
+// sequence number advances only after the send is resolved, so retries
+// stay idempotent.
+func (c *Client) Send(cb *trace.ColumnBatch) (AppendResult, error) {
+	var res AppendResult
+	if cb.Len() == 0 {
+		return res, nil
+	}
+	c.seq++
+	c.buf = AppendBatchPayload(c.buf[:0], c.Stream, c.seq, cb)
+	data, err := c.postRetry("/ingest", ContentTypeBinary, c.buf)
+	if err != nil {
+		return res, err
+	}
+	if err := json.Unmarshal(data, &res); err != nil {
+		return res, fmt.Errorf("ingest client: decoding ack: %w", err)
+	}
+	return res, nil
+}
+
+// Init establishes the campaign descriptor on the server (idempotent).
+func (c *Client) Init(meta *simulate.CampaignMeta) error {
+	body, err := meta.Encode()
+	if err != nil {
+		return err
+	}
+	_, err = c.postRetry("/ingest/init", "application/json", body)
+	return err
+}
+
+// DayDone marks a study day complete, shipping its generation
+// ground-truth aggregate.
+func (c *Client) DayDone(day int, agg simulate.DayAggregate) error {
+	body, err := json.Marshal(jsonDayDone{Day: day, Agg: agg})
+	if err != nil {
+		return err
+	}
+	_, err = c.postRetry("/ingest/day", "application/json", body)
+	return err
+}
+
+// Flush asks the server to seal completed head days (force drains every
+// pending day) and returns the days sealed.
+func (c *Client) Flush(force bool) ([]int, error) {
+	path := "/ingest/flush"
+	if force {
+		path += "?force=1"
+	}
+	data, err := c.postRetry(path, "application/json", nil)
+	if err != nil {
+		return nil, err
+	}
+	var out struct {
+		Sealed []int `json:"sealed"`
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, err
+	}
+	return out.Sealed, nil
+}
+
+// Stats fetches the server's ingest statistics.
+func (c *Client) Stats() (Stats, error) {
+	var st Stats
+	resp, err := c.httpClient().Get(c.Base + "/ingest/stats")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("ingest client: stats: %s", resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return st, err
+	}
+	return st, nil
+}

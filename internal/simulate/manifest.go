@@ -19,8 +19,9 @@ import (
 // partitions, so a generated directory is self-describing.
 const manifestName = "manifest.json"
 
-// manifest persists everything needed to rebuild the non-trace parts of a
-// Dataset (which are deterministic functions of the config) plus the
+// manifest is the on-disk JSON shape of the campaign descriptor: it
+// persists everything needed to rebuild the non-trace parts of a Dataset
+// (which are deterministic functions of the config) plus the
 // generation-time aggregates that cannot be re-derived from the trace.
 type manifest struct {
 	Version  int            `json:"version"`
@@ -34,6 +35,7 @@ type manifest struct {
 type manifestConfig struct {
 	Seed           uint64  `json:"seed"`
 	Days           int     `json:"days"`
+	WindowDays     int     `json:"window_days,omitempty"`
 	UEs            int     `json:"ues"`
 	Districts      int     `json:"districts"`
 	SitesTarget    int     `json:"sites_target"`
@@ -45,33 +47,143 @@ type manifestConfig struct {
 	Compress       bool    `json:"compress,omitempty"`
 }
 
-// SaveManifest writes the campaign descriptor into dir.
-func (d *Dataset) SaveManifest(dir string) error {
-	m := manifest{
+// CampaignMeta is the campaign descriptor a directory carries as
+// manifest.json, decoupled from the live Dataset: the world config, the
+// per-day generation aggregates, and the trace codec settings. The
+// streaming ingest path reads and rewrites it without ever building the
+// world model (which Load derives from the config deterministically).
+type CampaignMeta struct {
+	// Config describes the campaign; its Store field is not persisted and
+	// is ignored. Config.Days counts fully landed days; Config.WindowDays
+	// (when larger) is the world-model window the campaign will grow to.
+	Config Config
+	// DayStats holds one generation-ground-truth aggregate per landed day.
+	DayStats []DayAggregate
+	// Codec/Compress are the trace write options recorded for appenders
+	// (0 codec = unrecorded, pre-recording campaign).
+	Codec    trace.Codec
+	Compress bool
+}
+
+// Encode renders the descriptor in the manifest.json wire format.
+func (m *CampaignMeta) Encode() ([]byte, error) {
+	om := manifest{
 		Version: 1,
 		Config: manifestConfig{
-			Seed:           d.Config.Seed,
-			Days:           d.Config.Days,
-			UEs:            d.Config.UEs,
-			Districts:      d.Config.Districts,
-			SitesTarget:    d.Config.SitesTarget,
-			RareBoost:      d.Config.RareBoost,
-			LongTailCauses: d.Config.LongTailCauses,
-			FullScaleUEs:   d.Config.FullScaleUEs,
-			Shards:         d.Config.Shards,
+			Seed:           m.Config.Seed,
+			Days:           m.Config.Days,
+			UEs:            m.Config.UEs,
+			Districts:      m.Config.Districts,
+			SitesTarget:    m.Config.SitesTarget,
+			RareBoost:      m.Config.RareBoost,
+			LongTailCauses: m.Config.LongTailCauses,
+			FullScaleUEs:   m.Config.FullScaleUEs,
+			Shards:         m.Config.Shards,
+			Codec:          int(m.Codec),
+			Compress:       m.Compress,
 		},
-		DayStats: d.DayStats,
+		DayStats: m.DayStats,
 	}
+	if m.Config.WindowDays > m.Config.Days {
+		// Only a window still growing toward its target is worth
+		// persisting; a completed campaign's manifest stays identical to
+		// one written by the batch generator.
+		om.Config.WindowDays = m.Config.WindowDays
+	}
+	data, err := json.MarshalIndent(om, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("simulate: encoding manifest: %w", err)
+	}
+	return data, nil
+}
+
+// DecodeMeta parses manifest.json wire bytes.
+func DecodeMeta(data []byte) (*CampaignMeta, error) {
+	var om manifest
+	if err := json.Unmarshal(data, &om); err != nil {
+		return nil, fmt.Errorf("simulate: decoding manifest: %w", err)
+	}
+	if om.Version != 1 {
+		return nil, fmt.Errorf("simulate: unsupported manifest version %d", om.Version)
+	}
+	return &CampaignMeta{
+		Config: Config{
+			Seed:           om.Config.Seed,
+			Days:           om.Config.Days,
+			WindowDays:     om.Config.WindowDays,
+			UEs:            om.Config.UEs,
+			Districts:      om.Config.Districts,
+			SitesTarget:    om.Config.SitesTarget,
+			RareBoost:      om.Config.RareBoost,
+			LongTailCauses: om.Config.LongTailCauses,
+			FullScaleUEs:   om.Config.FullScaleUEs,
+			Shards:         om.Config.Shards,
+		},
+		DayStats: om.DayStats,
+		Codec:    trace.Codec(om.Config.Codec),
+		Compress: om.Config.Compress,
+	}, nil
+}
+
+// LoadMeta reads a campaign directory's descriptor without building the
+// world model.
+func LoadMeta(dir string) (*CampaignMeta, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, fmt.Errorf("simulate: reading manifest: %w", err)
+	}
+	return DecodeMeta(data)
+}
+
+// Save persists the descriptor atomically (temp file + rename in the
+// campaign directory), so a concurrent reader — a serving daemon
+// reloading the campaign while the ingest sealer commits a day — sees
+// either the previous or the new descriptor, never a torn write.
+func (m *CampaignMeta) Save(dir string) error {
+	data, err := m.Encode()
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, ".manifest-json-*")
+	if err != nil {
+		return fmt.Errorf("simulate: staging manifest: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("simulate: staging manifest: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("simulate: staging manifest: %w", err)
+	}
+	if err := os.Chmod(tmpName, 0o644); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("simulate: staging manifest: %w", err)
+	}
+	if err := os.Rename(tmpName, filepath.Join(dir, manifestName)); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("simulate: publishing manifest: %w", err)
+	}
+	return nil
+}
+
+// Meta builds the campaign descriptor for a live dataset.
+func (d *Dataset) Meta() *CampaignMeta {
+	m := &CampaignMeta{Config: d.Config, DayStats: d.DayStats}
+	m.Config.Store = nil
 	if fs, ok := d.Store.(*trace.FileStore); ok {
 		opts := fs.Options()
-		m.Config.Codec = int(opts.Codec)
-		m.Config.Compress = opts.Compress
+		m.Codec = opts.Codec
+		m.Compress = opts.Compress
 	}
-	data, err := json.MarshalIndent(m, "", "  ")
-	if err != nil {
-		return fmt.Errorf("simulate: encoding manifest: %w", err)
-	}
-	return os.WriteFile(filepath.Join(dir, manifestName), data, 0o644)
+	return m
+}
+
+// SaveManifest writes the campaign descriptor into dir.
+func (d *Dataset) SaveManifest(dir string) error {
+	return d.Meta().Save(dir)
 }
 
 // Load reopens a generated campaign directory: it rebuilds the world
@@ -90,42 +202,43 @@ func Load(dir string) (*Dataset, error) {
 // way). Campaigns saved before the settings were recorded behave as
 // before (explicit options or the store defaults).
 func LoadOpts(dir string, opts trace.FileStoreOptions) (*Dataset, error) {
-	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	m, err := LoadMeta(dir)
 	if err != nil {
-		return nil, fmt.Errorf("simulate: reading manifest: %w", err)
+		return nil, err
 	}
-	var m manifest
-	if err := json.Unmarshal(data, &m); err != nil {
-		return nil, fmt.Errorf("simulate: decoding manifest: %w", err)
-	}
-	if m.Version != 1 {
-		return nil, fmt.Errorf("simulate: unsupported manifest version %d", m.Version)
-	}
-	if m.Config.Codec != 0 {
+	if m.Codec != 0 {
 		switch {
 		case opts.Codec == 0:
-			opts.Codec = trace.Codec(m.Config.Codec)
-		case int(opts.Codec) != m.Config.Codec:
+			opts.Codec = m.Codec
+		case opts.Codec != m.Codec:
 			return nil, fmt.Errorf("simulate: campaign was written with codec v%d; requested v%d would mix formats (omit the codec option to keep the campaign's)",
-				m.Config.Codec, opts.Codec)
+				m.Codec, opts.Codec)
 		}
-		if opts.Compress != m.Config.Compress && opts.Compress {
+		if opts.Compress != m.Compress && opts.Compress {
 			return nil, fmt.Errorf("simulate: campaign was written without compression; requested compression would mix formats")
 		}
-		opts.Compress = m.Config.Compress
+		opts.Compress = m.Compress
 	}
-	cfg := Config{
-		Seed:           m.Config.Seed,
-		Days:           m.Config.Days,
-		UEs:            m.Config.UEs,
-		Districts:      m.Config.Districts,
-		SitesTarget:    m.Config.SitesTarget,
-		RareBoost:      m.Config.RareBoost,
-		LongTailCauses: m.Config.LongTailCauses,
-		FullScaleUEs:   m.Config.FullScaleUEs,
-		Shards:         m.Config.Shards,
+	cfg := m.Config
+	ds, err := BuildWorld(cfg)
+	if err != nil {
+		return nil, err
 	}
+	store, err := trace.NewFileStoreOpts(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	ds.Config.Store = store
+	ds.Store = store
+	ds.DayStats = m.DayStats
+	return ds, nil
+}
 
+// BuildWorld rebuilds the deterministic world model (census, topology,
+// devices, causes, subscribers, EPC) for a config, without a store and
+// without simulating any traffic. Load and the streaming ingest path
+// share it.
+func BuildWorld(cfg Config) (*Dataset, error) {
 	censusCfg := census.DefaultGenConfig(cfg.Seed)
 	censusCfg.Districts = cfg.Districts
 	country, err := census.Generate(censusCfg)
@@ -134,7 +247,7 @@ func LoadOpts(dir string, opts trace.FileStoreOptions) (*Dataset, error) {
 	}
 	topoCfg := topology.DefaultGenConfig(cfg.Seed)
 	topoCfg.SitesTarget = cfg.SitesTarget
-	topoCfg.WindowDays = cfg.Days
+	topoCfg.WindowDays = cfg.worldWindowDays()
 	network, err := topology.Generate(topoCfg, country)
 	if err != nil {
 		return nil, fmt.Errorf("simulate: rebuilding topology: %w", err)
@@ -155,11 +268,6 @@ func LoadOpts(dir string, opts trace.FileStoreOptions) (*Dataset, error) {
 	if err != nil {
 		return nil, fmt.Errorf("simulate: rebuilding corenet: %w", err)
 	}
-	store, err := trace.NewFileStoreOpts(dir, opts)
-	if err != nil {
-		return nil, err
-	}
-	cfg.Store = store
 	return &Dataset{
 		Config:     cfg,
 		Country:    country,
@@ -168,7 +276,6 @@ func LoadOpts(dir string, opts trace.FileStoreOptions) (*Dataset, error) {
 		Causes:     causeCat,
 		Population: pop,
 		EPC:        epc,
-		Store:      store,
-		DayStats:   m.DayStats,
+		Store:      cfg.Store,
 	}, nil
 }

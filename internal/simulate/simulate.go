@@ -10,7 +10,6 @@ package simulate
 import (
 	"fmt"
 	"runtime"
-	"sort"
 	"sync"
 	"time"
 
@@ -29,8 +28,17 @@ import (
 // DefaultConfig and override.
 type Config struct {
 	Seed uint64
-	// Days is the study window length (the paper uses 28).
+	// Days is the study window length (the paper uses 28). On a
+	// streaming-ingested campaign it counts the fully landed (sealed)
+	// days and grows as the stream progresses.
 	Days int
+	// WindowDays, when larger than Days, is the study window the campaign
+	// will grow to. The deployment timeline of the world model is seeded
+	// by the window length, so a streaming ingest target declares the
+	// final window up front to build a world byte-identical to the batch
+	// campaign it mirrors while its landed-day count is still catching
+	// up. Zero means Days (the batch-generation case).
+	WindowDays int
 	// UEs is the subscriber population size. The paper observes ≈40M;
 	// the default laptop scale is 20k — every reported statistic is a
 	// share, quantile or coefficient, hence scale-free.
@@ -53,6 +61,15 @@ type Config struct {
 	// FullScaleUEs is the real-world population the campaign stands in
 	// for; Table 1 extrapolations use FullScaleUEs/UEs. Default 40M.
 	FullScaleUEs int
+}
+
+// worldWindowDays is the study window length the world model (the
+// topology deployment timeline in particular) is built for.
+func (c *Config) worldWindowDays() int {
+	if c.WindowDays > c.Days {
+		return c.WindowDays
+	}
+	return c.Days
 }
 
 // DefaultConfig returns the calibrated laptop-scale configuration.
@@ -185,51 +202,15 @@ func Generate(cfg Config) (*Dataset, error) {
 		cfg.Store = trace.NewMemStore()
 	}
 
-	censusCfg := census.DefaultGenConfig(cfg.Seed)
-	censusCfg.Districts = cfg.Districts
-	country, err := census.Generate(censusCfg)
+	ds, err := BuildWorld(cfg)
 	if err != nil {
-		return nil, fmt.Errorf("simulate: census: %w", err)
+		return nil, err
 	}
-	topoCfg := topology.DefaultGenConfig(cfg.Seed)
-	topoCfg.SitesTarget = cfg.SitesTarget
-	topoCfg.WindowDays = cfg.Days
-	network, err := topology.Generate(topoCfg, country)
-	if err != nil {
-		return nil, fmt.Errorf("simulate: topology: %w", err)
-	}
-	catalog, err := devices.GenerateCatalog(cfg.Seed)
-	if err != nil {
-		return nil, fmt.Errorf("simulate: devices: %w", err)
-	}
-	causeCat, err := causes.NewCatalog(cfg.Seed, cfg.LongTailCauses)
-	if err != nil {
-		return nil, fmt.Errorf("simulate: causes: %w", err)
-	}
-	pop, err := subscribers.Generate(cfg.Seed, cfg.UEs, country, network, catalog)
-	if err != nil {
-		return nil, fmt.Errorf("simulate: subscribers: %w", err)
-	}
-	planner, err := mobility.NewPlanner(country, network)
+	planner, err := mobility.NewPlanner(ds.Country, ds.Network)
 	if err != nil {
 		return nil, fmt.Errorf("simulate: mobility: %w", err)
 	}
-	epc, err := corenet.NewEPC(network, country, causeCat, corenet.Config{Seed: cfg.Seed, RareBoost: cfg.RareBoost})
-	if err != nil {
-		return nil, fmt.Errorf("simulate: corenet: %w", err)
-	}
-
-	ds := &Dataset{
-		Config:     cfg,
-		Country:    country,
-		Network:    network,
-		Devices:    catalog,
-		Causes:     causeCat,
-		Population: pop,
-		EPC:        epc,
-		Store:      cfg.Store,
-		DayStats:   make([]DayAggregate, cfg.Days),
-	}
+	ds.DayStats = make([]DayAggregate, cfg.Days)
 
 	for day := 0; day < cfg.Days; day++ {
 		if err := ds.generateDay(planner, day); err != nil {
@@ -311,11 +292,13 @@ func putBatch(b *trace.ColumnBatch) { colBatchPool.Put(b) }
 //
 // The day's records flow in columnar (SoA) form end to end: workers
 // append rows to per-worker batches, the batches concatenate into one
-// day batch, a permutation index is sorted by timestamp (mirroring
-// exactly the record sort this replaced — sort.Slice over an index slice
-// issues the same Less/Swap sequence, so ties land in the same order and
-// output stays byte-identical), and each shard's rows are gathered and
-// handed to the store's column writer.
+// day batch, a permutation index is sorted into the canonical day-stream
+// order (trace.CanonicalLess: timestamp, full record content as the
+// tie-break — a total order, so the sealed bytes are a function of the
+// record multiset alone, not of worker concatenation order; the live
+// ingest sealer sorts with the same comparator and therefore lands
+// byte-identical partitions from any arrival order), and each shard's
+// rows are gathered and handed to the store's column writer.
 func (ds *Dataset) generateDay(planner *mobility.Planner, day int) error {
 	cfg := ds.Config
 	nWorkers := cfg.Workers
@@ -358,12 +341,7 @@ func (ds *Dataset) generateDay(planner *mobility.Planner, day int) error {
 		agg.Handovers += results[w].agg.Handovers
 		agg.Failures += results[w].agg.Failures
 	}
-	ts := dayCols.Timestamps
-	perm := make([]int32, len(ts))
-	for i := range perm {
-		perm[i] = int32(i)
-	}
-	sort.Slice(perm, func(a, b int) bool { return ts[perm[a]] < ts[perm[b]] })
+	perm := dayCols.SortPermCanonical(nil)
 
 	// One timestamp-sorted stream per shard: bucketing the single sorted
 	// day sequence keeps every UE's record order identical regardless of

@@ -1,0 +1,137 @@
+#!/usr/bin/env bash
+# Streaming-ingest soak: the end-to-end crash-recovery acceptance check.
+#
+# 1. Generate a reference campaign with the batch generator (telcogen).
+# 2. Start telcoserve -ingest on an empty directory and replay the
+#    campaign into it live with telcoload at a fixed rate.
+# 3. kill -9 the daemon mid-stream, restart it (WAL replay + debris
+#    removal), and let the replayer — which retries with the same
+#    sequence numbers — finish.
+# 4. Assert the streamed directory is byte-identical to the reference:
+#    every partition and the campaign manifest, plus every rendered
+#    analysis artifact (telcoreport output).
+#
+# Tunables (env): UES, DAYS, SHARDS, RATE, ADDR; RACE=1 builds all four
+# binaries with the race detector (the CI soak job does).
+set -euo pipefail
+
+UES=${UES:-2000}
+DAYS=${DAYS:-4}
+SHARDS=${SHARDS:-2}
+RATE=${RATE:-25000}
+ADDR=${ADDR:-127.0.0.1:8492}
+RACE=${RACE:-0}
+
+cd "$(dirname "$0")/.."
+WORK=$(mktemp -d)
+SERVE_PID=""
+LOAD_PID=""
+cleanup() {
+  [ -n "$SERVE_PID" ] && kill -9 "$SERVE_PID" 2>/dev/null || true
+  [ -n "$LOAD_PID" ] && kill "$LOAD_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+BIN=$WORK/bin
+mkdir -p "$BIN"
+BUILD_FLAGS=()
+[ "$RACE" = "1" ] && BUILD_FLAGS+=(-race)
+go build ${BUILD_FLAGS[@]+"${BUILD_FLAGS[@]}"} -o "$BIN" ./cmd/telcogen ./cmd/telcoload ./cmd/telcoserve ./cmd/telcoreport
+
+SRC=$WORK/src
+LIVE=$WORK/live
+echo "== generating reference campaign ($UES UEs x $DAYS days, $SHARDS shards)"
+"$BIN/telcogen" -out "$SRC" -ues "$UES" -days "$DAYS" -shards "$SHARDS"
+"$BIN/telcoreport" -data "$SRC" -out "$WORK/report_src.txt"
+
+serve() {
+  "$BIN/telcoserve" -data "$LIVE" -addr "$ADDR" -ingest -poll 500ms \
+    >>"$WORK/serve.log" 2>&1 &
+  SERVE_PID=$!
+  disown "$SERVE_PID" 2>/dev/null || true
+}
+
+wait_http() { # path, attempts
+  for _ in $(seq 1 "$2"); do
+    curl -fsS "http://$ADDR$1" >/dev/null 2>&1 && return 0
+    sleep 0.2
+  done
+  echo "daemon did not answer $1" >&2
+  cat "$WORK/serve.log" >&2
+  return 1
+}
+
+stat_field() { # numeric field name from /ingest/stats
+  curl -fsS "http://$ADDR/ingest/stats" 2>/dev/null |
+    grep -o "\"$1\": *[0-9]*" | grep -o '[0-9]*$' || echo 0
+}
+
+echo "== starting telcoserve -ingest on empty $LIVE"
+serve
+wait_http /healthz 50
+
+echo "== streaming the campaign live (rate $RATE rec/s)"
+"$BIN/telcoload" -src "$SRC" -url "http://$ADDR" -rate "$RATE" \
+  >"$WORK/load.log" 2>&1 &
+LOAD_PID=$!
+
+# Wait until records are demonstrably in flight, then murder the daemon.
+for _ in $(seq 1 100); do
+  [ "$(stat_field ingested_records)" -gt 5000 ] && break
+  sleep 0.2
+done
+INGESTED=$(stat_field ingested_records)
+if [ "$INGESTED" -le 0 ]; then
+  echo "no records ingested before kill window" >&2
+  cat "$WORK/serve.log" "$WORK/load.log" >&2
+  exit 1
+fi
+echo "== kill -9 mid-stream (after $INGESTED acknowledged records)"
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+sleep 1
+
+echo "== restarting daemon (WAL replay)"
+serve
+wait_http /healthz 50
+
+if ! wait "$LOAD_PID"; then
+  echo "telcoload failed" >&2
+  cat "$WORK/load.log" "$WORK/serve.log" >&2
+  exit 1
+fi
+LOAD_PID=""
+
+# All days must seal (telcoload already waits on its acks, but give the
+# final seal a moment).
+for _ in $(seq 1 50); do
+  [ "$(stat_field sealed_days)" -eq "$DAYS" ] && break
+  sleep 0.2
+done
+if [ "$(stat_field sealed_days)" -ne "$DAYS" ]; then
+  echo "only $(stat_field sealed_days)/$DAYS days sealed" >&2
+  cat "$WORK/serve.log" >&2
+  exit 1
+fi
+
+echo "== comparing streamed campaign against the batch reference"
+fail=0
+for f in "$SRC"/ho_*.tlho "$SRC"/manifest.json; do
+  name=$(basename "$f")
+  if ! cmp -s "$f" "$LIVE/$name"; then
+    echo "MISMATCH: $name" >&2
+    fail=1
+  fi
+done
+for f in "$LIVE"/ho_*.tlho; do
+  name=$(basename "$f")
+  [ -f "$SRC/$name" ] || { echo "UNEXPECTED: $name" >&2; fail=1; }
+done
+[ "$fail" -eq 0 ] || exit 1
+
+echo "== comparing rendered artifacts"
+"$BIN/telcoreport" -data "$LIVE" -out "$WORK/report_live.txt"
+diff -u "$WORK/report_src.txt" "$WORK/report_live.txt"
+
+echo "== soak OK: $(stat_field ingested_records) records streamed, $DAYS days sealed, artifacts byte-identical"
