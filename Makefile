@@ -2,7 +2,9 @@
 #
 #   make build        compile everything
 #   make vet          go vet
-#   make lint         gofmt -l must be empty + staticcheck ./...
+#   make lint         gofmt -l must be empty + doc-comment check on the
+#                     public surfaces (scripts/doccheck.sh: telcolens.go
+#                     and internal/trace) + staticcheck ./...
 #                     (override STATICCHECK to pin a local binary)
 #   make test         go test ./...
 #   make race         go test -race ./...
@@ -19,7 +21,10 @@
 #                     encoder vs column-native encoder) and
 #                     BenchmarkGenerateDay (record-writer vs columnar
 #                     generation) + BenchmarkIngest (streaming WAL
-#                     append and whole-day seal cycle), -count 5 with
+#                     append and whole-day seal cycle) + BenchmarkQuery
+#                     (ad-hoc /query serving: indexed point lookup,
+#                     windowed slice, cold/cached paths, parallel load
+#                     with qps + tail latency), -count 5 with
 #                     -benchmem, written to $(BENCH_OUT)
 #   make alloc-check  assert the steady-state batch scan loop and the
 #                     v2 column encode path allocate nothing per block
@@ -36,11 +41,30 @@
 #   make ci           vet + build + race + bench-smoke + alloc-check
 #                     (the PR gate also runs lint, the determinism
 #                     matrix and benchgate — see .github/workflows/ci.yml)
+#
+# Daemon / tool flag reference (see each command's doc comment):
+#   telcoserve  -data DIR     campaign directory to serve (default
+#                             "campaign"); may start empty with -ingest
+#               -addr ADDR    HTTP listen address (default :8480)
+#               -poll DUR     MANIFEST poll interval (default 2s)
+#               -parallel N   scan parallelism (0 = GOMAXPROCS)
+#               -ingest       mount the streaming /ingest/* endpoints
+#               -wal-sync     fsync the ingest WAL on every batch
+#               -ingest-pending N
+#                             ingest backlog budget in records before
+#                             the daemon answers 429 (0 = default)
+#               serves /artifacts, /query (indexed ad-hoc slices),
+#               /stats and /healthz
+#   telcoload   -src DIR -url http://HOST:PORT  replay a campaign into
+#               a telcoserve -ingest endpoint; -rate records/sec,
+#               -batch per POST, -streams parallel clients, -reorder
+#               window, -jitter pacing noise, -days prefix, -seed,
+#               -noinit to skip /ingest/init
 
 GO ?= go
 STATICCHECK ?= $(GO) run honnef.co/go/tools/cmd/staticcheck@2025.1
 BENCH_OUT ?= BENCH_out.txt
-BENCH_PATTERN ?= BenchmarkScanSharded|BenchmarkScan$$|BenchmarkRunAll|BenchmarkRefresh|BenchmarkWrite|BenchmarkGenerateDay|BenchmarkIngest
+BENCH_PATTERN ?= BenchmarkScanSharded|BenchmarkScan$$|BenchmarkRunAll|BenchmarkRefresh|BenchmarkWrite|BenchmarkGenerateDay|BenchmarkIngest|BenchmarkQuery
 PROFILE_DIR ?= profile-campaign
 PROFILE_EXP ?= table5
 PROFILE_ARGS ?=
@@ -55,6 +79,7 @@ vet:
 lint:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	scripts/doccheck.sh
 	$(STATICCHECK) ./...
 
 build:

@@ -8,6 +8,7 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
@@ -992,7 +993,7 @@ func BenchmarkIngest(b *testing.B) {
 	})
 }
 
-// --- Ablation benches (DESIGN.md §6) ---
+// --- Ablation benches (DESIGN.md §7) ---
 
 // BenchmarkAblationQuantileSketch compares exact sample quantiles against
 // the fixed-memory log-histogram sketch on the intra-HO duration stream.
@@ -1196,4 +1197,104 @@ func boostLabel(f float64) string {
 	default:
 		return "boost=100"
 	}
+}
+
+// BenchmarkQuery measures the ad-hoc serving path over the shared
+// campaign written to an indexed v2 file store: a single-UE point
+// lookup (index pruning at its best), a day-windowed TAC slice, the
+// cold path (fresh engine, empty cache), the cache hit path, and a
+// parallel load leg reporting tail latency.
+func BenchmarkQuery(b *testing.B) {
+	store := codecBenchStore(b, "query-v2", trace.FileStoreOptions{Codec: trace.CodecV2})
+	view, err := NewQueryView(store)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Pin a real subscriber and device so the queries return rows.
+	it, err := store.OpenPartition(view.Partitions[0].Day, view.Partitions[0].Shard)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var probe Record
+	if ok, err := it.Next(&probe); err != nil || !ok {
+		b.Fatalf("empty first partition: %v", err)
+	}
+	it.Close()
+	ue := probe.UE
+	tac := uint32(probe.TAC)
+	day0 := trace.DayRange(0, 0)
+	ctx := context.Background()
+
+	run := func(name string, p QueryParams, purge bool) {
+		b.Run(name, func(b *testing.B) {
+			eng := NewQueryEngine(store)
+			if !purge { // warm the cache once for the hit path
+				if _, _, err := eng.Query(ctx, view, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if purge {
+					eng.InvalidateCache()
+				}
+				res, _, err := eng.Query(ctx, view, p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Rows) == 0 && p.UE != nil {
+					b.Fatal("probe query returned no rows")
+				}
+			}
+		})
+	}
+	run("point", QueryParams{UE: &ue}, true)
+	run("window", QueryParams{TAC: &tac, From: day0.MinTS, To: day0.MaxTS, Limit: 500}, true)
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eng := NewQueryEngine(store)
+			if _, _, err := eng.Query(ctx, view, QueryParams{UE: &ue}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	run("cached", QueryParams{UE: &ue}, false)
+
+	// load: GOMAXPROCS goroutines hammering a small query mix against
+	// one shared engine (the serving topology), reporting achieved qps
+	// and p99 latency.
+	b.Run("load", func(b *testing.B) {
+		eng := NewQueryEngine(store)
+		var mu sync.Mutex
+		var lats []time.Duration
+		b.ResetTimer()
+		start := time.Now()
+		b.RunParallel(func(pb *testing.PB) {
+			local := make([]time.Duration, 0, 1024)
+			i := 0
+			for pb.Next() {
+				p := QueryParams{UE: &ue}
+				if i%4 == 3 { // every 4th query misses the cache
+					eng.InvalidateCache()
+				}
+				i++
+				t0 := time.Now()
+				if _, _, err := eng.Query(ctx, view, p); err != nil {
+					b.Fatal(err)
+				}
+				local = append(local, time.Since(t0))
+			}
+			mu.Lock()
+			lats = append(lats, local...)
+			mu.Unlock()
+		})
+		elapsed := time.Since(start)
+		if len(lats) == 0 {
+			return
+		}
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		b.ReportMetric(float64(len(lats))/elapsed.Seconds(), "qps")
+		b.ReportMetric(float64(lats[len(lats)/2].Microseconds()), "p50-µs")
+		b.ReportMetric(float64(lats[len(lats)*99/100].Microseconds()), "p99-µs")
+	})
 }

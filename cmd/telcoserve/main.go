@@ -17,7 +17,10 @@
 //	GET /                  index of artifact ids
 //	GET /artifacts         JSON list of artifacts (id, title, paper ref)
 //	GET /artifacts/{id}    rendered text (Accept/?format=json for JSON)
-//	GET /stats             scan metrics, snapshot age, refresh history
+//	GET /query             ad-hoc record slices: ?ue=&tac=&sector=&from=&to=
+//	                       &limit=&agg=&format=json|csv (see query.go)
+//	GET /stats             scan metrics, per-query prune counters,
+//	                       snapshot age, refresh history
 //	GET /healthz           liveness probe (JSON: status, generation, ingest depth)
 //
 // With -ingest the daemon also mounts the streaming ingest endpoints
@@ -50,6 +53,7 @@ import (
 
 	"telcolens"
 	"telcolens/internal/ingest"
+	"telcolens/internal/query"
 	"telcolens/internal/trace"
 )
 
@@ -91,6 +95,10 @@ type snapshot struct {
 	partitions  int
 	manifestGen uint64
 	renderedAt  time.Time
+	// qview pins the partition set /query executions run against, so a
+	// query sees exactly this snapshot's generation even while new days
+	// are landing (nil only if the view could not be built).
+	qview *query.View
 }
 
 // server owns the current snapshot and the refresh bookkeeping.
@@ -101,6 +109,9 @@ type server struct {
 	// wakes the watch loop the moment a local seal lands.
 	ing   *ingest.Service
 	nudge chan struct{}
+	// eng executes /query requests; its result cache is invalidated on
+	// every snapshot swap.
+	eng *query.Engine
 
 	mu sync.RWMutex
 	// cur is nil while the campaign is pending: the data directory has no
@@ -118,6 +129,16 @@ type server struct {
 	refreshErrors  int64
 	lastScanned    int
 	lastRefreshDur time.Duration
+
+	// Query serving counters (see noteQuery): totals plus the last
+	// uncached query's per-request scan metrics for /stats.
+	queries        int64
+	queryCacheHits int64
+	qBlocksPruned  int64
+	qBlocksDecoded int64
+	qBytesRead     int64
+	lastQueryMet   query.Metrics
+	lastQueryDur   time.Duration
 }
 
 func (s *server) options() []telcolens.Option {
@@ -168,6 +189,11 @@ func render(ctx context.Context, a *telcolens.Analyzer) (views map[string]*artif
 func build(ctx context.Context, a *telcolens.Analyzer, ds *telcolens.Dataset, gen uint64) (*snapshot, bool) {
 	views, order, warmOK := render(ctx, a)
 	parts, _ := a.Covered()
+	qv, err := query.NewView(ds.Store)
+	if err != nil {
+		log.Printf("building query view: %v (/query disabled for this snapshot)", err)
+		qv = nil
+	}
 	return &snapshot{
 		analyzer:    a,
 		views:       views,
@@ -176,6 +202,7 @@ func build(ctx context.Context, a *telcolens.Analyzer, ds *telcolens.Dataset, ge
 		partitions:  parts,
 		manifestGen: gen,
 		renderedAt:  time.Now(),
+		qview:       qv,
 	}, warmOK
 }
 
@@ -274,6 +301,9 @@ func (s *server) refresh(ctx context.Context) error {
 	if warmOK {
 		s.lastGen = gen
 	}
+	// Cached query results are keyed on the view generation; a swap
+	// makes them unreachable, so drop them rather than let them age out.
+	s.eng.InvalidateCache()
 	s.refreshes++
 	if fullRescan || res.FullRescan {
 		s.fullRescans++
@@ -314,6 +344,7 @@ func (s *server) bootstrap(ctx context.Context) error {
 	if warmOK {
 		s.lastGen = gen
 	}
+	s.eng.InvalidateCache()
 	s.mu.Unlock()
 	log.Printf("campaign bootstrapped: %d days, %d artifacts", snap.days, len(snap.order))
 	return nil
@@ -404,7 +435,8 @@ func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		}
 		fmt.Fprintf(w, "  /artifacts/%-10s %-12s %s%s\n", id, v.PaperRef, v.Title, status)
 	}
-	fmt.Fprintf(w, "\n  /stats   serving and scan statistics\n")
+	fmt.Fprintf(w, "\n  /query   ad-hoc slices: ?ue=&tac=&sector=&from=&to=&limit=&agg=\n")
+	fmt.Fprintf(w, "  /stats   serving, scan and query statistics\n")
 }
 
 func (s *server) handleArtifacts(w http.ResponseWriter, r *http.Request) {
@@ -504,6 +536,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"bytes_read":     st.BytesRead,
 		}
 	}
+	out["query"] = s.queryStats()
 	if iv := s.ingestView(); iv != nil {
 		out["ingest"] = iv
 	}
@@ -537,6 +570,14 @@ func run(dir, addr string, poll time.Duration, parallel int, ingestOn, walSync b
 	defer stop()
 
 	s := &server{dir: dir, parallel: parallel, started: time.Now(), nudge: make(chan struct{}, 1)}
+	// The query engine reads partitions through its own store handle —
+	// FileStore is stateless, so one handle serves every generation; the
+	// per-snapshot view pins which partitions a query may touch.
+	qstore, err := trace.NewFileStore(dir)
+	if err != nil {
+		return fmt.Errorf("opening store for queries: %w", err)
+	}
+	s.eng = query.New(qstore)
 	if ingestOn {
 		svc, err := ingest.Open(dir, ingest.Options{
 			MaxPendingRecords: ingestMax,
@@ -586,6 +627,7 @@ func run(dir, addr string, poll time.Duration, parallel int, ingestOn, walSync b
 	mux.HandleFunc("/", s.handleIndex)
 	mux.HandleFunc("/artifacts", s.handleArtifacts)
 	mux.HandleFunc("/artifacts/", s.handleArtifacts)
+	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	if s.ing != nil {

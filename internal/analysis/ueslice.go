@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"time"
+
+	"telcolens/internal/ho"
+	"telcolens/internal/trace"
+)
+
+// Per-UE slice aggregation: the small record-stream summary the query
+// layer serves next to a subscriber's raw slice (handover counts,
+// outcome split, horizontal/vertical mix, ping-pong bounces per
+// standard window). The tracker reuses the pingpong experiment's
+// bounce automaton, so a slice aggregate over one UE reports exactly
+// the ping-pongs the whole-campaign experiment would attribute to it —
+// provided records arrive in canonical (timestamp-ordered) sequence,
+// which partition order guarantees.
+
+// UESliceAggregate summarizes one subscriber's record slice.
+type UESliceAggregate struct {
+	// Records is the number of records observed.
+	Records int64 `json:"records"`
+	// Handovers counts successful handovers; Failures the unsuccessful.
+	Handovers int64 `json:"handovers"`
+	Failures  int64 `json:"failures"`
+	// Horizontal/Vertical split successful handovers by HO type
+	// (intra 4G/5G vs fallback to 3G/2G, paper §5.2).
+	Horizontal int64 `json:"horizontal"`
+	Vertical   int64 `json:"vertical"`
+	// PingPongs maps each standard detection window (its Duration
+	// string) to the number of A→B→A bounces completed within it.
+	PingPongs map[string]int64 `json:"ping_pongs,omitempty"`
+}
+
+// UESliceTracker folds one UE's record stream, in order, into a
+// UESliceAggregate. It maintains one bounce automaton per standard
+// ping-pong window (StandardPingPongWindows); feeding records out of
+// timestamp order undercounts bounces exactly as the offline definition
+// would.
+type UESliceTracker struct {
+	windows []time.Duration
+	winMs   []int64
+	states  []pingPongState
+	bounces []int64
+	agg     UESliceAggregate
+}
+
+// NewUESliceTracker returns a tracker over the standard window set.
+func NewUESliceTracker() *UESliceTracker {
+	windows := StandardPingPongWindows
+	t := &UESliceTracker{
+		windows: windows,
+		winMs:   make([]int64, len(windows)),
+		states:  make([]pingPongState, len(windows)),
+		bounces: make([]int64, len(windows)),
+	}
+	for i, w := range windows {
+		t.winMs[i] = w.Milliseconds()
+	}
+	return t
+}
+
+// Observe folds one record. All records must belong to the same UE and
+// arrive in canonical order.
+func (t *UESliceTracker) Observe(rec *trace.Record) {
+	t.agg.Records++
+	if rec.Result != trace.Success {
+		t.agg.Failures++
+		return
+	}
+	t.agg.Handovers++
+	if rec.HOType() == ho.Intra {
+		t.agg.Horizontal++
+	} else {
+		t.agg.Vertical++
+	}
+	for w := range t.winMs {
+		st := &t.states[w]
+		if st.valid &&
+			uint32(rec.Source) == st.dst && uint32(rec.Target) == st.src &&
+			rec.Timestamp-st.ts <= t.winMs[w] {
+			t.bounces[w]++
+			// A PP closes the pair; the bounce-back does not seed a new one.
+			st.valid = false
+			continue
+		}
+		*st = pingPongState{
+			src:   uint32(rec.Source),
+			dst:   uint32(rec.Target),
+			ts:    rec.Timestamp,
+			valid: true,
+		}
+	}
+}
+
+// Aggregate renders the counters accumulated so far.
+func (t *UESliceTracker) Aggregate() UESliceAggregate {
+	out := t.agg
+	out.PingPongs = make(map[string]int64, len(t.windows))
+	for i, w := range t.windows {
+		out.PingPongs[w.String()] = t.bounces[i]
+	}
+	return out
+}

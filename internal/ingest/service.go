@@ -716,7 +716,10 @@ func (s *Service) sealLocked(ds *dayState) error {
 }
 
 // writePartitionLocked gathers the rows selected by perm (in perm order)
-// and lands them as one partition through the column write path.
+// and lands them as one partition through the column write path. Because
+// this is the ordinary FileStore writer, sealed partitions get the same
+// .tlix query-index sidecar (and manifest index version) batch-generated
+// ones do — streamed days are immediately index-prunable by /query.
 func (s *Service) writePartitionLocked(day, shard int, src *trace.ColumnBatch, perm []int32) error {
 	out := &s.outBatch
 	out.Reset()

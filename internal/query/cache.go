@@ -1,0 +1,89 @@
+package query
+
+import (
+	"container/list"
+	"sync"
+)
+
+// defaultCacheEntries bounds the result cache. Results are whole
+// Result values (rows capped at the query limit), so the cache is a
+// few MB at worst; repeated dashboard-style queries hit it, anything
+// long-tail evicts quickly.
+const defaultCacheEntries = 128
+
+// CacheStats reports result-cache activity.
+type CacheStats struct {
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+	Entries int   `json:"entries"`
+}
+
+// lruCache is a small mutex-guarded LRU of query results. Values are
+// shared with callers and must be treated as immutable.
+type lruCache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recent; values are *lruEntry
+	entries map[string]*list.Element
+	hits    int64
+	misses  int64
+}
+
+type lruEntry struct {
+	key string
+	res *Result
+}
+
+func newLRUCache(capacity int) *lruCache {
+	return &lruCache{
+		cap:     capacity,
+		order:   list.New(),
+		entries: make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the cached result for key, or nil.
+func (c *lruCache) get(key string) *Result {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).res
+}
+
+// put stores a result, evicting the least recently used entry at cap.
+func (c *lruCache) put(key string, res *Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*lruEntry).res = res
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&lruEntry{key: key, res: res})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*lruEntry).key)
+	}
+}
+
+// purge drops every entry (counters survive).
+func (c *lruCache) purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.order.Init()
+	clear(c.entries)
+}
+
+// stats snapshots the counters.
+func (c *lruCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: len(c.entries)}
+}

@@ -1,0 +1,553 @@
+// Package query serves ad-hoc slices of a handover trace store: a
+// single subscriber's records, a tracking-area code, a sector, a time
+// window, or any conjunction of them, plus small per-UE aggregates
+// (handover counts, ping-pong bounces).
+//
+// The engine answers without scanning whole days by pruning in three
+// stages, each cheaper than the next would be:
+//
+//  1. partition zone maps — the MANIFEST's per-partition [MinTS, MaxTS]
+//     extents drop partitions outside the window, and UE-hash sharding
+//     drops the shards a UE cannot live in;
+//  2. partition bloom filters — the .tlix sidecar's UE/TAC/sector
+//     filters drop partitions that definitely lack the key;
+//  3. block summaries — the sidecar's per-block time extents and
+//     UE/TAC blooms turn into a block allow-list pushed down to the v2
+//     reader (SetBlockFilter), so excluded blocks are never decoded.
+//
+// Every stage is conservative: a missing, stale or corrupt index only
+// widens the set of blocks decoded, never narrows the result. Exact
+// predicates re-check every decoded row, so indexed and index-absent
+// executions return byte-identical results.
+//
+// Queries run against an immutable View (the partition set at one
+// manifest generation — partitions are write-once, so a pinned view is
+// a consistent snapshot even while new days land), and results are
+// memoized in a small LRU keyed on (normalized query, view generation).
+package query
+
+import (
+	"context"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"time"
+
+	"telcolens/internal/analysis"
+	"telcolens/internal/trace"
+)
+
+// DefaultLimit is the row cap applied when Params.Limit is 0.
+const DefaultLimit = 1000
+
+// MaxLimit bounds the rows a single query may return.
+const MaxLimit = 100000
+
+// Params is one query: a conjunction of optional predicates. Nil/zero
+// fields match everything.
+type Params struct {
+	// UE restricts to one subscriber.
+	UE *trace.UEID
+	// TAC restricts to one device type-allocation code.
+	TAC *uint32
+	// Sector restricts to records with the sector as source or target.
+	Sector *uint32
+	// From/To restrict to From <= Timestamp <= To (Unix milliseconds,
+	// inclusive). Zero means unbounded on that side — the study starts
+	// in 2024, so 0 is never a real timestamp.
+	From, To int64
+	// Limit caps the rows returned (0 = DefaultLimit, max MaxLimit).
+	// When the cap is hit the result is marked Truncated.
+	Limit int
+	// Aggregate additionally computes a per-slice summary (handover
+	// counts, outcome and HO-type split, and — for single-UE queries —
+	// ping-pong bounces per standard window). Aggregation always scans
+	// the full slice even after the row cap is hit.
+	Aggregate bool
+	// NoIndex disables index-based pruning (stage 2 and 3), forcing the
+	// scan-fallback path. Results are identical; the flag exists for
+	// cross-checking and benchmarks.
+	NoIndex bool
+}
+
+// normalize resolves defaults and validates the window.
+func (p Params) normalize() (Params, error) {
+	if p.From != 0 && p.To != 0 && p.From > p.To {
+		return p, fmt.Errorf("query: from %d after to %d", p.From, p.To)
+	}
+	if p.Limit < 0 {
+		return p, fmt.Errorf("query: negative limit %d", p.Limit)
+	}
+	if p.Limit == 0 {
+		p.Limit = DefaultLimit
+	}
+	if p.Limit > MaxLimit {
+		p.Limit = MaxLimit
+	}
+	return p, nil
+}
+
+// CacheKey renders the normalized parameters as a canonical string:
+// two queries with the same key return the same result against the
+// same view generation.
+func (p Params) CacheKey() string {
+	key := make([]byte, 0, 64)
+	if p.UE != nil {
+		key = append(key, "ue="...)
+		key = strconv.AppendUint(key, uint64(*p.UE), 10)
+	}
+	if p.TAC != nil {
+		key = append(key, "&tac="...)
+		key = strconv.AppendUint(key, uint64(*p.TAC), 10)
+	}
+	if p.Sector != nil {
+		key = append(key, "&sector="...)
+		key = strconv.AppendUint(key, uint64(*p.Sector), 10)
+	}
+	key = append(key, "&from="...)
+	key = strconv.AppendInt(key, p.From, 10)
+	key = append(key, "&to="...)
+	key = strconv.AppendInt(key, p.To, 10)
+	key = append(key, "&limit="...)
+	key = strconv.AppendInt(key, int64(p.Limit), 10)
+	if p.Aggregate {
+		key = append(key, "&agg"...)
+	}
+	if p.NoIndex {
+		key = append(key, "&noindex"...)
+	}
+	return string(key)
+}
+
+// matches is the exact row predicate every decoded record is checked
+// against, independent of any index pruning.
+func (p *Params) matches(ts int64, ue trace.UEID, tac uint32, src, dst uint32) bool {
+	if p.From != 0 && ts < p.From {
+		return false
+	}
+	if p.To != 0 && ts > p.To {
+		return false
+	}
+	if p.UE != nil && ue != *p.UE {
+		return false
+	}
+	if p.TAC != nil && tac != *p.TAC {
+		return false
+	}
+	if p.Sector != nil && src != *p.Sector && dst != *p.Sector {
+		return false
+	}
+	return true
+}
+
+// Row is one matched record, shaped for JSON/CSV output.
+type Row struct {
+	Timestamp  int64   `json:"ts"`
+	UE         uint32  `json:"ue"`
+	TAC        uint32  `json:"tac"`
+	Source     uint32  `json:"source"`
+	Target     uint32  `json:"target"`
+	SourceRAT  string  `json:"source_rat"`
+	TargetRAT  string  `json:"target_rat"`
+	Result     string  `json:"result"`
+	Cause      uint16  `json:"cause,omitempty"`
+	DurationMs float32 `json:"duration_ms"`
+}
+
+// rowFrom shapes one record.
+func rowFrom(rec *trace.Record) Row {
+	return Row{
+		Timestamp:  rec.Timestamp,
+		UE:         uint32(rec.UE),
+		TAC:        uint32(rec.TAC),
+		Source:     uint32(rec.Source),
+		Target:     uint32(rec.Target),
+		SourceRAT:  rec.SourceRAT.String(),
+		TargetRAT:  rec.TargetRAT.String(),
+		Result:     rec.Result.String(),
+		Cause:      uint16(rec.Cause),
+		DurationMs: rec.DurationMs,
+	}
+}
+
+// Metrics reports what one query execution touched. BlocksPruned
+// counts v2 blocks excluded without decoding — by the time range, the
+// block allow-list, or a whole-partition index prune; BlocksDecoded
+// counts blocks whose payload was read. The two are the query layer's
+// efficiency contract: a point query should prune nearly everything.
+type Metrics struct {
+	PartitionsConsidered int64 `json:"partitions_considered"`
+	PartitionsPruned     int64 `json:"partitions_pruned"`
+	PartitionsScanned    int64 `json:"partitions_scanned"`
+	BlocksPruned         int64 `json:"blocks_pruned"`
+	BlocksDecoded        int64 `json:"blocks_decoded"`
+	BytesRead            int64 `json:"bytes_read"`
+	RowsScanned          int64 `json:"rows_scanned"`
+}
+
+// Result is one query's answer.
+type Result struct {
+	// Gen is the view generation the query ran against.
+	Gen uint64 `json:"gen"`
+	// Rows are the matched records in canonical (day, shard, storage)
+	// order, capped at the limit.
+	Rows []Row `json:"rows"`
+	// Truncated reports that the row cap was hit before the slice was
+	// exhausted.
+	Truncated bool `json:"truncated,omitempty"`
+	// Aggregate is the slice summary when Params.Aggregate was set.
+	Aggregate *analysis.UESliceAggregate `json:"aggregate,omitempty"`
+	// Metrics reports what the execution touched. Cached results carry
+	// the metrics of the execution that produced them.
+	Metrics Metrics `json:"metrics"`
+}
+
+// csvHeader is the column order WriteCSV emits.
+var csvHeader = []string{
+	"ts", "ue", "tac", "source", "target",
+	"source_rat", "target_rat", "result", "cause", "duration_ms",
+}
+
+// WriteCSV renders the result's rows as CSV with a header line.
+func (r *Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	rec := make([]string, len(csvHeader))
+	for i := range r.Rows {
+		row := &r.Rows[i]
+		rec[0] = strconv.FormatInt(row.Timestamp, 10)
+		rec[1] = strconv.FormatUint(uint64(row.UE), 10)
+		rec[2] = strconv.FormatUint(uint64(row.TAC), 10)
+		rec[3] = strconv.FormatUint(uint64(row.Source), 10)
+		rec[4] = strconv.FormatUint(uint64(row.Target), 10)
+		rec[5] = row.SourceRAT
+		rec[6] = row.TargetRAT
+		rec[7] = row.Result
+		rec[8] = strconv.FormatUint(uint64(row.Cause), 10)
+		rec[9] = strconv.FormatFloat(float64(row.DurationMs), 'g', -1, 32)
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// View pins the partition set of one manifest generation. Partitions
+// are write-once, so a view stays internally consistent while new days
+// land; queries against it see exactly the generation's data.
+type View struct {
+	// Gen is the manifest generation the view was built from (0 when
+	// the store has no usable manifest).
+	Gen uint64
+	// Partitions lists the view's partitions in canonical order. Zone
+	// pruning uses each entry's MinTS/MaxTS/Records; entries built
+	// without a manifest carry no statistics (hasStats false).
+	Partitions []trace.PartitionInfo
+
+	hasStats bool
+	// shardsOf caches, per day, the shard modulus when the day's shard
+	// set is exactly {0..k-1} — the layout ShardOf writes — so a UE
+	// query can drop the day's other shards with zero false negatives.
+	shardsOf map[int]int
+}
+
+// NewView snapshots the store's current partition set. Stores with a
+// usable manifest get zone statistics and a generation; others fall
+// back to the bare partition listing (every partition is considered).
+func NewView(s trace.Store) (*View, error) {
+	v := &View{}
+	if mr, ok := s.(trace.ManifestReader); ok {
+		m, err := mr.Manifest()
+		if err != nil {
+			return nil, err
+		}
+		if m != nil {
+			v.Gen = m.Gen
+			v.Partitions = append([]trace.PartitionInfo(nil), m.Partitions...)
+			v.hasStats = true
+		}
+	}
+	if !v.hasStats {
+		parts, err := s.Partitions()
+		if err != nil {
+			return nil, err
+		}
+		v.Partitions = make([]trace.PartitionInfo, len(parts))
+		for i, p := range parts {
+			v.Partitions[i] = trace.PartitionInfo{Day: p.Day, Shard: p.Shard}
+		}
+	}
+	sort.Slice(v.Partitions, func(i, j int) bool {
+		return v.Partitions[i].Partition().Less(v.Partitions[j].Partition())
+	})
+	v.shardsOf = make(map[int]int)
+	byDay := make(map[int][]int)
+	for i := range v.Partitions {
+		byDay[v.Partitions[i].Day] = append(byDay[v.Partitions[i].Day], v.Partitions[i].Shard)
+	}
+	for day, shards := range byDay {
+		contiguous := true
+		for i, s := range shards { // shard lists inherit canonical order
+			if s != i {
+				contiguous = false
+				break
+			}
+		}
+		if contiguous {
+			v.shardsOf[day] = len(shards)
+		}
+	}
+	return v, nil
+}
+
+// IndexSource loads per-partition secondary indexes; *trace.FileStore
+// implements it. Absent (nil, nil) indexes mean "scan".
+type IndexSource interface {
+	PartitionIndex(day, shard int) (*trace.PartitionIndex, error)
+}
+
+// Engine executes queries over one store, with index pruning when the
+// store maintains .tlix sidecars and an LRU result cache keyed on
+// (normalized query, view generation).
+type Engine struct {
+	store trace.Store
+	idx   IndexSource
+	cache *lruCache
+}
+
+// New returns an engine over s with the default cache size.
+func New(s trace.Store) *Engine {
+	e := &Engine{store: s, cache: newLRUCache(defaultCacheEntries)}
+	if is, ok := s.(IndexSource); ok {
+		e.idx = is
+	}
+	return e
+}
+
+// InvalidateCache drops every cached result. telcoserve calls it when
+// a refresh swaps in a new snapshot; entries keyed on older generations
+// would otherwise linger until evicted.
+func (e *Engine) InvalidateCache() { e.cache.purge() }
+
+// CacheStats reports the result cache's hit/miss counters.
+func (e *Engine) CacheStats() CacheStats { return e.cache.stats() }
+
+// Query executes p against the pinned view. The second return reports
+// a cache hit. The returned Result is shared with the cache and must
+// not be mutated.
+func (e *Engine) Query(ctx context.Context, v *View, p Params) (*Result, bool, error) {
+	p, err := p.normalize()
+	if err != nil {
+		return nil, false, err
+	}
+	key := strconv.FormatUint(v.Gen, 10) + "|" + p.CacheKey()
+	if r := e.cache.get(key); r != nil {
+		return r, true, nil
+	}
+	r, err := e.exec(ctx, v, p)
+	if err != nil {
+		return nil, false, err
+	}
+	e.cache.put(key, r)
+	return r, false, nil
+}
+
+// exec runs the pruning pipeline and the scan.
+func (e *Engine) exec(ctx context.Context, v *View, p Params) (*Result, error) {
+	res := &Result{Gen: v.Gen, Rows: []Row{}}
+	m := &res.Metrics
+
+	from, to := p.From, p.To
+	if to == 0 {
+		to = math.MaxInt64
+	}
+	window := p.From != 0 || p.To != 0
+
+	var tracker *analysis.UESliceTracker
+	var agg analysis.UESliceAggregate
+	if p.Aggregate {
+		tracker = analysis.NewUESliceTracker()
+	}
+
+	var rec trace.Record
+	var cb trace.ColumnBatch
+	for i := range v.Partitions {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		pi := &v.Partitions[i]
+		m.PartitionsConsidered++
+		if res.Truncated && !p.Aggregate {
+			// The row cap is hit and nothing else is being computed;
+			// later partitions cannot change the answer.
+			m.PartitionsPruned++
+			continue
+		}
+		// Stage 1a: zone-map prune on the manifest's time extents.
+		if v.hasStats && pi.Records > 0 && (pi.MaxTS < from || pi.MinTS > to) {
+			m.PartitionsPruned++
+			continue
+		}
+		// Stage 1b: shard prune — a UE lives in exactly one shard of a
+		// {0..k-1}-sharded day, with no false negatives.
+		if p.UE != nil {
+			if k, ok := v.shardsOf[pi.Day]; ok && k > 1 && trace.ShardOf(*p.UE, k) != pi.Shard {
+				m.PartitionsPruned++
+				continue
+			}
+		}
+		// Stages 2 and 3: sidecar prune, when one is present and fresh.
+		var allow []bool
+		if !p.NoIndex && e.idx != nil {
+			idx, err := e.idx.PartitionIndex(pi.Day, pi.Shard)
+			if err != nil {
+				idx = nil // corrupt or future-versioned: treat as unindexed
+			}
+			if idx != nil && v.hasStats && pi.Fingerprint != 0 && idx.Fingerprint != pi.Fingerprint {
+				idx = nil // stale: partition rewritten behind the index
+			}
+			if idx != nil {
+				if (p.UE != nil && !idx.MayContainUE(*p.UE)) ||
+					(p.TAC != nil && !idx.MayContainTAC(*p.TAC)) ||
+					(p.Sector != nil && !idx.MayContainSector(*p.Sector)) {
+					m.PartitionsPruned++
+					m.BlocksPruned += int64(len(idx.Blocks))
+					continue
+				}
+				if len(idx.Blocks) > 0 {
+					allow = make([]bool, len(idx.Blocks))
+					any := false
+					for b := range idx.Blocks {
+						bs := &idx.Blocks[b]
+						ok := bs.MaxTS >= from && bs.MinTS <= to
+						if ok && p.UE != nil {
+							ok = bs.UEs.MayContain(uint32(*p.UE))
+						}
+						if ok && p.TAC != nil {
+							ok = bs.TACs.MayContain(*p.TAC)
+						}
+						allow[b] = ok
+						any = any || ok
+					}
+					if !any {
+						m.PartitionsPruned++
+						m.BlocksPruned += int64(len(idx.Blocks))
+						continue
+					}
+				}
+			}
+		}
+
+		it, err := e.store.OpenPartition(pi.Day, pi.Shard)
+		if err != nil {
+			return nil, err
+		}
+		m.PartitionsScanned++
+		if window {
+			if rs, ok := it.(trace.TimeRangeSetter); ok {
+				rs.SetTimeRange(from, to)
+			}
+		}
+		if allow != nil {
+			if bf, ok := it.(trace.BlockFilterSetter); ok {
+				keep := allow
+				bf.SetBlockFilter(func(b int) bool {
+					// Ordinals beyond the summary list mean the index is
+					// out of step with the stream; decode rather than drop.
+					return b >= len(keep) || keep[b]
+				})
+			}
+		}
+
+		observe := func(r *trace.Record) {
+			m.RowsScanned++
+			if !p.matches(r.Timestamp, r.UE, uint32(r.TAC), uint32(r.Source), uint32(r.Target)) {
+				return
+			}
+			if tracker != nil {
+				tracker.Observe(r)
+			}
+			if len(res.Rows) < p.Limit {
+				res.Rows = append(res.Rows, rowFrom(r))
+			} else {
+				res.Truncated = true
+			}
+		}
+		if ci, ok := it.(trace.ColumnIterator); ok {
+			for {
+				if err := ctx.Err(); err != nil {
+					it.Close()
+					return nil, err
+				}
+				n, err := ci.NextColumns(&cb)
+				if err != nil {
+					it.Close()
+					return nil, fmt.Errorf("query: day %d shard %d: %w", pi.Day, pi.Shard, err)
+				}
+				if n == 0 {
+					break
+				}
+				for j := 0; j < n; j++ {
+					cb.Record(j, &rec)
+					observe(&rec)
+				}
+			}
+		} else {
+			for {
+				ok, err := it.Next(&rec)
+				if err != nil {
+					it.Close()
+					return nil, fmt.Errorf("query: day %d shard %d: %w", pi.Day, pi.Shard, err)
+				}
+				if !ok {
+					break
+				}
+				observe(&rec)
+			}
+		}
+		if sr, ok := it.(trace.BlockStatsReader); ok {
+			bs := sr.ReadStats()
+			m.BlocksDecoded += bs.BlocksRead
+			m.BlocksPruned += bs.BlocksSkipped + bs.BlocksFiltered
+			m.BytesRead += bs.BytesRead
+		}
+		if err := it.Close(); err != nil {
+			return nil, err
+		}
+	}
+	if tracker != nil {
+		agg = tracker.Aggregate()
+		if p.UE == nil {
+			// Ping-pong bounces are only defined per subscriber; a mixed
+			// slice would interleave automata.
+			agg.PingPongs = nil
+		}
+		res.Aggregate = &agg
+	}
+	return res, nil
+}
+
+// ParseTime parses a query time bound: Unix milliseconds, RFC 3339, or
+// a bare "day:N" study-day shorthand resolving to the day's start.
+func ParseTime(s string) (int64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	if ms, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return ms, nil
+	}
+	if t, err := time.Parse(time.RFC3339, s); err == nil {
+		return t.UnixMilli(), nil
+	}
+	var day int
+	if _, err := fmt.Sscanf(s, "day:%d", &day); err == nil {
+		return trace.DayStart(day).UnixMilli(), nil
+	}
+	return 0, fmt.Errorf("query: unparseable time %q (want unix millis, RFC 3339, or day:N)", s)
+}

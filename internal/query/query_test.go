@@ -1,0 +1,501 @@
+package query
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"telcolens/internal/causes"
+	"telcolens/internal/devices"
+	"telcolens/internal/topology"
+	"telcolens/internal/trace"
+)
+
+// corpus is a deterministic synthetic campaign kept both as ground
+// truth (records in canonical partition order) and on disk.
+type corpus struct {
+	days, shards int
+	// recs maps each partition to its records in storage order.
+	recs map[trace.Partition][]trace.Record
+}
+
+// genCorpus routes perDay records per study day to shards via ShardOf
+// (the layout the simulator writes) with timestamps sorted inside each
+// partition, mirroring real stream order.
+func genCorpus(seed int64, days, shards, perDay int) *corpus {
+	rng := rand.New(rand.NewSource(seed))
+	c := &corpus{days: days, shards: shards, recs: make(map[trace.Partition][]trace.Record)}
+	tacs := []devices.TAC{35000001, 35000002, 35000003}
+	for day := 0; day < days; day++ {
+		base := trace.DayStart(day).UnixMilli()
+		day24h := int64(24 * 60 * 60 * 1000)
+		byShard := make([][]trace.Record, shards)
+		for i := 0; i < perDay; i++ {
+			ue := trace.UEID(rng.Intn(300))
+			rec := trace.Record{
+				Timestamp:  base + rng.Int63n(day24h),
+				UE:         ue,
+				TAC:        tacs[rng.Intn(len(tacs))],
+				Source:     topology.SectorID(rng.Intn(200)),
+				Target:     topology.SectorID(rng.Intn(200)),
+				SourceRAT:  topology.RAT(rng.Intn(4)),
+				TargetRAT:  topology.RAT(rng.Intn(4)),
+				Result:     trace.Success,
+				DurationMs: float32(rng.Intn(3000)) / 10,
+			}
+			if rng.Intn(40) == 0 {
+				rec.Result = trace.Failure
+				rec.Cause = causes.Code(1 + rng.Intn(100))
+			}
+			sh := trace.ShardOf(ue, shards)
+			byShard[sh] = append(byShard[sh], rec)
+		}
+		for sh := 0; sh < shards; sh++ {
+			rs := byShard[sh]
+			for i := 1; i < len(rs); i++ { // insertion sort keeps ties stable
+				for j := i; j > 0 && rs[j].Timestamp < rs[j-1].Timestamp; j-- {
+					rs[j], rs[j-1] = rs[j-1], rs[j]
+				}
+			}
+			c.recs[trace.Partition{Day: day, Shard: sh}] = rs
+		}
+	}
+	return c
+}
+
+// write lands the corpus into a fresh FileStore under dir.
+func (c *corpus) write(t *testing.T, dir string, opts trace.FileStoreOptions) *trace.FileStore {
+	t.Helper()
+	fs, err := trace.NewFileStoreOpts(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for day := 0; day < c.days; day++ {
+		for sh := 0; sh < c.shards; sh++ {
+			w, err := fs.AppendPartition(day, sh)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := w.(trace.BatchWriter).WriteBatch(c.recs[trace.Partition{Day: day, Shard: sh}]); err != nil {
+				t.Fatal(err)
+			}
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return fs
+}
+
+// expected computes the ground-truth rows for p by brute force over the
+// corpus in canonical order.
+func (c *corpus) expected(p Params) (rows []Row, truncated bool) {
+	p, _ = p.normalize()
+	rows = []Row{}
+	for day := 0; day < c.days; day++ {
+		for sh := 0; sh < c.shards; sh++ {
+			for _, rec := range c.recs[trace.Partition{Day: day, Shard: sh}] {
+				if !p.matches(rec.Timestamp, rec.UE, uint32(rec.TAC), uint32(rec.Source), uint32(rec.Target)) {
+					continue
+				}
+				if len(rows) < p.Limit {
+					r := rec
+					rows = append(rows, rowFrom(&r))
+				} else {
+					truncated = true
+				}
+			}
+		}
+	}
+	return rows, truncated
+}
+
+func u32(v uint32) *uint32      { return &v }
+func ueID(v uint32) *trace.UEID { u := trace.UEID(v); return &u }
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestQueryMatchesScan is the cross-codec equivalence property: for
+// every codec variant, for stores written with and without index
+// sidecars, and across window edges, the indexed execution returns
+// rows byte-identical to both the forced scan fallback (NoIndex) and
+// the brute-force ground truth.
+func TestQueryMatchesScan(t *testing.T) {
+	c := genCorpus(29, 3, 2, 900)
+
+	day1 := trace.DayRange(1, 1)
+	// A mid-stream timestamp whose one-record window exercises the
+	// single-block edge.
+	pin := c.recs[trace.Partition{Day: 1, Shard: 0}][200]
+
+	cases := []struct {
+		name string
+		p    Params
+	}{
+		{"ue", Params{UE: ueID(uint32(pin.UE))}},
+		{"ue-day-window", Params{UE: ueID(uint32(pin.UE)), From: day1.MinTS, To: day1.MaxTS}},
+		{"ue-cross-day", Params{UE: ueID(uint32(pin.UE)),
+			From: trace.DayStart(0).UnixMilli() + 12*3600_000,
+			To:   trace.DayStart(1).UnixMilli() + 12*3600_000}},
+		{"ue-tac", Params{UE: ueID(uint32(pin.UE)), TAC: u32(uint32(pin.TAC))}},
+		{"tac-truncated", Params{TAC: u32(35000002), Limit: 50}},
+		{"sector", Params{Sector: u32(uint32(pin.Source))}},
+		{"point-window", Params{UE: ueID(uint32(pin.UE)), From: pin.Timestamp, To: pin.Timestamp}},
+		{"empty-window", Params{From: trace.DayStart(100).UnixMilli(), To: trace.DayStart(101).UnixMilli()}},
+		{"absent-ue", Params{UE: ueID(999_999)}},
+	}
+
+	stores := []struct {
+		name string
+		opts trace.FileStoreOptions
+	}{
+		{"v1", trace.FileStoreOptions{Codec: trace.CodecV1}},
+		{"v2", trace.FileStoreOptions{Codec: trace.CodecV2, BlockRecords: 64}},
+		{"v2flate", trace.FileStoreOptions{Codec: trace.CodecV2, BlockRecords: 64, Compress: true}},
+		{"v2-noindex", trace.FileStoreOptions{Codec: trace.CodecV2, BlockRecords: 64, NoIndex: true}},
+	}
+
+	ctx := context.Background()
+	for _, sc := range stores {
+		t.Run(sc.name, func(t *testing.T) {
+			fs := c.write(t, t.TempDir(), sc.opts)
+			eng := New(fs)
+			v, err := NewView(fs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v.Gen == 0 {
+				t.Fatal("file store view has no manifest generation")
+			}
+			for _, tc := range cases {
+				t.Run(tc.name, func(t *testing.T) {
+					indexed, _, err := eng.Query(ctx, v, tc.p)
+					if err != nil {
+						t.Fatal(err)
+					}
+					fb := tc.p
+					fb.NoIndex = true
+					fallback, _, err := eng.Query(ctx, v, fb)
+					if err != nil {
+						t.Fatal(err)
+					}
+					gotIdx := mustJSON(t, indexed.Rows)
+					gotFb := mustJSON(t, fallback.Rows)
+					if gotIdx != gotFb {
+						t.Fatalf("indexed rows differ from scan fallback:\n%s\nvs\n%s", gotIdx, gotFb)
+					}
+					wantRows, wantTrunc := c.expected(tc.p)
+					if want := mustJSON(t, wantRows); gotIdx != want {
+						t.Fatalf("rows differ from ground truth:\ngot  %s\nwant %s", gotIdx, want)
+					}
+					if indexed.Truncated != wantTrunc || fallback.Truncated != wantTrunc {
+						t.Fatalf("truncated = %v/%v, want %v", indexed.Truncated, fallback.Truncated, wantTrunc)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestQueryPointPrunesBlocks is the efficiency acceptance bound: on a
+// 31-day sharded campaign, a single-UE point query must decode at most
+// 5% of the blocks a full-day scan touches.
+func TestQueryPointPrunesBlocks(t *testing.T) {
+	const (
+		days     = 31
+		shards   = 4
+		perShard = 2000
+		perBlock = 128
+	)
+	rng := rand.New(rand.NewSource(41))
+	fs, err := trace.NewFileStoreOpts(t.TempDir(), trace.FileStoreOptions{BlockRecords: perBlock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One subscriber appears only on day 15, three clustered records.
+	target := trace.UEID(7)
+	tshard := trace.ShardOf(target, shards)
+	for day := 0; day < days; day++ {
+		base := trace.DayStart(day).UnixMilli()
+		for sh := 0; sh < shards; sh++ {
+			recs := make([]trace.Record, 0, perShard+3)
+			for i := 0; i < perShard; i++ {
+				ue := trace.UEID(1000 + rng.Intn(49000))
+				for trace.ShardOf(ue, shards) != sh {
+					ue = trace.UEID(1000 + rng.Intn(49000))
+				}
+				recs = append(recs, trace.Record{
+					Timestamp: base + int64(i)*40_000, // sorted, spread over the day
+					UE:        ue,
+					TAC:       devices.TAC(35000000 + rng.Intn(500)),
+					Source:    topology.SectorID(rng.Intn(10000)),
+					Target:    topology.SectorID(rng.Intn(10000)),
+					SourceRAT: topology.RAT(rng.Intn(4)),
+					TargetRAT: topology.RAT(rng.Intn(4)),
+					Result:    trace.Success,
+				})
+			}
+			if day == 15 && sh == tshard {
+				at := base + 7*3600_000
+				for i := 0; i < 3; i++ {
+					recs = append(recs, trace.Record{
+						Timestamp: at + int64(i)*5000,
+						UE:        target,
+						TAC:       35000042,
+						Source:    topology.SectorID(10 + i),
+						Target:    topology.SectorID(11 + i),
+						SourceRAT: topology.FourG,
+						TargetRAT: topology.FourG,
+						Result:    trace.Success,
+					})
+				}
+				for i := 1; i < len(recs); i++ {
+					for j := i; j > 0 && recs[j].Timestamp < recs[j-1].Timestamp; j-- {
+						recs[j], recs[j-1] = recs[j-1], recs[j]
+					}
+				}
+			}
+			w, err := fs.AppendPartition(day, sh)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := w.(trace.BatchWriter).WriteBatch(recs); err != nil {
+				t.Fatal(err)
+			}
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Baseline: what a full scan of one study day decodes.
+	var dayBlocks int64
+	day15 := trace.DayRange(15, 15)
+	for sh := 0; sh < shards; sh++ {
+		it, err := fs.OpenPartition(15, sh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		it.(trace.TimeRangeSetter).SetTimeRange(day15.MinTS, day15.MaxTS)
+		var rec trace.Record
+		for {
+			ok, err := it.Next(&rec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+		}
+		dayBlocks += it.(trace.BlockStatsReader).ReadStats().BlocksRead
+		it.Close()
+	}
+	if dayBlocks == 0 {
+		t.Fatal("baseline scan decoded no blocks")
+	}
+
+	eng := New(fs)
+	v, err := NewView(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := eng.Query(context.Background(), v, Params{UE: &target})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("point query returned %d rows, want 3", len(res.Rows))
+	}
+	budget := float64(dayBlocks) * 0.05
+	if got := float64(res.Metrics.BlocksDecoded); got > budget {
+		t.Fatalf("point query decoded %d blocks; budget is 5%% of a %d-block day scan (%.1f)",
+			res.Metrics.BlocksDecoded, dayBlocks, budget)
+	}
+	t.Logf("point query: %d blocks decoded, %d pruned; day scan decodes %d",
+		res.Metrics.BlocksDecoded, res.Metrics.BlocksPruned, dayBlocks)
+}
+
+func TestQueryCacheLifecycle(t *testing.T) {
+	c := genCorpus(5, 2, 2, 400)
+	fs := c.write(t, t.TempDir(), trace.FileStoreOptions{BlockRecords: 64})
+	eng := New(fs)
+	v, err := NewView(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	p := Params{UE: ueID(uint32(c.recs[trace.Partition{Day: 0, Shard: 0}][0].UE))}
+
+	r1, hit, err := eng.Query(ctx, v, p)
+	if err != nil || hit {
+		t.Fatalf("first query: hit=%v err=%v", hit, err)
+	}
+	r2, hit, err := eng.Query(ctx, v, p)
+	if err != nil || !hit {
+		t.Fatalf("second query: hit=%v err=%v", hit, err)
+	}
+	if r1 != r2 {
+		t.Fatal("cache hit returned a different result value")
+	}
+	eng.InvalidateCache()
+	if _, hit, _ = eng.Query(ctx, v, p); hit {
+		t.Fatal("query hit after InvalidateCache")
+	}
+
+	// A new generation (new partition landed) must miss even with a
+	// warm cache for the old generation's key.
+	w, err := fs.AppendPartition(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	v2, err := NewView(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Gen == v.Gen {
+		t.Fatal("generation did not advance after append")
+	}
+	if _, hit, _ = eng.Query(ctx, v2, p); hit {
+		t.Fatal("new generation hit the old generation's cache entry")
+	}
+	cs := eng.CacheStats()
+	if cs.Hits == 0 || cs.Misses == 0 || cs.Entries == 0 {
+		t.Fatalf("implausible cache stats %+v", cs)
+	}
+}
+
+func TestQueryAggregate(t *testing.T) {
+	fs, err := trace.NewFileStoreOpts(t.TempDir(), trace.FileStoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := trace.DayStart(0).UnixMilli()
+	ue := trace.UEID(9)
+	mk := func(off int64, src, dst topology.SectorID, rat topology.RAT, res trace.Result) trace.Record {
+		rec := trace.Record{Timestamp: base + off, UE: ue, TAC: 35000001,
+			Source: src, Target: dst, SourceRAT: topology.FourG, TargetRAT: rat, Result: res}
+		if res == trace.Failure {
+			rec.Cause = 5
+		}
+		return rec
+	}
+	recs := []trace.Record{
+		mk(0, 1, 2, topology.FourG, trace.Success),      // seeds A->B
+		mk(1000, 2, 1, topology.FourG, trace.Success),   // bounce within every window
+		mk(5000, 3, 4, topology.TwoG, trace.Success),    // vertical
+		mk(9000, 4, 5, topology.FourG, trace.Failure),   // failure, no automaton advance
+		mk(90_000, 5, 3, topology.FourG, trace.Success), // unrelated pair, no bounce
+	}
+	w, err := fs.AppendPartition(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.(trace.BatchWriter).WriteBatch(recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	eng := New(fs)
+	v, err := NewView(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := eng.Query(context.Background(), v, Params{UE: &ue, Aggregate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := res.Aggregate
+	if a == nil {
+		t.Fatal("no aggregate computed")
+	}
+	if a.Records != 5 || a.Handovers != 4 || a.Failures != 1 || a.Horizontal != 3 || a.Vertical != 1 {
+		t.Fatalf("aggregate = %+v", a)
+	}
+	for w, n := range a.PingPongs {
+		if n != 1 {
+			t.Fatalf("window %s counted %d bounces, want 1", w, n)
+		}
+	}
+
+	// A mixed (no-UE) slice keeps counts but drops ping-pongs: the
+	// automata are only defined per subscriber.
+	res, _, err = eng.Query(context.Background(), v, Params{Aggregate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Aggregate == nil || res.Aggregate.PingPongs != nil {
+		t.Fatalf("mixed-slice aggregate = %+v, want counts without ping-pongs", res.Aggregate)
+	}
+}
+
+func TestQueryCSV(t *testing.T) {
+	res := &Result{Rows: []Row{
+		{Timestamp: 1, UE: 2, TAC: 35000001, Source: 3, Target: 4,
+			SourceRAT: "4G", TargetRAT: "5G", Result: "success", DurationMs: 12.5},
+	}}
+	var buf bytes.Buffer
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("CSV has %d lines, want header + 1 row:\n%s", len(lines), buf.String())
+	}
+	if lines[0] != "ts,ue,tac,source,target,source_rat,target_rat,result,cause,duration_ms" {
+		t.Fatalf("bad header %q", lines[0])
+	}
+	if lines[1] != "1,2,35000001,3,4,4G,5G,success,0,12.5" {
+		t.Fatalf("bad row %q", lines[1])
+	}
+}
+
+func TestQueryParamValidation(t *testing.T) {
+	eng := New(trace.NewMemStore())
+	v := &View{}
+	ctx := context.Background()
+	if _, _, err := eng.Query(ctx, v, Params{From: 10, To: 5}); err == nil {
+		t.Fatal("inverted window accepted")
+	}
+	if _, _, err := eng.Query(ctx, v, Params{Limit: -1}); err == nil {
+		t.Fatal("negative limit accepted")
+	}
+	p, err := Params{Limit: MaxLimit + 1}.normalize()
+	if err != nil || p.Limit != MaxLimit {
+		t.Fatalf("limit not capped: %d, %v", p.Limit, err)
+	}
+	p, err = Params{}.normalize()
+	if err != nil || p.Limit != DefaultLimit {
+		t.Fatalf("default limit not applied: %d, %v", p.Limit, err)
+	}
+}
+
+func TestParseTime(t *testing.T) {
+	if ms, err := ParseTime(""); err != nil || ms != 0 {
+		t.Fatalf("empty = %d, %v", ms, err)
+	}
+	if ms, err := ParseTime("1706486400000"); err != nil || ms != 1706486400000 {
+		t.Fatalf("millis = %d, %v", ms, err)
+	}
+	if ms, err := ParseTime("2024-01-30T00:00:00Z"); err != nil || ms != trace.DayStart(1).UnixMilli() {
+		t.Fatalf("rfc3339 = %d, %v", ms, err)
+	}
+	if ms, err := ParseTime("day:2"); err != nil || ms != trace.DayStart(2).UnixMilli() {
+		t.Fatalf("day:N = %d, %v", ms, err)
+	}
+	if _, err := ParseTime("next tuesday"); err == nil {
+		t.Fatal("garbage time accepted")
+	}
+}

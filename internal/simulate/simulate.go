@@ -378,7 +378,10 @@ func writeGathered(store trace.Store, day, shard int, dayCols *trace.ColumnBatch
 // the batch directly; anything else gets the record-path compatibility
 // fallback — the batch transposes block-wise into a scratch record slice
 // and goes through WriteBatch/Write, so stores without column support
-// see exactly the sequence of records they always did.
+// see exactly the sequence of records they always did. File-store
+// writers also build the partition's .tlix query-index sidecar inline
+// on either path (see trace/index.go), so generated campaigns are
+// index-prunable with no extra pass.
 func writePartitionColumns(store trace.Store, day, shard int, cols *trace.ColumnBatch) error {
 	w, err := store.AppendPartition(day, shard)
 	if err != nil {

@@ -86,7 +86,7 @@ func (o *Online) Max() float64 { return o.max }
 // LogHist is a fixed-memory quantile sketch over positive values using
 // logarithmically spaced bins. It trades exactness for O(1) memory and is
 // the ablation alternative to exact sample collection for duration ECDFs
-// (see DESIGN.md §6). Relative quantile error is bounded by the bin growth
+// (see DESIGN.md §7). Relative quantile error is bounded by the bin growth
 // factor.
 type LogHist struct {
 	lo     float64 // lower bound of first bin (exclusive of zero bucket)

@@ -214,6 +214,12 @@ type Reader struct {
 	hasRange     bool
 	minTS, maxTS int64
 	proj         ColumnSet // 0 = decode everything
+
+	// Block-ordinal pruning (v2): blockOrd counts every descriptor seen
+	// in stream order; blockFilter, when set, vetoes decoding a block by
+	// that ordinal (see SetBlockFilter).
+	blockOrd    int
+	blockFilter func(block int) bool
 }
 
 // NewReader validates the stream header and returns a Reader for either
@@ -259,6 +265,16 @@ func (r *Reader) SetTimeRange(minTS, maxTS int64) {
 	r.minTS = minTS
 	r.maxTS = maxTS
 }
+
+// SetBlockFilter restricts which v2 blocks are decoded: keep is called
+// with each block's stream ordinal (0-based, counting every block in the
+// stream — including blocks the time range prunes, so ordinals stay
+// aligned with any external per-block index) and a false return skips
+// the block without reading its payload. Like SetTimeRange this is a
+// pruning facility: callers that know from a PartitionIndex which
+// blocks cannot match use it to avoid decoding the rest. A no-op on v1
+// streams, which have no blocks.
+func (r *Reader) SetBlockFilter(keep func(block int) bool) { r.blockFilter = keep }
 
 // SetProjection restricts which columns v2 blocks decode (timestamps are
 // always decoded). Skipped sections are jumped over without reading;
@@ -550,11 +566,20 @@ func (r *Reader) nextBlockFrame(f *blockFrame) error {
 			return fmt.Errorf("%w: implausible compression ratio (raw %d from enc %d)",
 				ErrCorruptBlock, rawLen, encLen)
 		}
+		ord := r.blockOrd
+		r.blockOrd++
 		if r.hasRange && (maxTS < r.minTS || minTS > r.maxTS) {
 			if _, err := r.r.Discard(int(encLen)); err != nil {
 				return ErrTruncated
 			}
 			r.stats.BlocksSkipped++
+			continue
+		}
+		if r.blockFilter != nil && !r.blockFilter(ord) {
+			if _, err := r.r.Discard(int(encLen)); err != nil {
+				return ErrTruncated
+			}
+			r.stats.BlocksFiltered++
 			continue
 		}
 		// Zero-copy fast path: blocks that fit the bufio window are decoded

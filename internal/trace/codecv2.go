@@ -1211,6 +1211,10 @@ type BlockStats struct {
 	// BlocksSkipped is the number of blocks pruned by the time range
 	// without decoding their payload.
 	BlocksSkipped int64
+	// BlocksFiltered is the number of blocks pruned by a block filter
+	// (SetBlockFilter, fed from a partition index) without decoding
+	// their payload. Range-pruned blocks count as skipped, not filtered.
+	BlocksFiltered int64
 	// BytesRead is the number of stored stream bytes consumed by decoded
 	// data: the stream header plus, on v2, each decoded block's
 	// descriptor and stored (possibly compressed) payload, and on v1

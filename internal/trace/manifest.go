@@ -46,6 +46,12 @@ type PartitionInfo struct {
 	// Gen is the manifest generation at which this entry was added or
 	// last changed; Manifest.Since filters on it.
 	Gen uint64 `json:"gen"`
+	// IndexVersion is the format version of the partition's secondary-
+	// index sidecar (see PartitionIndex), or 0 when none was written —
+	// consumers of unindexed partitions fall back to scanning. Manifests
+	// written before indexing existed simply omit the field, so old
+	// campaigns keep loading unchanged.
+	IndexVersion uint16 `json:"index,omitempty"`
 }
 
 // Partition returns the entry's partition key.

@@ -84,6 +84,9 @@ type ScanMetrics struct {
 	// by the time range without decoding (zero for v1/memory stores).
 	BlocksRead    atomic.Int64
 	BlocksSkipped atomic.Int64
+	// BlocksFiltered counts v2 blocks pruned by a block filter fed from
+	// a partition index (see BlockFilterSetter).
+	BlocksFiltered atomic.Int64
 	// BytesRead is the number of stored trace bytes consumed by decoded
 	// data (see BlockStats.BytesRead); zero for stores without byte
 	// accounting, such as the in-memory store.
@@ -370,6 +373,7 @@ func Scan(ctx context.Context, s Store, opts ScanOptions, collectors ...Collecto
 				bs := sr.ReadStats()
 				opts.Metrics.BlocksRead.Add(bs.BlocksRead)
 				opts.Metrics.BlocksSkipped.Add(bs.BlocksSkipped)
+				opts.Metrics.BlocksFiltered.Add(bs.BlocksFiltered)
 				opts.Metrics.BytesRead.Add(bs.BytesRead)
 			}
 		}

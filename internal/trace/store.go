@@ -119,6 +119,17 @@ type BlockStatsReader interface {
 	ReadStats() BlockStats
 }
 
+// BlockFilterSetter is implemented by iterators that can skip whole v2
+// blocks by stream ordinal before decoding their payload. The filter is
+// consulted for every block the time range did not already prune; block
+// ordinals count every block in stream order (including range-pruned
+// ones), so they align with a PartitionIndex's Blocks slice. Like
+// projection this is a pruning hint for callers that know from an index
+// which blocks cannot match — filtered blocks are simply never decoded.
+type BlockFilterSetter interface {
+	SetBlockFilter(keep func(block int) bool)
+}
+
 // ShardOf maps a UE to its shard via a 64-bit finalizer hash, so every
 // record of a UE lands in the same shard on every day. Partitioning by UE
 // keeps per-UE analyses (mobility, gyration, ping-pong) shard-local.
@@ -525,6 +536,10 @@ type FileStoreOptions struct {
 	BlockRecords int
 	// Compress flate-compresses v2 block payloads.
 	Compress bool
+	// NoIndex disables writing .tlix secondary-index sidecars for new
+	// partitions. Queries over unindexed partitions fall back to
+	// scanning; results are identical, only slower.
+	NoIndex bool
 }
 
 // FileStore persists partitions as binary trace files in a directory.
@@ -579,6 +594,29 @@ func (f *FileStore) partitionPath(day, shard int) string {
 		return filepath.Join(f.dir, fmt.Sprintf("ho_day_%03d.tlho", day))
 	}
 	return filepath.Join(f.dir, fmt.Sprintf("ho_day_%03d_s%03d.tlho", day, shard))
+}
+
+// indexPath returns the partition's .tlix sidecar location (the .tlho
+// suffix replaced, so sidecars never match the partition listing).
+func (f *FileStore) indexPath(day, shard int) string {
+	p := f.partitionPath(day, shard)
+	return p[:len(p)-len(".tlho")] + IndexSuffix
+}
+
+// PartitionIndex loads a partition's secondary-index sidecar. A missing
+// sidecar is (nil, nil) — the partition predates indexing or was
+// written with NoIndex — and callers fall back to scanning. A corrupt
+// or future-versioned sidecar reports its error; callers should treat
+// that as absent too.
+func (f *FileStore) PartitionIndex(day, shard int) (*PartitionIndex, error) {
+	data, err := os.ReadFile(f.indexPath(day, shard))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading partition index: %w", err)
+	}
+	return DecodeIndex(data)
 }
 
 // partitionNameRE matches exactly the two partition file layouts; anything
@@ -639,7 +677,22 @@ func (f *FileStore) AppendPartition(day, shard int) (RecordWriter, error) {
 		os.Remove(path)
 		return nil, err
 	}
-	return &fileWriter{file: file, w: w, store: f, day: day, shard: shard, digest: digest}, nil
+	fw := &fileWriter{file: file, w: w, store: f, day: day, shard: shard, digest: digest}
+	if !f.opts.NoIndex {
+		// The index builder mirrors the codec's blocking rule (v2 seals a
+		// block exactly every BlockRecords records; v1 has no blocks), so
+		// block summaries align with the stream without touching the
+		// encoder.
+		perBlock := 0
+		if f.opts.Codec == CodecV2 {
+			perBlock = f.opts.BlockRecords
+			if perBlock <= 0 {
+				perBlock = DefaultBlockRecords
+			}
+		}
+		fw.idx = newIndexBuilder(perBlock)
+	}
+	return fw, nil
 }
 
 // manifestPath returns the store's MANIFEST location.
@@ -737,6 +790,9 @@ func (f *FileStore) RemovePartition(day, shard int) error {
 	if err := os.Remove(f.partitionPath(day, shard)); err != nil {
 		return fmt.Errorf("trace: removing partition day %d shard %d: %w", day, shard, err)
 	}
+	// Best-effort sidecar cleanup: an orphan index is harmless (loads are
+	// fingerprint-checked), but crash-debris removal should leave nothing.
+	os.Remove(f.indexPath(day, shard))
 	m, err := loadManifest(f.manifestPath())
 	if err != nil || m == nil {
 		return err
@@ -858,6 +914,11 @@ func (t *digestWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// fileWriter wraps a codec stream writer with the store-level
+// bookkeeping every landed record needs: timestamp extents and stream
+// fingerprint for the MANIFEST entry (digest) and, unless the store was
+// opened with NoIndex, the secondary-index builder feeding the .tlix
+// sidecar written on Close.
 type fileWriter struct {
 	file   *os.File
 	w      streamWriter
@@ -865,11 +926,15 @@ type fileWriter struct {
 	day    int
 	shard  int
 	digest *partitionDigest
+	idx    *indexBuilder
 	closed bool
 }
 
 func (w *fileWriter) Write(rec *Record) error {
 	w.digest.observeTS(rec.Timestamp)
+	if w.idx != nil {
+		w.idx.observe(rec.Timestamp, uint32(rec.UE), uint32(rec.TAC), uint32(rec.Source), uint32(rec.Target))
+	}
 	return w.w.Write(rec)
 }
 
@@ -879,6 +944,12 @@ func (w *fileWriter) Write(rec *Record) error {
 func (w *fileWriter) WriteBatch(recs []Record) error {
 	for i := range recs {
 		w.digest.observeTS(recs[i].Timestamp)
+	}
+	if w.idx != nil {
+		for i := range recs {
+			r := &recs[i]
+			w.idx.observe(r.Timestamp, uint32(r.UE), uint32(r.TAC), uint32(r.Source), uint32(r.Target))
+		}
 	}
 	if bw, ok := w.w.(BatchWriter); ok {
 		return bw.WriteBatch(recs)
@@ -900,6 +971,9 @@ func (w *fileWriter) WriteBatch(recs []Record) error {
 func (w *fileWriter) WriteColumns(cb *ColumnBatch) error {
 	for _, ts := range cb.Timestamps {
 		w.digest.observeTS(ts)
+	}
+	if w.idx != nil {
+		w.idx.observeColumns(cb)
 	}
 	if cw, ok := w.w.(ColumnWriter); ok {
 		return cw.WriteColumns(cb)
@@ -946,7 +1020,17 @@ func (w *fileWriter) Close() error {
 	if err := w.file.Close(); err != nil {
 		return err
 	}
-	return w.store.notePartitionClosed(w.digest.info(w.day, w.shard, w.w.Count()))
+	info := w.digest.info(w.day, w.shard, w.w.Count())
+	if w.idx != nil {
+		// The sidecar lands before the manifest entry that advertises it,
+		// so a reader that sees IndexVersion > 0 always finds the file.
+		idx := w.idx.finish(w.digest.hash)
+		if err := writeIndexFile(w.store.indexPath(w.day, w.shard), idx); err != nil {
+			return err
+		}
+		info.IndexVersion = idx.Version
+	}
+	return w.store.notePartitionClosed(info)
 }
 
 type fileIterator struct {
@@ -989,6 +1073,10 @@ func (it *fileIterator) SetTimeRange(minTS, maxTS int64) { it.r.SetTimeRange(min
 
 // SetProjection restricts which columns v2 files decode.
 func (it *fileIterator) SetProjection(cols ColumnSet) { it.r.SetProjection(cols) }
+
+// SetBlockFilter prunes v2 blocks by stream ordinal without decoding
+// them (see BlockFilterSetter).
+func (it *fileIterator) SetBlockFilter(keep func(block int) bool) { it.r.SetBlockFilter(keep) }
 
 // ReadStats reports block read/skip counters (zero for v1 files).
 func (it *fileIterator) ReadStats() BlockStats { return it.r.Stats() }

@@ -7,7 +7,11 @@
 # 3. kill -9 the daemon mid-stream, restart it (WAL replay + debris
 #    removal), and let the replayer — which retries with the same
 #    sequence numbers — finish.
-# 4. Assert the streamed directory is byte-identical to the reference:
+# 4. Hammer GET /query the whole time (snapshot-isolated reads racing
+#    ingest seals and the kill window), then cross-check several per-UE
+#    slices: the indexed execution must be byte-identical to the
+#    noindex scan fallback over the fully sealed store.
+# 5. Assert the streamed directory is byte-identical to the reference:
 #    every partition and the campaign manifest, plus every rendered
 #    analysis artifact (telcoreport output).
 #
@@ -26,9 +30,11 @@ cd "$(dirname "$0")/.."
 WORK=$(mktemp -d)
 SERVE_PID=""
 LOAD_PID=""
+QUERY_PID=""
 cleanup() {
   [ -n "$SERVE_PID" ] && kill -9 "$SERVE_PID" 2>/dev/null || true
   [ -n "$LOAD_PID" ] && kill "$LOAD_PID" 2>/dev/null || true
+  [ -n "$QUERY_PID" ] && kill "$QUERY_PID" 2>/dev/null || true
   rm -rf "$WORK"
 }
 trap cleanup EXIT
@@ -76,6 +82,22 @@ echo "== streaming the campaign live (rate $RATE rec/s)"
   >"$WORK/load.log" 2>&1 &
 LOAD_PID=$!
 
+# Concurrent-query leg: ad-hoc slices race the ingest seals, the
+# refresh swaps, and the kill -9 window. 503s (campaign pending,
+# daemon down) and connection failures are expected and tolerated —
+# the daemon just must never serve a torn result or crash.
+(
+  i=0
+  while :; do
+    curl -s --max-time 2 \
+      "http://$ADDR/query?ue=$((i % 200))&limit=20&format=csv" \
+      >/dev/null 2>&1 || true
+    i=$((i + 1))
+    sleep 0.05
+  done
+) &
+QUERY_PID=$!
+
 # Wait until records are demonstrably in flight, then murder the daemon.
 for _ in $(seq 1 100); do
   [ "$(stat_field ingested_records)" -gt 5000 ] && break
@@ -114,6 +136,28 @@ if [ "$(stat_field sealed_days)" -ne "$DAYS" ]; then
   cat "$WORK/serve.log" >&2
   exit 1
 fi
+
+kill "$QUERY_PID" 2>/dev/null || true
+wait "$QUERY_PID" 2>/dev/null || true
+QUERY_PID=""
+
+# The serving snapshot may trail the last seal by one poll interval;
+# wait until the daemon's query view covers every sealed day before
+# cross-checking.
+sleep 2
+
+echo "== cross-checking indexed /query against the scan fallback"
+for ue in 3 17 42 123; do
+  curl -fsS "http://$ADDR/query?ue=$ue&limit=100000&format=csv" \
+    >"$WORK/q_idx.csv"
+  curl -fsS "http://$ADDR/query?ue=$ue&limit=100000&format=csv&noindex=1" \
+    >"$WORK/q_scan.csv"
+  if ! cmp -s "$WORK/q_idx.csv" "$WORK/q_scan.csv"; then
+    echo "QUERY MISMATCH: ue=$ue indexed vs noindex" >&2
+    diff "$WORK/q_idx.csv" "$WORK/q_scan.csv" | head >&2 || true
+    exit 1
+  fi
+done
 
 echo "== comparing streamed campaign against the batch reference"
 fail=0

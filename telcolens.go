@@ -32,6 +32,7 @@ import (
 	"io"
 
 	"telcolens/internal/analysis"
+	"telcolens/internal/query"
 	"telcolens/internal/report"
 	"telcolens/internal/simulate"
 	"telcolens/internal/trace"
@@ -83,6 +84,36 @@ type DistrictProfile = analysis.DistrictProfile
 
 // LegacyDependence ranks districts by vertical-handover reliance.
 type LegacyDependence = analysis.LegacyDependence
+
+// QueryEngine executes ad-hoc record-slice queries (per-UE, per-TAC,
+// time-window) over a store, pruning with the MANIFEST zone maps and
+// the per-partition .tlix secondary indexes when present; see the
+// internal/query package and DESIGN.md §6.
+type QueryEngine = query.Engine
+
+// QueryParams is one ad-hoc query: a conjunction of optional
+// predicates plus a row limit and an aggregate switch.
+type QueryParams = query.Params
+
+// QueryResult is a query's answer: matched rows in canonical order,
+// the optional per-slice aggregate, and per-request prune metrics.
+type QueryResult = query.Result
+
+// QueryView pins the partition set of one manifest generation; queries
+// against it are snapshot-isolated from concurrent appends.
+type QueryView = query.View
+
+// UESliceAggregate summarizes one subscriber's record slice (handover
+// counts, outcome split, ping-pong bounces per standard window).
+type UESliceAggregate = analysis.UESliceAggregate
+
+// NewQueryEngine returns a query engine over s. Stores that maintain
+// .tlix index sidecars (FileStore) get index pruning; everything else
+// scans with identical results.
+func NewQueryEngine(s Store) *QueryEngine { return query.New(s) }
+
+// NewQueryView snapshots s's current partition set for querying.
+func NewQueryView(s Store) (*QueryView, error) { return query.NewView(s) }
 
 // Option tunes generation and analysis entry points. Options are shared:
 // each entry point applies the fields that concern it and ignores the
