@@ -38,6 +38,13 @@
 #                     campaign into telcoserve -ingest, kill -9 it
 #                     mid-stream, restart, assert byte-identical
 #                     artifacts (RACE=1 for race-instrumented binaries)
+#   make chaos        seeded fault-injection matrix under -race: fail
+#                     every durable operation at every Nth filesystem
+#                     op (internal/chaos + internal/faultfs)
+#   make chaos-soak   scrub/quarantine soak: telcofsck a damaged
+#                     campaign, telcoserve -scrub serving degraded,
+#                     checkpoint resume across SIGTERM
+#                     (RACE=1 for race-instrumented binaries)
 #   make ci           vet + build + race + bench-smoke + alloc-check
 #                     (the PR gate also runs lint, the determinism
 #                     matrix and benchgate — see .github/workflows/ci.yml)
@@ -133,5 +140,19 @@ fuzz-smoke:
 # race detector (the CI soak job does).
 soak:
 	scripts/ingest_soak.sh
+
+# Deterministic fault-injection matrix (internal/chaos): every durable
+# operation — partition write, WAL append, seal commit, checkpoint
+# save, indexed query, incremental refresh — is failed at every Nth
+# filesystem op in turn under seeded faultfs plans, asserting a clean
+# error with the old state intact or recovery to byte-identical
+# artifacts. `make chaos-soak` adds the end-to-end scrub/quarantine
+# half: telcofsck on a damaged campaign, telcoserve -scrub serving
+# degraded, checkpoint resume across SIGTERM.
+chaos:
+	$(GO) test -race -count 1 ./internal/chaos/ ./internal/faultfs/
+
+chaos-soak:
+	scripts/chaos_soak.sh
 
 ci: vet build race bench-smoke alloc-check

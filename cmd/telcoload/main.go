@@ -22,10 +22,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -52,13 +56,17 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*src, *url, *rate, *batch, *streams, *reorder, *jitter, *days, *seed, *noInit); err != nil {
+	// An interrupt cancels in-flight sends and aborts backoff waits
+	// immediately; the replay then exits non-zero with what failed.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, *src, *url, *rate, *batch, *streams, *reorder, *jitter, *days, *seed, *noInit); err != nil {
 		fmt.Fprintln(os.Stderr, "telcoload:", err)
 		os.Exit(1)
 	}
 }
 
-func run(src, url string, rate float64, batchSize, streams, reorder int, jitter float64, dayLimit int, seed int64, noInit bool) error {
+func run(ctx context.Context, src, url string, rate float64, batchSize, streams, reorder int, jitter float64, dayLimit int, seed int64, noInit bool) error {
 	meta, err := simulate.LoadMeta(src)
 	if err != nil {
 		return err
@@ -90,7 +98,7 @@ func run(src, url string, rate float64, batchSize, streams, reorder int, jitter 
 		streamMeta.Config.Days = 0
 		streamMeta.Config.WindowDays = meta.Config.Days
 		streamMeta.DayStats = nil
-		if err := clients[0].Init(&streamMeta); err != nil {
+		if err := clients[0].Init(ctx, &streamMeta); err != nil {
 			return fmt.Errorf("initializing ingest target: %w", err)
 		}
 	}
@@ -108,10 +116,10 @@ func run(src, url string, rate float64, batchSize, streams, reorder int, jitter 
 			return err
 		}
 		shuffleWindow(cols, reorder, rng)
-		if err := sendDay(clients, cols, batchSize, interval, jitter, rng); err != nil {
+		if err := sendDay(ctx, clients, cols, batchSize, interval, jitter, rng); err != nil {
 			return fmt.Errorf("day %d: %w", day, err)
 		}
-		if err := clients[0].DayDone(day, meta.DayStats[day]); err != nil {
+		if err := clients[0].DayDone(ctx, day, meta.DayStats[day]); err != nil {
 			return fmt.Errorf("closing day %d: %w", day, err)
 		}
 		total += int64(cols.Len())
@@ -186,14 +194,24 @@ func shuffleWindow(cols *trace.ColumnBatch, window int, rng *rand.Rand) {
 	*cols = *out
 }
 
+// streamFailure is one client stream that gave up: its retry budget ran
+// out (or the context was canceled) on some batch.
+type streamFailure struct {
+	stream uint32
+	err    error
+}
+
 // sendDay fans the day's records out over the client streams in
 // round-robin batches, pacing each stream to the shared rate target.
-func sendDay(clients []*ingest.Client, cols *trace.ColumnBatch, batchSize int, interval time.Duration, jitter float64, rng *rand.Rand) error {
+// When streams exhaust their retry budgets the error summarizes every
+// failed stream, not just the first — the operator sees at a glance
+// whether one stream hit a bad path or the endpoint went down for all.
+func sendDay(ctx context.Context, clients []*ingest.Client, cols *trace.ColumnBatch, batchSize int, interval time.Duration, jitter float64, rng *rand.Rand) error {
 	type job struct{ lo, hi int }
 	// Fully buffered so the producer never blocks even if every worker
 	// bails out on an error.
 	jobs := make(chan job, cols.Len()/batchSize+1)
-	errs := make(chan error, len(clients))
+	errs := make(chan streamFailure, len(clients))
 	var wg sync.WaitGroup
 	// Per-stream jitter sources: rand.Rand is not goroutine-safe.
 	seeds := make([]int64, len(clients))
@@ -206,8 +224,8 @@ func sendDay(clients []*ingest.Client, cols *trace.ColumnBatch, batchSize int, i
 			defer wg.Done()
 			jr := rand.New(rand.NewSource(seed))
 			for j := range jobs {
-				if _, err := cl.Send(slice(cols, j.lo, j.hi)); err != nil {
-					errs <- err
+				if _, err := cl.Send(ctx, slice(cols, j.lo, j.hi)); err != nil {
+					errs <- streamFailure{stream: cl.Stream, err: err}
 					return
 				}
 				if interval > 0 {
@@ -228,7 +246,20 @@ func sendDay(clients []*ingest.Client, cols *trace.ColumnBatch, batchSize int, i
 	close(jobs)
 	wg.Wait()
 	close(errs)
-	return <-errs
+	var failed []streamFailure
+	for f := range errs {
+		failed = append(failed, f)
+	}
+	if len(failed) == 0 {
+		return nil
+	}
+	sort.Slice(failed, func(i, j int) bool { return failed[i].stream < failed[j].stream })
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d of %d streams failed:", len(failed), len(clients))
+	for _, f := range failed {
+		fmt.Fprintf(&b, "\n  stream %d: %v", f.stream, f.err)
+	}
+	return fmt.Errorf("%s", b.String())
 }
 
 // slice views rows [lo, hi) of b without copying.

@@ -66,14 +66,59 @@ func main() {
 		ingestOn  = flag.Bool("ingest", false, "mount the streaming ingest endpoints (/ingest/*) on this address")
 		walSync   = flag.Bool("wal-sync", false, "fsync the ingest WAL on every batch (machine-crash durability)")
 		ingestMax = flag.Int64("ingest-pending", 0, "ingest backlog budget in records before 429s (0 = default)")
+		scrub     = flag.Bool("scrub", false, "audit the store at startup and quarantine corrupt partitions before serving")
+		ckptPath  = flag.String("checkpoint", "", "analyzer checkpoint file: resumed at startup, saved after every refresh (empty = cold scans only)")
+		drain     = flag.Duration("drain", 5*time.Second, "graceful-shutdown drain budget for in-flight requests")
 	)
 	flag.Parse()
 
-	if err := run(*data, *addr, *poll, *parallel, *ingestOn, *walSync, *ingestMax); err != nil {
+	cfg := serveConfig{
+		dir:        *data,
+		addr:       *addr,
+		poll:       *poll,
+		parallel:   *parallel,
+		ingestOn:   *ingestOn,
+		walSync:    *walSync,
+		ingestMax:  *ingestMax,
+		scrub:      *scrub,
+		checkpoint: *ckptPath,
+		drain:      *drain,
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "telcoserve:", err)
 		os.Exit(1)
 	}
 }
+
+// serveConfig carries the daemon's flag set.
+type serveConfig struct {
+	dir        string
+	addr       string
+	poll       time.Duration
+	parallel   int
+	ingestOn   bool
+	walSync    bool
+	ingestMax  int64
+	scrub      bool
+	checkpoint string
+	drain      time.Duration
+}
+
+// HTTP hardening bounds: header/body read and response write deadlines
+// per request, plus body-size caps on the two endpoints that accept or
+// stream significant payloads. Scan-heavy artifact renders happen at
+// refresh time, never inside a request, so tight deadlines are safe.
+const (
+	httpReadHeaderTimeout = 10 * time.Second
+	httpReadTimeout       = time.Minute
+	httpWriteTimeout      = 5 * time.Minute
+	httpIdleTimeout       = 2 * time.Minute
+	// maxIngestBody caps one POST /ingest batch (matches the WAL's own
+	// frame sanity bound).
+	maxIngestBody = 64 << 20
+	// maxQueryBody: /query is GET-shaped; any body is a client bug.
+	maxQueryBody = 1 << 20
+)
 
 // artifactView is one rendered experiment held in memory.
 type artifactView struct {
@@ -105,6 +150,10 @@ type snapshot struct {
 type server struct {
 	dir      string
 	parallel int
+	// checkpoint is the analyzer checkpoint file (empty = disabled):
+	// resumed at startup, re-saved after every successful refresh so a
+	// restart warms up without a full rescan.
+	checkpoint string
 	// ing is the co-hosted ingest service (nil without -ingest); nudge
 	// wakes the watch loop the moment a local seal lands.
 	ing   *ingest.Service
@@ -204,6 +253,29 @@ func build(ctx context.Context, a *telcolens.Analyzer, ds *telcolens.Dataset, ge
 		renderedAt:  time.Now(),
 		qview:       qv,
 	}, warmOK
+}
+
+// saveCheckpoint persists the serving analyzer's state (no-op without
+// -checkpoint). Failures are logged, not fatal: the file is an
+// accelerator for the next startup, never a serving dependency.
+func (s *server) saveCheckpoint(a *telcolens.Analyzer) {
+	if s.checkpoint == "" {
+		return
+	}
+	if err := telcolens.SaveCheckpoint(s.checkpoint, a); err != nil {
+		log.Printf("saving checkpoint %s: %v", s.checkpoint, err)
+	}
+}
+
+// degradedDays reports the study days excluded from serving because a
+// scrub quarantined their partitions — the daemon's declared degraded
+// mode, surfaced on /healthz and /stats. Errors read as "no log".
+func (s *server) degradedDays() []int {
+	recs, err := trace.LoadQuarantine(nil, s.dir)
+	if err != nil || len(recs) == 0 {
+		return nil
+	}
+	return trace.QuarantinedDays(recs)
 }
 
 // pendingBeyondWindow reports whether the store holds partitions for
@@ -311,6 +383,7 @@ func (s *server) refresh(ctx context.Context) error {
 	s.lastScanned = res.PartitionsScanned
 	s.lastRefreshDur = time.Since(start)
 	s.mu.Unlock()
+	s.saveCheckpoint(a)
 	log.Printf("refresh: %d partitions merged (full rescan: %v), %d days, %d artifacts, took %s",
 		res.PartitionsScanned, fullRescan || res.FullRescan, res.Days, len(next.order),
 		time.Since(start).Round(time.Millisecond))
@@ -346,6 +419,7 @@ func (s *server) bootstrap(ctx context.Context) error {
 	}
 	s.eng.InvalidateCache()
 	s.mu.Unlock()
+	s.saveCheckpoint(a)
 	log.Printf("campaign bootstrapped: %d days, %d artifacts", snap.days, len(snap.order))
 	return nil
 }
@@ -537,6 +611,10 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	out["query"] = s.queryStats()
+	if days := s.degradedDays(); len(days) > 0 {
+		out["degraded"] = true
+		out["quarantined_days"] = days
+	}
 	if iv := s.ingestView(); iv != nil {
 		out["ingest"] = iv
 	}
@@ -545,8 +623,9 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 // handleHealthz is the liveness probe: always 200 while the process
 // serves, with enough state to see the live pipeline at a glance —
-// serving generation, snapshot age, and (in ingest mode) WAL depth,
-// memtable backlog, and ingest lag.
+// serving generation, snapshot age, declared degraded mode (days a
+// scrub quarantined), and (in ingest mode) WAL depth, memtable
+// backlog, and ingest lag.
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	cur := s.cur
@@ -559,29 +638,73 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		out["manifest_gen"] = cur.manifestGen
 		out["snapshot_age_sec"] = time.Since(cur.renderedAt).Seconds()
 	}
+	if days := s.degradedDays(); len(days) > 0 {
+		// Still 200: the daemon is healthy, the data is declaredly
+		// partial. Probes alert on the field, not the status code.
+		out["status"] = "degraded"
+		out["quarantined_days"] = days
+	}
 	if iv := s.ingestView(); iv != nil {
 		out["ingest"] = iv
 	}
 	writeJSON(w, out)
 }
 
-func run(dir, addr string, poll time.Duration, parallel int, ingestOn, walSync bool, ingestMax int64) error {
+// startupScrub audits the store before the daemon loads anything,
+// quarantining corrupt partitions so the campaign serves its surviving
+// days in declared degraded mode instead of failing outright.
+func startupScrub(ctx context.Context, dir string) error {
+	if _, err := os.Stat(dir); err != nil {
+		return nil // nothing to scrub yet (ingest-mode cold start)
+	}
+	store, err := trace.NewFileStore(dir)
+	if err != nil {
+		return err
+	}
+	res, err := trace.Scrub(ctx, store)
+	if err != nil {
+		return fmt.Errorf("startup scrub: %w", err)
+	}
+	if res.Report.OK() && len(res.Report.Issues) == 0 {
+		log.Printf("startup scrub: %d partitions clean", res.Report.Partitions)
+		return nil
+	}
+	for _, p := range res.Quarantined {
+		log.Printf("startup scrub: quarantined day %d shard %d", p.Day, p.Shard)
+	}
+	for _, p := range res.IndexesDropped {
+		log.Printf("startup scrub: dropped corrupt index day %d shard %d", p.Day, p.Shard)
+	}
+	for _, p := range res.EntriesDropped {
+		log.Printf("startup scrub: dropped manifest entry day %d shard %d (file missing)", p.Day, p.Shard)
+	}
+	return nil
+}
+
+func run(cfg serveConfig) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	s := &server{dir: dir, parallel: parallel, started: time.Now(), nudge: make(chan struct{}, 1)}
+	if cfg.scrub {
+		if err := startupScrub(ctx, cfg.dir); err != nil {
+			return err
+		}
+	}
+
+	s := &server{dir: cfg.dir, parallel: cfg.parallel, checkpoint: cfg.checkpoint,
+		started: time.Now(), nudge: make(chan struct{}, 1)}
 	// The query engine reads partitions through its own store handle —
 	// FileStore is stateless, so one handle serves every generation; the
 	// per-snapshot view pins which partitions a query may touch.
-	qstore, err := trace.NewFileStore(dir)
+	qstore, err := trace.NewFileStore(cfg.dir)
 	if err != nil {
 		return fmt.Errorf("opening store for queries: %w", err)
 	}
 	s.eng = query.New(qstore)
-	if ingestOn {
-		svc, err := ingest.Open(dir, ingest.Options{
-			MaxPendingRecords: ingestMax,
-			SyncEvery:         walSync,
+	if cfg.ingestOn {
+		svc, err := ingest.Open(cfg.dir, ingest.Options{
+			MaxPendingRecords: cfg.ingestMax,
+			SyncEvery:         cfg.walSync,
 			OnSeal: func(day int) {
 				log.Printf("ingest: day %d sealed", day)
 				s.poke()
@@ -594,15 +717,33 @@ func run(dir, addr string, poll time.Duration, parallel int, ingestOn, walSync b
 		s.ing = svc
 	}
 
-	ds, err := telcolens.Load(dir)
+	ds, err := telcolens.Load(cfg.dir)
 	switch {
 	case err == nil:
-		a, err := telcolens.NewAnalyzer(ds, s.options()...)
+		var a *telcolens.Analyzer
+		var resumed bool
+		if cfg.checkpoint != "" {
+			a, resumed, err = telcolens.ResumeAnalyzerFile(cfg.checkpoint, ds, s.options()...)
+		} else {
+			a, err = telcolens.NewAnalyzer(ds, s.options()...)
+		}
 		if err != nil {
 			return err
 		}
+		if resumed {
+			if _, err := a.Refresh(ctx); err != nil {
+				// A resumable checkpoint the store has since diverged from:
+				// rebuild cold rather than refuse to start.
+				log.Printf("refreshing resumed checkpoint: %v; rebuilding cold", err)
+				resumed = false
+				if a, err = telcolens.NewAnalyzer(ds, s.options()...); err != nil {
+					return err
+				}
+			}
+		}
 		start := time.Now()
-		log.Printf("warming analysis state for %s (%d days)...", dir, ds.Config.Days)
+		log.Printf("warming analysis state for %s (%d days, resumed checkpoint: %v)...",
+			cfg.dir, ds.Config.Days, resumed)
 		gen := manifestGen(ds.Store)
 		snap, warmOK := build(ctx, a, ds, gen)
 		s.cur = snap
@@ -610,32 +751,40 @@ func run(dir, addr string, poll time.Duration, parallel int, ingestOn, walSync b
 			// A failed warm-up leaves lastGen at 0, so the poll loop keeps
 			// retrying instead of serving error artifacts until restart.
 			s.lastGen = gen
+			s.saveCheckpoint(a)
 		}
 		log.Printf("serving %d artifacts on %s (initial scan took %s)",
-			len(s.cur.order), addr, time.Since(start).Round(time.Millisecond))
-	case ingestOn:
+			len(s.cur.order), cfg.addr, time.Since(start).Round(time.Millisecond))
+	case cfg.ingestOn:
 		// No campaign yet: serve 503s and bootstrap once the descriptor
 		// arrives over POST /ingest/init.
-		log.Printf("no campaign in %s yet (%v); waiting for ingest", dir, err)
+		log.Printf("no campaign in %s yet (%v); waiting for ingest", cfg.dir, err)
 	default:
 		return err
 	}
 
-	go s.watch(ctx, poll)
+	go s.watch(ctx, cfg.poll)
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", s.handleIndex)
 	mux.HandleFunc("/artifacts", s.handleArtifacts)
 	mux.HandleFunc("/artifacts/", s.handleArtifacts)
-	mux.HandleFunc("/query", s.handleQuery)
+	mux.Handle("/query", http.MaxBytesHandler(http.HandlerFunc(s.handleQuery), maxQueryBody))
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	if s.ing != nil {
-		ih := s.ing.Handler()
+		ih := http.MaxBytesHandler(s.ing.Handler(), maxIngestBody)
 		mux.Handle("/ingest", ih)
 		mux.Handle("/ingest/", ih)
 	}
-	srv := &http.Server{Addr: addr, Handler: mux}
+	srv := &http.Server{
+		Addr:              cfg.addr,
+		Handler:           mux,
+		ReadHeaderTimeout: httpReadHeaderTimeout,
+		ReadTimeout:       httpReadTimeout,
+		WriteTimeout:      httpWriteTimeout,
+		IdleTimeout:       httpIdleTimeout,
+	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 	select {
@@ -643,10 +792,21 @@ func run(dir, addr string, poll time.Duration, parallel int, ingestOn, walSync b
 		return err
 	case <-ctx.Done():
 	}
-	log.Printf("shutting down")
-	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+
+	// Graceful drain: stop accepting, let in-flight requests finish
+	// within the budget, then stop the ingest side seal-safely — a
+	// non-forced flush seals any complete days; everything else stays
+	// acknowledged-durable in the WAL for replay on the next start.
+	log.Printf("shutting down (drain %s)", cfg.drain)
+	shutCtx, cancel := context.WithTimeout(context.Background(), cfg.drain)
 	defer cancel()
-	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+	err = srv.Shutdown(shutCtx)
+	if s.ing != nil {
+		if _, ferr := s.ing.Flush(false); ferr != nil && !errors.Is(ferr, ingest.ErrNotInitialized) {
+			log.Printf("ingest drain flush: %v", ferr)
+		}
+	}
+	if err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		return err
 	}
 	return nil

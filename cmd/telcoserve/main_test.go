@@ -4,7 +4,9 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -119,6 +121,140 @@ func TestHandleQuery(t *testing.T) {
 	if rec = get(t, pending, "/query?ue=1"); rec.Code != http.StatusServiceUnavailable {
 		t.Fatalf("pending server: status %d", rec.Code)
 	}
+}
+
+// TestQueryCacheSwapRace hammers /query while a writer repeatedly
+// lands new days and swaps snapshots (the refresh path: new view, swap
+// s.cur, InvalidateCache). The invariant under -race: every response's
+// generation is at least the generation published before the request
+// started — a swap never leaves a stale cached result reachable — and
+// the row count always matches the generation the response claims.
+func TestQueryCacheSwapRace(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := trace.NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each day contributes 10 rows to ue=3 (50 records, UE = i%5).
+	writeDay := func(day int) {
+		t.Helper()
+		base := trace.DayStart(day).UnixMilli()
+		recs := make([]trace.Record, 50)
+		for i := range recs {
+			recs[i] = trace.Record{
+				Timestamp: base + int64(i)*60_000,
+				UE:        trace.UEID(i % 5),
+				TAC:       35000001,
+				Source:    1,
+				Target:    2,
+				Result:    trace.Success,
+			}
+		}
+		w, err := fs.AppendPartition(day, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.(trace.BatchWriter).WriteBatch(recs); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeDay(0)
+	qv, err := query.NewView(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &server{
+		started: time.Now(),
+		nudge:   make(chan struct{}, 1),
+		eng:     query.New(fs),
+		cur:     &snapshot{qview: qv, renderedAt: time.Now()},
+	}
+
+	// rowsAt maps a published generation to the ue=3 row count any
+	// response claiming that generation must carry; published is the
+	// newest generation visible to requests that start now.
+	var pub struct {
+		sync.Mutex
+		rowsAt    map[uint64]int
+		published uint64
+	}
+	pub.rowsAt = map[uint64]int{qv.Gen: 10}
+	pub.published = qv.Gen
+
+	const swaps = 8
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // the refresh path
+		defer wg.Done()
+		for day := 1; day <= swaps; day++ {
+			writeDay(day)
+			nv, err := query.NewView(fs)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			pub.Lock()
+			pub.rowsAt[nv.Gen] = 10 * (day + 1)
+			pub.Unlock()
+			s.mu.Lock()
+			s.cur = &snapshot{qview: nv, renderedAt: time.Now(), manifestGen: nv.Gen}
+			s.eng.InvalidateCache()
+			s.mu.Unlock()
+			pub.Lock()
+			pub.published = nv.Gen
+			pub.Unlock()
+		}
+	}()
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				pub.Lock()
+				floor := pub.published
+				done := len(pub.rowsAt) > swaps
+				pub.Unlock()
+				rec := httptest.NewRecorder()
+				s.handleQuery(rec, httptest.NewRequest(http.MethodGet, "/query?ue=3&limit=100000", nil))
+				if rec.Code != http.StatusOK {
+					t.Errorf("query status %d: %s", rec.Code, rec.Body.String())
+					return
+				}
+				gen, err := strconv.ParseUint(rec.Header().Get("X-Manifest-Gen"), 10, 64)
+				if err != nil {
+					t.Errorf("bad X-Manifest-Gen: %v", err)
+					return
+				}
+				if gen < floor {
+					t.Errorf("served generation %d, but %d was already published before the request", gen, floor)
+					return
+				}
+				var res query.Result
+				if err := json.Unmarshal(rec.Body.Bytes(), &res); err != nil {
+					t.Error(err)
+					return
+				}
+				pub.Lock()
+				want, known := pub.rowsAt[gen]
+				pub.Unlock()
+				if !known {
+					t.Errorf("response claims unpublished generation %d", gen)
+					return
+				}
+				if len(res.Rows) != want {
+					t.Errorf("generation %d served %d rows, want %d (stale cache?)", gen, len(res.Rows), want)
+					return
+				}
+				if done {
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // TestStatsQuerySection asserts /stats surfaces the per-query and

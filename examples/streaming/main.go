@@ -86,7 +86,7 @@ func main() {
 	streamMeta.Config.WindowDays = cfg.Days
 	streamMeta.DayStats = nil
 	client := &ingest.Client{Base: ts.URL, Stream: 1}
-	if err := client.Init(&streamMeta); err != nil {
+	if err := client.Init(context.Background(), &streamMeta); err != nil {
 		log.Fatal(err)
 	}
 
@@ -106,11 +106,11 @@ func main() {
 			}
 			batch := new(trace.ColumnBatch)
 			batch.AppendGather(recs, idx)
-			if _, err := client.Send(batch); err != nil {
+			if _, err := client.Send(context.Background(), batch); err != nil {
 				log.Fatal(err)
 			}
 		}
-		if err := client.DayDone(day, meta.DayStats[day]); err != nil {
+		if err := client.DayDone(context.Background(), day, meta.DayStats[day]); err != nil {
 			log.Fatal(err)
 		}
 	}

@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"telcolens/internal/faultfs"
+)
+
+// Save → resume round-trip through a file: the resumed analyzer carries
+// the same state (identical re-checkpoint bytes) and reports resumed.
+func TestCheckpointFileRoundTrip(t *testing.T) {
+	ds := incDataset(t, t.TempDir(), 2, 1)
+	warm, err := New(ds, WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := warm.Require(context.Background(), NeedAll); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "state.tlckpt")
+	if err := SaveCheckpointFile(nil, path, warm); err != nil {
+		t.Fatal(err)
+	}
+
+	a, resumed, err := ResumeAnalyzerFile(nil, path, ds, WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resumed {
+		t.Fatal("fresh checkpoint file did not resume")
+	}
+	var want, got bytes.Buffer
+	if err := warm.Checkpoint(&want); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Checkpoint(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want.Bytes(), got.Bytes()) {
+		t.Fatal("resumed analyzer re-checkpoints differently")
+	}
+}
+
+// A missing or corrupt checkpoint file falls back to a cold analyzer
+// instead of failing: the file is an accelerator, not a dependency.
+func TestCheckpointFileFallsBackCold(t *testing.T) {
+	ds := incDataset(t, t.TempDir(), 1, 1)
+	dir := t.TempDir()
+
+	a, resumed, err := ResumeAnalyzerFile(nil, filepath.Join(dir, "absent.tlckpt"), ds)
+	if err != nil || resumed || a == nil {
+		t.Fatalf("missing file: a=%v resumed=%v err=%v", a, resumed, err)
+	}
+
+	// A checkpoint with a flipped byte fails its trailer checksum.
+	warm, err := New(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := warm.Require(context.Background(), NeedAll); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "state.tlckpt")
+	if err := SaveCheckpointFile(nil, path, warm); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	a, resumed, err = ResumeAnalyzerFile(nil, path, ds)
+	if err != nil || resumed || a == nil {
+		t.Fatalf("corrupt file: a=%v resumed=%v err=%v", a, resumed, err)
+	}
+	if _, err := a.Require(context.Background(), NeedAll); err != nil {
+		t.Fatalf("cold fallback does not scan: %v", err)
+	}
+}
+
+// A failed save (injected rename/sync faults) must error AND leave the
+// previous checkpoint file byte-intact.
+func TestCheckpointFileSaveFailureKeepsOld(t *testing.T) {
+	ds := incDataset(t, t.TempDir(), 1, 1)
+	warm, err := New(ds, WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := warm.Require(context.Background(), NeedAll); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.tlckpt")
+	if err := SaveCheckpointFile(nil, path, warm); err != nil {
+		t.Fatal(err)
+	}
+	old, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, rule := range []faultfs.Rule{
+		{Op: faultfs.OpRename, Path: "state.tlckpt", Kind: faultfs.KindErr},
+		{Op: faultfs.OpSync, Path: ".state.tlckpt-*", Kind: faultfs.KindErr},
+		{Op: faultfs.OpWrite, Path: ".state.tlckpt-*", Kind: faultfs.KindErr, Err: faultfs.ENOSPC},
+	} {
+		t.Run(rule.String(), func(t *testing.T) {
+			ff := faultfs.NewFault(nil, faultfs.Plan{Rules: []faultfs.Rule{rule}})
+			if err := SaveCheckpointFile(ff, path, warm); !errors.Is(err, faultfs.ErrInjected) {
+				t.Fatalf("save with %s should fail injected: %v", rule, err)
+			}
+			got, err := os.ReadFile(path)
+			if err != nil || !bytes.Equal(old, got) {
+				t.Fatalf("old checkpoint damaged by failed save: %v", err)
+			}
+			ents, err := os.ReadDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ents) != 1 {
+				t.Fatalf("stage debris left behind: %v", ents)
+			}
+		})
+	}
+}

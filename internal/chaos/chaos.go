@@ -1,0 +1,115 @@
+// Package chaos is the deterministic fault-injection harness for the
+// repo's durability contract. Its tests drive every durable operation
+// — partition write, WAL append, seal commit, checkpoint save, indexed
+// query, incremental refresh — through seeded faultfs plans that fail
+// at every Nth filesystem operation in turn, and assert the invariant
+// the failure model promises (see DESIGN.md "Failure model &
+// durability"): a faulted operation either surfaces a clean error with
+// the previous on-disk state intact, or the next fault-free attempt
+// recovers to artifacts byte-identical to a run that never failed.
+//
+// The helpers here are the reusable half: probe an operation once to
+// enumerate the filesystem ops it performs, expand that count into a
+// fail-at-every-step rule matrix, and fingerprint directory trees so
+// "byte-identical recovery" is one map comparison.
+package chaos
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"telcolens/internal/faultfs"
+)
+
+// FailPoints expands a probed op count (Fault.OpCounts after a clean
+// run) into one single-shot KindErr rule per (op, nth) step, in stable
+// order. perOpCap bounds the points per op class (0 = all): failing at
+// every one of ten thousand writes re-tests the same code path, so
+// matrices sample the first perOpCap and the final step of each class
+// — the last op before success is where commit-point bugs live.
+func FailPoints(counts map[faultfs.Op]int, perOpCap int) []faultfs.Rule {
+	return FailPointsBetween(nil, counts, perOpCap)
+}
+
+// FailPointsBetween is FailPoints for one phase of a longer probe: it
+// targets only the ops performed between two OpCounts snapshots (the
+// Fault's counters are cumulative), so a matrix can aim at the seal
+// commit without also failing the service open that precedes it.
+func FailPointsBetween(before, after map[faultfs.Op]int, perOpCap int) []faultfs.Rule {
+	var rules []faultfs.Rule
+	for _, op := range faultfs.SortedOps(after) {
+		lo, hi := before[op], after[op]
+		if hi <= lo {
+			continue
+		}
+		steps := hi - lo
+		if perOpCap > 0 && steps > perOpCap {
+			steps = perOpCap
+		}
+		for i := 0; i < steps; i++ {
+			rules = append(rules, faultfs.Rule{Op: op, After: lo + i, Kind: faultfs.KindErr})
+		}
+		if perOpCap > 0 && hi-lo > perOpCap {
+			rules = append(rules, faultfs.Rule{Op: op, After: hi - 1, Kind: faultfs.KindErr})
+		}
+	}
+	return rules
+}
+
+// TreeDigest fingerprints every regular file under dir (recursively)
+// as relpath -> FNV-1a of contents, skipping base names listed in
+// ignore. Two trees with equal digests hold byte-identical files.
+func TreeDigest(dir string, ignore ...string) (map[string]uint64, error) {
+	skip := make(map[string]bool, len(ignore))
+	for _, name := range ignore {
+		skip[name] = true
+	}
+	out := map[string]uint64{}
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || skip[d.Name()] {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(dir, path)
+		if err != nil {
+			return err
+		}
+		h := fnv.New64a()
+		h.Write(data)
+		out[rel] = h.Sum64()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DiffTrees describes how two TreeDigest maps differ (empty = byte
+// identical), for test failure messages.
+func DiffTrees(want, got map[string]uint64) string {
+	var diffs []string
+	for name, h := range want {
+		gh, ok := got[name]
+		switch {
+		case !ok:
+			diffs = append(diffs, fmt.Sprintf("missing %s", name))
+		case gh != h:
+			diffs = append(diffs, fmt.Sprintf("differs %s", name))
+		}
+	}
+	for name := range got {
+		if _, ok := want[name]; !ok {
+			diffs = append(diffs, fmt.Sprintf("extra %s", name))
+		}
+	}
+	sort.Strings(diffs)
+	return strings.Join(diffs, ", ")
+}

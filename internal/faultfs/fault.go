@@ -1,0 +1,538 @@
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// ErrInjected is the base error wrapped by every clean injected
+// failure (KindErr with no explicit Err, torn writes, ghost commits),
+// so chaos tests can tell a provoked fault from a real bug with
+// errors.Is.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// Op names one filesystem operation class a Rule can match.
+type Op string
+
+// Operation classes. OpWrite/OpRead/OpSync/OpClose match per-file
+// operations on files whose base name matches the rule; the rest match
+// the FS-level call.
+const (
+	OpOpen    Op = "open"
+	OpRead    Op = "read"
+	OpWrite   Op = "write"
+	OpSync    Op = "sync"
+	OpClose   Op = "close"
+	OpRename  Op = "rename"
+	OpRemove  Op = "remove"
+	OpMkdir   Op = "mkdir"
+	OpReadDir Op = "readdir"
+	OpStat    Op = "stat"
+	OpChmod   Op = "chmod"
+	OpSyncDir Op = "syncdir"
+)
+
+// Kind selects how a matched operation fails.
+type Kind int
+
+const (
+	// KindErr fails the operation cleanly: no side effect happens (for
+	// writes, no bytes are written), the configured Err (default
+	// ErrInjected) is returned.
+	KindErr Kind = iota
+	// KindTorn applies a prefix of the operation and then fails: a write
+	// persists Frac of its bytes (rounded down, at least 1 when the
+	// payload is non-empty) before returning an error. On non-write ops
+	// it behaves like KindErr.
+	KindTorn
+	// KindGhost performs the operation fully and then reports failure —
+	// the lost-acknowledgment case. A ghost rename really renames; a
+	// ghost sync really syncs. Callers that treat the error as "did not
+	// happen" must converge anyway.
+	KindGhost
+	// KindFlip corrupts data flowing through the operation instead of
+	// failing it: a read succeeds but the byte at offset Bit%len has its
+	// (Bit/8)%8-th bit inverted. On non-read ops it behaves like
+	// KindErr.
+	KindFlip
+	// KindStall sleeps Delay before performing the operation normally.
+	// It does not consume an error budget — the op succeeds.
+	KindStall
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindErr:
+		return "err"
+	case KindTorn:
+		return "torn"
+	case KindGhost:
+		return "ghost"
+	case KindFlip:
+		return "flip"
+	case KindStall:
+		return "stall"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Rule arms one deterministic fault: the After-th operation (1-based)
+// whose class is Op and whose file base name matches the Path glob
+// fails according to Kind. Counting is per rule — each rule keeps its
+// own tally of matching operations, so two rules on the same path
+// trigger independently.
+type Rule struct {
+	// Op is the operation class to match.
+	Op Op
+	// Path is a glob (path.Match syntax) tested against the base name of
+	// the operation's path; for renames, against the destination. Empty
+	// matches everything.
+	Path string
+	// After triggers on the Nth matching operation, 1-based. Zero means
+	// first.
+	After int
+	// Times limits how many consecutive matching operations fail once
+	// triggered. Zero means 1. Use a large value for a "disk stays
+	// broken" plan.
+	Times int
+	// Kind selects the failure mode.
+	Kind Kind
+	// Err overrides the returned error (e.g. syscall.ENOSPC). Nil means
+	// ErrInjected. The returned error always wraps ErrInjected unless
+	// Err itself is returned verbatim for errno checks — both are
+	// matched by Fired() records.
+	Err error
+	// Frac is the fraction of a torn write that persists, in percent
+	// (0 means 50).
+	Frac int
+	// Bit selects which bit a KindFlip inverts, as an absolute bit
+	// offset into the read payload (wrapped to its length).
+	Bit int
+	// Delay is the KindStall sleep.
+	Delay time.Duration
+}
+
+func (r Rule) String() string {
+	return fmt.Sprintf("%s(%s)@%d x%d %s", r.Op, r.Path, r.After, r.Times, r.Kind)
+}
+
+// Plan is a deterministic fault schedule: an ordered set of rules. The
+// Seed is not used for randomness inside the wrapper (matching is
+// fully deterministic); it is carried so a chaos matrix can derive a
+// plan from a seed and report it on failure.
+type Plan struct {
+	Seed  int64
+	Rules []Rule
+}
+
+// Fired records one injected fault, for post-hoc assertions.
+type Fired struct {
+	Rule Rule
+	Op   Op
+	Path string
+	N    int // the per-rule match count at which it fired
+}
+
+// Fault wraps an FS and applies a Plan. Safe for concurrent use.
+type Fault struct {
+	inner FS
+	plan  Plan
+
+	mu     sync.Mutex
+	counts []int // per-rule matching-op tally
+	used   []int // per-rule fires so far
+	fired  []Fired
+	ops    map[Op]int
+}
+
+// NewFault wraps inner (nil means OS{}) with the plan.
+func NewFault(inner FS, plan Plan) *Fault {
+	return &Fault{
+		inner:  Resolve(inner),
+		plan:   plan,
+		counts: make([]int, len(plan.Rules)),
+		used:   make([]int, len(plan.Rules)),
+		ops:    make(map[Op]int),
+	}
+}
+
+// Fired returns the faults injected so far, in order.
+func (f *Fault) Fired() []Fired {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]Fired(nil), f.fired...)
+}
+
+// OpCounts returns how many operations of each class the wrapped FS
+// has seen (fired or not) — useful for building fail-at-every-step
+// matrices: run once fault-free, read the counts, then generate one
+// plan per (op, n).
+func (f *Fault) OpCounts() map[Op]int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[Op]int, len(f.ops))
+	for k, v := range f.ops {
+		out[k] = v
+	}
+	return out
+}
+
+// check records one operation and decides whether a rule fires for it.
+// It returns the rule and true when the caller must inject.
+func (f *Fault) check(op Op, path string) (Rule, bool) {
+	base := filepath.Base(path)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ops[op]++
+	for i, r := range f.plan.Rules {
+		if r.Op != op {
+			continue
+		}
+		if r.Path != "" {
+			ok, err := filepath.Match(r.Path, base)
+			if err != nil || !ok {
+				continue
+			}
+		}
+		f.counts[i]++
+		after := r.After
+		if after <= 0 {
+			after = 1
+		}
+		times := r.Times
+		if times <= 0 {
+			times = 1
+		}
+		if f.counts[i] < after || f.used[i] >= times {
+			continue
+		}
+		f.used[i]++
+		f.fired = append(f.fired, Fired{Rule: r, Op: op, Path: path, N: f.counts[i]})
+		return r, true
+	}
+	return Rule{}, false
+}
+
+// err builds the error a fired rule reports.
+func (r Rule) err(op Op, path string) error {
+	if r.Err != nil {
+		// Wrap so both errors.Is(err, r.Err) and errors.Is(err,
+		// ErrInjected) hold.
+		return fmt.Errorf("faultfs: %s %s: %w (%w)", op, filepath.Base(path), r.Err, ErrInjected)
+	}
+	return fmt.Errorf("faultfs: %s %s: %w", op, filepath.Base(path), ErrInjected)
+}
+
+// ENOSPC is syscall.ENOSPC, re-exported so fault plans read naturally
+// without importing syscall.
+var ENOSPC error = syscall.ENOSPC
+
+func (f *Fault) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	if r, hit := f.check(OpOpen, name); hit {
+		switch r.Kind {
+		case KindStall:
+			time.Sleep(r.Delay)
+		default:
+			return nil, r.err(OpOpen, name)
+		}
+	}
+	inner, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{f: f, inner: inner, name: name}, nil
+}
+
+func (f *Fault) ReadFile(name string) ([]byte, error) {
+	data, err := f.inner.ReadFile(name)
+	if r, hit := f.check(OpRead, name); hit {
+		switch r.Kind {
+		case KindFlip:
+			if err == nil && len(data) > 0 {
+				flipBit(data, r.Bit)
+				return data, nil
+			}
+		case KindStall:
+			time.Sleep(r.Delay)
+		case KindGhost:
+			return data, r.err(OpRead, name)
+		default:
+			return nil, r.err(OpRead, name)
+		}
+	}
+	return data, err
+}
+
+func (f *Fault) ReadDir(name string) ([]fs.DirEntry, error) {
+	if r, hit := f.check(OpReadDir, name); hit {
+		if r.Kind == KindStall {
+			time.Sleep(r.Delay)
+		} else {
+			return nil, r.err(OpReadDir, name)
+		}
+	}
+	return f.inner.ReadDir(name)
+}
+
+func (f *Fault) MkdirAll(path string, perm fs.FileMode) error {
+	if r, hit := f.check(OpMkdir, path); hit {
+		if r.Kind == KindStall {
+			time.Sleep(r.Delay)
+		} else {
+			return r.err(OpMkdir, path)
+		}
+	}
+	return f.inner.MkdirAll(path, perm)
+}
+
+func (f *Fault) Rename(oldpath, newpath string) error {
+	if r, hit := f.check(OpRename, newpath); hit {
+		switch r.Kind {
+		case KindStall:
+			time.Sleep(r.Delay)
+		case KindGhost:
+			if err := f.inner.Rename(oldpath, newpath); err != nil {
+				return err
+			}
+			return r.err(OpRename, newpath)
+		default:
+			return r.err(OpRename, newpath)
+		}
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *Fault) Remove(name string) error {
+	if r, hit := f.check(OpRemove, name); hit {
+		switch r.Kind {
+		case KindStall:
+			time.Sleep(r.Delay)
+		case KindGhost:
+			if err := f.inner.Remove(name); err != nil {
+				return err
+			}
+			return r.err(OpRemove, name)
+		default:
+			return r.err(OpRemove, name)
+		}
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *Fault) Stat(name string) (fs.FileInfo, error) {
+	if r, hit := f.check(OpStat, name); hit {
+		if r.Kind == KindStall {
+			time.Sleep(r.Delay)
+		} else {
+			return nil, r.err(OpStat, name)
+		}
+	}
+	return f.inner.Stat(name)
+}
+
+func (f *Fault) Chmod(name string, mode fs.FileMode) error {
+	if r, hit := f.check(OpChmod, name); hit {
+		if r.Kind == KindStall {
+			time.Sleep(r.Delay)
+		} else {
+			return r.err(OpChmod, name)
+		}
+	}
+	return f.inner.Chmod(name, mode)
+}
+
+func (f *Fault) SyncDir(dir string) error {
+	if r, hit := f.check(OpSyncDir, dir); hit {
+		switch r.Kind {
+		case KindStall:
+			time.Sleep(r.Delay)
+		case KindGhost:
+			if err := f.inner.SyncDir(dir); err != nil {
+				return err
+			}
+			return r.err(OpSyncDir, dir)
+		default:
+			return r.err(OpSyncDir, dir)
+		}
+	}
+	return f.inner.SyncDir(dir)
+}
+
+// faultFile applies per-file rules on the wrapped handle.
+type faultFile struct {
+	f     *Fault
+	inner File
+	name  string
+}
+
+func (ff *faultFile) Name() string { return ff.name }
+
+func (ff *faultFile) Read(p []byte) (int, error) {
+	n, err := ff.inner.Read(p)
+	if r, hit := ff.f.check(OpRead, ff.name); hit {
+		switch r.Kind {
+		case KindFlip:
+			if n > 0 {
+				flipBit(p[:n], r.Bit)
+			}
+			return n, err
+		case KindStall:
+			time.Sleep(r.Delay)
+		case KindGhost:
+			return n, r.err(OpRead, ff.name)
+		default:
+			return 0, r.err(OpRead, ff.name)
+		}
+	}
+	return n, err
+}
+
+func (ff *faultFile) ReadAt(p []byte, off int64) (int, error) {
+	n, err := ff.inner.ReadAt(p, off)
+	if r, hit := ff.f.check(OpRead, ff.name); hit {
+		switch r.Kind {
+		case KindFlip:
+			if n > 0 {
+				flipBit(p[:n], r.Bit)
+			}
+			return n, err
+		case KindStall:
+			time.Sleep(r.Delay)
+		case KindGhost:
+			return n, r.err(OpRead, ff.name)
+		default:
+			return 0, r.err(OpRead, ff.name)
+		}
+	}
+	return n, err
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	if r, hit := ff.f.check(OpWrite, ff.name); hit {
+		switch r.Kind {
+		case KindStall:
+			time.Sleep(r.Delay)
+		case KindTorn:
+			frac := r.Frac
+			if frac <= 0 {
+				frac = 50
+			}
+			keep := len(p) * frac / 100
+			if keep == 0 && len(p) > 0 {
+				keep = 1
+			}
+			if keep > len(p) {
+				keep = len(p)
+			}
+			n, err := ff.inner.Write(p[:keep])
+			if err != nil {
+				return n, err
+			}
+			return n, r.err(OpWrite, ff.name)
+		case KindGhost:
+			n, err := ff.inner.Write(p)
+			if err != nil {
+				return n, err
+			}
+			return n, r.err(OpWrite, ff.name)
+		default:
+			return 0, r.err(OpWrite, ff.name)
+		}
+	}
+	return ff.inner.Write(p)
+}
+
+func (ff *faultFile) Seek(offset int64, whence int) (int64, error) {
+	return ff.inner.Seek(offset, whence)
+}
+
+func (ff *faultFile) Sync() error {
+	if r, hit := ff.f.check(OpSync, ff.name); hit {
+		switch r.Kind {
+		case KindStall:
+			time.Sleep(r.Delay)
+		case KindGhost:
+			if err := ff.inner.Sync(); err != nil {
+				return err
+			}
+			return r.err(OpSync, ff.name)
+		default:
+			return r.err(OpSync, ff.name)
+		}
+	}
+	return ff.inner.Sync()
+}
+
+func (ff *faultFile) Truncate(size int64) error { return ff.inner.Truncate(size) }
+
+func (ff *faultFile) Close() error {
+	if r, hit := ff.f.check(OpClose, ff.name); hit {
+		switch r.Kind {
+		case KindStall:
+			time.Sleep(r.Delay)
+		case KindGhost:
+			if err := ff.inner.Close(); err != nil {
+				return err
+			}
+			return r.err(OpClose, ff.name)
+		default:
+			// A clean close failure still releases the descriptor — that
+			// is how real close(2) behaves on almost every filesystem.
+			ff.inner.Close()
+			return r.err(OpClose, ff.name)
+		}
+	}
+	return ff.inner.Close()
+}
+
+// flipBit inverts one bit of p, selected by the absolute bit offset
+// wrapped to the payload size.
+func flipBit(p []byte, bit int) {
+	if len(p) == 0 {
+		return
+	}
+	if bit < 0 {
+		bit = -bit
+	}
+	byteOff := (bit / 8) % len(p)
+	p[byteOff] ^= 1 << (bit % 8)
+}
+
+// String renders a plan compactly for failure reports.
+func (p Plan) String() string {
+	if len(p.Rules) == 0 {
+		return fmt.Sprintf("plan(seed=%d, no rules)", p.Seed)
+	}
+	out := fmt.Sprintf("plan(seed=%d:", p.Seed)
+	for _, r := range p.Rules {
+		out += " " + r.String()
+	}
+	return out + ")"
+}
+
+// tempCounter salts CreateTemp names; the pid term keeps two processes
+// sharing a directory from colliding on the same sequence.
+var tempCounter atomic.Uint64
+
+func tempSalt() uint64 {
+	return uint64(os.Getpid())<<32 ^ tempCounter.Add(1)
+}
+
+// SortedOps lists the op classes seen by a Fault in stable order, for
+// deterministic matrix generation.
+func SortedOps(counts map[Op]int) []Op {
+	ops := make([]Op, 0, len(counts))
+	for op := range counts {
+		ops = append(ops, op)
+	}
+	sort.Slice(ops, func(i, j int) bool { return ops[i] < ops[j] })
+	return ops
+}

@@ -1,0 +1,195 @@
+// Package faultfs is the filesystem seam under every durable path of
+// telcolens: a small FS interface over exactly the operations the
+// storage layers perform (open/read/write/sync/rename/remove/...), an
+// OS implementation that is a thin veneer over the os package, and a
+// deterministic fault-injecting wrapper (see Fault) that can make any
+// single operation fail the way real storage fails — torn writes,
+// fsync errors, ENOSPC, bit rot on the read path, lost acknowledgments
+// around rename commit points.
+//
+// The trace store, the ingest WAL/seal pipeline, the campaign
+// descriptor writer and the analysis checkpoint files all take an FS,
+// so the chaos test matrix can provoke every failure mode the
+// durability contract claims to survive, with a seeded plan instead of
+// luck. Production code paths pass OS{} (or nil, which means OS{}).
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+)
+
+// File is the per-file surface the storage layers use. *os.File
+// satisfies it directly.
+type File interface {
+	io.Reader
+	io.ReaderAt
+	io.Writer
+	io.Seeker
+	io.Closer
+	// Name returns the path the file was opened with.
+	Name() string
+	// Sync flushes the file's data to stable storage (fsync).
+	Sync() error
+	// Truncate resizes the file.
+	Truncate(size int64) error
+}
+
+// FS is the filesystem surface the storage layers write through. All
+// paths are OS paths (the same strings the os package would take).
+type FS interface {
+	// OpenFile is os.OpenFile.
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	// ReadFile is os.ReadFile.
+	ReadFile(name string) ([]byte, error)
+	// ReadDir is os.ReadDir.
+	ReadDir(name string) ([]fs.DirEntry, error)
+	// MkdirAll is os.MkdirAll.
+	MkdirAll(path string, perm fs.FileMode) error
+	// Rename is os.Rename — the atomic commit primitive.
+	Rename(oldpath, newpath string) error
+	// Remove is os.Remove.
+	Remove(name string) error
+	// Stat is os.Stat.
+	Stat(name string) (fs.FileInfo, error)
+	// Chmod is os.Chmod.
+	Chmod(name string, mode fs.FileMode) error
+	// SyncDir fsyncs a directory, making previously created, renamed or
+	// removed entries in it durable.
+	SyncDir(dir string) error
+}
+
+// OS is the passthrough FS over the real filesystem.
+type OS struct{}
+
+// OpenFile opens a real file.
+func (OS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+// ReadFile reads a real file.
+func (OS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+// ReadDir lists a real directory.
+func (OS) ReadDir(name string) ([]fs.DirEntry, error) { return os.ReadDir(name) }
+
+// MkdirAll creates a real directory tree.
+func (OS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+
+// Rename renames a real file.
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove removes a real file.
+func (OS) Remove(name string) error { return os.Remove(name) }
+
+// Stat stats a real file.
+func (OS) Stat(name string) (fs.FileInfo, error) { return os.Stat(name) }
+
+// Chmod changes a real file's mode.
+func (OS) Chmod(name string, mode fs.FileMode) error { return os.Chmod(name, mode) }
+
+// SyncDir fsyncs a real directory. Filesystems that do not support
+// directory fsync (some network mounts) report EINVAL/ENOTSUP; that is
+// swallowed — the rename itself was still atomic, the platform simply
+// offers no stronger guarantee to wait for.
+func (OS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil &&
+		!errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+		return err
+	}
+	return nil
+}
+
+// Resolve returns fsys, or OS{} when fsys is nil, so storage layers
+// can keep a zero-value-friendly options struct.
+func Resolve(fsys FS) FS {
+	if fsys == nil {
+		return OS{}
+	}
+	return fsys
+}
+
+// Open opens a file read-only through fsys.
+func Open(fsys FS, name string) (File, error) {
+	return fsys.OpenFile(name, os.O_RDONLY, 0)
+}
+
+// Create creates or truncates a file through fsys.
+func Create(fsys FS, name string) (File, error) {
+	return fsys.OpenFile(name, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o666)
+}
+
+// CreateTemp creates a new unique file in dir through fsys, with the
+// "*" in pattern replaced by a unique suffix (os.CreateTemp semantics,
+// but routed through the FS so fault plans see the create).
+func CreateTemp(fsys FS, dir, pattern string) (File, error) {
+	prefix, suffix, found := strings.Cut(pattern, "*")
+	if !found {
+		prefix, suffix = pattern, ""
+	}
+	for i := 0; i < 10000; i++ {
+		name := filepath.Join(dir, prefix+strconv.FormatUint(tempSalt(), 36)+suffix)
+		f, err := fsys.OpenFile(name, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o600)
+		if err == nil {
+			return f, nil
+		}
+		if !errors.Is(err, fs.ErrExist) {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("faultfs: could not create temp file in %s", dir)
+}
+
+// WriteFileAtomic is the one full-durability publish primitive the
+// storage layers share: data is staged into a temp file in the target's
+// directory, fsynced, chmodded, renamed over path, and the directory is
+// fsynced, so a crash at any instant leaves either the old file or the
+// new one — never a torn mix — and a completed call means the bytes
+// survive power loss. A failed stage is removed.
+func WriteFileAtomic(fsys FS, path string, data []byte, perm fs.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := CreateTemp(fsys, dir, "."+filepath.Base(path)+"-*")
+	if err != nil {
+		return fmt.Errorf("faultfs: staging %s: %w", path, err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func(err error) error {
+		tmp.Close()
+		fsys.Remove(tmpName)
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return cleanup(fmt.Errorf("faultfs: staging %s: %w", path, err))
+	}
+	if err := tmp.Sync(); err != nil {
+		return cleanup(fmt.Errorf("faultfs: syncing stage of %s: %w", path, err))
+	}
+	if err := tmp.Close(); err != nil {
+		fsys.Remove(tmpName)
+		return fmt.Errorf("faultfs: staging %s: %w", path, err)
+	}
+	if err := fsys.Chmod(tmpName, perm); err != nil {
+		fsys.Remove(tmpName)
+		return fmt.Errorf("faultfs: staging %s: %w", path, err)
+	}
+	if err := fsys.Rename(tmpName, path); err != nil {
+		fsys.Remove(tmpName)
+		return fmt.Errorf("faultfs: publishing %s: %w", path, err)
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		return fmt.Errorf("faultfs: syncing dir of %s: %w", path, err)
+	}
+	return nil
+}

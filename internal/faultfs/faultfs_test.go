@@ -1,0 +1,282 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+func TestOSPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	fsys := Resolve(nil)
+	p := filepath.Join(dir, "a.txt")
+	f, err := Create(fsys, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := fsys.ReadFile(p)
+	if err != nil || string(data) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", data, err)
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		t.Fatalf("SyncDir: %v", err)
+	}
+	ents, err := fsys.ReadDir(dir)
+	if err != nil || len(ents) != 1 {
+		t.Fatalf("ReadDir = %v, %v", ents, err)
+	}
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "MANIFEST")
+	if err := WriteFileAtomic(OS{}, p, []byte("v1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(OS{}, p, []byte("v2"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(p)
+	if err != nil || string(data) != "v2" {
+		t.Fatalf("got %q, %v", data, err)
+	}
+	ents, _ := os.ReadDir(dir)
+	if len(ents) != 1 {
+		t.Fatalf("stage debris left behind: %v", ents)
+	}
+}
+
+func TestWriteFileAtomicFailureLeavesOldFile(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		rule Rule
+	}{
+		{"write-enospc", Rule{Op: OpWrite, Path: ".target-*", Kind: KindErr, Err: ENOSPC}},
+		{"torn-write", Rule{Op: OpWrite, Path: ".target-*", Kind: KindTorn}},
+		{"sync-fail", Rule{Op: OpSync, Path: ".target-*", Kind: KindErr}},
+		{"rename-fail", Rule{Op: OpRename, Path: "target", Kind: KindErr}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			p := filepath.Join(dir, "target")
+			if err := WriteFileAtomic(OS{}, p, []byte("old"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			ff := NewFault(nil, Plan{Rules: []Rule{tc.rule}})
+			err := WriteFileAtomic(ff, p, []byte("newnewnew"), 0o644)
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("want injected error, got %v", err)
+			}
+			data, rerr := os.ReadFile(p)
+			if rerr != nil || string(data) != "old" {
+				t.Fatalf("old file not intact: %q, %v", data, rerr)
+			}
+			ents, _ := os.ReadDir(dir)
+			if len(ents) != 1 {
+				t.Fatalf("stage debris left behind: %v", ents)
+			}
+			if len(ff.Fired()) != 1 {
+				t.Fatalf("fired = %v", ff.Fired())
+			}
+		})
+	}
+}
+
+func TestFailAtNth(t *testing.T) {
+	dir := t.TempDir()
+	ff := NewFault(nil, Plan{Rules: []Rule{{Op: OpWrite, After: 3}}})
+	f, err := Create(ff, filepath.Join(dir, "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for i := 1; i <= 5; i++ {
+		_, err := f.Write([]byte("chunk"))
+		if i == 3 {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("write %d: want injected, got %v", i, err)
+			}
+		} else if err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	fired := ff.Fired()
+	if len(fired) != 1 || fired[0].N != 3 {
+		t.Fatalf("fired = %+v", fired)
+	}
+}
+
+func TestTimesBudget(t *testing.T) {
+	dir := t.TempDir()
+	ff := NewFault(nil, Plan{Rules: []Rule{{Op: OpSync, After: 1, Times: 2}}})
+	f, err := Create(ff, filepath.Join(dir, "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for i := 1; i <= 3; i++ {
+		err := f.Sync()
+		if i <= 2 && !errors.Is(err, ErrInjected) {
+			t.Fatalf("sync %d: want injected, got %v", i, err)
+		}
+		if i == 3 && err != nil {
+			t.Fatalf("sync 3 should pass after budget: %v", err)
+		}
+	}
+}
+
+func TestENOSPCErrno(t *testing.T) {
+	dir := t.TempDir()
+	ff := NewFault(nil, Plan{Rules: []Rule{{Op: OpWrite, Err: ENOSPC}}})
+	f, err := Create(ff, filepath.Join(dir, "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	_, err = f.Write([]byte("y"))
+	if !errors.Is(err, syscall.ENOSPC) || !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ENOSPC wrapping ErrInjected, got %v", err)
+	}
+}
+
+func TestTornWriteKeepsPrefix(t *testing.T) {
+	dir := t.TempDir()
+	ff := NewFault(nil, Plan{Rules: []Rule{{Op: OpWrite, Kind: KindTorn, Frac: 25}}})
+	p := filepath.Join(dir, "x")
+	f, err := Create(ff, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 100)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	n, err := f.Write(payload)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want injected, got %v", err)
+	}
+	if n != 25 {
+		t.Fatalf("torn write persisted %d bytes, want 25", n)
+	}
+	f.Close()
+	data, _ := os.ReadFile(p)
+	if len(data) != 25 || data[24] != 24 {
+		t.Fatalf("on-disk prefix = %d bytes", len(data))
+	}
+}
+
+func TestGhostRename(t *testing.T) {
+	dir := t.TempDir()
+	ff := NewFault(nil, Plan{Rules: []Rule{{Op: OpRename, Path: "dst", Kind: KindGhost}}})
+	src := filepath.Join(dir, "src")
+	dst := filepath.Join(dir, "dst")
+	if err := os.WriteFile(src, []byte("v"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := ff.Rename(src, dst)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want injected, got %v", err)
+	}
+	if _, err := os.Stat(dst); err != nil {
+		t.Fatalf("ghost rename must still land: %v", err)
+	}
+}
+
+func TestBitFlipOnRead(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "x")
+	if err := os.WriteFile(p, []byte{0x00, 0x00, 0x00}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ff := NewFault(nil, Plan{Rules: []Rule{{Op: OpRead, Kind: KindFlip, Bit: 9}}})
+	data, err := ff.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// bit 9 = byte 1, bit 1.
+	if data[1] != 0x02 || data[0] != 0 || data[2] != 0 {
+		t.Fatalf("flip landed wrong: %v", data)
+	}
+	// Handle-based read path too.
+	ff2 := NewFault(nil, Plan{Rules: []Rule{{Op: OpRead, Kind: KindFlip, Bit: 0}}})
+	f, err := Open(ff2, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	buf := make([]byte, 3)
+	if _, err := f.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0x01 {
+		t.Fatalf("handle flip landed wrong: %v", buf)
+	}
+}
+
+func TestPathGlobScoping(t *testing.T) {
+	dir := t.TempDir()
+	ff := NewFault(nil, Plan{Rules: []Rule{{Op: OpWrite, Path: "*.tlho"}}})
+	other, err := Create(ff, filepath.Join(dir, "notes.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := other.Write([]byte("ok")); err != nil {
+		t.Fatalf("non-matching path must pass: %v", err)
+	}
+	other.Close()
+	part, err := Create(ff, filepath.Join(dir, "ho_day_000.tlho"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer part.Close()
+	if _, err := part.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("matching path must fail: %v", err)
+	}
+}
+
+func TestOpCounts(t *testing.T) {
+	dir := t.TempDir()
+	ff := NewFault(nil, Plan{})
+	f, err := Create(ff, filepath.Join(dir, "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("a"))
+	f.Write([]byte("b"))
+	f.Sync()
+	f.Close()
+	counts := ff.OpCounts()
+	if counts[OpOpen] != 1 || counts[OpWrite] != 2 || counts[OpSync] != 1 || counts[OpClose] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+	if got := SortedOps(counts); len(got) != 4 {
+		t.Fatalf("SortedOps = %v", got)
+	}
+}
+
+func TestCreateTempUnique(t *testing.T) {
+	dir := t.TempDir()
+	seen := map[string]bool{}
+	for i := 0; i < 20; i++ {
+		f, err := CreateTemp(OS{}, dir, ".stage-*")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[f.Name()] {
+			t.Fatalf("duplicate temp name %s", f.Name())
+		}
+		seen[f.Name()] = true
+		f.Close()
+	}
+}

@@ -2,9 +2,11 @@ package ingest
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strconv"
 	"time"
@@ -45,12 +47,22 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
-func (c *Client) sleep(d time.Duration) {
+// sleep waits d or until ctx is canceled, whichever comes first — a
+// canceled context must abort a backoff wait immediately, not after it
+// elapses. The Sleep override (tests) wins over the real timer.
+func (c *Client) sleep(ctx context.Context, d time.Duration) error {
 	if c.Sleep != nil {
 		c.Sleep(d)
-		return
+		return ctx.Err()
 	}
-	time.Sleep(d)
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
 
 func (c *Client) retryFor() time.Duration {
@@ -60,10 +72,28 @@ func (c *Client) retryFor() time.Duration {
 	return 30 * time.Second
 }
 
+// Full-jitter backoff bounds: the retry wait for attempt n (0-based)
+// is uniform in (0, min(backoffCap, backoffBase<<n)] — decorrelated
+// clients spread their retries instead of stampeding in lockstep. An
+// explicit Retry-After from the server overrides the jitter: that is
+// the backpressure contract, not a guess.
+const (
+	backoffBase = 100 * time.Millisecond
+	backoffCap  = 5 * time.Second
+)
+
+func jitterWait(attempt int) time.Duration {
+	cap := backoffCap
+	if shifted := backoffBase << uint(min(attempt, 10)); shifted < cap {
+		cap = shifted
+	}
+	return time.Duration(rand.Int63n(int64(cap))) + 1
+}
+
 // post sends body once and classifies the outcome: ok, retryable (with
-// a wait), or terminal.
-func (c *Client) post(path, contentType string, body []byte) (respBody []byte, retryAfter time.Duration, err error) {
-	req, err := http.NewRequest(http.MethodPost, c.Base+path, bytes.NewReader(body))
+// a server-mandated wait, 0 = client-paced), or terminal (wait < 0).
+func (c *Client) post(ctx context.Context, path, contentType string, body []byte) (respBody []byte, retryAfter time.Duration, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+path, bytes.NewReader(body))
 	if err != nil {
 		return nil, 0, err
 	}
@@ -72,18 +102,18 @@ func (c *Client) post(path, contentType string, body []byte) (respBody []byte, r
 	if err != nil {
 		// Network errors are retryable: the request may or may not have
 		// landed, which is exactly what the seq dedup is for.
-		return nil, 200 * time.Millisecond, err
+		return nil, 0, err
 	}
 	defer resp.Body.Close()
 	data, rerr := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 	if rerr != nil {
-		return nil, 200 * time.Millisecond, rerr
+		return nil, 0, rerr
 	}
 	switch {
 	case resp.StatusCode < 300:
 		return data, 0, nil
 	case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable || resp.StatusCode >= 500:
-		wait := 250 * time.Millisecond
+		var wait time.Duration
 		if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
 			wait = time.Duration(ra) * time.Second
 		}
@@ -93,19 +123,29 @@ func (c *Client) post(path, contentType string, body []byte) (respBody []byte, r
 	}
 }
 
-// postRetry keeps resending until success, a terminal response, or the
-// retry budget runs out.
-func (c *Client) postRetry(path, contentType string, body []byte) ([]byte, error) {
+// postRetry keeps resending until success, a terminal response, context
+// cancellation, or the retry budget runs out. Client-paced waits use
+// full-jitter exponential backoff; a server Retry-After is honored
+// verbatim.
+func (c *Client) postRetry(ctx context.Context, path, contentType string, body []byte) ([]byte, error) {
 	deadline := time.Now().Add(c.retryFor())
-	for {
-		data, wait, err := c.post(path, contentType, body)
+	for attempt := 0; ; attempt++ {
+		data, wait, err := c.post(ctx, path, contentType, body)
 		if err == nil {
 			return data, nil
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, fmt.Errorf("ingest client: %s: %w (last error: %v)", path, cerr, err)
 		}
 		if wait < 0 || time.Now().After(deadline) {
 			return nil, err
 		}
-		c.sleep(wait)
+		if wait == 0 {
+			wait = jitterWait(attempt)
+		}
+		if serr := c.sleep(ctx, wait); serr != nil {
+			return nil, fmt.Errorf("ingest client: %s: %w (last error: %v)", path, serr, err)
+		}
 	}
 }
 
@@ -113,14 +153,14 @@ func (c *Client) postRetry(path, contentType string, body []byte) ([]byte, error
 // transient failures, and returns the server's acknowledgment. The
 // sequence number advances only after the send is resolved, so retries
 // stay idempotent.
-func (c *Client) Send(cb *trace.ColumnBatch) (AppendResult, error) {
+func (c *Client) Send(ctx context.Context, cb *trace.ColumnBatch) (AppendResult, error) {
 	var res AppendResult
 	if cb.Len() == 0 {
 		return res, nil
 	}
 	c.seq++
 	c.buf = AppendBatchPayload(c.buf[:0], c.Stream, c.seq, cb)
-	data, err := c.postRetry("/ingest", ContentTypeBinary, c.buf)
+	data, err := c.postRetry(ctx, "/ingest", ContentTypeBinary, c.buf)
 	if err != nil {
 		return res, err
 	}
@@ -131,34 +171,34 @@ func (c *Client) Send(cb *trace.ColumnBatch) (AppendResult, error) {
 }
 
 // Init establishes the campaign descriptor on the server (idempotent).
-func (c *Client) Init(meta *simulate.CampaignMeta) error {
+func (c *Client) Init(ctx context.Context, meta *simulate.CampaignMeta) error {
 	body, err := meta.Encode()
 	if err != nil {
 		return err
 	}
-	_, err = c.postRetry("/ingest/init", "application/json", body)
+	_, err = c.postRetry(ctx, "/ingest/init", "application/json", body)
 	return err
 }
 
 // DayDone marks a study day complete, shipping its generation
 // ground-truth aggregate.
-func (c *Client) DayDone(day int, agg simulate.DayAggregate) error {
+func (c *Client) DayDone(ctx context.Context, day int, agg simulate.DayAggregate) error {
 	body, err := json.Marshal(jsonDayDone{Day: day, Agg: agg})
 	if err != nil {
 		return err
 	}
-	_, err = c.postRetry("/ingest/day", "application/json", body)
+	_, err = c.postRetry(ctx, "/ingest/day", "application/json", body)
 	return err
 }
 
 // Flush asks the server to seal completed head days (force drains every
 // pending day) and returns the days sealed.
-func (c *Client) Flush(force bool) ([]int, error) {
+func (c *Client) Flush(ctx context.Context, force bool) ([]int, error) {
 	path := "/ingest/flush"
 	if force {
 		path += "?force=1"
 	}
-	data, err := c.postRetry(path, "application/json", nil)
+	data, err := c.postRetry(ctx, path, "application/json", nil)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,76 @@
+package ingest
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"telcolens/internal/trace"
+)
+
+// A canceled context must abort a retry sleep immediately — even one
+// the server stretched with Retry-After — not wait it out.
+func TestClientSendCancelAbortsBackoff(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "30")
+		http.Error(w, "hold", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	cl := &Client{Base: srv.URL, Stream: 1, RetryFor: time.Hour}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := cl.Send(ctx, mkBatch(0, 3, 0))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Send after cancel = %v, want context.Canceled", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("cancel took %s to abort the backoff sleep", d)
+	}
+}
+
+// The client-paced retry wait is full jitter: bounded by the
+// exponential cap for its attempt and never zero.
+func TestJitterWaitBounds(t *testing.T) {
+	for attempt := 0; attempt < 12; attempt++ {
+		cap := backoffBase << uint(min(attempt, 10))
+		if cap > backoffCap {
+			cap = backoffCap
+		}
+		for i := 0; i < 100; i++ {
+			w := jitterWait(attempt)
+			if w <= 0 || w > cap {
+				t.Fatalf("attempt %d: wait %s outside (0, %s]", attempt, w, cap)
+			}
+		}
+	}
+}
+
+// An already-canceled context fails fast without a network round trip
+// being retried for the whole budget.
+func TestClientPreCanceled(t *testing.T) {
+	var hits int
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits++
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cl := &Client{Base: srv.URL, Stream: 2, RetryFor: time.Hour}
+	var cb trace.ColumnBatch
+	cb.AppendRecord(&trace.Record{Timestamp: trace.DayStart(0).UnixMilli()})
+	if _, err := cl.Send(ctx, &cb); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Send = %v, want context.Canceled", err)
+	}
+	if hits > 1 {
+		t.Fatalf("pre-canceled send hit the server %d times", hits)
+	}
+}

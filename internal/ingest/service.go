@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	iofs "io/fs"
 	"os"
 	"path/filepath"
 	"sort"
@@ -13,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"telcolens/internal/faultfs"
 	"telcolens/internal/simulate"
 	"telcolens/internal/trace"
 )
@@ -80,6 +82,10 @@ type Options struct {
 	OnSeal func(day int)
 	// Now overrides the clock (tests).
 	Now func() time.Time
+	// FS routes every filesystem operation the service performs (WAL
+	// files, campaign descriptor, and the trace store it opens); nil
+	// means the real OS. Chaos tests pass a faultfs.Fault here.
+	FS faultfs.FS
 }
 
 // AppendResult acknowledges one ingested batch.
@@ -131,7 +137,7 @@ type dayState struct {
 	complete bool
 	agg      simulate.DayAggregate
 
-	wal      *os.File
+	wal      faultfs.File
 	walBytes int64
 
 	firstArrival time.Time
@@ -143,6 +149,7 @@ type dayState struct {
 type Service struct {
 	dir  string
 	opts Options
+	fs   faultfs.FS
 
 	mu      sync.Mutex
 	meta    *simulate.CampaignMeta // nil until initialized
@@ -179,11 +186,12 @@ func Open(dir string, opts Options) (*Service, error) {
 	if opts.Now == nil {
 		opts.Now = time.Now
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys := faultfs.Resolve(opts.FS)
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("ingest: creating campaign dir: %w", err)
 	}
-	s := &Service{dir: dir, opts: opts, days: make(map[int]*dayState), lastSealDay: -1}
-	meta, err := simulate.LoadMeta(dir)
+	s := &Service{dir: dir, opts: opts, fs: fsys, days: make(map[int]*dayState), lastSealDay: -1}
+	meta, err := simulate.LoadMetaFS(fsys, dir)
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
 			return s, nil
@@ -282,12 +290,12 @@ func (s *Service) attachLocked(meta *simulate.CampaignMeta, create bool) ([]int,
 	if cfg.Shards > 256 {
 		return nil, fmt.Errorf("ingest: %d shards exceeds the 256-shard cap", cfg.Shards)
 	}
-	store, err := trace.NewFileStoreOpts(s.dir, trace.FileStoreOptions{Codec: meta.Codec, Compress: meta.Compress})
+	store, err := trace.NewFileStoreOpts(s.dir, trace.FileStoreOptions{Codec: meta.Codec, Compress: meta.Compress, FS: s.fs})
 	if err != nil {
 		return nil, err
 	}
 	if create {
-		if err := meta.Save(s.dir); err != nil {
+		if err := meta.SaveFS(s.fs, s.dir); err != nil {
 			return nil, err
 		}
 	}
@@ -300,10 +308,10 @@ func (s *Service) attachLocked(meta *simulate.CampaignMeta, create bool) ([]int,
 // finishes any interrupted seal.
 func (s *Service) recoverLocked() ([]int, error) {
 	walDir := filepath.Join(s.dir, walDirName)
-	if err := os.MkdirAll(walDir, 0o755); err != nil {
+	if err := s.fs.MkdirAll(walDir, 0o755); err != nil {
 		return nil, fmt.Errorf("ingest: creating WAL dir: %w", err)
 	}
-	entries, err := os.ReadDir(walDir)
+	entries, err := s.fs.ReadDir(walDir)
 	if err != nil {
 		return nil, fmt.Errorf("ingest: listing WAL dir: %w", err)
 	}
@@ -316,13 +324,13 @@ func (s *Service) recoverLocked() ([]int, error) {
 		if day < s.meta.Config.Days {
 			// The day sealed (descriptor updated) but the crash hit before
 			// the WAL was deleted: finish the deletion.
-			if err := os.Remove(path); err != nil {
+			if err := s.fs.Remove(path); err != nil {
 				return nil, fmt.Errorf("ingest: removing sealed-day WAL: %w", err)
 			}
 			continue
 		}
 		ds := s.dayStateLocked(day)
-		validSize, err := replayWAL(path, func(typ byte, payload []byte) error {
+		validSize, err := replayWAL(s.fs, path, func(typ byte, payload []byte) error {
 			switch typ {
 			case frameBatch:
 				before := ds.cols.Len()
@@ -350,7 +358,7 @@ func (s *Service) recoverLocked() ([]int, error) {
 		if err != nil {
 			return nil, err
 		}
-		f, size, err := openWALForAppend(path, validSize)
+		f, size, err := openWALForAppend(s.fs, path, validSize)
 		if err != nil {
 			return nil, err
 		}
@@ -422,12 +430,23 @@ func (s *Service) ensureWALLocked(ds *dayState) error {
 	if ds.wal != nil {
 		return nil
 	}
-	f, size, err := openWALForAppend(s.walPath(ds.day), 0)
+	f, size, err := openWALForAppend(s.fs, s.walPath(ds.day), 0)
 	if err != nil {
 		return err
 	}
 	ds.wal = f
 	ds.walBytes = size
+	if s.opts.SyncEvery {
+		// The durability contract extends to machine crashes: the new log
+		// file's directory entry must be durable before its frames are
+		// acknowledged.
+		if err := f.Sync(); err != nil {
+			return fmt.Errorf("ingest: syncing new WAL: %w", err)
+		}
+		if err := s.fs.SyncDir(filepath.Join(s.dir, walDirName)); err != nil {
+			return fmt.Errorf("ingest: syncing WAL dir: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -692,7 +711,7 @@ func (s *Service) sealLocked(ds *dayState) error {
 	}
 	s.meta.Config.Days = ds.day + 1
 	s.meta.DayStats = append(s.meta.DayStats, ds.agg)
-	if err := s.meta.Save(s.dir); err != nil {
+	if err := s.meta.SaveFS(s.fs, s.dir); err != nil {
 		// The descriptor is the commit point: without it the seal did not
 		// happen. Roll the in-memory copy back so a retry re-runs cleanly.
 		s.meta.Config.Days = ds.day
@@ -703,7 +722,7 @@ func (s *Service) sealLocked(ds *dayState) error {
 	if ds.wal != nil {
 		ds.wal.Close()
 	}
-	if err := os.Remove(s.walPath(ds.day)); err != nil && !os.IsNotExist(err) {
+	if err := s.fs.Remove(s.walPath(ds.day)); err != nil && !errors.Is(err, iofs.ErrNotExist) {
 		return fmt.Errorf("ingest: removing sealed WAL: %w", err)
 	}
 	s.pending -= records

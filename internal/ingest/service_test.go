@@ -1,6 +1,7 @@
 package ingest
 
 import (
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
@@ -14,6 +15,7 @@ import (
 
 	"telcolens/internal/causes"
 	"telcolens/internal/devices"
+	"telcolens/internal/faultfs"
 	"telcolens/internal/simulate"
 	"telcolens/internal/topology"
 	"telcolens/internal/trace"
@@ -308,7 +310,7 @@ func TestCrashMidSealRecoversToSameBytes(t *testing.T) {
 
 	// Hand-write the day-done frame (the marker landed, the seal did not).
 	walPath := filepath.Join(got, walDirName, "day_000.wal")
-	f, _, err := openWALForAppend(walPath, fileSize(t, walPath))
+	f, _, err := openWALForAppend(faultfs.OS{}, walPath, fileSize(t, walPath))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -410,14 +412,14 @@ func TestHTTPRoundTrip(t *testing.T) {
 
 	// Uninitialized service: 503 until the descriptor arrives.
 	cl.RetryFor = 1 // nanosecond budget: fail fast
-	if _, err := cl.Send(mkBatch(0, 3, 0)); err == nil {
+	if _, err := cl.Send(context.Background(), mkBatch(0, 3, 0)); err == nil {
 		t.Fatal("send before init succeeded")
 	}
 	cl.RetryFor = 0
-	if err := cl.Init(testMeta(1)); err != nil {
+	if err := cl.Init(context.Background(), testMeta(1)); err != nil {
 		t.Fatal(err)
 	}
-	res, err := cl.Send(mkBatch(0, 6, 0))
+	res, err := cl.Send(context.Background(), mkBatch(0, 6, 0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -446,7 +448,7 @@ func TestHTTPRoundTrip(t *testing.T) {
 		t.Fatalf("JSON append status %s", resp.Status)
 	}
 
-	if err := cl.DayDone(0, simulate.DayAggregate{Handovers: 10}); err != nil {
+	if err := cl.DayDone(context.Background(), 0, simulate.DayAggregate{Handovers: 10}); err != nil {
 		t.Fatal(err)
 	}
 	st, err := cl.Stats()
@@ -456,7 +458,7 @@ func TestHTTPRoundTrip(t *testing.T) {
 	if st.SealedDays != 1 || st.IngestedRecords != 10 {
 		t.Fatalf("stats = %+v", st)
 	}
-	sealed, err := cl.Flush(true)
+	sealed, err := cl.Flush(context.Background(), true)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -20,14 +20,17 @@ package ingest
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
+	iofs "io/fs"
 	"math"
 	"os"
 
 	"telcolens/internal/causes"
 	"telcolens/internal/devices"
+	"telcolens/internal/faultfs"
 	"telcolens/internal/topology"
 	"telcolens/internal/trace"
 )
@@ -154,9 +157,9 @@ func appendFrame(w io.Writer, typ byte, payload []byte) (int, error) {
 // — the length the file must be truncated to before further appends. A
 // missing file replays as empty (0, nil). A file without the full magic
 // header is treated as all torn tail (validSize 0).
-func replayWAL(path string, fn func(typ byte, payload []byte) error) (validSize int64, err error) {
-	data, err := os.ReadFile(path)
-	if os.IsNotExist(err) {
+func replayWAL(fsys faultfs.FS, path string, fn func(typ byte, payload []byte) error) (validSize int64, err error) {
+	data, err := fsys.ReadFile(path)
+	if errors.Is(err, iofs.ErrNotExist) {
 		return 0, nil
 	}
 	if err != nil {
@@ -194,8 +197,8 @@ func replayWAL(path string, fn func(typ byte, payload []byte) error) (validSize 
 // openWALForAppend truncates path to validSize (discarding a torn tail)
 // and opens it for appending, writing the magic header when the file is
 // new (validSize 0 with no intact header).
-func openWALForAppend(path string, validSize int64) (*os.File, int64, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+func openWALForAppend(fsys faultfs.FS, path string, validSize int64) (faultfs.File, int64, error) {
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, 0, fmt.Errorf("ingest: opening WAL %s: %w", path, err)
 	}

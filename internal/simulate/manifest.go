@@ -3,13 +3,13 @@ package simulate
 import (
 	"encoding/json"
 	"fmt"
-	"os"
 	"path/filepath"
 
 	"telcolens/internal/causes"
 	"telcolens/internal/census"
 	"telcolens/internal/corenet"
 	"telcolens/internal/devices"
+	"telcolens/internal/faultfs"
 	"telcolens/internal/subscribers"
 	"telcolens/internal/topology"
 	"telcolens/internal/trace"
@@ -127,44 +127,34 @@ func DecodeMeta(data []byte) (*CampaignMeta, error) {
 
 // LoadMeta reads a campaign directory's descriptor without building the
 // world model.
-func LoadMeta(dir string) (*CampaignMeta, error) {
-	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+func LoadMeta(dir string) (*CampaignMeta, error) { return LoadMetaFS(nil, dir) }
+
+// LoadMetaFS is LoadMeta through an explicit filesystem (nil = OS),
+// the seam fault-injection tests use.
+func LoadMetaFS(fsys faultfs.FS, dir string) (*CampaignMeta, error) {
+	data, err := faultfs.Resolve(fsys).ReadFile(filepath.Join(dir, manifestName))
 	if err != nil {
 		return nil, fmt.Errorf("simulate: reading manifest: %w", err)
 	}
 	return DecodeMeta(data)
 }
 
-// Save persists the descriptor atomically (temp file + rename in the
-// campaign directory), so a concurrent reader — a serving daemon
-// reloading the campaign while the ingest sealer commits a day — sees
-// either the previous or the new descriptor, never a torn write.
-func (m *CampaignMeta) Save(dir string) error {
+// Save persists the descriptor with the full atomic-publish discipline
+// (stage + fsync + rename + directory fsync), so a concurrent reader —
+// a serving daemon reloading the campaign while the ingest sealer
+// commits a day — sees either the previous or the new descriptor,
+// never a torn write, and a completed Save survives power loss. The
+// descriptor rewrite is the ingest seal's commit point.
+func (m *CampaignMeta) Save(dir string) error { return m.SaveFS(nil, dir) }
+
+// SaveFS is Save through an explicit filesystem (nil = OS).
+func (m *CampaignMeta) SaveFS(fsys faultfs.FS, dir string) error {
 	data, err := m.Encode()
 	if err != nil {
 		return err
 	}
-	tmp, err := os.CreateTemp(dir, ".manifest-json-*")
-	if err != nil {
-		return fmt.Errorf("simulate: staging manifest: %w", err)
-	}
-	tmpName := tmp.Name()
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmpName)
-		return fmt.Errorf("simulate: staging manifest: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
-		return fmt.Errorf("simulate: staging manifest: %w", err)
-	}
-	if err := os.Chmod(tmpName, 0o644); err != nil {
-		os.Remove(tmpName)
-		return fmt.Errorf("simulate: staging manifest: %w", err)
-	}
-	if err := os.Rename(tmpName, filepath.Join(dir, manifestName)); err != nil {
-		os.Remove(tmpName)
-		return fmt.Errorf("simulate: publishing manifest: %w", err)
+	if err := faultfs.WriteFileAtomic(faultfs.Resolve(fsys), filepath.Join(dir, manifestName), data, 0o644); err != nil {
+		return fmt.Errorf("simulate: manifest: %w", err)
 	}
 	return nil
 }

@@ -47,6 +47,17 @@ var ErrBadVersion = errors.New("trace: unsupported stream version")
 // ErrTruncated is returned when a stream ends mid-record.
 var ErrTruncated = errors.New("trace: truncated record")
 
+// readErr classifies a mid-stream read failure: a premature end of
+// stream is truncation, while any other failure (a device error, an
+// injected fault) keeps its own identity so corruption classification
+// and errors.Is on the original cause still work.
+func readErr(err error) error {
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return ErrTruncated
+	}
+	return fmt.Errorf("trace: read: %w", err)
+}
+
 // AppendRecord appends the binary encoding of rec to buf and returns the
 // extended slice.
 func AppendRecord(buf []byte, rec *Record) []byte {
@@ -312,7 +323,7 @@ func (r *Reader) Next(rec *Record) error {
 			return io.EOF
 		}
 		if err != nil {
-			return ErrTruncated
+			return readErr(err)
 		}
 		r.stats.BytesRead += RecordSize
 		if err := DecodeRecord(r.buf[:], rec); err != nil {
@@ -462,7 +473,7 @@ func (r *Reader) releaseFrame(f *blockFrame) error {
 	if f.peeked {
 		// The peeked window is decoded; release it to the bufio reader.
 		if _, err := r.r.Discard(f.encLen); err != nil {
-			return ErrTruncated
+			return readErr(err)
 		}
 	}
 	r.stats.BlocksRead++
@@ -519,7 +530,7 @@ func (r *Reader) nextBlockFrame(f *blockFrame) error {
 			return io.EOF
 		}
 		if err != nil {
-			return ErrTruncated
+			return readErr(err)
 		}
 		count := binary.LittleEndian.Uint32(r.head[0:4])
 		minTS := int64(binary.LittleEndian.Uint64(r.head[4:12]))
@@ -570,14 +581,14 @@ func (r *Reader) nextBlockFrame(f *blockFrame) error {
 		r.blockOrd++
 		if r.hasRange && (maxTS < r.minTS || minTS > r.maxTS) {
 			if _, err := r.r.Discard(int(encLen)); err != nil {
-				return ErrTruncated
+				return readErr(err)
 			}
 			r.stats.BlocksSkipped++
 			continue
 		}
 		if r.blockFilter != nil && !r.blockFilter(ord) {
 			if _, err := r.r.Discard(int(encLen)); err != nil {
-				return ErrTruncated
+				return readErr(err)
 			}
 			r.stats.BlocksFiltered++
 			continue
@@ -590,7 +601,7 @@ func (r *Reader) nextBlockFrame(f *blockFrame) error {
 		if int(encLen) <= r.r.Size() {
 			p, err := r.r.Peek(int(encLen))
 			if err != nil {
-				return ErrTruncated
+				return readErr(err)
 			}
 			payload = p
 			peeked = true
@@ -600,7 +611,7 @@ func (r *Reader) nextBlockFrame(f *blockFrame) error {
 			}
 			r.payload = r.payload[:encLen]
 			if _, err := io.ReadFull(r.r, r.payload); err != nil {
-				return ErrTruncated
+				return readErr(err)
 			}
 			payload = r.payload
 		}

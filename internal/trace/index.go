@@ -4,8 +4,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math/bits"
-	"os"
-	"path/filepath"
+
+	"telcolens/internal/faultfs"
 )
 
 // The partition secondary index: a small ".tlix" sidecar written next
@@ -315,27 +315,14 @@ func DecodeIndex(data []byte) (*PartitionIndex, error) {
 	return x, nil
 }
 
-// writeIndexFile persists an index sidecar atomically (temp file +
-// rename), mirroring the MANIFEST write discipline.
-func writeIndexFile(path string, x *PartitionIndex) error {
+// writeIndexFile persists an index sidecar with the same atomic
+// stage + fsync + rename + dir-fsync discipline as the MANIFEST (see
+// faultfs.WriteFileAtomic) — the sidecar must be durable before the
+// manifest entry that advertises it lands.
+func writeIndexFile(fsys faultfs.FS, path string, x *PartitionIndex) error {
 	data := encodeIndex(x)
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".tlix-*")
-	if err != nil {
-		return fmt.Errorf("trace: staging index: %w", err)
-	}
-	tmpName := tmp.Name()
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmpName)
-		return fmt.Errorf("trace: staging index: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
-		return fmt.Errorf("trace: staging index: %w", err)
-	}
-	if err := os.Rename(tmpName, path); err != nil {
-		os.Remove(tmpName)
-		return fmt.Errorf("trace: publishing index: %w", err)
+	if err := faultfs.WriteFileAtomic(fsys, path, data, 0o644); err != nil {
+		return fmt.Errorf("trace: index: %w", err)
 	}
 	return nil
 }

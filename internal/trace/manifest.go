@@ -3,12 +3,14 @@ package trace
 import (
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/fnv"
+	iofs "io/fs"
 	"math"
-	"os"
-	"path/filepath"
 	"sort"
+
+	"telcolens/internal/faultfs"
 )
 
 // The store manifest makes a partition directory self-describing at the
@@ -143,9 +145,9 @@ func (m *Manifest) upsert(info PartitionInfo) {
 }
 
 // loadManifest reads a MANIFEST file; a missing file is (nil, nil).
-func loadManifest(path string) (*Manifest, error) {
-	data, err := os.ReadFile(path)
-	if os.IsNotExist(err) {
+func loadManifest(fsys faultfs.FS, path string) (*Manifest, error) {
+	data, err := fsys.ReadFile(path)
+	if errors.Is(err, iofs.ErrNotExist) {
 		return nil, nil
 	}
 	if err != nil {
@@ -158,32 +160,20 @@ func loadManifest(path string) (*Manifest, error) {
 	return &m, nil
 }
 
-// writeManifest persists the manifest atomically: full rewrite into a
-// temp file in the same directory, then rename over the old one, so a
-// concurrent reader sees either the previous or the new index, never a
-// torn write.
-func writeManifest(path string, m *Manifest) error {
+// writeManifest persists the manifest with the full atomic-publish
+// discipline (stage + fsync + rename + directory fsync, see
+// faultfs.WriteFileAtomic): a concurrent reader sees either the
+// previous or the new index, never a torn write, and a crash after a
+// successful rewrite cannot roll it back. The directory fsync also
+// makes any partition files created since the last rewrite durable —
+// the MANIFEST rewrite is the store's commit point.
+func writeManifest(fsys faultfs.FS, path string, m *Manifest) error {
 	data, err := json.MarshalIndent(m, "", " ")
 	if err != nil {
 		return fmt.Errorf("trace: encoding manifest: %w", err)
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".manifest-*")
-	if err != nil {
-		return fmt.Errorf("trace: staging manifest: %w", err)
-	}
-	tmpName := tmp.Name()
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmpName)
-		return fmt.Errorf("trace: staging manifest: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
-		return fmt.Errorf("trace: staging manifest: %w", err)
-	}
-	if err := os.Rename(tmpName, path); err != nil {
-		os.Remove(tmpName)
-		return fmt.Errorf("trace: publishing manifest: %w", err)
+	if err := faultfs.WriteFileAtomic(fsys, path, data, 0o644); err != nil {
+		return fmt.Errorf("trace: manifest: %w", err)
 	}
 	return nil
 }

@@ -351,7 +351,7 @@ func Scan(ctx context.Context, s Store, opts ScanOptions, collectors ...Collecto
 				}
 				ok, err := it.Next(&rec)
 				if err != nil {
-					return fmt.Errorf("trace: day %d shard %d: %w", p.Day, p.Shard, err)
+					return classifyPartitionErr(p.Day, p.Shard, err)
 				}
 				if !ok {
 					break

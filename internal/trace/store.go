@@ -1,14 +1,18 @@
 package trace
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	iofs "io/fs"
 	"os"
 	"path/filepath"
 	"regexp"
 	"sort"
 	"strconv"
 	"sync"
+
+	"telcolens/internal/faultfs"
 )
 
 // A Partition identifies one trace partition: a study day split into
@@ -540,6 +544,16 @@ type FileStoreOptions struct {
 	// partitions. Queries over unindexed partitions fall back to
 	// scanning; results are identical, only slower.
 	NoIndex bool
+	// FS routes every filesystem operation the store performs; nil means
+	// the real OS. Chaos tests pass a faultfs.Fault here.
+	FS faultfs.FS
+	// VerifyReads re-hashes each partition stream as it is scanned and,
+	// at end of stream, compares the hash and byte count against the
+	// partition's MANIFEST fingerprint, turning silent corruption
+	// (bit rot, truncation the codec happens to survive) into a
+	// CorruptionError. Partitions without a usable manifest entry scan
+	// unverified.
+	VerifyReads bool
 }
 
 // FileStore persists partitions as binary trace files in a directory.
@@ -556,6 +570,7 @@ type FileStoreOptions struct {
 type FileStore struct {
 	dir  string
 	opts FileStoreOptions
+	fs   faultfs.FS
 	// mu serializes this instance's manifest read-modify-write cycles.
 	mu sync.Mutex
 }
@@ -576,10 +591,11 @@ func NewFileStoreOpts(dir string, opts FileStoreOptions) (*FileStore, error) {
 	default:
 		return nil, fmt.Errorf("trace: unsupported codec %d", opts.Codec)
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys := faultfs.Resolve(opts.FS)
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("trace: creating store dir: %w", err)
 	}
-	return &FileStore{dir: dir, opts: opts}, nil
+	return &FileStore{dir: dir, opts: opts, fs: fsys}, nil
 }
 
 // Dir returns the backing directory.
@@ -609,8 +625,8 @@ func (f *FileStore) indexPath(day, shard int) string {
 // or future-versioned sidecar reports its error; callers should treat
 // that as absent too.
 func (f *FileStore) PartitionIndex(day, shard int) (*PartitionIndex, error) {
-	data, err := os.ReadFile(f.indexPath(day, shard))
-	if os.IsNotExist(err) {
+	data, err := f.fs.ReadFile(f.indexPath(day, shard))
+	if errors.Is(err, iofs.ErrNotExist) {
 		return nil, nil
 	}
 	if err != nil {
@@ -652,9 +668,9 @@ func (f *FileStore) AppendPartition(day, shard int) (RecordWriter, error) {
 		return nil, fmt.Errorf("trace: shard %d out of range [0, 999]", shard)
 	}
 	path := f.partitionPath(day, shard)
-	file, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	file, err := f.fs.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if err != nil {
-		if os.IsExist(err) {
+		if errors.Is(err, iofs.ErrExist) {
 			return nil, fmt.Errorf("trace: partition day %d shard %d already written (%s)", day, shard, path)
 		}
 		return nil, fmt.Errorf("trace: creating partition file: %w", err)
@@ -674,7 +690,7 @@ func (f *FileStore) AppendPartition(day, shard int) (RecordWriter, error) {
 	}
 	if err != nil {
 		file.Close()
-		os.Remove(path)
+		f.fs.Remove(path)
 		return nil, err
 	}
 	fw := &fileWriter{file: file, w: w, store: f, day: day, shard: shard, digest: digest}
@@ -705,7 +721,7 @@ func (f *FileStore) manifestPath() string { return filepath.Join(f.dir, Manifest
 // The one cheap consistency probe is an os.ReadDir — no partition file
 // is ever opened.
 func (f *FileStore) Manifest() (*Manifest, error) {
-	m, err := loadManifest(f.manifestPath())
+	m, err := loadManifest(f.fs, f.manifestPath())
 	if err != nil || m == nil {
 		return nil, err
 	}
@@ -737,7 +753,7 @@ func (f *FileStore) Since(gen uint64) ([]PartitionInfo, uint64, error) { return 
 func (f *FileStore) notePartitionClosed(info PartitionInfo) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	m, err := loadManifest(f.manifestPath())
+	m, err := loadManifest(f.fs, f.manifestPath())
 	if err != nil {
 		return err
 	}
@@ -777,7 +793,7 @@ func (f *FileStore) notePartitionClosed(info PartitionInfo) error {
 		m.Gen++
 	}
 	m.upsert(info)
-	return writeManifest(f.manifestPath(), m)
+	return writeManifest(f.fs, f.manifestPath(), m)
 }
 
 // RemovePartition deletes a partition file and its manifest entry. The
@@ -787,13 +803,13 @@ func (f *FileStore) notePartitionClosed(info PartitionInfo) error {
 func (f *FileStore) RemovePartition(day, shard int) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	if err := os.Remove(f.partitionPath(day, shard)); err != nil {
+	if err := f.fs.Remove(f.partitionPath(day, shard)); err != nil {
 		return fmt.Errorf("trace: removing partition day %d shard %d: %w", day, shard, err)
 	}
 	// Best-effort sidecar cleanup: an orphan index is harmless (loads are
 	// fingerprint-checked), but crash-debris removal should leave nothing.
-	os.Remove(f.indexPath(day, shard))
-	m, err := loadManifest(f.manifestPath())
+	f.fs.Remove(f.indexPath(day, shard))
+	m, err := loadManifest(f.fs, f.manifestPath())
 	if err != nil || m == nil {
 		return err
 	}
@@ -806,7 +822,7 @@ func (f *FileStore) RemovePartition(day, shard int) error {
 	}
 	m.Partitions = kept
 	m.Gen++
-	return writeManifest(f.manifestPath(), m)
+	return writeManifest(f.fs, f.manifestPath(), m)
 }
 
 // rebuildEntry reconstructs the manifest entry of a partition written
@@ -814,7 +830,7 @@ func (f *FileStore) RemovePartition(day, shard int) error {
 // the fingerprint (identical to what the write-time tee produces) and
 // decoded once for the record count and timestamp extents.
 func (f *FileStore) rebuildEntry(p Partition) (PartitionInfo, error) {
-	data, err := os.ReadFile(f.partitionPath(p.Day, p.Shard))
+	data, err := f.fs.ReadFile(f.partitionPath(p.Day, p.Shard))
 	if err != nil {
 		return PartitionInfo{}, err
 	}
@@ -841,23 +857,37 @@ func (f *FileStore) rebuildEntry(p Partition) (PartitionInfo, error) {
 	return d.info(p.Day, p.Shard, records), nil
 }
 
-// OpenPartition iterates a partition file.
+// OpenPartition iterates a partition file. With VerifyReads set, the
+// stream is re-hashed while it is read and checked against the
+// partition's manifest fingerprint at end of stream (see
+// FileStoreOptions.VerifyReads).
 func (f *FileStore) OpenPartition(day, shard int) (RecordIterator, error) {
-	file, err := os.Open(f.partitionPath(day, shard))
+	file, err := faultfs.Open(f.fs, f.partitionPath(day, shard))
 	if err != nil {
 		return nil, fmt.Errorf("trace: opening day %d shard %d: %w", day, shard, err)
 	}
-	r, err := NewReader(file)
+	var verify *readVerifier
+	var src io.Reader = file
+	if f.opts.VerifyReads {
+		if m, merr := loadManifest(f.fs, f.manifestPath()); merr == nil && m != nil {
+			if pi, ok := m.Lookup(Partition{Day: day, Shard: shard}); ok {
+				verify = &readVerifier{expect: pi, digest: newPartitionDigest()}
+				verify.src = file
+				src = verify
+			}
+		}
+	}
+	r, err := NewReader(src)
 	if err != nil {
 		file.Close()
 		return nil, err
 	}
-	return &fileIterator{file: file, r: r}, nil
+	return &fileIterator{file: file, r: r, day: day, shard: shard, verify: verify}, nil
 }
 
 // Partitions lists partition files present on disk in canonical order.
 func (f *FileStore) Partitions() ([]Partition, error) {
-	entries, err := os.ReadDir(f.dir)
+	entries, err := f.fs.ReadDir(f.dir)
 	if err != nil {
 		return nil, fmt.Errorf("trace: listing store dir: %w", err)
 	}
@@ -919,8 +949,13 @@ func (t *digestWriter) Write(p []byte) (int, error) {
 // fingerprint for the MANIFEST entry (digest) and, unless the store was
 // opened with NoIndex, the secondary-index builder feeding the .tlix
 // sidecar written on Close.
+//
+// A write error is sticky: once any record fails to land, the stream
+// is poisoned and Close aborts — the partial partition file (and any
+// sidecar) is removed and never reaches the MANIFEST, so a failed
+// append leaves the store exactly as it was.
 type fileWriter struct {
-	file   *os.File
+	file   faultfs.File
 	w      streamWriter
 	store  *FileStore
 	day    int
@@ -928,20 +963,52 @@ type fileWriter struct {
 	digest *partitionDigest
 	idx    *indexBuilder
 	closed bool
+	werr   error
+}
+
+// fail poisons the writer and returns the error.
+func (w *fileWriter) fail(err error) error {
+	if w.werr == nil {
+		w.werr = err
+	}
+	return err
+}
+
+// abort releases the codec, closes the handle, and removes the partial
+// partition file plus any sidecar, so the directory listing and the
+// MANIFEST keep agreeing (a stray partial .tlho would otherwise make
+// the manifest unusable for every future consumer).
+func (w *fileWriter) abort(cause error) error {
+	if rel, ok := w.w.(interface{ Release() }); ok {
+		rel.Release()
+	}
+	w.file.Close()
+	w.store.fs.Remove(w.store.partitionPath(w.day, w.shard))
+	w.store.fs.Remove(w.store.indexPath(w.day, w.shard))
+	return fmt.Errorf("trace: partition day %d shard %d aborted: %w", w.day, w.shard, cause)
 }
 
 func (w *fileWriter) Write(rec *Record) error {
+	if w.werr != nil {
+		return w.werr
+	}
 	w.digest.observeTS(rec.Timestamp)
 	if w.idx != nil {
 		w.idx.observe(rec.Timestamp, uint32(rec.UE), uint32(rec.TAC), uint32(rec.Source), uint32(rec.Target))
 	}
-	return w.w.Write(rec)
+	if err := w.w.Write(rec); err != nil {
+		return w.fail(err)
+	}
+	return nil
 }
 
 // WriteBatch lands a batch, going through the codec's batch path when it
 // has one. Both codecs land batches in block-sized appends, so no
 // per-record copy loop survives on this path.
 func (w *fileWriter) WriteBatch(recs []Record) error {
+	if w.werr != nil {
+		return w.werr
+	}
 	for i := range recs {
 		w.digest.observeTS(recs[i].Timestamp)
 	}
@@ -952,11 +1019,14 @@ func (w *fileWriter) WriteBatch(recs []Record) error {
 		}
 	}
 	if bw, ok := w.w.(BatchWriter); ok {
-		return bw.WriteBatch(recs)
+		if err := bw.WriteBatch(recs); err != nil {
+			return w.fail(err)
+		}
+		return nil
 	}
 	for i := range recs {
 		if err := w.w.Write(&recs[i]); err != nil {
-			return err
+			return w.fail(err)
 		}
 	}
 	return nil
@@ -969,6 +1039,9 @@ func (w *fileWriter) WriteBatch(recs []Record) error {
 // chunk, never a write per record). Timestamp extents fold into the
 // manifest digest from the contiguous timestamp column.
 func (w *fileWriter) WriteColumns(cb *ColumnBatch) error {
+	if w.werr != nil {
+		return w.werr
+	}
 	for _, ts := range cb.Timestamps {
 		w.digest.observeTS(ts)
 	}
@@ -976,7 +1049,10 @@ func (w *fileWriter) WriteColumns(cb *ColumnBatch) error {
 		w.idx.observeColumns(cb)
 	}
 	if cw, ok := w.w.(ColumnWriter); ok {
-		return cw.WriteColumns(cb)
+		if err := cw.WriteColumns(cb); err != nil {
+			return w.fail(err)
+		}
+		return nil
 	}
 	n := cb.Len()
 	if n == 0 {
@@ -990,58 +1066,138 @@ func (w *fileWriter) WriteColumns(cb *ColumnBatch) error {
 		}
 		if bw, ok := w.w.(BatchWriter); ok {
 			if err := bw.WriteBatch(recs[:k]); err != nil {
-				return err
+				return w.fail(err)
 			}
 			continue
 		}
 		for i := 0; i < k; i++ {
 			if err := w.w.Write(&recs[i]); err != nil {
-				return err
+				return w.fail(err)
 			}
 		}
 	}
 	return nil
 }
 
+// Close commits the partition: flush the codec, fsync the partition
+// file, write the index sidecar, then fold the entry into the MANIFEST
+// (whose atomic rewrite fsyncs the directory, making the new partition
+// itself durable). Any failure along the way aborts instead — the
+// partial file and sidecar are removed so the store's prior state is
+// exactly preserved.
 func (w *fileWriter) Close() error {
 	if w.closed {
 		return nil
 	}
 	w.closed = true
+	if w.werr != nil {
+		return w.abort(w.werr)
+	}
 	if err := w.w.Flush(); err != nil {
-		w.file.Close()
-		return err
+		return w.abort(err)
 	}
 	// Return the codec's pooled encode scratch now that the stream is
 	// complete (v2 writers; a no-op surface for v1).
 	if rel, ok := w.w.(interface{ Release() }); ok {
 		rel.Release()
 	}
+	if err := w.file.Sync(); err != nil {
+		return w.abort(err)
+	}
 	if err := w.file.Close(); err != nil {
-		return err
+		w.store.fs.Remove(w.store.partitionPath(w.day, w.shard))
+		w.store.fs.Remove(w.store.indexPath(w.day, w.shard))
+		return fmt.Errorf("trace: partition day %d shard %d aborted: %w", w.day, w.shard, err)
 	}
 	info := w.digest.info(w.day, w.shard, w.w.Count())
 	if w.idx != nil {
 		// The sidecar lands before the manifest entry that advertises it,
 		// so a reader that sees IndexVersion > 0 always finds the file.
 		idx := w.idx.finish(w.digest.hash)
-		if err := writeIndexFile(w.store.indexPath(w.day, w.shard), idx); err != nil {
+		if err := writeIndexFile(w.store.fs, w.store.indexPath(w.day, w.shard), idx); err != nil {
+			w.store.fs.Remove(w.store.partitionPath(w.day, w.shard))
+			w.store.fs.Remove(w.store.indexPath(w.day, w.shard))
 			return err
 		}
 		info.IndexVersion = idx.Version
 	}
-	return w.store.notePartitionClosed(info)
+	if err := w.store.notePartitionClosed(info); err != nil {
+		w.store.fs.Remove(w.store.partitionPath(w.day, w.shard))
+		w.store.fs.Remove(w.store.indexPath(w.day, w.shard))
+		return err
+	}
+	return nil
+}
+
+// readVerifier tees every byte the codec pulls from the partition file
+// into a fresh digest. The codec reader never seeks (range pruning
+// discards through its buffer), so the tee observes the stream in file
+// order; at end of stream the remaining tail is drained and the hash
+// plus byte count are compared against the manifest entry recorded at
+// write time.
+type readVerifier struct {
+	src    io.Reader
+	digest *partitionDigest
+	expect PartitionInfo
+	done   bool
+}
+
+func (v *readVerifier) Read(p []byte) (int, error) {
+	n, err := v.src.Read(p)
+	if n > 0 {
+		v.digest.observeBytes(p[:n])
+	}
+	return n, err
+}
+
+// finish drains the unread tail through the digest and compares. It
+// runs once; later calls are free.
+func (v *readVerifier) finish(day, shard int) error {
+	if v.done {
+		return nil
+	}
+	v.done = true
+	if _, err := io.Copy(io.Discard, v); err != nil {
+		return &CorruptionError{Day: day, Shard: shard, Class: CorruptIO, Err: err}
+	}
+	if v.digest.hash != v.expect.Fingerprint || v.digest.bytes != v.expect.Bytes {
+		var err error
+		if v.digest.bytes != v.expect.Bytes {
+			err = fmt.Errorf("%w: stored %d bytes, manifest records %d",
+				ErrChecksumMismatch, v.digest.bytes, v.expect.Bytes)
+		} else {
+			err = fmt.Errorf("%w: stream hash %016x, manifest fingerprint %016x",
+				ErrChecksumMismatch, v.digest.hash, v.expect.Fingerprint)
+		}
+		class := CorruptChecksum
+		if v.digest.bytes < v.expect.Bytes {
+			class = CorruptTruncated
+		}
+		return &CorruptionError{Day: day, Shard: shard, Class: class, Err: err}
+	}
+	return nil
 }
 
 type fileIterator struct {
-	file *os.File
-	r    *Reader
+	file   faultfs.File
+	r      *Reader
+	day    int
+	shard  int
+	verify *readVerifier
+}
+
+// atEnd runs the verification pass when the stream is exhausted.
+func (it *fileIterator) atEnd() error {
+	if it.verify == nil {
+		return nil
+	}
+	return it.verify.finish(it.day, it.shard)
 }
 
 func (it *fileIterator) Next(rec *Record) (bool, error) {
 	err := it.r.Next(rec)
 	if err == io.EOF {
-		return false, nil
+		return false, it.atEnd()
 	}
 	if err != nil {
 		return false, err
@@ -1053,7 +1209,10 @@ func (it *fileIterator) Next(rec *Record) (bool, error) {
 func (it *fileIterator) NextBatch(batch *[]Record) (int, error) {
 	n, err := it.r.NextBatch(batch)
 	if err == io.EOF {
-		return 0, nil
+		return 0, it.atEnd()
+	}
+	if n == 0 && err == nil {
+		return 0, it.atEnd()
 	}
 	return n, err
 }
@@ -1063,7 +1222,10 @@ func (it *fileIterator) NextBatch(batch *[]Record) (int, error) {
 func (it *fileIterator) NextColumns(cb *ColumnBatch) (int, error) {
 	n, err := it.r.NextColumns(cb)
 	if err == io.EOF {
-		return 0, nil
+		return 0, it.atEnd()
+	}
+	if n == 0 && err == nil {
+		return 0, it.atEnd()
 	}
 	return n, err
 }

@@ -1,0 +1,173 @@
+#!/usr/bin/env bash
+# Scrub/quarantine soak: the end-to-end durability acceptance check.
+#
+# 1. Generate a reference campaign and record its clean report.
+# 2. telcofsck must pass the pristine store and fail a copy with a
+#    bit-flipped partition and a truncated one.
+# 3. telcofsck -scrub must quarantine exactly the damaged partitions
+#    (into quarantine/ with a QUARANTINE.json log) and leave a store
+#    that then audits clean.
+# 4. telcoserve -scrub on a damaged copy must come up serving the
+#    surviving days in declared degraded mode: /healthz says
+#    "degraded" and names the quarantined days, /query still answers
+#    from the intact days, and a checkpoint round-trips across a
+#    graceful SIGTERM restart.
+#
+# Tunables (env): UES, DAYS, SHARDS, ADDR; RACE=1 builds with the race
+# detector (the CI chaos job does).
+set -euo pipefail
+
+UES=${UES:-2000}
+DAYS=${DAYS:-4}
+SHARDS=${SHARDS:-2}
+ADDR=${ADDR:-127.0.0.1:8493}
+RACE=${RACE:-0}
+
+cd "$(dirname "$0")/.."
+WORK=$(mktemp -d)
+SERVE_PID=""
+cleanup() {
+  status=$?
+  [ -n "$SERVE_PID" ] && kill -9 "$SERVE_PID" 2>/dev/null || true
+  # On failure, preserve the evidence (logs, audit output, quarantine
+  # dirs) for the CI artifact upload before the workdir vanishes.
+  if [ "$status" -ne 0 ] && [ -n "${CHAOS_ARTIFACT_DIR:-}" ]; then
+    mkdir -p "$CHAOS_ARTIFACT_DIR"
+    cp "$WORK"/*.log "$WORK"/*.txt "$CHAOS_ARTIFACT_DIR"/ 2>/dev/null || true
+    for d in "${DAMAGED:-}" "${SERVED:-}"; do
+      [ -n "$d" ] && [ -d "$d/quarantine" ] &&
+        cp -r "$d/quarantine" "$CHAOS_ARTIFACT_DIR/$(basename "$d")-quarantine" || true
+    done
+  fi
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+BIN=$WORK/bin
+mkdir -p "$BIN"
+BUILD_FLAGS=()
+[ "$RACE" = "1" ] && BUILD_FLAGS+=(-race)
+go build ${BUILD_FLAGS[@]+"${BUILD_FLAGS[@]}"} -o "$BIN" \
+  ./cmd/telcogen ./cmd/telcofsck ./cmd/telcoserve
+
+SRC=$WORK/src
+echo "== generating reference campaign ($UES UEs x $DAYS days, $SHARDS shards)"
+"$BIN/telcogen" -out "$SRC" -ues "$UES" -days "$DAYS" -shards "$SHARDS"
+
+echo "== telcofsck must pass the pristine store"
+"$BIN/telcofsck" -data "$SRC"
+
+# Damage a copy: flip one byte mid-file in a day-1 partition and chop
+# the tail off a day-2 partition. Day 0 stays intact.
+DAMAGED=$WORK/damaged
+cp -r "$SRC" "$DAMAGED"
+FLIP=$(ls "$DAMAGED"/ho_day_001*.tlho | head -1)
+TRUNC=$(ls "$DAMAGED"/ho_day_002*.tlho | head -1)
+SIZE=$(wc -c <"$FLIP")
+printf '\xff' | dd of="$FLIP" bs=1 seek=$((SIZE / 2)) conv=notrunc 2>/dev/null
+truncate -s $(($(wc -c <"$TRUNC") - 37)) "$TRUNC"
+
+SERVED=$WORK/served
+cp -r "$DAMAGED" "$SERVED"
+
+echo "== telcofsck must flag the damaged store"
+if "$BIN/telcofsck" -data "$DAMAGED" >"$WORK/fsck_audit.txt" 2>&1; then
+  echo "fsck passed a corrupt store" >&2
+  cat "$WORK/fsck_audit.txt" >&2
+  exit 1
+fi
+grep -q "day 1 shard" "$WORK/fsck_audit.txt" || {
+  echo "audit did not flag the flipped day-1 partition" >&2
+  cat "$WORK/fsck_audit.txt" >&2
+  exit 1
+}
+
+echo "== telcofsck -scrub must quarantine the damage and leave a clean store"
+"$BIN/telcofsck" -data "$DAMAGED" -scrub >"$WORK/fsck_scrub.txt"
+[ -f "$DAMAGED/quarantine/$(basename "$FLIP")" ] || {
+  echo "flipped partition not moved to quarantine/" >&2
+  ls -la "$DAMAGED/quarantine" >&2 || true
+  exit 1
+}
+[ -f "$DAMAGED/quarantine/$(basename "$TRUNC")" ] || {
+  echo "truncated partition not moved to quarantine/" >&2
+  exit 1
+}
+grep -q '"class"' "$DAMAGED/quarantine/QUARANTINE.json" || {
+  echo "quarantine log missing classification" >&2
+  cat "$DAMAGED/quarantine/QUARANTINE.json" >&2
+  exit 1
+}
+"$BIN/telcofsck" -data "$DAMAGED"   # post-scrub audit must be clean
+
+serve() {
+  "$BIN/telcoserve" -data "$SERVED" -addr "$ADDR" -scrub -poll 500ms \
+    -checkpoint "$WORK/state.tlckpt" -drain 10s \
+    >>"$WORK/serve.log" 2>&1 &
+  SERVE_PID=$!
+  disown "$SERVE_PID" 2>/dev/null || true
+}
+
+wait_http() { # path, attempts
+  for _ in $(seq 1 "$2"); do
+    curl -fsS "http://$ADDR$1" >/dev/null 2>&1 && return 0
+    sleep 0.2
+  done
+  echo "daemon did not answer $1" >&2
+  cat "$WORK/serve.log" >&2
+  return 1
+}
+
+echo "== telcoserve -scrub on the damaged copy must serve degraded"
+serve
+wait_http /healthz 100
+# The snapshot may trail the startup scrub by a poll; wait for it.
+for _ in $(seq 1 100); do
+  HEALTH=$(curl -fsS "http://$ADDR/healthz")
+  echo "$HEALTH" | grep -q '"degraded"' && break
+  sleep 0.2
+done
+echo "$HEALTH" | grep -q '"degraded"' || {
+  echo "healthz never declared degraded: $HEALTH" >&2
+  cat "$WORK/serve.log" >&2
+  exit 1
+}
+echo "$HEALTH" | grep -q '"quarantined_days"' || {
+  echo "healthz does not name quarantined days: $HEALTH" >&2
+  exit 1
+}
+
+echo "== surviving days must still answer queries"
+for ue in 3 42; do
+  curl -fsS "http://$ADDR/query?ue=$ue&limit=100&format=csv" >"$WORK/q.csv"
+  [ -s "$WORK/q.csv" ] || { echo "empty query response for ue=$ue" >&2; exit 1; }
+done
+
+echo "== graceful SIGTERM restart must resume from the checkpoint"
+for _ in $(seq 1 100); do
+  [ -s "$WORK/state.tlckpt" ] && break
+  sleep 0.2
+done
+[ -s "$WORK/state.tlckpt" ] || {
+  echo "no checkpoint written" >&2
+  cat "$WORK/serve.log" >&2
+  exit 1
+}
+kill -TERM "$SERVE_PID"
+if ! wait "$SERVE_PID"; then
+  echo "daemon exited non-zero on SIGTERM" >&2
+  cat "$WORK/serve.log" >&2
+  exit 1
+fi
+SERVE_PID=""
+serve
+wait_http /healthz 100
+grep -q "resumed checkpoint: true" "$WORK/serve.log" || {
+  echo "restart did not resume from the checkpoint" >&2
+  cat "$WORK/serve.log" >&2
+  exit 1
+}
+kill -TERM "$SERVE_PID" && wait "$SERVE_PID" || true
+SERVE_PID=""
+
+echo "== chaos soak OK: scrub quarantined the damage, degraded serving and checkpoint resume verified"

@@ -217,6 +217,21 @@ func ResumeAnalyzer(ds *Dataset, r io.Reader, opts ...Option) (*Analyzer, error)
 	return analysis.ResumeAnalyzer(ds, r, analyzerOptions(buildOptions(opts))...)
 }
 
+// SaveCheckpoint persists the analyzer's checkpoint to a file with the
+// atomic-publish discipline (a crashed save leaves the previous
+// checkpoint intact); see ResumeAnalyzerFile for the read side.
+func SaveCheckpoint(path string, a *Analyzer) error {
+	return analysis.SaveCheckpointFile(nil, path, a)
+}
+
+// ResumeAnalyzerFile restores an analyzer from a checkpoint file, or
+// falls back to a cold analyzer when the file is missing, unreadable
+// or fails its checksum — a checkpoint is an accelerator, never a
+// correctness dependency. resumed reports whether the file was used.
+func ResumeAnalyzerFile(path string, ds *Dataset, opts ...Option) (a *Analyzer, resumed bool, err error) {
+	return analysis.ResumeAnalyzerFile(nil, path, ds, analyzerOptions(buildOptions(opts))...)
+}
+
 // NewMemStore returns an in-memory trace store.
 func NewMemStore() Store { return trace.NewMemStore() }
 
