@@ -14,7 +14,9 @@
 #                     the measured bench pass the CI regression gate
 #                     feeds to cmd/benchgate: BenchmarkScan +
 #                     BenchmarkScanSharded + the paired BenchmarkRunAll
-#                     (record-at-a-time vs batch-native) + the paired
+#                     (record-at-a-time vs batch-native, plus the
+#                     postscan leg timing repeat passes over a warm
+#                     analyzer — the post-scan constant) + the paired
 #                     BenchmarkRefresh (cold full state build vs
 #                     checkpoint-resume + 1-new-day refresh) + the paired
 #                     write-path benches BenchmarkWrite (legacy record
@@ -76,7 +78,7 @@ PROFILE_DIR ?= profile-campaign
 PROFILE_EXP ?= table5
 PROFILE_ARGS ?=
 
-.PHONY: all vet lint build test race bench-smoke bench-gate-run alloc-check profile fuzz-smoke ci
+.PHONY: all vet lint build test race bench-smoke bench-gate-run bench-baseline alloc-check profile fuzz-smoke ci
 
 all: ci
 
@@ -111,6 +113,15 @@ bench-smoke:
 bench-gate-run:
 	@$(GO) test -run NONE -bench '$(BENCH_PATTERN)' -benchmem \
 		-benchtime 2x -count 5 . > $(BENCH_OUT); s=$$?; cat $(BENCH_OUT); exit $$s
+
+# Re-record the committed performance-trajectory anchor: run the gate's
+# benchmark set and snapshot the per-benchmark medians into
+# BENCH_baseline.json. The committed file is informational — the CI gate
+# always re-measures the merge base instead of trusting a file measured
+# on different hardware — but it pins where each perf PR started, so the
+# trajectory across PRs stays reviewable in the history of one file.
+bench-baseline: bench-gate-run
+	$(GO) run ./cmd/benchgate -snapshot $(BENCH_OUT) -json BENCH_baseline.json
 
 # Steady-state allocation check: decoding a block into a ColumnBatch (or
 # record batch), encoding a block from columnar or record-batch ingest,

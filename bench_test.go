@@ -202,6 +202,14 @@ func (s *benchCountShard) ObserveBatch(day int, recs []trace.Record) error {
 	return nil
 }
 
+// ObserveColumns makes the raw scan legs take the column-native scan
+// path — the one every production collector uses — so they measure pure
+// block decode (SoA, no record transposition) plus iteration.
+func (s *benchCountShard) ObserveColumns(day int, cb *trace.ColumnBatch) error {
+	s.n += int64(cb.Len())
+	return nil
+}
+
 func (c *benchCountCollector) MergeShard(st trace.ShardState) error {
 	c.total += st.(*benchCountShard).n
 	return nil
@@ -238,6 +246,9 @@ func BenchmarkScan(b *testing.B) {
 		{"raw/v1", trace.FileStoreOptions{Codec: trace.CodecV1}},
 		{"raw/v2", trace.FileStoreOptions{Codec: trace.CodecV2}},
 		{"raw/v2flate", trace.FileStoreOptions{Codec: trace.CodecV2, Compress: true}},
+		{"raw/v3", trace.FileStoreOptions{Codec: trace.CodecV3}},
+		{"raw/v3tlz", trace.FileStoreOptions{Codec: trace.CodecV3, FastCompress: true}},
+		{"raw/v3flate", trace.FileStoreOptions{Codec: trace.CodecV3, Compress: true}},
 	} {
 		b.Run(c.name, func(b *testing.B) {
 			s := codecBenchStore(b, strings.ReplaceAll(c.name, "/", "-"), c.opts)
@@ -281,14 +292,15 @@ func BenchmarkScan(b *testing.B) {
 		}
 		b.ReportMetric(float64(total)*float64(b.N)/b.Elapsed().Seconds(), "records/s")
 	})
-	// Paired measurement: the v1, v2 and v2-projected scans alternate
+	// Paired measurement: the v1, v2, v3 and v2-projected scans alternate
 	// inside the same timer window, so machine drift (shared runners,
 	// thermal throttle) cancels out of the reported speedups in a way
 	// independent sub-benchmarks cannot guarantee.
 	b.Run("raw/speedup", func(b *testing.B) {
 		s1 := codecBenchStore(b, "raw-v1", trace.FileStoreOptions{Codec: trace.CodecV1})
 		s2 := codecBenchStore(b, "raw-v2", trace.FileStoreOptions{Codec: trace.CodecV2})
-		var d1, d2, dp time.Duration
+		s3 := codecBenchStore(b, "raw-v3", trace.FileStoreOptions{Codec: trace.CodecV3})
+		var d1, d2, d3, dp time.Duration
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			for _, m := range []struct {
@@ -298,6 +310,7 @@ func BenchmarkScan(b *testing.B) {
 			}{
 				{s1, trace.ScanOptions{}, &d1},
 				{s2, trace.ScanOptions{}, &d2},
+				{s3, trace.ScanOptions{}, &d3},
 				{s2, trace.ScanOptions{Projection: trace.ColTimestamp}, &dp},
 			} {
 				start := time.Now()
@@ -310,6 +323,10 @@ func BenchmarkScan(b *testing.B) {
 		}
 		if d2 > 0 {
 			b.ReportMetric(d1.Seconds()/d2.Seconds(), "v2_full_speedup_x")
+		}
+		if d3 > 0 {
+			b.ReportMetric(d1.Seconds()/d3.Seconds(), "v3_full_speedup_x")
+			b.ReportMetric(d2.Seconds()/d3.Seconds(), "v3_vs_v2_x")
 		}
 		if dp > 0 {
 			b.ReportMetric(d1.Seconds()/dp.Seconds(), "v2_proj_speedup_x")
@@ -405,6 +422,28 @@ func BenchmarkRunAll(b *testing.B) {
 		}
 		if dBatch > 0 {
 			b.ReportMetric(dRec.Seconds()/dBatch.Seconds(), "batch_speedup_x")
+		}
+	})
+	// postscan isolates the post-scan constant: the analyzer is warmed
+	// once (collectors computed, state finalized), then each iteration
+	// re-runs every experiment body — quantile regressions, summaries,
+	// regression rows, rendering — without touching the trace store. This
+	// is the constant a counterfactual-replay pass pays per policy.
+	b.Run("postscan", func(b *testing.B) {
+		ds := *a.DS
+		ds.Store = s2
+		warm, err := NewAnalyzer(&ds)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := RunAll(context.Background(), warm, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := RunAll(context.Background(), warm, io.Discard); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 }
@@ -765,6 +804,54 @@ func BenchmarkWrite(b *testing.B) {
 			}
 		})
 	}
+	// v3 legs: bitpacked encode, plain and TLZ-compressed, plus the
+	// paired v2-vs-v3 ratio inside one timer window.
+	encodeV3 := func(b *testing.B, opts trace.WriterV3Options) {
+		w, err := trace.NewWriterV3(io.Discard, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := w.WriteColumns(cb); err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		if w.Count() != int64(len(recs)) {
+			b.Fatalf("encoded %d records, want %d", w.Count(), len(recs))
+		}
+		w.Release()
+	}
+	for _, c := range []struct {
+		name string
+		opts trace.WriterV3Options
+	}{
+		{"v3/column", trace.WriterV3Options{}},
+		{"v3tlz/column", trace.WriterV3Options{FastCompress: true}},
+		{"v3flate/column", trace.WriterV3Options{Compress: true}},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				encodeV3(b, c.opts)
+			}
+			b.ReportMetric(float64(len(recs))*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+		})
+	}
+	b.Run("v3/speedup", func(b *testing.B) {
+		var d2, d3 time.Duration
+		for i := 0; i < b.N; i++ {
+			start := time.Now()
+			encode(b, false, false)
+			d2 += time.Since(start)
+			start = time.Now()
+			encodeV3(b, trace.WriterV3Options{})
+			d3 += time.Since(start)
+		}
+		if d3 > 0 {
+			b.ReportMetric(d2.Seconds()/d3.Seconds(), "v3_vs_v2_x")
+		}
+	})
 }
 
 // recordWriteOnlyStore strips the ColumnWriter surface from a store's

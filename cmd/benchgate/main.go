@@ -8,6 +8,12 @@
 //
 //	benchgate -old BENCH_main.txt -new BENCH_head.txt
 //	benchgate -old old.txt -new new.txt -threshold 0.10 -json BENCH_compare.json
+//	benchgate -snapshot BENCH_out.txt -json BENCH_baseline.json
+//
+// -snapshot takes a single bench output and writes its per-benchmark
+// medians as JSON instead of comparing two runs; `make bench-baseline`
+// uses it to record the committed performance-trajectory anchor
+// (BENCH_baseline.json).
 package main
 
 import (
@@ -25,10 +31,11 @@ func main() {
 		newPath   = flag.String("new", "", "bench output of the candidate (e.g. PR head)")
 		threshold = flag.Float64("threshold", 0.10, "relative time/op growth that fails the gate (0.10 = +10%)")
 		jsonPath  = flag.String("json", "", "write the comparison report as JSON to this path")
+		snapshot  = flag.String("snapshot", "", "bench output to record as a medians snapshot instead of comparing (-json required)")
 	)
 	flag.Parse()
-	if *oldPath == "" || *newPath == "" {
-		fmt.Fprintln(os.Stderr, "benchgate: -old and -new are required")
+	if *snapshot == "" && (*oldPath == "" || *newPath == "") {
+		fmt.Fprintln(os.Stderr, "benchgate: -old and -new are required (or -snapshot)")
 		os.Exit(2)
 	}
 
@@ -44,6 +51,28 @@ func main() {
 		}
 		return res
 	}
+	if *snapshot != "" {
+		if *jsonPath == "" {
+			fmt.Fprintln(os.Stderr, "benchgate: -snapshot requires -json")
+			os.Exit(2)
+		}
+		res := parse(*snapshot)
+		if len(res) == 0 {
+			fmt.Fprintln(os.Stderr, "benchgate: no benchmark results in snapshot input — refusing to record an empty baseline")
+			os.Exit(2)
+		}
+		snap := benchfmt.MakeSnapshot(res)
+		data, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchgate: snapshot of %d benchmarks written to %s\n", len(snap.Benchmarks), *jsonPath)
+		return
+	}
+
 	oldRes := parse(*oldPath)
 	newRes := parse(*newPath)
 	rep := benchfmt.Compare(oldRes, newRes, *threshold)

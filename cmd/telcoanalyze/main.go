@@ -31,6 +31,7 @@ func main() {
 		parallel   = flag.Int("parallel", 0, "scan parallelism (0 = GOMAXPROCS)")
 		progress   = flag.Bool("progress", false, "report scan progress on stderr")
 		verbose    = flag.Bool("v", false, "print scan metrics (partitions, records, blocks pruned/decoded, bytes) on stderr")
+		finProfile = flag.Bool("finalizeprofile", false, "print the scan vs finalize wall-time split on stderr")
 		fromDay    = flag.Int("from", -1, "first study day of the analysis window (-1 = study start)")
 		toDay      = flag.Int("to", -1, "last study day of the analysis window, inclusive (-1 = study end)")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
@@ -54,7 +55,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	if err := run(*data, *exp, *parallel, *progress, *verbose, *fromDay, *toDay, *cpuprofile, *memprofile); err != nil {
+	if err := run(*data, *exp, *parallel, *progress, *verbose, *finProfile, *fromDay, *toDay, *cpuprofile, *memprofile); err != nil {
 		fmt.Fprintln(os.Stderr, "telcoanalyze:", err)
 		os.Exit(1)
 	}
@@ -62,7 +63,7 @@ func main() {
 
 // run wraps the analysis so profiles are flushed on every exit path
 // (fatal os.Exit would silently drop a pending CPU profile).
-func run(data, exp string, parallel int, progress, verbose bool, fromDay, toDay int, cpuprofile, memprofile string) error {
+func run(data, exp string, parallel int, progress, verbose, finProfile bool, fromDay, toDay int, cpuprofile, memprofile string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
@@ -105,6 +106,9 @@ func run(data, exp string, parallel int, progress, verbose bool, fromDay, toDay 
 	}
 	if verbose {
 		printScanStats(a.ScanStats())
+	}
+	if finProfile {
+		fmt.Fprintln(os.Stderr, a.ScanStats().ProfileSummary())
 	}
 	if memprofile != "" {
 		f, err := os.Create(memprofile)

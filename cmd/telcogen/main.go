@@ -9,6 +9,7 @@
 //	telcogen -out ./campaign -shards 8        # hash-sharded day partitions
 //	telcogen -out ./campaign -codec 1         # legacy fixed-width v1 streams
 //	telcogen -out ./campaign -compress        # flate-compressed v2 blocks
+//	telcogen -out ./campaign -codec 3 -fastcompress  # bitpacked v3, TLZ-compressed
 //	telcogen -out ./campaign -append 1        # extend the campaign by a day
 //	telcogen -out ./campaign -cpuprofile cpu.pprof -memprofile mem.pprof
 //
@@ -50,8 +51,9 @@ func main() {
 		districts  = flag.Int("districts", 320, "census districts")
 		shards     = flag.Int("shards", 1, "trace shards per day (hash-partitioned by UE)")
 		rareBoost  = flag.Float64("rareboost", 1, "2G fallback probability multiplier (see DESIGN.md)")
-		codec      = flag.Int("codec", 2, "trace stream codec: 1 (fixed-width records) or 2 (columnar blocks)")
-		compress   = flag.Bool("compress", false, "flate-compress v2 block payloads (smaller files, slower scans)")
+		codec      = flag.Int("codec", 2, "trace stream codec: 1 (fixed-width records), 2 (columnar blocks) or 3 (bitpacked blocks)")
+		compress   = flag.Bool("compress", false, "flate-compress v2/v3 block payloads (smaller files, slower scans)")
+		fastcomp   = flag.Bool("fastcompress", false, "TLZ-compress v3 block payloads (fast decode at a lower ratio than flate)")
 		appendN    = flag.Int("append", 0, "extend the existing campaign in -out by N days instead of generating")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile taken after the run to this file")
@@ -59,7 +61,7 @@ func main() {
 	flag.Parse()
 
 	if err := run(*out, *seed, *ues, *days, *sites, *districts, *shards, *rareBoost,
-		*codec, *compress, *appendN, *cpuprofile, *memprofile); err != nil {
+		*codec, *compress, *fastcomp, *appendN, *cpuprofile, *memprofile); err != nil {
 		fmt.Fprintln(os.Stderr, "telcogen:", err)
 		os.Exit(1)
 	}
@@ -69,7 +71,7 @@ func main() {
 // fatal os.Exit would silently drop a pending CPU profile) — the same
 // contract telcoanalyze keeps.
 func run(out string, seed uint64, ues, days, sites, districts, shards int, rareBoost float64,
-	codec int, compress bool, appendN int, cpuprofile, memprofile string) error {
+	codec int, compress, fastcomp bool, appendN int, cpuprofile, memprofile string) error {
 	if cpuprofile != "" {
 		f, err := os.Create(cpuprofile)
 		if err != nil {
@@ -107,6 +109,9 @@ func run(out string, seed uint64, ues, days, sites, districts, shards int, rareB
 		if flagVal("compress") != nil {
 			opts.Compress = compress
 		}
+		if flagVal("fastcompress") != nil {
+			opts.FastCompress = fastcomp
+		}
 		return appendDays(out, appendN, opts)
 	}
 
@@ -118,12 +123,13 @@ func run(out string, seed uint64, ues, days, sites, districts, shards int, rareB
 	cfg.Shards = shards
 	cfg.RareBoost = rareBoost
 
-	if codec != int(trace.CodecV1) && codec != int(trace.CodecV2) {
-		return fmt.Errorf("unknown codec %d (want 1 or 2)", codec)
+	if codec != int(trace.CodecV1) && codec != int(trace.CodecV2) && codec != int(trace.CodecV3) {
+		return fmt.Errorf("unknown codec %d (want 1, 2 or 3)", codec)
 	}
 	store, err := trace.NewFileStoreOpts(out, trace.FileStoreOptions{
-		Codec:    trace.Codec(codec),
-		Compress: compress,
+		Codec:        trace.Codec(codec),
+		Compress:     compress,
+		FastCompress: fastcomp,
 	})
 	if err != nil {
 		return err
@@ -192,6 +198,7 @@ func appendDays(dir string, n int, opts trace.FileStoreOptions) error {
 		// already refused an explicit codec contradiction); an explicit
 		// -compress that disagrees is refused the same way.
 		checks["compress"] = struct{ got, want any }{flagVal("compress"), fs.Options().Compress}
+		checks["fastcompress"] = struct{ got, want any }{flagVal("fastcompress"), fs.Options().FastCompress}
 	}
 	for name, c := range checks {
 		if c.got != nil && fmt.Sprint(c.got) != fmt.Sprint(c.want) {

@@ -34,6 +34,7 @@ func main() {
 		rareBoost = flag.Float64("rareboost", 1, "2G fallback multiplier for fresh campaigns")
 		out       = flag.String("out", "", "output file (empty = stdout)")
 		verbose   = flag.Bool("v", false, "print scan metrics (partitions, records, blocks pruned/decoded, bytes) on stderr")
+		finProf   = flag.Bool("finalizeprofile", false, "print the scan vs finalize wall-time split on stderr")
 		fromDay   = flag.Int("from", -1, "first study day of the analysis window (-1 = study start)")
 		toDay     = flag.Int("to", -1, "last study day of the analysis window, inclusive (-1 = study end); multi-day experiments (home detection) need a wide enough window")
 	)
@@ -92,6 +93,9 @@ func main() {
 	}
 	if *verbose {
 		fmt.Fprintln(os.Stderr, "scan:", a.ScanStats().Summary())
+	}
+	if *finProf {
+		fmt.Fprintln(os.Stderr, a.ScanStats().ProfileSummary())
 	}
 }
 

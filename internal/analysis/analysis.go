@@ -15,6 +15,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"telcolens/internal/causes"
 	"telcolens/internal/census"
@@ -121,6 +122,16 @@ type Analyzer struct {
 	stats      ScanStats
 	// pp is the incremental ping-pong tracker (see exp_pingpong.go).
 	pp *ppTracker
+
+	// rowCache memoizes RegressionRows per filter. Eight experiment
+	// bodies share four distinct filters, and they run concurrently under
+	// RunAll's worker pool — hence the dedicated mutex. rowCacheState is
+	// the finalized state the entries were derived from; finalize
+	// publishes a fresh *scanState, so a pointer comparison is the
+	// invalidation.
+	rowCacheMu    sync.Mutex
+	rowCacheState *scanState
+	rowCache      map[RowFilter][]SectorDayRow
 }
 
 // ScanStats snapshots the trace-scan observability counters an Analyzer
@@ -135,6 +146,19 @@ type ScanStats struct {
 	BlocksRead    int64
 	BlocksSkipped int64
 	BytesRead     int64
+	// ScanNanos/FinalizeNanos split the wall time between the streaming
+	// trace passes and the post-scan collector finalization, so the
+	// post-scan constant stays visible in bench artifacts (-finalizeprofile
+	// in telcoanalyze/telcoreport prints the split).
+	ScanNanos     int64
+	FinalizeNanos int64
+}
+
+// ProfileSummary renders the scan-vs-finalize wall-time split the CLI
+// -finalizeprofile flags print.
+func (s ScanStats) ProfileSummary() string {
+	return fmt.Sprintf("profile: scan %.3fs, finalize %.3fs",
+		float64(s.ScanNanos)/1e9, float64(s.FinalizeNanos)/1e9)
 }
 
 // ScanStats returns the counters accumulated so far.
@@ -554,9 +578,11 @@ func (a *Analyzer) scanIntoLocked(ctx context.Context, cols []collector, parts [
 		tr := trace.DayRange(clampWindow(a.winFrom, a.winTo, a.env.days))
 		opts.Range = &tr
 	}
+	scanStart := time.Now()
 	if err := trace.Scan(ctx, a.DS.Store, opts, tcols...); err != nil {
 		return err
 	}
+	a.stats.ScanNanos += time.Since(scanStart).Nanoseconds()
 	a.stats.Scans++
 	a.stats.Partitions += metrics.Partitions.Load()
 	a.stats.Records += metrics.Records.Load()
@@ -574,22 +600,41 @@ func (a *Analyzer) scanIntoLocked(ctx context.Context, cols []collector, parts [
 }
 
 // finalizeLocked publishes a fresh scanState from every live collector.
+// Each collector's finalize writes a disjoint set of scanState fields, so
+// the units run concurrently; the publish (a.state = st) happens after
+// every worker has returned.
 func (a *Analyzer) finalizeLocked() error {
+	start := time.Now()
 	st := &scanState{
 		days:      a.env.days,
 		nUEs:      a.env.nUEs,
 		nSectors:  a.env.nSectors,
 		districts: a.env.nDistricts,
 	}
+	var live []collector
 	for need := NeedTypes; need < needSentinel; need <<= 1 {
 		if col, ok := a.cols[need]; ok {
-			if err := col.finalize(st); err != nil {
-				return err
-			}
+			live = append(live, col)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(live))
+	for i, col := range live {
+		wg.Add(1)
+		go func(i int, col collector) {
+			defer wg.Done()
+			errs[i] = col.finalize(st)
+		}(i, col)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
 		}
 	}
 	a.state = st
 	a.stateDirty = false
+	a.stats.FinalizeNanos += time.Since(start).Nanoseconds()
 	return nil
 }
 

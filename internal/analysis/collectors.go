@@ -88,7 +88,13 @@ type scanEnv struct {
 }
 
 type sectorMeta struct {
-	loc      geo.Point
+	loc geo.Point
+	// latRad/lonRad/cosLat are geo.PrecomputeTrig(loc), tabulated once so
+	// the gyration merge loop does no per-visit trigonometry (the trig
+	// gyration path is bit-identical to the reference; see geo tests).
+	latRad   float64
+	lonRad   float64
+	cosLat   float64
 	district int32
 	site     int32
 	areaIdx  uint8 // 0 rural, 1 urban
@@ -122,6 +128,7 @@ func newScanEnv(ds *simulate.Dataset) *scanEnv {
 		sec := ds.Network.Sector(topology.SectorID(i))
 		m := &env.sectors[i]
 		m.loc = sec.Loc
+		m.latRad, m.lonRad, m.cosLat = geo.PrecomputeTrig(sec.Loc)
 		m.district = int32(sec.DistrictID)
 		m.site = int32(sec.Site)
 		m.vendor = uint8(sec.Vendor)
@@ -253,6 +260,12 @@ type sampler struct {
 	// instead of re-sorting the whole bottom-k. Any reordering operation
 	// (heapify, quickselect pruning) resets it to 0.
 	sortedPrefix int
+	// sortedVal caches the values in ascending order for SortedSamples;
+	// any mutation of the kept set clears it. Several experiments take
+	// quantiles and ECDFs of the same sampler, so sorting once per
+	// finalized state instead of once per experiment cuts the post-scan
+	// constant.
+	sortedVal []float64
 }
 
 func newSampler(capacity int, salt uint64) *sampler {
@@ -287,6 +300,7 @@ func (s *sampler) Add(v float64, key uint64) {
 
 func (s *sampler) insert(p uint64, v float64) {
 	s.sealed = false
+	s.sortedVal = nil
 	if len(s.pri) < s.capacity {
 		// Fill phase: plain append. Shard-local samplers that never
 		// fill pay nothing but the appends.
@@ -406,6 +420,7 @@ func (s *sampler) absorb(o *sampler) {
 	s.n += o.n
 	if len(o.pri) > 0 {
 		s.sealed = false
+		s.sortedVal = nil
 	}
 	if s.heaped {
 		// Already in eviction mode (a single stream overflowed):
@@ -510,6 +525,19 @@ func (s *sampler) sealMerge() {
 
 // Samples returns the sampled values (not a copy).
 func (s *sampler) Samples() []float64 { return s.val }
+
+// SortedSamples returns the sampled values in ascending order, cached
+// until the kept set changes. The durations collector warms the cache at
+// finalize, so the experiment bodies — which run concurrently and take
+// quantiles and ECDFs of the same samplers — share one sort and never
+// write to the sampler. Callers must treat the slice as read-only.
+func (s *sampler) SortedSamples() []float64 {
+	if s.sortedVal == nil && len(s.val) > 0 {
+		s.sortedVal = append([]float64(nil), s.val...)
+		sort.Float64s(s.sortedVal)
+	}
+	return s.sortedVal
+}
 
 // N returns the number of values observed.
 func (s *sampler) N() int64 { return s.n }
@@ -771,11 +799,16 @@ func (c *durationsCollector) MergeShard(st trace.ShardState) error {
 }
 
 func (c *durationsCollector) finalize(out *scanState) error {
+	// Warm the sorted-sample caches here, where this goroutine is the
+	// sole owner: the experiments reading the published state run
+	// concurrently and must never mutate a sampler.
 	for _, s := range c.durSuccess {
 		s.seal()
+		s.SortedSamples()
 	}
 	for _, s := range c.durCause {
 		s.seal()
+		s.SortedSamples()
 	}
 	out.durSuccess = c.durSuccess
 	out.durCause = c.durCause
@@ -1269,6 +1302,15 @@ func (s *secSet) add(id uint32) {
 	s.n++
 }
 
+// secVisit is one dwell at a sector: the sector index stands in for the
+// geo.Point (every visit location is a sector location), so the in-flight
+// log is 16 bytes per dwell instead of a 32-byte geo.Visit, and the trig
+// tables in sectorMeta turn it back into a geo.TrigVisit at flush time.
+type secVisit struct {
+	sector int32
+	weight float64
+}
+
 // ueState is one UE's in-flight state within one (day, shard) partition.
 // Because shards are hash-partitioned by UE, a UE's whole day lives in
 // exactly one partition, so the flush below sees complete days.
@@ -1283,9 +1325,9 @@ type ueState struct {
 	// 0 = none): successive handovers chain source := previous target,
 	// so most membership probes are answered by two register compares.
 	seen1, seen2 uint32
-	visits       []geo.Visit
+	visits       []secVisit
 	lastTs       int64
-	lastLoc      geo.Point
+	lastSec      int32
 }
 
 // addSector records a visited sector through the two-entry cache.
@@ -1301,9 +1343,9 @@ func (st *ueState) addSector(id uint32) {
 // appendVisit grows the visit log with a useful starting capacity (a
 // typical UE-day closes a dozen-plus dwells; the default doubling from
 // 1 costs several small allocations per UE per day).
-func (st *ueState) appendVisit(v geo.Visit) {
+func (st *ueState) appendVisit(v secVisit) {
 	if st.visits == nil {
-		st.visits = make([]geo.Visit, 0, 16)
+		st.visits = make([]secVisit, 0, 16)
 	}
 	st.visits = append(st.visits, v)
 }
@@ -1323,6 +1365,13 @@ type ueTable struct {
 // at returns the state for ue, inserting a fresh one if needed. The
 // pointer is only valid until the next at call (the arena may move).
 func (t *ueTable) at(ue trace.UEID) *ueState {
+	return &t.states[t.index(ue)]
+}
+
+// index returns the arena index of ue's state, inserting a fresh one if
+// needed. Unlike the pointer from at, the index stays valid across
+// inserts, so batch loops can cache it per UE.
+func (t *ueTable) index(ue trace.UEID) int32 {
 	if len(t.slots) == 0 {
 		t.slots = make([]int32, 2048)
 		t.keys = make([]trace.UEID, 2048)
@@ -1335,7 +1384,7 @@ func (t *ueTable) at(ue trace.UEID) *ueState {
 			break
 		}
 		if t.keys[j] == ue {
-			return &t.states[idx-1]
+			return idx - 1
 		}
 		j = (j + 1) & mask
 	}
@@ -1350,7 +1399,7 @@ func (t *ueTable) at(ue trace.UEID) *ueState {
 	t.states = append(t.states, ueState{ue: ue, nightSite: -1})
 	t.slots[j] = int32(len(t.states))
 	t.keys[j] = ue
-	return &t.states[len(t.states)-1]
+	return int32(len(t.states) - 1)
 }
 
 func (t *ueTable) grow() {
@@ -1380,10 +1429,20 @@ type uedayShard struct {
 	day     int
 	dayBase int64
 	tbl     ueTable
+	// lastUE/lastIdx cache the arena index of the most recent UE:
+	// handovers arrive in per-UE bursts (a session chains source :=
+	// previous target), so the batch loop usually skips the table probe.
+	// The index — not the pointer — is cached because the arena moves on
+	// growth.
+	lastUE  trace.UEID
+	lastIdx int32
+	// trigScratch is the reusable per-flush buffer the compact visit log
+	// expands into (no per-UE allocation at merge time).
+	trigScratch []geo.TrigVisit
 }
 
 func (c *uedayCollector) NewShardState(day, shard int) trace.ShardState {
-	return &uedayShard{env: c.env, day: day, dayBase: c.env.dayStart(day)}
+	return &uedayShard{env: c.env, day: day, dayBase: c.env.dayStart(day), lastIdx: -1}
 }
 
 // Observe is the record-at-a-time compatibility path; like the
@@ -1401,48 +1460,60 @@ func (s *uedayShard) Observe(day int, rec *trace.Record) error {
 		return nil
 	}
 	st.addSector(uint32(rec.Target))
-	loc := s.env.sectors[rec.Target].loc
 	if st.hasLoc {
 		if w := float64(rec.Timestamp - st.lastTs); w > 0 {
-			st.appendVisit(geo.Visit{Loc: st.lastLoc, Weight: w})
+			st.appendVisit(secVisit{sector: st.lastSec, weight: w})
 		}
 	}
-	st.lastLoc = loc
+	st.lastSec = int32(rec.Target)
 	st.lastTs = rec.Timestamp
 	st.hasLoc = true
 	return nil
 }
 
-func (s *uedayShard) observe(ts int64, ue trace.UEID, src, tgt topology.SectorID, res trace.Result) {
-	st := s.tbl.at(ue)
-	st.hos++
-	st.addSector(uint32(src))
-	if st.nightSite < 0 && ts-s.dayBase < nightEndMs {
-		st.nightSite = s.env.sectors[src].site
-	}
-	if res == trace.Failure {
-		st.fails++
-		return
-	}
-	st.addSector(uint32(tgt))
-	// Visit tracking for gyration: close the previous dwell.
-	loc := s.env.sectors[tgt].loc
-	if st.hasLoc {
-		if w := float64(ts - st.lastTs); w > 0 {
-			st.appendVisit(geo.Visit{Loc: st.lastLoc, Weight: w})
-		}
-	}
-	st.lastLoc = loc
-	st.lastTs = ts
-	st.hasLoc = true
-}
-
-// ObserveColumns runs the per-UE accumulation over the column batch.
+// ObserveColumns runs the per-UE accumulation over the column batch with
+// the per-record work hoisted: the night-window cutoff is a precomputed
+// absolute timestamp, the column slices are bound once, and the UE state
+// lookup is answered by the last-UE cache for the common in-burst case.
 func (s *uedayShard) ObserveColumns(day int, cb *trace.ColumnBatch) error {
 	n := cb.Len()
+	tss := cb.Timestamps
+	ues := cb.UEs
+	srcs := cb.Sources
+	tgts := cb.Targets
+	ress := cb.Results
+	nightCut := s.dayBase + nightEndMs
+	lastUE, lastIdx := s.lastUE, s.lastIdx
 	for i := 0; i < n; i++ {
-		s.observe(cb.Timestamps[i], cb.UEs[i], cb.Sources[i], cb.Targets[i], cb.Results[i])
+		ue := ues[i]
+		if ue != lastUE || lastIdx < 0 {
+			lastIdx = s.tbl.index(ue)
+			lastUE = ue
+		}
+		st := &s.tbl.states[lastIdx]
+		ts := tss[i]
+		st.hos++
+		st.addSector(uint32(srcs[i]))
+		if st.nightSite < 0 && ts < nightCut {
+			st.nightSite = s.env.sectors[srcs[i]].site
+		}
+		if ress[i] == trace.Failure {
+			st.fails++
+			continue
+		}
+		tgt := tgts[i]
+		st.addSector(uint32(tgt))
+		// Visit tracking for gyration: close the previous dwell.
+		if st.hasLoc {
+			if w := float64(ts - st.lastTs); w > 0 {
+				st.appendVisit(secVisit{sector: st.lastSec, weight: w})
+			}
+		}
+		st.lastSec = int32(tgt)
+		st.lastTs = ts
+		st.hasLoc = true
 	}
+	s.lastUE, s.lastIdx = lastUE, lastIdx
 	return nil
 }
 
@@ -1452,12 +1523,24 @@ func (s *uedayShard) ObserveColumns(day int, cb *trace.ColumnBatch) error {
 func (s *uedayShard) flush() []UEDayMetric {
 	endOfDay := s.env.dayStart(s.day + 1)
 	out := make([]UEDayMetric, 0, len(s.tbl.states))
+	trig := s.trigScratch
 	for i := range s.tbl.states {
 		st := &s.tbl.states[i]
 		if st.hasLoc {
 			if w := float64(endOfDay - st.lastTs); w > 0 {
-				st.visits = append(st.visits, geo.Visit{Loc: st.lastLoc, Weight: w})
+				st.visits = append(st.visits, secVisit{sector: st.lastSec, weight: w})
 			}
+		}
+		// Expand the compact sector-indexed dwell log into the reused
+		// trig-visit scratch; the tabulated trig makes the gyration loop
+		// haversine-free while staying bit-identical to the reference.
+		trig = trig[:0]
+		for _, v := range st.visits {
+			m := &s.env.sectors[v.sector]
+			trig = append(trig, geo.TrigVisit{
+				Loc: m.loc, LatRad: m.latRad, LonRad: m.lonRad, CosLat: m.cosLat,
+				Weight: v.weight,
+			})
 		}
 		out = append(out, UEDayMetric{
 			UE:         st.ue,
@@ -1465,10 +1548,11 @@ func (s *uedayShard) flush() []UEDayMetric {
 			Sectors:    int32(st.sectors.n),
 			HOs:        st.hos,
 			Fails:      st.fails,
-			GyrationKm: float32(geo.RadiusOfGyrationKm(st.visits)),
+			GyrationKm: float32(geo.RadiusOfGyrationTrigKm(trig)),
 			NightSite:  st.nightSite,
 		})
 	}
+	s.trigScratch = trig[:0]
 	return out
 }
 

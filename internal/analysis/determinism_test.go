@@ -288,6 +288,8 @@ func TestCodecMatrixByteIdentical(t *testing.T) {
 		{"v2-sequential", 1, 1, trace.FileStoreOptions{Codec: trace.CodecV2}},
 		{"v2-sharded-parallel", 8, 8, trace.FileStoreOptions{Codec: trace.CodecV2, BlockRecords: 512}},
 		{"v2-flate-sharded-parallel", 8, 8, trace.FileStoreOptions{Codec: trace.CodecV2, Compress: true}},
+		{"v3-sequential", 1, 1, trace.FileStoreOptions{Codec: trace.CodecV3}},
+		{"v3-tlz-sharded-parallel", 8, 8, trace.FileStoreOptions{Codec: trace.CodecV3, FastCompress: true}},
 	}
 	for _, v := range variants {
 		t.Run(v.label, func(t *testing.T) {

@@ -155,6 +155,8 @@ func TestBytesStoredReportsOnDiskBytes(t *testing.T) {
 		{"v1", trace.FileStoreOptions{Codec: trace.CodecV1}},
 		{"v2", trace.FileStoreOptions{Codec: trace.CodecV2}},
 		{"v2flate", trace.FileStoreOptions{Codec: trace.CodecV2, Compress: true}},
+		{"v3", trace.FileStoreOptions{Codec: trace.CodecV3}},
+		{"v3tlz", trace.FileStoreOptions{Codec: trace.CodecV3, FastCompress: true}},
 	} {
 		t.Run(tc.label, func(t *testing.T) {
 			fs, err := trace.NewFileStoreOpts(t.TempDir(), tc.opts)

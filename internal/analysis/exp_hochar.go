@@ -99,13 +99,13 @@ func runFig8(ctx context.Context, a *Analyzer, art *report.Artifact) error {
 	}
 	for _, t := range ho.AllTypes() {
 		rv := s.durSuccess[t]
-		samples := rv.Samples()
+		samples := rv.SortedSamples()
 		if len(samples) == 0 {
 			tbl.Rows = append(tbl.Rows, []string{t.String(), "0", "-", "-",
 				report.FormatFloat(paperMed[t][0]), report.FormatFloat(paperMed[t][1])})
 			continue
 		}
-		q := stats.Quantiles(samples, 0.5, 0.95)
+		q := stats.QuantilesSorted(samples, 0.5, 0.95)
 		med, p95 := q[0], q[1]
 		tbl.Rows = append(tbl.Rows, []string{
 			t.String(), fmt.Sprintf("%d", rv.N()),
@@ -117,11 +117,11 @@ func runFig8(ctx context.Context, a *Analyzer, art *report.Artifact) error {
 
 	// ECDF series per type.
 	for _, t := range ho.AllTypes() {
-		samples := s.durSuccess[t].Samples()
+		samples := s.durSuccess[t].SortedSamples()
 		if len(samples) == 0 {
 			continue
 		}
-		e, err := stats.NewECDF(samples)
+		e, err := stats.NewECDFSorted(samples)
 		if err != nil {
 			return err
 		}

@@ -225,10 +225,10 @@ func runFig14b(ctx context.Context, a *Analyzer, art *report.Artifact) error {
 	}
 	for ci := 1; ci <= 8; ci++ {
 		rv := s.durCause[ci]
-		samples := rv.Samples()
+		samples := rv.SortedSamples()
 		med, p95 := 0.0, 0.0
 		if len(samples) > 0 {
-			q := stats.Quantiles(samples, 0.5, 0.95)
+			q := stats.QuantilesSorted(samples, 0.5, 0.95)
 			med, p95 = q[0], q[1]
 		}
 		tbl.Rows = append(tbl.Rows, []string{
@@ -239,11 +239,11 @@ func runFig14b(ctx context.Context, a *Analyzer, art *report.Artifact) error {
 	art.AddTable(tbl)
 
 	for _, ci := range []int{1, 4, 8} {
-		samples := s.durCause[ci].Samples()
+		samples := s.durCause[ci].SortedSamples()
 		if len(samples) == 0 {
 			continue
 		}
-		e, err := stats.NewECDF(samples)
+		e, err := stats.NewECDFSorted(samples)
 		if err != nil {
 			return err
 		}

@@ -47,11 +47,22 @@ func (a *Analyzer) outlierFilter() RowFilter {
 	}
 }
 
-// RegressionRows returns the filtered sector-day dataset.
+// RegressionRows returns the filtered sector-day dataset. The slice is
+// memoized per filter against the current finalized state and shared
+// between callers, so it must be treated as read-only.
 func (a *Analyzer) RegressionRows(ctx context.Context, f RowFilter) ([]SectorDayRow, error) {
 	s, err := a.Require(ctx, NeedSectorDay)
 	if err != nil {
 		return nil, err
+	}
+	a.rowCacheMu.Lock()
+	defer a.rowCacheMu.Unlock()
+	if a.rowCacheState != s {
+		a.rowCacheState = s
+		a.rowCache = make(map[RowFilter][]SectorDayRow)
+	}
+	if rows, ok := a.rowCache[f]; ok {
+		return rows, nil
 	}
 	var out []SectorDayRow
 	for _, row := range s.sectorDay {
@@ -73,6 +84,7 @@ func (a *Analyzer) RegressionRows(ctx context.Context, f RowFilter) ([]SectorDay
 		}
 		out = append(out, row)
 	}
+	a.rowCache[f] = out
 	return out, nil
 }
 
@@ -217,12 +229,16 @@ func runTable6(ctx context.Context, a *Analyzer, art *report.Artifact) error {
 	if err != nil {
 		return err
 	}
-	var dailyHOs, rates []float64
-	seen := make(map[int64]bool)
+	// Rows arrive in canonical (day, sector, type) order, so every
+	// (sector, day) pair is one contiguous run — an adjacency check
+	// dedups it without hashing a 100k-entry map.
+	dailyHOs := make([]float64, 0, len(rows))
+	rates := make([]float64, 0, len(rows))
+	lastKey := int64(-1)
 	for _, r := range rows {
 		key := int64(r.Sector)<<16 | int64(r.Day)
-		if !seen[key] {
-			seen[key] = true
+		if key != lastKey {
+			lastKey = key
 			dailyHOs = append(dailyHOs, float64(r.TotalDayHOs))
 		}
 		rates = append(rates, r.HOFRatePct())
@@ -440,7 +456,7 @@ func runQuantileTable(ctx context.Context, a *Analyzer, art *report.Artifact, fi
 	y, X, names := designHOType(rows)
 	tbl := report.Table{
 		Title:   fmt.Sprintf("Quantile regression of log(HOF rate %%) on HO type (N = %d)", len(rows)),
-		Columns: []string{"tau", "(Intercept)", "Coef 2G", "Coef 3G", "Paper 2G", "Paper 3G", "IRLS iters"},
+		Columns: []string{"tau", "(Intercept)", "Coef 2G", "Coef 3G", "Paper 2G", "Paper 3G", "Solver iters"},
 	}
 	for _, tau := range []float64{0.2, 0.4, 0.6, 0.8} {
 		m, err := stats.FitQuantile(y, X, names, tau, true)

@@ -4,7 +4,9 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
+	"sync"
 
 	"telcolens/internal/report"
 )
@@ -84,6 +86,13 @@ func IDs() []string {
 // RunAll executes every experiment against the analyzer, rendering each
 // artifact to w. The first scan computes the union of every experiment's
 // needs in one fused pass, so the whole report costs a single trace read.
+//
+// After that union Require the scan state is complete and immutable, so
+// the experiment bodies (pure readers of the finalized state, plus the
+// mutex-protected ping-pong tracker) fan out across a worker pool bounded
+// by the analyzer's parallelism; rendering stays sequential in
+// registration order, so the report bytes are identical to the serial
+// execution.
 func RunAll(ctx context.Context, a *Analyzer, w io.Writer) error {
 	var union Need
 	for _, e := range registry {
@@ -94,12 +103,42 @@ func RunAll(ctx context.Context, a *Analyzer, w io.Writer) error {
 			return fmt.Errorf("analysis: scanning: %w", err)
 		}
 	}
-	for _, e := range registry {
-		art, err := e.Run(ctx, a)
-		if err != nil {
-			return fmt.Errorf("analysis: experiment %s: %w", e.ID, err)
+	a.mu.Lock()
+	workers := a.parallelism
+	a.mu.Unlock()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(registry) {
+		workers = len(registry)
+	}
+	type result struct {
+		art *report.Artifact
+		err error
+	}
+	results := make([]result, len(registry))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				art, err := registry[i].Run(ctx, a)
+				results[i] = result{art: art, err: err}
+			}
+		}()
+	}
+	for i := range registry {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for i, e := range registry {
+		if results[i].err != nil {
+			return fmt.Errorf("analysis: experiment %s: %w", e.ID, results[i].err)
 		}
-		if err := art.Render(w); err != nil {
+		if err := results[i].art.Render(w); err != nil {
 			return fmt.Errorf("analysis: rendering %s: %w", e.ID, err)
 		}
 	}

@@ -427,6 +427,7 @@ func mergeSampler(dst *sampler, st *samplerState) error {
 		dst.val = st.val
 		dst.sealed = true
 		dst.sortedPrefix = len(st.pri)
+		dst.sortedVal = nil
 		return nil
 	}
 	dst.absorb(&sampler{

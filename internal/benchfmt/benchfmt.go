@@ -121,6 +121,35 @@ func (r *Report) Regressions() []Entry {
 	return out
 }
 
+// SnapshotEntry is one benchmark's aggregated result in a Snapshot.
+type SnapshotEntry struct {
+	Name          string  `json:"name"`
+	MedianNsPerOp float64 `json:"median_ns_per_op"`
+	Runs          int     `json:"runs"`
+}
+
+// Snapshot is a point-in-time record of one bench run's medians — the
+// shape committed as BENCH_baseline.json, the repo's performance
+// trajectory anchor (see `make bench-baseline`). Entries are sorted by
+// name so regenerating a snapshot on unchanged performance diffs clean.
+type Snapshot struct {
+	Benchmarks []SnapshotEntry `json:"benchmarks"`
+}
+
+// MakeSnapshot aggregates parsed results into a Snapshot.
+func MakeSnapshot(res map[string]*Result) *Snapshot {
+	s := &Snapshot{}
+	for _, r := range res {
+		s.Benchmarks = append(s.Benchmarks, SnapshotEntry{
+			Name:          r.Name,
+			MedianNsPerOp: r.MedianNs(),
+			Runs:          r.Runs,
+		})
+	}
+	sort.Slice(s.Benchmarks, func(i, j int) bool { return s.Benchmarks[i].Name < s.Benchmarks[j].Name })
+	return s
+}
+
 // Compare builds the old-vs-new report. A benchmark regresses when its
 // median time/op grew by more than threshold (e.g. 0.10 = +10%).
 // Benchmarks present on only one side are listed informationally.

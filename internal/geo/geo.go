@@ -118,6 +118,90 @@ func RadiusOfGyrationKm(visits []Visit) float64 {
 	return math.Sqrt(sum / sumW)
 }
 
+// TrigVisit is a Visit whose location trigonometry has been precomputed:
+// LatRad/LonRad are deg2rad of the location and CosLat is cos(LatRad).
+// Callers that visit the same fixed locations many times (e.g. cell
+// sectors) tabulate these once via PrecomputeTrig and then use
+// RadiusOfGyrationTrigKm, which performs no per-visit Cos on the
+// location side.
+type TrigVisit struct {
+	Loc    Point
+	LatRad float64
+	LonRad float64
+	CosLat float64
+	Weight float64
+}
+
+// PrecomputeTrig tabulates the trigonometry RadiusOfGyrationTrigKm
+// consumes for one location. The stored values are exactly deg2rad(lat),
+// deg2rad(lon) and cos(deg2rad(lat)) as RadiusOfGyrationKm would compute
+// them inline, so substituting them is bit-identical.
+func PrecomputeTrig(p Point) (latRad, lonRad, cosLat float64) {
+	latRad = deg2rad(p.Lat)
+	lonRad = deg2rad(p.Lon)
+	return latRad, lonRad, math.Cos(latRad)
+}
+
+// RadiusOfGyrationTrigKm computes exactly RadiusOfGyrationKm over the
+// same visits, but consumes precomputed per-location trigonometry: the
+// merge loop performs no Sin/Cos of visit coordinates beyond the two
+// center-relative Sins of the haversine. Every floating-point operation
+// matches RadiusOfGyrationKm in the same order, so the result is
+// bit-identical (asserted by TestRadiusOfGyrationTrigBitIdentical).
+func RadiusOfGyrationTrigKm(visits []TrigVisit) float64 {
+	cm, ok := centerOfMassTrig(visits)
+	if !ok {
+		return 0
+	}
+	latC, lonC := deg2rad(cm.Lat), deg2rad(cm.Lon)
+	cosC := math.Cos(latC)
+	var sumW, sum float64
+	for _, v := range visits {
+		if v.Weight <= 0 {
+			continue
+		}
+		s1 := math.Sin((latC - v.LatRad) / 2)
+		s2 := math.Sin((lonC - v.LonRad) / 2)
+		h := s1*s1 + v.CosLat*cosC*s2*s2
+		if h > 1 {
+			h = 1
+		}
+		d := 2 * EarthRadiusKm * math.Asin(math.Sqrt(h))
+		sum += v.Weight * d * d
+		sumW += v.Weight
+	}
+	if sumW <= 0 {
+		return 0
+	}
+	return math.Sqrt(sum / sumW)
+}
+
+// centerOfMassTrig mirrors CenterOfMass over TrigVisits. The planar
+// reduction uses only the degree-valued Loc fields, so it is the same
+// float sequence as CenterOfMass on the equivalent []Visit.
+func centerOfMassTrig(visits []TrigVisit) (Point, bool) {
+	if len(visits) == 0 {
+		return Point{}, false
+	}
+	ref := visits[0].Loc
+	cosRef := math.Cos(deg2rad(ref.Lat))
+	var sumW, sumN, sumE float64
+	for _, v := range visits {
+		if v.Weight <= 0 {
+			continue
+		}
+		n := (v.Loc.Lat - ref.Lat) * math.Pi / 180 * EarthRadiusKm
+		e := (v.Loc.Lon - ref.Lon) * math.Pi / 180 * EarthRadiusKm * cosRef
+		sumW += v.Weight
+		sumN += n * v.Weight
+		sumE += e * v.Weight
+	}
+	if sumW <= 0 {
+		return Point{}, false
+	}
+	return Offset(ref, sumN/sumW, sumE/sumW), true
+}
+
 // BoundingBox is an axis-aligned lat/lon rectangle.
 type BoundingBox struct {
 	MinLat, MinLon, MaxLat, MaxLon float64

@@ -213,6 +213,57 @@ func TestPointValid(t *testing.T) {
 	}
 }
 
+func TestRadiusOfGyrationTrigBitIdentical(t *testing.T) {
+	// The precomputed-trig gyration path must be bit-identical to the
+	// reference implementation — the analysis engine's byte-identity
+	// guarantees (TestIncrementalEqualsFull, the determinism matrix)
+	// depend on this exactness, not on an epsilon.
+	f := func(seed int64) bool {
+		r := seed
+		next := func() float64 {
+			// xorshift-ish deterministic doubles in [0,1)
+			r ^= r << 13
+			r ^= r >> 7
+			r ^= r << 17
+			return float64(uint64(r)%1e9) / 1e9
+		}
+		n := int(uint64(seed)%60) + 1
+		visits := make([]Visit, n)
+		trig := make([]TrigVisit, n)
+		for i := range visits {
+			p := Point{Lat: 35 + next()*10, Lon: -9 + next()*12}
+			w := next() * 1e4
+			if i%7 == 0 {
+				w = 0 // exercise the non-positive-weight skip
+			}
+			visits[i] = Visit{Loc: p, Weight: w}
+			latRad, lonRad, cosLat := PrecomputeTrig(p)
+			trig[i] = TrigVisit{Loc: p, LatRad: latRad, LonRad: lonRad, CosLat: cosLat, Weight: w}
+		}
+		want := RadiusOfGyrationKm(visits)
+		got := RadiusOfGyrationTrigKm(trig)
+		return math.Float64bits(want) == math.Float64bits(got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRadiusOfGyrationTrigZeroCases(t *testing.T) {
+	if got := RadiusOfGyrationTrigKm(nil); got != 0 {
+		t.Fatalf("empty = %g", got)
+	}
+	latRad, lonRad, cosLat := PrecomputeTrig(madrid)
+	one := []TrigVisit{{Loc: madrid, LatRad: latRad, LonRad: lonRad, CosLat: cosLat, Weight: 3}}
+	if got := RadiusOfGyrationTrigKm(one); got != 0 {
+		t.Fatalf("single point = %g", got)
+	}
+	zero := []TrigVisit{{Loc: madrid, LatRad: latRad, LonRad: lonRad, CosLat: cosLat, Weight: 0}}
+	if got := RadiusOfGyrationTrigKm(zero); got != 0 {
+		t.Fatalf("zero weight = %g", got)
+	}
+}
+
 func clamp(v, lo, hi float64) float64 {
 	if math.IsNaN(v) {
 		return lo

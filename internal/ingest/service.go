@@ -268,7 +268,7 @@ func configsAgree(a, b *simulate.CampaignMeta) bool {
 		ac.LongTailCauses == bc.LongTailCauses && ac.FullScaleUEs == bc.FullScaleUEs &&
 		max(ac.Shards, 1) == max(bc.Shards, 1) &&
 		windowOf(ac) == windowOf(bc) &&
-		a.Codec == b.Codec && a.Compress == b.Compress
+		a.Codec == b.Codec && a.Compress == b.Compress && a.FastCompress == b.FastCompress
 }
 
 // windowOf is the effective world-model window of a config: the declared
@@ -290,7 +290,9 @@ func (s *Service) attachLocked(meta *simulate.CampaignMeta, create bool) ([]int,
 	if cfg.Shards > 256 {
 		return nil, fmt.Errorf("ingest: %d shards exceeds the 256-shard cap", cfg.Shards)
 	}
-	store, err := trace.NewFileStoreOpts(s.dir, trace.FileStoreOptions{Codec: meta.Codec, Compress: meta.Compress, FS: s.fs})
+	store, err := trace.NewFileStoreOpts(s.dir, trace.FileStoreOptions{
+		Codec: meta.Codec, Compress: meta.Compress, FastCompress: meta.FastCompress, FS: s.fs,
+	})
 	if err != nil {
 		return nil, err
 	}

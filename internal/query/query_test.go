@@ -162,6 +162,8 @@ func TestQueryMatchesScan(t *testing.T) {
 		{"v2", trace.FileStoreOptions{Codec: trace.CodecV2, BlockRecords: 64}},
 		{"v2flate", trace.FileStoreOptions{Codec: trace.CodecV2, BlockRecords: 64, Compress: true}},
 		{"v2-noindex", trace.FileStoreOptions{Codec: trace.CodecV2, BlockRecords: 64, NoIndex: true}},
+		{"v3", trace.FileStoreOptions{Codec: trace.CodecV3, BlockRecords: 64}},
+		{"v3tlz", trace.FileStoreOptions{Codec: trace.CodecV3, BlockRecords: 64, FastCompress: true}},
 	}
 
 	ctx := context.Background()

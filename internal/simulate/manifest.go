@@ -45,6 +45,7 @@ type manifestConfig struct {
 	Shards         int     `json:"shards,omitempty"`
 	Codec          int     `json:"codec,omitempty"`
 	Compress       bool    `json:"compress,omitempty"`
+	FastCompress   bool    `json:"fast_compress,omitempty"`
 }
 
 // CampaignMeta is the campaign descriptor a directory carries as
@@ -59,10 +60,11 @@ type CampaignMeta struct {
 	Config Config
 	// DayStats holds one generation-ground-truth aggregate per landed day.
 	DayStats []DayAggregate
-	// Codec/Compress are the trace write options recorded for appenders
-	// (0 codec = unrecorded, pre-recording campaign).
-	Codec    trace.Codec
-	Compress bool
+	// Codec/Compress/FastCompress are the trace write options recorded
+	// for appenders (0 codec = unrecorded, pre-recording campaign).
+	Codec        trace.Codec
+	Compress     bool
+	FastCompress bool
 }
 
 // Encode renders the descriptor in the manifest.json wire format.
@@ -81,6 +83,7 @@ func (m *CampaignMeta) Encode() ([]byte, error) {
 			Shards:         m.Config.Shards,
 			Codec:          int(m.Codec),
 			Compress:       m.Compress,
+			FastCompress:   m.FastCompress,
 		},
 		DayStats: m.DayStats,
 	}
@@ -119,9 +122,10 @@ func DecodeMeta(data []byte) (*CampaignMeta, error) {
 			FullScaleUEs:   om.Config.FullScaleUEs,
 			Shards:         om.Config.Shards,
 		},
-		DayStats: om.DayStats,
-		Codec:    trace.Codec(om.Config.Codec),
-		Compress: om.Config.Compress,
+		DayStats:     om.DayStats,
+		Codec:        trace.Codec(om.Config.Codec),
+		Compress:     om.Config.Compress,
+		FastCompress: om.Config.FastCompress,
 	}, nil
 }
 
@@ -167,6 +171,7 @@ func (d *Dataset) Meta() *CampaignMeta {
 		opts := fs.Options()
 		m.Codec = opts.Codec
 		m.Compress = opts.Compress
+		m.FastCompress = opts.FastCompress
 	}
 	return m
 }
@@ -208,6 +213,10 @@ func LoadOpts(dir string, opts trace.FileStoreOptions) (*Dataset, error) {
 			return nil, fmt.Errorf("simulate: campaign was written without compression; requested compression would mix formats")
 		}
 		opts.Compress = m.Compress
+		if opts.FastCompress != m.FastCompress && opts.FastCompress {
+			return nil, fmt.Errorf("simulate: campaign was written without fast compression; requested fast compression would mix formats")
+		}
+		opts.FastCompress = m.FastCompress
 	}
 	cfg := m.Config
 	ds, err := BuildWorld(cfg)

@@ -119,6 +119,17 @@ func Quantiles(xs []float64, qs ...float64) []float64 {
 	return out
 }
 
+// QuantilesSorted is Quantiles for an already-sorted sample: no copy, no
+// sort. Each entry equals Quantile(xs, q) for any xs whose ascending
+// order is sorted.
+func QuantilesSorted(sorted []float64, qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		out[i] = QuantileSorted(sorted, q)
+	}
+	return out
+}
+
 // Summary is the descriptive summary the paper prints for its regression
 // dataset (Table 6): min, quartiles, mean, max.
 type Summary struct {
@@ -207,6 +218,16 @@ func NewECDF(xs []float64) (*ECDF, error) {
 	s := append([]float64(nil), xs...)
 	sort.Float64s(s)
 	return &ECDF{sorted: s}, nil
+}
+
+// NewECDFSorted wraps an already-ascending sample without copying it, for
+// callers that keep sorted data around (cached sampler snapshots). The
+// ECDF aliases xs, so the caller must not mutate it afterwards.
+func NewECDFSorted(xs []float64) (*ECDF, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmpty
+	}
+	return &ECDF{sorted: xs}, nil
 }
 
 // Eval returns the fraction of the sample that is ≤ x.

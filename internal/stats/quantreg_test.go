@@ -179,6 +179,154 @@ func TestQuantileModelBeatsOLSOnPinball(t *testing.T) {
 	}
 }
 
+func TestFitQuantileEquivalentToIRLSRandomDesigns(t *testing.T) {
+	// Satellite: solver equivalence. The interior-point default and the
+	// legacy IRLS oracle must agree on random continuous designs across
+	// seeds and quantile levels — coefficients within tolerance, and the
+	// interior-point fit at least as good on the exact pinball objective
+	// (it solves the LP; IRLS solves a smoothed surrogate).
+	for _, seed := range []uint64{3, 41, 107} {
+		r := randx.New(seed)
+		n := 400
+		X := make([][]float64, n)
+		y := make([]float64, n)
+		for i := 0; i < n; i++ {
+			x1 := r.Float64() * 4
+			x2 := r.NormFloat64()
+			X[i] = []float64{x1, x2}
+			y[i] = 0.5 + 1.5*x1 - 0.7*x2 + r.ExpFloat64()*2
+		}
+		names := []string{"x1", "x2"}
+		for _, tau := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+			fn, err := FitQuantile(y, X, names, tau, true)
+			if err != nil {
+				t.Fatalf("seed=%d tau=%g fn: %v", seed, tau, err)
+			}
+			ir, err := FitQuantileIRLS(y, X, names, tau, true)
+			if err != nil {
+				t.Fatalf("seed=%d tau=%g irls: %v", seed, tau, err)
+			}
+			for j := range fn.Coef {
+				// Extreme taus sit on weakly determined LP faces, so
+				// coefficients carry a looser tolerance than the loss.
+				scale := math.Max(math.Abs(ir.Coef[j]), 0.5)
+				if math.Abs(fn.Coef[j]-ir.Coef[j])/scale > 0.10 {
+					t.Errorf("seed=%d tau=%g coef[%d]: fn=%g irls=%g",
+						seed, tau, j, fn.Coef[j], ir.Coef[j])
+				}
+			}
+			if fn.Loss > ir.Loss*(1+1e-6) {
+				t.Errorf("seed=%d tau=%g: fn loss %g worse than irls %g",
+					seed, tau, fn.Loss, ir.Loss)
+			}
+			if relErr(fn.Loss, ir.Loss) > 0.005 {
+				t.Errorf("seed=%d tau=%g: losses diverge fn=%g irls=%g",
+					seed, tau, fn.Loss, ir.Loss)
+			}
+			if fn.Iter >= 200 {
+				t.Errorf("seed=%d tau=%g: interior point used %d iters", seed, tau, fn.Iter)
+			}
+		}
+	}
+}
+
+func TestFitQuantileSolverLossRankingMatchesIRLS(t *testing.T) {
+	// Satellite property test: across a family of candidate designs, both
+	// solvers must rank the designs identically by final pinball loss
+	// (what model selection consumes), even where coefficients differ in
+	// the last digits.
+	r := randx.New(77)
+	n := 600
+	x1 := make([]float64, n)
+	x2 := make([]float64, n)
+	x3 := make([]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x1[i] = r.Float64() * 3
+		x2[i] = r.NormFloat64()
+		x3[i] = r.Float64() // pure noise covariate
+		y[i] = 2*x1[i] - x2[i] + r.LogNormal(0, 0.7)
+	}
+	designs := []struct {
+		name  string
+		cols  []string
+		build func(i int) []float64
+	}{
+		{"intercept", nil, func(i int) []float64 { return []float64{} }},
+		{"x1", []string{"x1"}, func(i int) []float64 { return []float64{x1[i]} }},
+		{"x1+x2", []string{"x1", "x2"}, func(i int) []float64 { return []float64{x1[i], x2[i]} }},
+		{"x1+x2+x3", []string{"x1", "x2", "x3"}, func(i int) []float64 { return []float64{x1[i], x2[i], x3[i]} }},
+	}
+	for _, tau := range []float64{0.3, 0.5, 0.8} {
+		type scored struct {
+			name string
+			loss float64
+		}
+		var fnScores, irScores []scored
+		for _, d := range designs {
+			X := make([][]float64, n)
+			for i := range X {
+				X[i] = d.build(i)
+			}
+			fn, err := FitQuantile(y, X, d.cols, tau, true)
+			if err != nil {
+				t.Fatalf("tau=%g %s fn: %v", tau, d.name, err)
+			}
+			ir, err := FitQuantileIRLS(y, X, d.cols, tau, true)
+			if err != nil {
+				t.Fatalf("tau=%g %s irls: %v", tau, d.name, err)
+			}
+			fnScores = append(fnScores, scored{d.name, fn.Loss})
+			irScores = append(irScores, scored{d.name, ir.Loss})
+		}
+		sort.Slice(fnScores, func(a, b int) bool { return fnScores[a].loss < fnScores[b].loss })
+		sort.Slice(irScores, func(a, b int) bool { return irScores[a].loss < irScores[b].loss })
+		for i := range fnScores {
+			if fnScores[i].name != irScores[i].name {
+				t.Fatalf("tau=%g: loss ranking diverged: fn=%v irls=%v", tau, fnScores, irScores)
+			}
+		}
+	}
+}
+
+func TestFitQuantileDegenerateDesigns(t *testing.T) {
+	// Regression test for degenerate designs: perfectly collinear columns
+	// must fail cleanly (no panic, no NaN coefficients), and a constant
+	// response must be recovered exactly by the intercept.
+	r := randx.New(9)
+	n := 200
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x := r.Float64()
+		X[i] = []float64{x, 2 * x} // collinear pair
+		y[i] = x + r.NormFloat64()
+	}
+	if _, err := FitQuantile(y, X, []string{"x", "2x"}, 0.5, true); err == nil {
+		t.Fatal("collinear design accepted")
+	}
+
+	for i := 0; i < n; i++ {
+		X[i] = []float64{r.Float64()}
+		y[i] = 42
+	}
+	m, err := FitQuantile(y, X, []string{"x"}, 0.7, true)
+	if err != nil {
+		t.Fatalf("constant response: %v", err)
+	}
+	for j, c := range m.Coef {
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			t.Fatalf("constant response coef[%d] = %g", j, c)
+		}
+	}
+	if math.Abs(m.Coef[0]-42) > 1e-3 || math.Abs(m.Coef[1]) > 1e-3 {
+		t.Fatalf("constant response coef = %v", m.Coef)
+	}
+	if m.Loss > 1e-6 {
+		t.Fatalf("constant response loss = %g", m.Loss)
+	}
+}
+
 func relErr(got, want float64) float64 {
 	if want == 0 {
 		return math.Abs(got)

@@ -194,7 +194,8 @@ func (w *Writer) Flush() error {
 }
 
 // Reader decodes records from an io.Reader, negotiating the stream
-// version (fixed-width v1 or columnar-block v2) from the header. Next
+// version (fixed-width v1, columnar-block v2 or bitpacked v3) from the
+// header. Next
 // reuses the caller's Record, so iteration is allocation-free; NextBatch
 // hands out whole decoded blocks. SetTimeRange restricts the stream to a
 // timestamp window — on v2 streams, blocks entirely outside the window
@@ -212,7 +213,8 @@ type Reader struct {
 	payload  []byte
 	inflated []byte
 	tacDict  []devices.TAC
-	scratch  []Record // v1 NextColumns transposition buffer
+	scratch  []Record    // v1 NextColumns transposition buffer
+	cols     ColumnBatch // v3 record-path transposition buffer
 	stats    BlockStats
 
 	// Compressed-stream scratch, reused across blocks: the flate reader
@@ -247,7 +249,7 @@ func NewReader(r io.Reader) (*Reader, error) {
 		return nil, ErrBadMagic
 	}
 	v := binary.LittleEndian.Uint16(hdr[4:6])
-	if v != Version && v != VersionV2 {
+	if v != Version && v != VersionV2 && v != VersionV3 {
 		return nil, fmt.Errorf("%w: %d", ErrBadVersion, v)
 	}
 	flags := binary.LittleEndian.Uint16(hdr[6:8])
@@ -256,6 +258,14 @@ func NewReader(r io.Reader) (*Reader, error) {
 	}
 	if v == VersionV2 && flags&^FlagFlate != 0 {
 		return nil, fmt.Errorf("%w: unknown v2 flags %#x", ErrBadVersion, flags)
+	}
+	if v == VersionV3 {
+		if flags&^(FlagFlate|FlagTLZ) != 0 {
+			return nil, fmt.Errorf("%w: unknown v3 flags %#x", ErrBadVersion, flags)
+		}
+		if flags&FlagFlate != 0 && flags&FlagTLZ != 0 {
+			return nil, fmt.Errorf("%w: v3 stream with both flate and TLZ flags", ErrBadVersion)
+		}
 	}
 	// Byte accounting starts at the header, so a fully decoded stream
 	// reports exactly its stored size.
@@ -302,7 +312,7 @@ func (r *Reader) inRange(ts int64) bool {
 // Next decodes the next record into rec. It returns io.EOF at a clean end
 // of stream and ErrTruncated if the stream ends mid-record.
 func (r *Reader) Next(rec *Record) error {
-	if r.version == VersionV2 {
+	if r.version != Version {
 		for {
 			if r.blockPos < len(r.block) {
 				*rec = r.block[r.blockPos]
@@ -342,7 +352,7 @@ func (r *Reader) Next(rec *Record) error {
 // when the slice is empty). It returns (0, io.EOF) at a clean end of
 // stream.
 func (r *Reader) NextBatch(batch *[]Record) (int, error) {
-	if r.version == VersionV2 {
+	if r.version != Version {
 		for {
 			if r.blockPos < len(r.block) {
 				// Remainder of a block partially consumed by Next.
@@ -398,7 +408,7 @@ func (r *Reader) NextBatch(batch *[]Record) (int, error) {
 // match NextBatch exactly. It returns (0, io.EOF) at a clean end of
 // stream.
 func (r *Reader) NextColumns(cb *ColumnBatch) (int, error) {
-	if r.version == VersionV2 {
+	if r.version != Version {
 		for {
 			if r.blockPos < len(r.block) {
 				// Remainder of a block partially consumed by Next.
@@ -495,7 +505,13 @@ func (r *Reader) readBlockInto(dst *[]Record) (int, error) {
 	}
 	out := (*dst)[:f.count]
 	var decErr error
-	if r.proj == 0 || r.proj&optionalColumns == optionalColumns {
+	if r.version == VersionV3 {
+		// v3 decodes natively into columns; the record path transposes.
+		decErr = decodeBlockColumnsV3(f.payload, f.minTS, f.maxTS, f.secs, r.proj, f.count, &r.cols, &r.tacDict)
+		if decErr == nil {
+			r.cols.Records(out)
+		}
+	} else if r.proj == 0 || r.proj&optionalColumns == optionalColumns {
 		decErr = decodeBlockPayload(f.payload, f.minTS, f.maxTS, f.secs, out, &r.tacDict)
 	} else {
 		decErr = decodeBlockProjected(f.payload, f.minTS, f.maxTS, f.secs, r.proj, out, &r.tacDict)
@@ -513,7 +529,13 @@ func (r *Reader) readBlockColumns(cb *ColumnBatch) error {
 	if err := r.nextBlockFrame(&f); err != nil {
 		return err
 	}
-	if err := decodeBlockColumns(f.payload, f.minTS, f.maxTS, f.secs, r.proj, f.count, cb, &r.tacDict); err != nil {
+	var err error
+	if r.version == VersionV3 {
+		err = decodeBlockColumnsV3(f.payload, f.minTS, f.maxTS, f.secs, r.proj, f.count, cb, &r.tacDict)
+	} else {
+		err = decodeBlockColumns(f.payload, f.minTS, f.maxTS, f.secs, r.proj, f.count, cb, &r.tacDict)
+	}
+	if err != nil {
 		return err
 	}
 	return r.releaseFrame(&f)
@@ -551,14 +573,25 @@ func (r *Reader) nextBlockFrame(f *blockFrame) error {
 			return fmt.Errorf("%w: bad block descriptor (count=%d raw=%d enc=%d)",
 				ErrCorruptBlock, count, rawLen, encLen)
 		}
-		// Structural bounds before any allocation: every varint column
-		// holds at least one byte per record, the dictionary at most one
-		// entry per record, and the sections plus the fixed-width tail
-		// must tile rawLen exactly — so a lying descriptor cannot trigger
-		// a large allocation relative to the bytes actually present.
-		if secs.tsLen < count || secs.ueLen < count || secs.idxLen < count ||
+		// Structural bounds before any allocation; the sections plus the
+		// fixed-width tail must tile rawLen exactly either way, so a lying
+		// descriptor cannot trigger a large allocation relative to the
+		// bytes actually present (the 6*count tail alone bounds count by
+		// the payload size).
+		if r.version == VersionV3 {
+			// v3 sections are bitpacked, so their minimum is the width
+			// byte (plus the 4-byte reference on FOR id columns); exact
+			// width-derived lengths are enforced during decode.
+			if secs.tsLen < 1 || secs.ueLen < 5 || secs.idxLen < 1 ||
+				secs.srcLen < 5 || secs.dstLen < 5 || secs.causeLen < 1 ||
+				secs.dictEntries == 0 || secs.dictEntries > count {
+				return fmt.Errorf("%w: implausible column extents", ErrCorruptBlock)
+			}
+		} else if secs.tsLen < count || secs.ueLen < count || secs.idxLen < count ||
 			secs.srcLen < count || secs.dstLen < count || secs.causeLen < count ||
 			secs.dictEntries > count {
+			// Every v2 varint column holds at least one byte per record,
+			// the dictionary at most one entry per record.
 			return fmt.Errorf("%w: implausible column extents", ErrCorruptBlock)
 		}
 		sum := uint64(secs.tsLen) + uint64(secs.ueLen) + 4*uint64(secs.dictEntries) +
@@ -568,14 +601,22 @@ func (r *Reader) nextBlockFrame(f *blockFrame) error {
 			return fmt.Errorf("%w: column extents sum %d != payload %d",
 				ErrCorruptBlock, sum, rawLen)
 		}
-		if r.flags&FlagFlate == 0 {
+		switch {
+		case r.flags&(FlagFlate|FlagTLZ) == 0:
 			if rawLen != encLen {
 				return fmt.Errorf("%w: uncompressed block with raw %d != enc %d",
 					ErrCorruptBlock, rawLen, encLen)
 			}
-		} else if uint64(rawLen) > uint64(encLen)*maxFlateRatio+64 {
-			return fmt.Errorf("%w: implausible compression ratio (raw %d from enc %d)",
-				ErrCorruptBlock, rawLen, encLen)
+		case r.flags&FlagFlate != 0:
+			if uint64(rawLen) > uint64(encLen)*maxFlateRatio+64 {
+				return fmt.Errorf("%w: implausible compression ratio (raw %d from enc %d)",
+					ErrCorruptBlock, rawLen, encLen)
+			}
+		default: // FlagTLZ
+			if uint64(rawLen) > uint64(encLen)*maxTLZRatio+64 {
+				return fmt.Errorf("%w: implausible compression ratio (raw %d from enc %d)",
+					ErrCorruptBlock, rawLen, encLen)
+			}
 		}
 		ord := r.blockOrd
 		r.blockOrd++
@@ -614,6 +655,16 @@ func (r *Reader) nextBlockFrame(f *blockFrame) error {
 				return readErr(err)
 			}
 			payload = r.payload
+		}
+		if r.flags&FlagTLZ != 0 {
+			if cap(r.inflated) < int(rawLen) {
+				r.inflated = make([]byte, rawLen)
+			}
+			r.inflated = r.inflated[:rawLen]
+			if err := tlzDecompress(r.inflated, payload); err != nil {
+				return fmt.Errorf("%w: decompressing payload: %v", ErrCorruptBlock, err)
+			}
+			payload = r.inflated
 		}
 		if r.flags&FlagFlate != 0 {
 			r.flateSrc.Reset(payload)

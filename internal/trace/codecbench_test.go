@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"fmt"
 	"io"
 	"math/rand"
 	"testing"
@@ -20,7 +21,8 @@ func benchStream(b *testing.B, codec Codec, compress bool) ([]byte, int) {
 		recs[i].UE = UEID(i % 20_000)           // sequential id space, like generation
 	}
 	var buf bytes.Buffer
-	if codec == CodecV1 {
+	switch codec {
+	case CodecV1:
 		w, err := NewWriter(&buf)
 		if err != nil {
 			b.Fatal(err)
@@ -33,7 +35,18 @@ func benchStream(b *testing.B, codec Codec, compress bool) ([]byte, int) {
 		if err := w.Flush(); err != nil {
 			b.Fatal(err)
 		}
-	} else {
+	case CodecV3:
+		w, err := NewWriterV3(&buf, WriterV3Options{FastCompress: compress, BlockRecords: benchBlockRecords})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := w.WriteBatch(recs); err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			b.Fatal(err)
+		}
+	default:
 		w, err := NewWriterV2(&buf, WriterV2Options{Compress: compress, BlockRecords: benchBlockRecords})
 		if err != nil {
 			b.Fatal(err)
@@ -91,7 +104,34 @@ func benchDecode(b *testing.B, codec Codec, compress bool, batched bool) {
 	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "records/s")
 }
 
+// BenchmarkUnpackColumn isolates the v3 bitpacked column decoder — the
+// hottest loop of a v3 full scan — at representative widths.
+func BenchmarkUnpackColumn(b *testing.B) {
+	const n = 4096
+	vals := make([]uint64, n)
+	out := make([]uint32, n)
+	r := rand.New(rand.NewSource(7))
+	for _, w := range []uint8{9, 15, 21, 32} {
+		mask := uint64(1)<<w - 1
+		for i := range vals {
+			vals[i] = r.Uint64() & mask
+		}
+		words := appendPacked(nil, vals, w)
+		b.Run(fmt.Sprintf("w%d", w), func(b *testing.B) {
+			b.SetBytes(n)
+			for i := 0; i < b.N; i++ {
+				if err := unpackColumn(words, w, 0, (1<<32)-1, out, "bench"); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mvalues/s")
+		})
+	}
+}
+
 func BenchmarkDecodeStreamV1(b *testing.B)      { benchDecode(b, CodecV1, false, false) }
 func BenchmarkDecodeStreamV1Batch(b *testing.B) { benchDecode(b, CodecV1, false, true) }
 func BenchmarkDecodeStreamV2(b *testing.B)      { benchDecode(b, CodecV2, false, true) }
 func BenchmarkDecodeStreamV2Flate(b *testing.B) { benchDecode(b, CodecV2, true, true) }
+func BenchmarkDecodeStreamV3(b *testing.B)      { benchDecode(b, CodecV3, false, true) }
+func BenchmarkDecodeStreamV3TLZ(b *testing.B)   { benchDecode(b, CodecV3, true, true) }

@@ -796,6 +796,18 @@ func (t *dictTable) slot(key uint32) *int32 {
 	}
 }
 
+// sortDictOrder sorts dictionary slots by descending frequency, ties
+// broken by first appearance — the canonical TAC dictionary order every
+// block encoder (v2 varint and v3 bitpacked alike) must produce.
+func sortDictOrder(order []int32, counts []int32) {
+	slices.SortFunc(order, func(a, b int32) int {
+		if counts[a] != counts[b] {
+			return int(counts[b] - counts[a]) // higher count first
+		}
+		return int(a - b) // earlier first appearance first
+	})
+}
+
 // encScratch is a writer's reusable encode state. It is pooled across
 // writers (partitions are written through many short-lived WriterV2
 // instances), so a fresh writer starts with buffers already sized by the
@@ -812,6 +824,11 @@ type encScratch struct {
 	order   []int32
 	flateW  *flate.Writer
 	flateB  bytes.Buffer
+	// v3 encode scratch: bitpack staging values, TLZ output buffer and
+	// the TLZ compressor's hash table.
+	packBuf []uint64
+	tlzB    []byte
+	tlzTab  []int32
 	// Legacy record-path scratch (WriterV2Options.RecordEncode).
 	recTacDict []uint32
 	recTacIdx  map[devices.TAC]int
@@ -861,12 +878,7 @@ func appendBlockColumns(dst []byte, cb *ColumnBatch, lo, hi int, minTS int64, e 
 	for i := range dict {
 		order = append(order, int32(i))
 	}
-	slices.SortFunc(order, func(a, b int32) int {
-		if counts[a] != counts[b] {
-			return int(counts[b] - counts[a]) // higher count first
-		}
-		return int(a - b) // earlier first appearance first
-	})
+	sortDictOrder(order, counts)
 	secs.dictEntries = uint32(len(dict))
 	for _, old := range order {
 		dst = binary.LittleEndian.AppendUint32(dst, dict[old])
@@ -931,8 +943,10 @@ type WriterV2Options struct {
 // straight from the caller's batch without an intermediate copy.
 type WriterV2 struct {
 	w        *bufio.Writer
+	version  uint16 // VersionV2, or VersionV3 when backing a WriterV3
 	perBlock int
 	compress bool
+	tlz      bool // TLZ-compress payloads (v3 only)
 	recEnc   bool
 	count    int64
 	err      error
@@ -940,50 +954,70 @@ type WriterV2 struct {
 	recs     []Record // legacy record-path block buffer
 }
 
-// NewWriterV2 writes a v2 stream header and returns the block writer.
-func NewWriterV2(w io.Writer, opts WriterV2Options) (*WriterV2, error) {
-	perBlock := opts.BlockRecords
+// initBlockWriter writes a block-stream header for version and
+// initializes v2's buffering around it. Both the v2 and v3 writers are
+// built on this machinery; only the per-block payload encoder and the
+// compression flag differ.
+func initBlockWriter(v2 *WriterV2, w io.Writer, version uint16, blockRecords int, compress, tlz bool) error {
+	perBlock := blockRecords
 	if perBlock <= 0 {
 		perBlock = DefaultBlockRecords
 	}
 	if perBlock > maxBlockRecords {
-		return nil, fmt.Errorf("trace: block size %d exceeds %d", perBlock, maxBlockRecords)
+		return fmt.Errorf("trace: block size %d exceeds %d", perBlock, maxBlockRecords)
 	}
 	bw := bufio.NewWriterSize(w, 1<<16)
 	var flags uint16
-	if opts.Compress {
+	if compress {
 		flags |= FlagFlate
+	}
+	if tlz {
+		flags |= FlagTLZ
 	}
 	var hdr [HeaderSize]byte
 	copy(hdr[0:4], Magic[:])
-	binary.LittleEndian.PutUint16(hdr[4:6], VersionV2)
+	binary.LittleEndian.PutUint16(hdr[4:6], version)
 	binary.LittleEndian.PutUint16(hdr[6:8], flags)
 	if _, err := bw.Write(hdr[:]); err != nil {
-		return nil, fmt.Errorf("trace: writing header: %w", err)
+		return fmt.Errorf("trace: writing header: %w", err)
 	}
 	enc := encScratchPool.Get().(*encScratch)
 	enc.cols.Reset()
 	enc.dictTab.init(perBlock)
-	v2 := &WriterV2{
+	*v2 = WriterV2{
 		w:        bw,
+		version:  version,
 		perBlock: perBlock,
-		compress: opts.Compress,
-		recEnc:   opts.RecordEncode,
+		compress: compress,
+		tlz:      tlz,
 		enc:      enc,
 	}
-	if opts.RecordEncode {
-		v2.recs = make([]Record, 0, perBlock)
-		if enc.recTacIdx == nil {
-			enc.recTacIdx = make(map[devices.TAC]int)
-		}
-	}
-	if opts.Compress && enc.flateW == nil {
+	if compress && enc.flateW == nil {
 		fw, err := flate.NewWriter(io.Discard, flate.DefaultCompression)
 		if err != nil {
 			encScratchPool.Put(enc)
-			return nil, err
+			return err
 		}
 		enc.flateW = fw
+	}
+	if tlz && enc.tlzTab == nil {
+		enc.tlzTab = make([]int32, tlzTableSize)
+	}
+	return nil
+}
+
+// NewWriterV2 writes a v2 stream header and returns the block writer.
+func NewWriterV2(w io.Writer, opts WriterV2Options) (*WriterV2, error) {
+	v2 := &WriterV2{}
+	if err := initBlockWriter(v2, w, VersionV2, opts.BlockRecords, opts.Compress, false); err != nil {
+		return nil, err
+	}
+	v2.recEnc = opts.RecordEncode
+	if opts.RecordEncode {
+		v2.recs = make([]Record, 0, v2.perBlock)
+		if v2.enc.recTacIdx == nil {
+			v2.enc.recTacIdx = make(map[devices.TAC]int)
+		}
 	}
 	return v2, nil
 }
@@ -1120,7 +1154,11 @@ func (w *WriterV2) emitColumns(cb *ColumnBatch, lo, hi int) error {
 		}
 	}
 	var secs blockSections
-	w.enc.payload, secs = appendBlockColumns(w.enc.payload[:0], cb, lo, hi, minTS, w.enc)
+	if w.version == VersionV3 {
+		w.enc.payload, secs = appendBlockColumnsV3(w.enc.payload[:0], cb, lo, hi, minTS, maxTS, w.enc)
+	} else {
+		w.enc.payload, secs = appendBlockColumns(w.enc.payload[:0], cb, lo, hi, minTS, w.enc)
+	}
 	return w.emitBlock(hi-lo, minTS, maxTS, secs)
 }
 
@@ -1152,7 +1190,10 @@ func (w *WriterV2) flushRecordBlock() error {
 func (w *WriterV2) emitBlock(count int, minTS, maxTS int64, secs blockSections) error {
 	e := w.enc
 	stored := e.payload
-	if w.compress {
+	if w.tlz {
+		e.tlzB = appendTLZ(e.tlzB[:0], e.payload, e.tlzTab)
+		stored = e.tlzB
+	} else if w.compress {
 		e.flateB.Reset()
 		e.flateW.Reset(&e.flateB)
 		if _, err := e.flateW.Write(e.payload); err != nil {

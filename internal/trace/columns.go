@@ -210,6 +210,41 @@ func (b *ColumnBatch) FromRecords(recs []Record) {
 	}
 }
 
+// Records transposes the batch into out (unpacking RAT bytes), one pass
+// per column — the inverse of FromRecords, and much cheaper than a
+// per-row Record loop when draining whole blocks. out must have exactly
+// Len() rows.
+func (b *ColumnBatch) Records(out []Record) {
+	for i := range out {
+		out[i].Timestamp = b.Timestamps[i]
+	}
+	for i := range out {
+		out[i].UE = b.UEs[i]
+	}
+	for i := range out {
+		out[i].TAC = b.TACs[i]
+	}
+	for i := range out {
+		out[i].Source = b.Sources[i]
+	}
+	for i := range out {
+		out[i].Target = b.Targets[i]
+	}
+	for i := range out {
+		out[i].Cause = b.Causes[i]
+	}
+	for i := range out {
+		out[i].SourceRAT = topology.RAT(b.RATs[i] >> 4)
+		out[i].TargetRAT = topology.RAT(b.RATs[i] & 0x0f)
+	}
+	for i := range out {
+		out[i].Result = b.Results[i]
+	}
+	for i := range out {
+		out[i].DurationMs = b.Durations[i]
+	}
+}
+
 // Record copies row i into rec (unpacking the RAT byte).
 func (b *ColumnBatch) Record(i int, rec *Record) {
 	rec.Timestamp = b.Timestamps[i]

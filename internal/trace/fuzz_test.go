@@ -8,13 +8,14 @@ import (
 	"testing"
 )
 
-// FuzzDecodeBlock feeds arbitrary bytes to the v2 block decoder through
-// the public Reader. Truncated frames, bad varints, oversized counts,
-// lying compression descriptors and trailing garbage must all surface as
-// errors — never as panics or unbounded allocations.
+// FuzzDecodeBlock feeds arbitrary bytes to the v2 and v3 block decoders
+// through the public Reader. Truncated frames, bad varints, lying bit
+// widths, oversized counts, lying compression descriptors and trailing
+// garbage must all surface as errors — never as panics or unbounded
+// allocations.
 func FuzzDecodeBlock(f *testing.F) {
-	// Seed corpus: valid streams across block sizes and compression, plus
-	// targeted corruptions.
+	// Seed corpus: valid streams across versions, block sizes and
+	// compression, plus targeted corruptions.
 	r := rand.New(rand.NewSource(1))
 	base := StudyStart.UnixMilli()
 	for _, n := range []int{1, 5, 130} {
@@ -22,8 +23,18 @@ func FuzzDecodeBlock(f *testing.F) {
 		for i := range recs {
 			recs[i] = randRecord(r, base)
 		}
+		var streams [][]byte
 		for _, opts := range []WriterV2Options{{BlockRecords: 64}, {BlockRecords: 64, Compress: true}} {
-			data := encodeV2(f, recs, opts)
+			streams = append(streams, encodeV2(f, recs, opts))
+		}
+		for _, opts := range []WriterV3Options{
+			{BlockRecords: 64},
+			{BlockRecords: 64, Compress: true},
+			{BlockRecords: 64, FastCompress: true},
+		} {
+			streams = append(streams, encodeV3(f, recs, opts))
+		}
+		for _, data := range streams {
 			f.Add(data)
 			f.Add(data[:len(data)-1])
 			f.Add(data[:HeaderSize+blockHeadSize-2])
@@ -32,6 +43,9 @@ func FuzzDecodeBlock(f *testing.F) {
 			f.Add(mut)
 			mut = bytes.Clone(data)
 			mut[len(mut)-1] ^= 0xff // last payload byte
+			f.Add(mut)
+			mut = bytes.Clone(data)
+			mut[HeaderSize+blockHeadSize] ^= 0x7f // first payload byte (v3: ts width)
 			f.Add(mut)
 		}
 	}
@@ -67,6 +81,10 @@ func FuzzDecodeBlock(f *testing.F) {
 	f.Add([]byte("TLHO"))
 	f.Add(append([]byte("TLHO"), 2, 0, 0, 0))
 	f.Add(append([]byte("TLHO"), 2, 0, 1, 0)) // flate flag, no blocks
+	f.Add(append([]byte("TLHO"), 3, 0, 0, 0))
+	f.Add(append([]byte("TLHO"), 3, 0, 1, 0)) // v3 + flate, no blocks
+	f.Add(append([]byte("TLHO"), 3, 0, 2, 0)) // v3 + TLZ, no blocks
+	f.Add(append([]byte("TLHO"), 3, 0, 3, 0)) // both flags: must reject
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		rd, err := NewReader(bytes.NewReader(data))

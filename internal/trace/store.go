@@ -530,16 +530,22 @@ const (
 	CodecV1 Codec = Codec(Version)
 	// CodecV2 is the columnar block format with per-block time bounds.
 	CodecV2 Codec = Codec(VersionV2)
+	// CodecV3 is the bitpacked frame-of-reference block format.
+	CodecV3 Codec = Codec(VersionV3)
 )
 
 // FileStoreOptions tunes how a FileStore writes new partitions.
 type FileStoreOptions struct {
 	// Codec is the stream format for new partitions (0 = CodecV2).
 	Codec Codec
-	// BlockRecords is the v2 records-per-block size (0 = default).
+	// BlockRecords is the v2/v3 records-per-block size (0 = default).
 	BlockRecords int
-	// Compress flate-compresses v2 block payloads.
+	// Compress flate-compresses v2/v3 block payloads.
 	Compress bool
+	// FastCompress TLZ-compresses block payloads (CodecV3 only):
+	// a lower ratio than flate at a fraction of the CPU cost. Mutually
+	// exclusive with Compress.
+	FastCompress bool
 	// NoIndex disables writing .tlix secondary-index sidecars for new
 	// partitions. Queries over unindexed partitions fall back to
 	// scanning; results are identical, only slower.
@@ -587,9 +593,15 @@ func NewFileStoreOpts(dir string, opts FileStoreOptions) (*FileStore, error) {
 	switch opts.Codec {
 	case 0:
 		opts.Codec = CodecV2
-	case CodecV1, CodecV2:
+	case CodecV1, CodecV2, CodecV3:
 	default:
 		return nil, fmt.Errorf("trace: unsupported codec %d", opts.Codec)
+	}
+	if opts.FastCompress && opts.Codec != CodecV3 {
+		return nil, fmt.Errorf("trace: FastCompress requires CodecV3 (got codec %d)", opts.Codec)
+	}
+	if opts.FastCompress && opts.Compress {
+		return nil, fmt.Errorf("trace: Compress and FastCompress are mutually exclusive")
 	}
 	fsys := faultfs.Resolve(opts.FS)
 	if err := fsys.MkdirAll(dir, 0o755); err != nil {
@@ -680,9 +692,16 @@ func (f *FileStore) AppendPartition(day, shard int) (RecordWriter, error) {
 	digest := newPartitionDigest()
 	tee := &digestWriter{w: file, d: digest}
 	var w streamWriter
-	if f.opts.Codec == CodecV1 {
+	switch f.opts.Codec {
+	case CodecV1:
 		w, err = NewWriter(tee)
-	} else {
+	case CodecV3:
+		w, err = NewWriterV3(tee, WriterV3Options{
+			BlockRecords: f.opts.BlockRecords,
+			Compress:     f.opts.Compress,
+			FastCompress: f.opts.FastCompress,
+		})
+	default:
 		w, err = NewWriterV2(tee, WriterV2Options{
 			BlockRecords: f.opts.BlockRecords,
 			Compress:     f.opts.Compress,
@@ -695,12 +714,12 @@ func (f *FileStore) AppendPartition(day, shard int) (RecordWriter, error) {
 	}
 	fw := &fileWriter{file: file, w: w, store: f, day: day, shard: shard, digest: digest}
 	if !f.opts.NoIndex {
-		// The index builder mirrors the codec's blocking rule (v2 seals a
-		// block exactly every BlockRecords records; v1 has no blocks), so
-		// block summaries align with the stream without touching the
-		// encoder.
+		// The index builder mirrors the codec's blocking rule (v2 and v3
+		// seal a block exactly every BlockRecords records; v1 has no
+		// blocks), so block summaries align with the stream without
+		// touching the encoder.
 		perBlock := 0
-		if f.opts.Codec == CodecV2 {
+		if f.opts.Codec == CodecV2 || f.opts.Codec == CodecV3 {
 			perBlock = f.opts.BlockRecords
 			if perBlock <= 0 {
 				perBlock = DefaultBlockRecords

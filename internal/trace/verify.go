@@ -57,10 +57,12 @@ type CorruptionError struct {
 	Err   error
 }
 
+// Error renders the partition coordinates, class and underlying cause.
 func (e *CorruptionError) Error() string {
 	return fmt.Sprintf("trace: day %d shard %d corrupt (%s): %v", e.Day, e.Shard, e.Class, e.Err)
 }
 
+// Unwrap exposes the underlying cause to errors.Is/As.
 func (e *CorruptionError) Unwrap() error { return e.Err }
 
 // classifyPartitionErr wraps an iterator-sourced error in a
@@ -89,6 +91,7 @@ type VerifyIssue struct {
 	Detail string          `json:"detail"`
 }
 
+// String renders the issue the way telcofsck prints it.
 func (i VerifyIssue) String() string {
 	return fmt.Sprintf("day %d shard %d [%s]: %s", i.Day, i.Shard, i.Class, i.Detail)
 }
