@@ -47,9 +47,19 @@
 #                     campaign, telcoserve -scrub serving degraded,
 #                     checkpoint resume across SIGTERM
 #                     (RACE=1 for race-instrumented binaries)
+#   make netchaos     wire-level chaos matrix under -race: the seeded
+#                     TCP proxy (internal/netchaos) injects resets,
+#                     torn writes, latency, blackholes, trickle and
+#                     bandwidth caps between ingest clients and the
+#                     service, asserting typed errors or idempotent
+#                     retries and byte-identical seals; includes the
+#                     admission-control and client circuit-breaker
+#                     suites and the telcoserve overload/slow-client
+#                     tests
 #   make ci           vet + build + race + bench-smoke + alloc-check
 #                     (the PR gate also runs lint, the determinism
-#                     matrix and benchgate — see .github/workflows/ci.yml)
+#                     matrix, netchaos and benchgate — see
+#                     .github/workflows/ci.yml)
 #
 # Daemon / tool flag reference (see each command's doc comment):
 #   telcoserve  -data DIR     campaign directory to serve (default
@@ -62,23 +72,52 @@
 #               -ingest-pending N
 #                             ingest backlog budget in records before
 #                             the daemon answers 429 (0 = default)
+#               -query-inflight / -query-queue / -ingest-inflight /
+#               -ingest-queue / -artifact-inflight / -artifact-queue
+#                             per-endpoint admission limits: concurrent
+#                             slots and bounded wait-queue depth per
+#                             class (0 = defaults, negative queue = none)
+#               -query-timeout DUR
+#                             server-side cap on any /query deadline
+#                             (the ?timeout= param is clamped to it)
+#               -overload-window / -overload-threshold / -overload-cooldown
+#                             sliding-window overload detector: this many
+#                             rejections inside the window flips the
+#                             daemon into declared degraded mode
+#                             (cache-only /query, 429 elsewhere) for the
+#                             cooldown
+#               -retry-after DUR
+#                             wait advertised in 429 Retry-After
 #               serves /artifacts, /query (indexed ad-hoc slices),
-#               /stats and /healthz
+#               /stats and /healthz (both answer during overload)
 #   telcoload   -src DIR -url http://HOST:PORT  replay a campaign into
 #               a telcoserve -ingest endpoint; -rate records/sec,
 #               -batch per POST, -streams parallel clients, -reorder
 #               window, -jitter pacing noise, -days prefix, -seed,
 #               -noinit to skip /ingest/init
+#               -retry-for DUR    per-send retry budget
+#               -max-backoff DUR  cap on any retry wait (including
+#                                 server Retry-After values)
+#               -max-attempts N   attempt cap per send (0 = unlimited)
+#               -breaker-fails N / -breaker-cooldown DUR
+#                                 circuit breaker: consecutive transport
+#                                 failures that open it, and how long it
+#                                 short-circuits before a half-open probe
+#               -chaos-faults PLAN / -chaos-seed N
+#                                 route the replay through an in-process
+#                                 netchaos proxy injecting the PLAN
+#                                 (e.g. 'reset:up:after=10:every=50,
+#                                 latency:up:every=5:delay=2ms')
 
 GO ?= go
 STATICCHECK ?= $(GO) run honnef.co/go/tools/cmd/staticcheck@2025.1
 BENCH_OUT ?= BENCH_out.txt
-BENCH_PATTERN ?= BenchmarkScanSharded|BenchmarkScan$$|BenchmarkRunAll|BenchmarkRefresh|BenchmarkWrite|BenchmarkGenerateDay|BenchmarkIngest|BenchmarkQuery
+BENCH_PATTERN ?= BenchmarkScanSharded|BenchmarkScan$$|BenchmarkRunAll|BenchmarkRefresh|BenchmarkWrite|BenchmarkGenerateDay|BenchmarkIngest|BenchmarkQuery|BenchmarkOverload
 PROFILE_DIR ?= profile-campaign
 PROFILE_EXP ?= table5
 PROFILE_ARGS ?=
 
-.PHONY: all vet lint build test race bench-smoke bench-gate-run bench-baseline alloc-check profile fuzz-smoke ci
+.PHONY: all vet lint build test race bench-smoke bench-gate-run bench-baseline alloc-check profile fuzz-smoke soak chaos chaos-soak netchaos ci
 
 all: ci
 
@@ -165,5 +204,15 @@ chaos:
 
 chaos-soak:
 	scripts/chaos_soak.sh
+
+# Wire-level chaos and overload matrix: the netchaos proxy fault plans
+# (every fault a typed error or an idempotent retry; a full streamed
+# campaign through an adversarial wire seals byte-identical to batch),
+# the ingest client's breaker/backoff suite, the admission-control
+# suite, and telcoserve's overload/deadline/slow-client tests — all
+# under -race, mirroring `make chaos` one layer down the stack.
+netchaos:
+	$(GO) test -race -count 1 ./internal/netchaos/ ./internal/admission/ \
+		./internal/ingest/ ./cmd/telcoserve/
 
 ci: vet build race bench-smoke alloc-check

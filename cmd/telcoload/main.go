@@ -13,12 +13,22 @@
 //	telcoload -src ./campaign -url http://127.0.0.1:8080
 //	telcoload -src ./campaign -url ... -rate 50000 -jitter 0.3 -reorder 2048
 //
+// With -chaos-faults the replay routes through an in-process netchaos
+// proxy (internal/netchaos) that injects wire-level faults — resets,
+// torn writes, latency, blackholes, bandwidth caps — between the
+// clients and the daemon, turning any replay into a network-failure
+// drill:
+//
+//	telcoload -src ./campaign -url http://127.0.0.1:8080 \
+//	    -chaos-faults 'reset:up:after=20:every=97,latency:up:every=5:delay=2ms' \
+//	    -chaos-seed 7 -retry-for 5m
+//
 // Because the ingest seal order is canonical, a replay at any rate, with
-// any reorder window, lands partitions byte-identical to the source
-// campaign's — `diff -r` of the two directories (minus the serving
-// MANIFEST) is the end-to-end correctness check, and the soak CI job
-// kills the daemon mid-replay to prove the crash-recovery half of that
-// contract.
+// any reorder window — and through any chaos plan the retry budget
+// survives — lands partitions byte-identical to the source campaign's;
+// `diff -r` of the two directories (minus the serving MANIFEST) is the
+// end-to-end correctness check, and the soak CI job kills the daemon
+// mid-replay to prove the crash-recovery half of that contract.
 package main
 
 import (
@@ -34,25 +44,55 @@ import (
 	"time"
 
 	"telcolens/internal/ingest"
+	"telcolens/internal/netchaos"
 	"telcolens/internal/simulate"
 	"telcolens/internal/trace"
 )
 
+// loadConfig is the parsed flag set: what to replay, where, how fast,
+// how resilient the clients are, and what the wire does to them.
+type loadConfig struct {
+	src, url string
+	rate     float64
+	batch    int
+	streams  int
+	reorder  int
+	jitter   float64
+	days     int
+	seed     int64
+	noInit   bool
+
+	retryFor        time.Duration
+	maxBackoff      time.Duration
+	maxAttempts     int
+	breakerFails    int
+	breakerCooldown time.Duration
+
+	chaosFaults string
+	chaosSeed   int64
+}
+
 func main() {
-	var (
-		src     = flag.String("src", "", "source campaign directory (required)")
-		url     = flag.String("url", "", "ingest endpoint base URL (required), e.g. http://127.0.0.1:8080")
-		rate    = flag.Float64("rate", 0, "target records/second (0 = as fast as the endpoint accepts)")
-		batch   = flag.Int("batch", 512, "records per POST")
-		streams = flag.Int("streams", 4, "parallel client streams")
-		reorder = flag.Int("reorder", 1024, "reorder window in records (0 = deliver in stored order)")
-		jitter  = flag.Float64("jitter", 0.2, "pacing jitter as a fraction of the inter-batch interval")
-		days    = flag.Int("days", 0, "replay only the first N days (0 = all)")
-		seed    = flag.Int64("seed", 1, "shuffle seed for the reorder window")
-		noInit  = flag.Bool("noinit", false, "skip POST /ingest/init (the target is already initialized)")
-	)
+	var cfg loadConfig
+	flag.StringVar(&cfg.src, "src", "", "source campaign directory (required)")
+	flag.StringVar(&cfg.url, "url", "", "ingest endpoint base URL (required), e.g. http://127.0.0.1:8080")
+	flag.Float64Var(&cfg.rate, "rate", 0, "target records/second (0 = as fast as the endpoint accepts)")
+	flag.IntVar(&cfg.batch, "batch", 512, "records per POST")
+	flag.IntVar(&cfg.streams, "streams", 4, "parallel client streams")
+	flag.IntVar(&cfg.reorder, "reorder", 1024, "reorder window in records (0 = deliver in stored order)")
+	flag.Float64Var(&cfg.jitter, "jitter", 0.2, "pacing jitter as a fraction of the inter-batch interval")
+	flag.IntVar(&cfg.days, "days", 0, "replay only the first N days (0 = all)")
+	flag.Int64Var(&cfg.seed, "seed", 1, "shuffle seed for the reorder window")
+	flag.BoolVar(&cfg.noInit, "noinit", false, "skip POST /ingest/init (the target is already initialized)")
+	flag.DurationVar(&cfg.retryFor, "retry-for", 2*time.Minute, "per-send retry budget before a stream gives up")
+	flag.DurationVar(&cfg.maxBackoff, "max-backoff", 0, "cap on any retry wait, including server Retry-After (0 = client default)")
+	flag.IntVar(&cfg.maxAttempts, "max-attempts", 0, "attempt cap per send, on top of -retry-for (0 = unlimited)")
+	flag.IntVar(&cfg.breakerFails, "breaker-fails", 0, "consecutive transport failures that open the circuit breaker (0 = client default)")
+	flag.DurationVar(&cfg.breakerCooldown, "breaker-cooldown", 0, "how long an open breaker short-circuits sends before a half-open probe (0 = client default)")
+	flag.StringVar(&cfg.chaosFaults, "chaos-faults", "", "netchaos fault plan, e.g. 'reset:up:after=10:every=50' (empty = no proxy; see internal/netchaos)")
+	flag.Int64Var(&cfg.chaosSeed, "chaos-seed", 1, "jitter seed for the chaos proxy (deterministic per seed)")
 	flag.Parse()
-	if *src == "" || *url == "" {
+	if cfg.src == "" || cfg.url == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -60,37 +100,71 @@ func main() {
 	// immediately; the replay then exits non-zero with what failed.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	if err := run(ctx, *src, *url, *rate, *batch, *streams, *reorder, *jitter, *days, *seed, *noInit); err != nil {
+	if err := run(ctx, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "telcoload:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, src, url string, rate float64, batchSize, streams, reorder int, jitter float64, dayLimit int, seed int64, noInit bool) error {
-	meta, err := simulate.LoadMeta(src)
+func run(ctx context.Context, cfg loadConfig) error {
+	meta, err := simulate.LoadMeta(cfg.src)
 	if err != nil {
 		return err
 	}
-	store, err := trace.NewFileStore(src)
+	store, err := trace.NewFileStore(cfg.src)
 	if err != nil {
 		return err
 	}
 	days := meta.Config.Days
-	if dayLimit > 0 && dayLimit < days {
-		days = dayLimit
+	if cfg.days > 0 && cfg.days < days {
+		days = cfg.days
 	}
+	batchSize := cfg.batch
 	if batchSize <= 0 {
 		batchSize = 512
 	}
+	streams := cfg.streams
 	if streams <= 0 {
 		streams = 1
 	}
 
+	url := cfg.url
+	var proxy *netchaos.Proxy
+	if cfg.chaosFaults != "" {
+		rules, err := netchaos.ParseRules(cfg.chaosFaults)
+		if err != nil {
+			return err
+		}
+		target := strings.TrimPrefix(cfg.url, "http://")
+		if target == cfg.url {
+			return fmt.Errorf("-chaos-faults needs a plain http:// -url (got %q)", cfg.url)
+		}
+		proxy, err = netchaos.New(target, netchaos.Options{Rules: rules, Seed: cfg.chaosSeed})
+		if err != nil {
+			return err
+		}
+		defer proxy.Close()
+		url = proxy.URL()
+		fmt.Printf("telcoload: chaos proxy %s -> %s (%d rules, seed %d)\n",
+			proxy.Addr(), target, len(rules), cfg.chaosSeed)
+	}
+
 	clients := make([]*ingest.Client, streams)
 	for i := range clients {
-		clients[i] = &ingest.Client{Base: url, Stream: uint32(i + 1), RetryFor: 2 * time.Minute}
+		clients[i] = &ingest.Client{
+			Base:            url,
+			Stream:          uint32(i + 1),
+			RetryFor:        cfg.retryFor,
+			MaxBackoff:      cfg.maxBackoff,
+			MaxAttempts:     cfg.maxAttempts,
+			FailThreshold:   cfg.breakerFails,
+			BreakerCooldown: cfg.breakerCooldown,
+		}
 	}
-	if !noInit {
+	// The resilience summary prints even when a stream gives up — on a
+	// chaos run the retry/breaker counters ARE the result.
+	defer printResilience(clients, proxy)
+	if !cfg.noInit {
 		// The stream target declares the full study window up front (the
 		// world-model deployment timeline depends on it) but starts with
 		// zero landed days.
@@ -103,10 +177,10 @@ func run(ctx context.Context, src, url string, rate float64, batchSize, streams,
 		}
 	}
 
-	rng := rand.New(rand.NewSource(seed))
+	rng := rand.New(rand.NewSource(cfg.seed))
 	var interval time.Duration
-	if rate > 0 {
-		interval = time.Duration(float64(batchSize) / rate * float64(time.Second))
+	if cfg.rate > 0 {
+		interval = time.Duration(float64(batchSize) / cfg.rate * float64(time.Second))
 	}
 	start := time.Now()
 	var total int64
@@ -115,8 +189,8 @@ func run(ctx context.Context, src, url string, rate float64, batchSize, streams,
 		if err != nil {
 			return err
 		}
-		shuffleWindow(cols, reorder, rng)
-		if err := sendDay(ctx, clients, cols, batchSize, interval, jitter, rng); err != nil {
+		shuffleWindow(cols, cfg.reorder, rng)
+		if err := sendDay(ctx, clients, cols, batchSize, interval, cfg.jitter, rng); err != nil {
 			return fmt.Errorf("day %d: %w", day, err)
 		}
 		if err := clients[0].DayDone(ctx, day, meta.DayStats[day]); err != nil {
@@ -136,6 +210,30 @@ func run(ctx context.Context, src, url string, rate float64, batchSize, streams,
 		return fmt.Errorf("server sealed %d of %d days", st.SealedDays, days)
 	}
 	return nil
+}
+
+// printResilience summarizes what the wire did to the replay: the
+// clients' aggregate retry/breaker counters and, when a chaos proxy was
+// in the path, the faults it actually injected.
+func printResilience(clients []*ingest.Client, proxy *netchaos.Proxy) {
+	var m ingest.ClientMetrics
+	for _, cl := range clients {
+		cm := cl.Metrics()
+		m.Sends += cm.Sends
+		m.Retries += cm.Retries
+		m.TransportFailures += cm.TransportFailures
+		m.BreakerOpens += cm.BreakerOpens
+		m.ShortCircuits += cm.ShortCircuits
+		m.RetryAfterHonored += cm.RetryAfterHonored
+	}
+	fmt.Printf("telcoload: client: %d sends, %d retries, %d transport failures, %d breaker opens, %d short circuits, %d retry-after honored\n",
+		m.Sends, m.Retries, m.TransportFailures, m.BreakerOpens, m.ShortCircuits, m.RetryAfterHonored)
+	if proxy == nil {
+		return
+	}
+	ps := proxy.Stats()
+	fmt.Printf("telcoload: chaos: %d conns, %d resets, %d torn, %d blackholed, %d delayed, %d trickled, %d throttled, %d dial errors, %d B up / %d B down\n",
+		ps.Accepted, ps.Resets, ps.Torn, ps.Blackholed, ps.Delayed, ps.Trickled, ps.Throttled, ps.DialErrors, ps.BytesUp, ps.BytesDown)
 }
 
 // readDay collects every record of one study day across all shards.

@@ -46,12 +46,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"sync"
 	"syscall"
 	"time"
 
 	"telcolens"
+	"telcolens/internal/admission"
 	"telcolens/internal/ingest"
 	"telcolens/internal/query"
 	"telcolens/internal/trace"
@@ -69,6 +71,18 @@ func main() {
 		scrub     = flag.Bool("scrub", false, "audit the store at startup and quarantine corrupt partitions before serving")
 		ckptPath  = flag.String("checkpoint", "", "analyzer checkpoint file: resumed at startup, saved after every refresh (empty = cold scans only)")
 		drain     = flag.Duration("drain", 5*time.Second, "graceful-shutdown drain budget for in-flight requests")
+
+		queryInflight = flag.Int("query-inflight", 0, "concurrent /query executions admitted (0 = default)")
+		queryQueue    = flag.Int("query-queue", 0, "bounded /query wait queue beyond the inflight slots (0 = default, negative = none)")
+		queryTimeout  = flag.Duration("query-timeout", 0, "server-side /query execution budget; a request ?timeout= may only shorten it (0 = default)")
+		ingInflight   = flag.Int("ingest-inflight", 0, "concurrent /ingest requests admitted (0 = default)")
+		ingQueue      = flag.Int("ingest-queue", 0, "bounded /ingest wait queue (0 = default, negative = none)")
+		artInflight   = flag.Int("artifact-inflight", 0, "concurrent artifact/index requests admitted (0 = default)")
+		artQueue      = flag.Int("artifact-queue", 0, "bounded artifact wait queue (0 = default, negative = none)")
+		ovWindow      = flag.Duration("overload-window", 0, "sliding window the overload detector counts rejections over (0 = default)")
+		ovThreshold   = flag.Int("overload-threshold", 0, "queue-full rejections inside the window that declare overload (0 = default, negative = never)")
+		ovCooldown    = flag.Duration("overload-cooldown", 0, "minimum degraded window once overload is declared (0 = default)")
+		retryAfter    = flag.Duration("retry-after", 0, "wait suggested to shed clients via Retry-After (0 = default)")
 	)
 	flag.Parse()
 
@@ -83,6 +97,13 @@ func main() {
 		scrub:      *scrub,
 		checkpoint: *ckptPath,
 		drain:      *drain,
+		admission: admission.Config{
+			QuerySlots: *queryInflight, QueryQueue: *queryQueue, QueryBudget: *queryTimeout,
+			IngestSlots: *ingInflight, IngestQueue: *ingQueue,
+			ArtifactSlots: *artInflight, ArtifactQueue: *artQueue,
+			OverloadWindow: *ovWindow, OverloadThreshold: *ovThreshold,
+			OverloadCooldown: *ovCooldown, RetryAfter: *retryAfter,
+		},
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "telcoserve:", err)
@@ -102,6 +123,9 @@ type serveConfig struct {
 	scrub      bool
 	checkpoint string
 	drain      time.Duration
+	// admission tunes the per-endpoint concurrency limiters and the
+	// overload detector (zero fields use the package defaults).
+	admission admission.Config
 }
 
 // HTTP hardening bounds: header/body read and response write deadlines
@@ -161,6 +185,10 @@ type server struct {
 	// eng executes /query requests; its result cache is invalidated on
 	// every snapshot swap.
 	eng *query.Engine
+	// adm is the admission controller: per-endpoint concurrency
+	// limiters, the overload detector, and the /query deadline budget.
+	// Nil (tests) means no admission control.
+	adm *admission.Controller
 
 	mu sync.RWMutex
 	// cur is nil while the campaign is pending: the data directory has no
@@ -611,6 +639,9 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	out["query"] = s.queryStats()
+	if s.adm != nil {
+		out["admission"] = s.adm.Stats()
+	}
 	if days := s.degradedDays(); len(days) > 0 {
 		out["degraded"] = true
 		out["quarantined_days"] = days
@@ -644,10 +675,102 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		out["status"] = "degraded"
 		out["quarantined_days"] = days
 	}
+	if s.adm != nil {
+		// The overload window rides on every probe (trips, window
+		// counters); a live degraded window also flips the status.
+		st := s.adm.State()
+		out["overload"] = st
+		if st.Degraded {
+			out["status"] = "degraded"
+		}
+	}
 	if iv := s.ingestView(); iv != nil {
 		out["ingest"] = iv
 	}
 	writeJSON(w, out)
+}
+
+// writeShed answers a shed request: 429 with Retry-After and a JSON
+// body naming the reason, so clients distinguish declared load
+// shedding from real failures and know when to come back.
+func writeShed(w http.ResponseWriter, reason string, retryAfter int) {
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusTooManyRequests)
+	json.NewEncoder(w).Encode(map[string]any{
+		"error":               reason,
+		"retry_after_seconds": retryAfter,
+	})
+}
+
+// writeAdmissionError maps an Admit failure onto the wire: both shed
+// shapes are 429 + Retry-After (the client remedy is the same — back
+// off), a context expiring while queued is 503.
+func (s *server) writeAdmissionError(w http.ResponseWriter, err error) {
+	var ov *admission.OverloadError
+	var qf *admission.QueueFullError
+	switch {
+	case errors.As(err, &ov):
+		writeShed(w, "overloaded", s.adm.RetryAfter())
+	case errors.As(err, &qf):
+		writeShed(w, "queue_full", s.adm.RetryAfter())
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		http.Error(w, "request abandoned while queued for admission", http.StatusServiceUnavailable)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// admitted wraps h in the class's admission decision. A nil controller
+// (tests) admits everything.
+func (s *server) admitted(class admission.Class, h http.Handler) http.Handler {
+	if s.adm == nil {
+		return h
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		release, err := s.adm.Admit(r.Context(), class)
+		if err != nil {
+			s.writeAdmissionError(w, err)
+			return
+		}
+		defer release()
+		h.ServeHTTP(w, r)
+	})
+}
+
+// routes assembles the daemon's handler tree. /query runs its own
+// admission inside handleQuery (it needs the cache-only degraded
+// path); /stats and /healthz stay outside admission control entirely —
+// observability must answer precisely when the daemon is shedding.
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", s.admitted(admission.ClassArtifacts, http.HandlerFunc(s.handleIndex)))
+	art := s.admitted(admission.ClassArtifacts, http.HandlerFunc(s.handleArtifacts))
+	mux.Handle("/artifacts", art)
+	mux.Handle("/artifacts/", art)
+	mux.Handle("/query", http.MaxBytesHandler(http.HandlerFunc(s.handleQuery), maxQueryBody))
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	if s.ing != nil {
+		ih := http.MaxBytesHandler(s.admitted(admission.ClassIngest, s.ing.Handler()), maxIngestBody)
+		mux.Handle("/ingest", ih)
+		mux.Handle("/ingest/", ih)
+	}
+	return mux
+}
+
+// newHTTPServer wraps a handler tree in the hardened http.Server (the
+// timeout constants above); extracted so tests can run the real server
+// shape against a live listener.
+func newHTTPServer(addr string, h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: httpReadHeaderTimeout,
+		ReadTimeout:       httpReadTimeout,
+		WriteTimeout:      httpWriteTimeout,
+		IdleTimeout:       httpIdleTimeout,
+	}
 }
 
 // startupScrub audits the store before the daemon loads anything,
@@ -692,7 +815,8 @@ func run(cfg serveConfig) error {
 	}
 
 	s := &server{dir: cfg.dir, parallel: cfg.parallel, checkpoint: cfg.checkpoint,
-		started: time.Now(), nudge: make(chan struct{}, 1)}
+		started: time.Now(), nudge: make(chan struct{}, 1),
+		adm: admission.NewController(cfg.admission)}
 	// The query engine reads partitions through its own store handle —
 	// FileStore is stateless, so one handle serves every generation; the
 	// per-snapshot view pins which partitions a query may touch.
@@ -765,26 +889,7 @@ func run(cfg serveConfig) error {
 
 	go s.watch(ctx, cfg.poll)
 
-	mux := http.NewServeMux()
-	mux.HandleFunc("/", s.handleIndex)
-	mux.HandleFunc("/artifacts", s.handleArtifacts)
-	mux.HandleFunc("/artifacts/", s.handleArtifacts)
-	mux.Handle("/query", http.MaxBytesHandler(http.HandlerFunc(s.handleQuery), maxQueryBody))
-	mux.HandleFunc("/stats", s.handleStats)
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	if s.ing != nil {
-		ih := http.MaxBytesHandler(s.ing.Handler(), maxIngestBody)
-		mux.Handle("/ingest", ih)
-		mux.Handle("/ingest/", ih)
-	}
-	srv := &http.Server{
-		Addr:              cfg.addr,
-		Handler:           mux,
-		ReadHeaderTimeout: httpReadHeaderTimeout,
-		ReadTimeout:       httpReadTimeout,
-		WriteTimeout:      httpWriteTimeout,
-		IdleTimeout:       httpIdleTimeout,
-	}
+	srv := newHTTPServer(cfg.addr, s.routes())
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 	select {

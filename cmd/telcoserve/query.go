@@ -1,12 +1,16 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/url"
 	"strconv"
 	"time"
 
+	"telcolens/internal/admission"
 	"telcolens/internal/query"
 	"telcolens/internal/trace"
 )
@@ -28,6 +32,9 @@ import (
 //	agg               also compute the slice aggregate (agg=1)
 //	noindex           disable index pruning, forcing scan fallback
 //	format            json (default) or csv
+//	timeout           execution deadline (duration or millis), capped by
+//	                  the server's -query-timeout budget; expiry is a
+//	                  distinct 503 JSON body and nothing is cached
 //
 // The response carries X-Cache (hit/miss) and X-Manifest-Gen headers;
 // per-request prune/decode metrics ride in the JSON body and accumulate
@@ -123,9 +130,62 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	start := time.Now()
-	res, hit, err := s.eng.Query(r.Context(), cur.qview, p)
+	timeout, err := admission.ParseTimeout(r.URL.Query().Get("timeout"))
 	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	// The generation header goes out on every response from here on —
+	// shed, deadline, success — so clients always learn which snapshot
+	// the daemon was serving, even for answers it refused to compute.
+	w.Header().Set("X-Manifest-Gen", strconv.FormatUint(cur.qview.Gen, 10))
+
+	ctx := r.Context()
+	if s.adm != nil {
+		if s.adm.Overloaded() {
+			// Declared degraded mode: answer what the cache already holds,
+			// shed everything that would need a scan.
+			if res := s.eng.Cached(cur.qview, p); res != nil {
+				w.Header().Set("X-Cache", "hit")
+				w.Header().Set("X-Degraded", "cache-only")
+				s.noteQuery(res.Metrics, 0, true)
+				writeQueryResult(w, res, format)
+				return
+			}
+			s.adm.NoteShed(admission.ClassQuery)
+			writeShed(w, "overloaded", s.adm.RetryAfter())
+			return
+		}
+		release, err := s.adm.Admit(ctx, admission.ClassQuery)
+		if err != nil {
+			s.writeAdmissionError(w, err)
+			return
+		}
+		defer release()
+		qctx, cancel := s.adm.QueryContext(ctx, timeout)
+		defer cancel()
+		ctx = qctx
+	} else if timeout > 0 {
+		qctx, cancel := context.WithTimeout(ctx, timeout)
+		defer cancel()
+		ctx = qctx
+	}
+
+	start := time.Now()
+	res, hit, err := s.eng.Query(ctx, cur.qview, p)
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			// A distinct, machine-readable 503: the deadline (or the
+			// client) killed the execution mid-scan. The engine never
+			// caches an aborted result, so a retry recomputes.
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(map[string]any{
+				"error":  "query aborted",
+				"reason": err.Error(),
+			})
+			return
+		}
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
@@ -135,7 +195,11 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	} else {
 		w.Header().Set("X-Cache", "miss")
 	}
-	w.Header().Set("X-Manifest-Gen", strconv.FormatUint(res.Gen, 10))
+	writeQueryResult(w, res, format)
+}
+
+// writeQueryResult renders one query answer in the requested format.
+func writeQueryResult(w http.ResponseWriter, res *query.Result, format string) {
 	if format == "csv" {
 		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
 		if err := res.WriteCSV(w); err != nil {

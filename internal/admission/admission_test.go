@@ -1,0 +1,319 @@
+package admission
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// A limiter admits up to slots concurrently, queues up to queue more,
+// and rejects the rest with a typed error.
+func TestLimiterBounds(t *testing.T) {
+	l := NewLimiter(ClassQuery, 2, 1)
+	ctx := context.Background()
+
+	r1, err := l.Acquire(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := l.Acquire(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Third acquire queues; fill the queue slot with a blocked waiter.
+	waitCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	waited := make(chan error, 1)
+	go func() {
+		r, err := l.Acquire(waitCtx)
+		if err == nil {
+			r()
+		}
+		waited <- err
+	}()
+	// Let the waiter enqueue before probing the full queue.
+	deadline := time.Now().Add(2 * time.Second)
+	for l.Stats().Waiting == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if w := l.Stats().Waiting; w != 1 {
+		t.Fatalf("waiting = %d, want 1", w)
+	}
+
+	// Queue is full now: the fourth acquire must be rejected, typed.
+	_, err = l.Acquire(ctx)
+	var qf *QueueFullError
+	if !errors.As(err, &qf) {
+		t.Fatalf("over-queue acquire = %v, want QueueFullError", err)
+	}
+	if qf.Class != ClassQuery || qf.Slots != 2 || qf.Queue != 1 {
+		t.Fatalf("queue-full error carries %+v", qf)
+	}
+
+	// Releasing a slot admits the waiter.
+	r1()
+	if err := <-waited; err != nil {
+		t.Fatalf("queued acquire = %v after release", err)
+	}
+	r2()
+
+	st := l.Stats()
+	if st.Admitted != 3 || st.Rejected != 1 || st.InFlight != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// A waiter whose context expires leaves the queue with the context
+// error, and the queue slot frees up.
+func TestLimiterQueueTimeout(t *testing.T) {
+	l := NewLimiter(ClassIngest, 1, 4)
+	release, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := l.Acquire(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("queued acquire = %v, want DeadlineExceeded", err)
+	}
+	if st := l.Stats(); st.Canceled != 1 || st.Waiting != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	release()
+	release() // release is idempotent
+	if r, err := l.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	} else {
+		r()
+	}
+}
+
+// Concurrent acquire/release never exceeds the slot bound (run under
+// -race in CI).
+func TestLimiterConcurrency(t *testing.T) {
+	const slots = 4
+	l := NewLimiter(ClassQuery, slots, 64)
+	var mu sync.Mutex
+	var cur, peak int
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				release, err := l.Acquire(context.Background())
+				if err != nil {
+					continue
+				}
+				mu.Lock()
+				cur++
+				if cur > peak {
+					peak = cur
+				}
+				mu.Unlock()
+				time.Sleep(100 * time.Microsecond)
+				mu.Lock()
+				cur--
+				mu.Unlock()
+				release()
+			}
+		}()
+	}
+	wg.Wait()
+	if peak > slots {
+		t.Fatalf("observed %d concurrent admissions over the %d-slot bound", peak, slots)
+	}
+}
+
+// clock is a fake time source for detector tests.
+type clock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *clock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *clock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// The detector trips after threshold rejects inside the window, stays
+// degraded for the cooldown, and recovers once rejects stop.
+func TestDetectorTripAndRecover(t *testing.T) {
+	ck := &clock{t: time.Unix(1_700_000_000, 0)}
+	d := NewDetector(10*time.Second, 5*time.Second, 3, ck.now)
+
+	d.Reject()
+	d.Reject()
+	if d.Degraded() {
+		t.Fatal("degraded below threshold")
+	}
+	d.Reject()
+	if !d.Degraded() {
+		t.Fatal("not degraded at threshold")
+	}
+	st := d.State()
+	if !st.Degraded || st.Trips != 1 || st.WindowRejects != 3 {
+		t.Fatalf("state = %+v", st)
+	}
+	if got := st.Until.Sub(st.Since); got != 5*time.Second {
+		t.Fatalf("window length %s, want cooldown 5s", got)
+	}
+
+	// Still inside the cooldown.
+	ck.advance(4 * time.Second)
+	if !d.Degraded() {
+		t.Fatal("recovered before the cooldown elapsed")
+	}
+	// A reject during the window extends it.
+	d.Reject()
+	ck.advance(4 * time.Second)
+	if !d.Degraded() {
+		t.Fatal("extension did not hold")
+	}
+	ck.advance(2 * time.Second)
+	if d.Degraded() {
+		t.Fatal("still degraded after the extended window")
+	}
+	if st := d.State(); st.Degraded || !st.Since.IsZero() {
+		t.Fatalf("post-recovery state = %+v", st)
+	}
+}
+
+// Rejects spread wider than the window never trip the detector.
+func TestDetectorWindowSlides(t *testing.T) {
+	ck := &clock{t: time.Unix(1_700_000_000, 0)}
+	d := NewDetector(10*time.Second, 5*time.Second, 3, ck.now)
+	for i := 0; i < 6; i++ {
+		d.Reject()
+		ck.advance(6 * time.Second) // each pair of rejects is 6s apart
+	}
+	if d.Degraded() {
+		t.Fatal("tripped on rejects the window should have expired")
+	}
+	if st := d.State(); st.WindowRejects > 2 {
+		t.Fatalf("window holds %d rejects, want <= 2", st.WindowRejects)
+	}
+}
+
+// The controller sheds sheddable classes during a degraded window but
+// never ingest, and queue-full rejections feed the detector.
+func TestControllerShedPriority(t *testing.T) {
+	ck := &clock{t: time.Unix(1_700_000_000, 0)}
+	c := NewController(Config{
+		QuerySlots: 1, QueryQueue: -1,
+		IngestSlots: 2, IngestQueue: 1,
+		ArtifactSlots: 1, ArtifactQueue: -1,
+		OverloadWindow: 10 * time.Second, OverloadThreshold: 2,
+		OverloadCooldown: 5 * time.Second,
+		Now:              ck.now,
+	})
+	ctx := context.Background()
+
+	// Saturate query and trip the detector with queue-full rejects.
+	release, err := c.Admit(ctx, ClassQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := c.Admit(ctx, ClassQuery); err == nil {
+			t.Fatal("over-capacity query admitted")
+		}
+	}
+	if !c.Overloaded() {
+		t.Fatal("detector did not trip")
+	}
+	release()
+
+	// Degraded: query and artifacts are refused with a typed overload
+	// error even though slots are free...
+	var ov *OverloadError
+	if _, err := c.Admit(ctx, ClassQuery); !errors.As(err, &ov) {
+		t.Fatalf("degraded query admit = %v, want OverloadError", err)
+	}
+	if ov.RetryAfter <= 0 || ov.Until.IsZero() {
+		t.Fatalf("overload error carries %+v", ov)
+	}
+	if _, err := c.Admit(ctx, ClassArtifacts); !errors.As(err, &ov) {
+		t.Fatalf("degraded artifacts admit = %v, want OverloadError", err)
+	}
+	// ...but ingest still goes through.
+	rel, err := c.Admit(ctx, ClassIngest)
+	if err != nil {
+		t.Fatalf("ingest shed during degraded window: %v", err)
+	}
+	rel()
+
+	// After the cooldown everything admits again.
+	ck.advance(6 * time.Second)
+	rel, err = c.Admit(ctx, ClassQuery)
+	if err != nil {
+		t.Fatalf("post-recovery query admit: %v", err)
+	}
+	rel()
+
+	stats := c.Stats()
+	classes := stats["classes"].([]LimiterStats)
+	var q LimiterStats
+	for _, cs := range classes {
+		if cs.Class == "query" {
+			q = cs
+		}
+	}
+	if q.Rejected != 2 || q.Shed != 1 {
+		t.Fatalf("query limiter stats = %+v", q)
+	}
+}
+
+// The derived query context is capped by the server budget, and a
+// request timeout may only shorten it.
+func TestQueryContextBudget(t *testing.T) {
+	c := NewController(Config{QueryBudget: 100 * time.Millisecond})
+	ctx, cancel := c.QueryContext(context.Background(), 0)
+	defer cancel()
+	dl, ok := ctx.Deadline()
+	if !ok || time.Until(dl) > 101*time.Millisecond {
+		t.Fatalf("budget deadline = %v (%v)", dl, ok)
+	}
+	ctx2, cancel2 := c.QueryContext(context.Background(), time.Hour)
+	defer cancel2()
+	if dl2, _ := ctx2.Deadline(); time.Until(dl2) > 101*time.Millisecond {
+		t.Fatal("request timeout extended past the server budget")
+	}
+	ctx3, cancel3 := c.QueryContext(context.Background(), 10*time.Millisecond)
+	defer cancel3()
+	if dl3, _ := ctx3.Deadline(); time.Until(dl3) > 11*time.Millisecond {
+		t.Fatal("shorter request timeout was not honored")
+	}
+}
+
+func TestParseTimeout(t *testing.T) {
+	cases := []struct {
+		in   string
+		want time.Duration
+		err  bool
+	}{
+		{"", 0, false},
+		{"250", 250 * time.Millisecond, false},
+		{"1500ms", 1500 * time.Millisecond, false},
+		{"2s", 2 * time.Second, false},
+		{"-1", 0, true},
+		{"-5s", 0, true},
+		{"soon", 0, true},
+	}
+	for _, tc := range cases {
+		got, err := ParseTimeout(tc.in)
+		if (err != nil) != tc.err || got != tc.want {
+			t.Fatalf("ParseTimeout(%q) = %v, %v; want %v, err=%v", tc.in, got, err, tc.want, tc.err)
+		}
+	}
+}

@@ -12,6 +12,14 @@
 // enumerate the filesystem ops it performs, expand that count into a
 // fail-at-every-step rule matrix, and fingerprint directory trees so
 // "byte-identical recovery" is one map comparison.
+//
+// Package netchaos is this harness's wire-level sibling: the same
+// seeded fail-at-the-Nth-op design applied to the TCP path between
+// ingest clients and the daemon (resets, torn writes, blackholes,
+// latency) instead of the filesystem beneath it. The two matrices
+// together cover both halves of DESIGN.md's failure model — a failing
+// disk under a healthy network, and a failing network over a healthy
+// disk.
 package chaos
 
 import (

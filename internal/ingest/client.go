@@ -33,11 +33,68 @@ type Client struct {
 	// RetryFor bounds how long one send keeps retrying before giving up
 	// (0 = 30s).
 	RetryFor time.Duration
+	// MaxAttempts caps the total attempts per logical send, including
+	// the first (0 = unlimited within RetryFor).
+	MaxAttempts int
+	// MaxBackoff caps every retry wait, including server-supplied
+	// Retry-After delays (0 = 5s). A server cannot stall a client past
+	// its own patience.
+	MaxBackoff time.Duration
+	// FailThreshold opens the circuit breaker after this many
+	// consecutive transport failures (0 = 5). Any HTTP response — even
+	// a 5xx — closes it again: the wire works, only the server is
+	// unhappy.
+	FailThreshold int
+	// BreakerCooldown is how long an open breaker short-circuits sends
+	// before letting one half-open probe through (0 = 2s).
+	BreakerCooldown time.Duration
 	// Sleep overrides the retry wait (tests); nil = time.Sleep.
 	Sleep func(time.Duration)
 
 	seq uint64
 	buf []byte
+
+	// Circuit-breaker state. The Client is single-goroutine by
+	// contract, so plain fields suffice.
+	consecFails int
+	openUntil   time.Time
+	m           ClientMetrics
+}
+
+// ClientMetrics counts what a Client did on the wire, for operator
+// output and test assertions.
+type ClientMetrics struct {
+	// Sends is the number of logical sends started (Send/Init/DayDone/
+	// Flush calls that hit the network).
+	Sends int64 `json:"sends"`
+	// Retries counts attempts beyond the first across all sends.
+	Retries int64 `json:"retries"`
+	// TransportFailures counts attempts that died below HTTP (dial,
+	// reset, torn response).
+	TransportFailures int64 `json:"transport_failures"`
+	// BreakerOpens counts breaker trips.
+	BreakerOpens int64 `json:"breaker_opens"`
+	// ShortCircuits counts attempts delayed or refused by an open
+	// breaker.
+	ShortCircuits int64 `json:"short_circuits"`
+	// RetryAfterHonored counts server-mandated waits obeyed (after
+	// capping at MaxBackoff).
+	RetryAfterHonored int64 `json:"retry_after_honored"`
+}
+
+// Metrics snapshots the client's wire counters.
+func (c *Client) Metrics() ClientMetrics { return c.m }
+
+// BreakerOpenError is returned when the circuit breaker is open and
+// the send's retry budget would expire before the next half-open
+// probe.
+type BreakerOpenError struct {
+	// Until is when the breaker next admits a probe.
+	Until time.Time
+}
+
+func (e *BreakerOpenError) Error() string {
+	return fmt.Sprintf("ingest client: circuit breaker open until %s", e.Until.Format(time.RFC3339))
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -72,6 +129,27 @@ func (c *Client) retryFor() time.Duration {
 	return 30 * time.Second
 }
 
+func (c *Client) maxBackoff() time.Duration {
+	if c.MaxBackoff > 0 {
+		return c.MaxBackoff
+	}
+	return backoffCap
+}
+
+func (c *Client) failThreshold() int {
+	if c.FailThreshold > 0 {
+		return c.FailThreshold
+	}
+	return 5
+}
+
+func (c *Client) breakerCooldown() time.Duration {
+	if c.BreakerCooldown > 0 {
+		return c.BreakerCooldown
+	}
+	return 2 * time.Second
+}
+
 // Full-jitter backoff bounds: the retry wait for attempt n (0-based)
 // is uniform in (0, min(backoffCap, backoffBase<<n)] — decorrelated
 // clients spread their retries instead of stampeding in lockstep. An
@@ -101,35 +179,89 @@ func (c *Client) post(ctx context.Context, path, contentType string, body []byte
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		// Network errors are retryable: the request may or may not have
-		// landed, which is exactly what the seq dedup is for.
+		// landed, which is exactly what the seq dedup is for. They also
+		// feed the circuit breaker — enough of them in a row and the
+		// wire, not the request, is the problem.
+		c.noteTransportFailure()
 		return nil, 0, err
 	}
+	// Any HTTP response closes the breaker: the transport works.
+	c.consecFails = 0
 	defer resp.Body.Close()
 	data, rerr := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 	if rerr != nil {
+		// The response died mid-body — a transport failure, not a
+		// server verdict.
+		c.noteTransportFailure()
 		return nil, 0, rerr
 	}
 	switch {
 	case resp.StatusCode < 300:
 		return data, 0, nil
 	case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable || resp.StatusCode >= 500:
-		var wait time.Duration
-		if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
-			wait = time.Duration(ra) * time.Second
-		}
+		wait := parseRetryAfter(resp.Header.Get("Retry-After"), time.Now())
 		return nil, wait, fmt.Errorf("ingest client: %s: %s (%s)", path, resp.Status, bytes.TrimSpace(data))
 	default:
 		return nil, -1, fmt.Errorf("ingest client: %s: %s (%s)", path, resp.Status, bytes.TrimSpace(data))
 	}
 }
 
+// noteTransportFailure feeds the breaker: FailThreshold consecutive
+// transport failures open it for BreakerCooldown. The counter is not
+// reset on open, so a failed half-open probe re-opens immediately.
+func (c *Client) noteTransportFailure() {
+	c.m.TransportFailures++
+	c.consecFails++
+	if c.consecFails >= c.failThreshold() {
+		c.openUntil = time.Now().Add(c.breakerCooldown())
+		c.m.BreakerOpens++
+	}
+}
+
+// parseRetryAfter reads a Retry-After header in either RFC 9110 form:
+// delay-seconds or an HTTP-date. Unparseable or non-positive values
+// mean "no server-mandated wait".
+func parseRetryAfter(v string, now time.Time) time.Duration {
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs > 0 {
+			return time.Duration(secs) * time.Second
+		}
+		return 0
+	}
+	if at, err := http.ParseTime(v); err == nil {
+		if d := at.Sub(now); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
 // postRetry keeps resending until success, a terminal response, context
-// cancellation, or the retry budget runs out. Client-paced waits use
-// full-jitter exponential backoff; a server Retry-After is honored
-// verbatim.
+// cancellation, or the retry budget (RetryFor wall clock and
+// MaxAttempts count) runs out. Client-paced waits use full-jitter
+// exponential backoff; a server Retry-After is honored up to
+// MaxBackoff. An open circuit breaker delays the next attempt until
+// its half-open probe window, or fails the send outright if the budget
+// cannot reach it.
 func (c *Client) postRetry(ctx context.Context, path, contentType string, body []byte) ([]byte, error) {
 	deadline := time.Now().Add(c.retryFor())
+	c.m.Sends++
 	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			c.m.Retries++
+		}
+		if hold := time.Until(c.openUntil); hold > 0 {
+			c.m.ShortCircuits++
+			if time.Now().Add(hold).After(deadline) {
+				return nil, &BreakerOpenError{Until: c.openUntil}
+			}
+			if serr := c.sleep(ctx, hold); serr != nil {
+				return nil, fmt.Errorf("ingest client: %s: %w (breaker open)", path, serr)
+			}
+		}
 		data, wait, err := c.post(ctx, path, contentType, body)
 		if err == nil {
 			return data, nil
@@ -140,8 +272,16 @@ func (c *Client) postRetry(ctx context.Context, path, contentType string, body [
 		if wait < 0 || time.Now().After(deadline) {
 			return nil, err
 		}
-		if wait == 0 {
+		if c.MaxAttempts > 0 && attempt+1 >= c.MaxAttempts {
+			return nil, fmt.Errorf("ingest client: %s: attempt budget (%d) exhausted: %w", path, c.MaxAttempts, err)
+		}
+		if wait > 0 {
+			c.m.RetryAfterHonored++
+		} else {
 			wait = jitterWait(attempt)
+		}
+		if mb := c.maxBackoff(); wait > mb {
+			wait = mb
 		}
 		if serr := c.sleep(ctx, wait); serr != nil {
 			return nil, fmt.Errorf("ingest client: %s: %w (last error: %v)", path, serr, err)

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -50,6 +51,141 @@ func TestJitterWaitBounds(t *testing.T) {
 				t.Fatalf("attempt %d: wait %s outside (0, %s]", attempt, w, cap)
 			}
 		}
+	}
+}
+
+// Retry-After in HTTP-date form is honored like delay-seconds, and any
+// server-supplied wait is capped at the client's MaxBackoff — a server
+// cannot park a client for an hour.
+func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		in   string
+		want time.Duration
+	}{
+		{"", 0},
+		{"3", 3 * time.Second},
+		{"0", 0},
+		{"-2", 0},
+		{now.Add(90 * time.Second).Format(http.TimeFormat), 90 * time.Second},
+		{now.Add(-time.Minute).Format(http.TimeFormat), 0}, // past date = no wait
+		{"soon", 0},
+	}
+	for _, tc := range cases {
+		if got := parseRetryAfter(tc.in, now); got != tc.want {
+			t.Fatalf("parseRetryAfter(%q) = %s, want %s", tc.in, got, tc.want)
+		}
+	}
+}
+
+// A server-mandated wait — integer or HTTP-date — never exceeds the
+// client's MaxBackoff.
+func TestClientCapsServerRetryAfter(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) == 1 {
+			w.Header().Set("Retry-After", time.Now().Add(time.Hour).UTC().Format(http.TimeFormat))
+			http.Error(w, "hold", http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte(`{"accepted":3}`))
+	}))
+	defer srv.Close()
+
+	var slept []time.Duration
+	cl := &Client{
+		Base: srv.URL, Stream: 1, RetryFor: time.Hour,
+		MaxBackoff: 50 * time.Millisecond,
+		Sleep:      func(d time.Duration) { slept = append(slept, d) },
+	}
+	if _, err := cl.Send(context.Background(), mkBatch(0, 3, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if len(slept) != 1 || slept[0] > 50*time.Millisecond {
+		t.Fatalf("waits = %v, want one wait capped at 50ms", slept)
+	}
+	m := cl.Metrics()
+	if m.RetryAfterHonored != 1 || m.Retries != 1 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+// MaxAttempts bounds a logical send even when the wall-clock budget
+// has room left.
+func TestClientAttemptBudget(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	cl := &Client{
+		Base: srv.URL, Stream: 1, RetryFor: time.Hour,
+		MaxAttempts: 3,
+		Sleep:       func(time.Duration) {},
+	}
+	_, err := cl.Send(context.Background(), mkBatch(0, 3, 0))
+	if err == nil {
+		t.Fatal("send succeeded against an always-500 server")
+	}
+	if n := hits.Load(); n != 3 {
+		t.Fatalf("server hit %d times, want MaxAttempts = 3", n)
+	}
+}
+
+// The circuit breaker opens after FailThreshold consecutive transport
+// failures, short-circuits while open, admits a half-open probe after
+// the cooldown, and closes on any HTTP response.
+func TestClientCircuitBreaker(t *testing.T) {
+	// A server that accepts connections and resets them cold: every
+	// request is a transport failure until healthy flips.
+	var healthy atomic.Bool
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		if !healthy.Load() {
+			conn, _, err := w.(http.Hijacker).Hijack()
+			if err == nil {
+				conn.Close()
+			}
+			return
+		}
+		w.Write([]byte(`{"accepted":3}`))
+	}))
+	defer srv.Close()
+
+	var slept []time.Duration
+	cl := &Client{
+		Base: srv.URL, Stream: 1,
+		RetryFor:        200 * time.Millisecond,
+		FailThreshold:   2,
+		BreakerCooldown: time.Hour,
+		Sleep:           func(d time.Duration) { slept = append(slept, d) },
+	}
+	// Two transport failures trip the breaker; with an hour's cooldown
+	// and a 200ms budget the send fails typed, without further probes.
+	_, err := cl.Send(context.Background(), mkBatch(0, 3, 0))
+	var open *BreakerOpenError
+	if !errors.As(err, &open) {
+		t.Fatalf("send through dead wire = %v, want BreakerOpenError", err)
+	}
+	if n := hits.Load(); n != 2 {
+		t.Fatalf("server hit %d times before the breaker opened, want 2", n)
+	}
+	m := cl.Metrics()
+	if m.TransportFailures != 2 || m.BreakerOpens != 1 || m.ShortCircuits != 1 {
+		t.Fatalf("metrics = %+v", m)
+	}
+
+	// Cooldown elapsed (simulate by rewinding the clock) and the server
+	// recovered: the half-open probe goes through and closes the breaker.
+	healthy.Store(true)
+	cl.openUntil = time.Now().Add(-time.Millisecond)
+	if _, err := cl.Send(context.Background(), mkBatch(0, 3, 1)); err != nil {
+		t.Fatalf("half-open probe against recovered server: %v", err)
+	}
+	if cl.consecFails != 0 {
+		t.Fatalf("breaker did not close on success: consecFails = %d", cl.consecFails)
 	}
 }
 

@@ -358,6 +358,18 @@ func (e *Engine) Query(ctx context.Context, v *View, p Params) (*Result, bool, e
 	return r, false, nil
 }
 
+// Cached peeks the result cache without executing: the answer if this
+// exact query is memoized for the view's generation, else nil. The
+// degraded serving mode uses it to answer what it can from cache while
+// shedding everything that would need a scan.
+func (e *Engine) Cached(v *View, p Params) *Result {
+	p, err := p.normalize()
+	if err != nil {
+		return nil
+	}
+	return e.cache.get(strconv.FormatUint(v.Gen, 10) + "|" + p.CacheKey())
+}
+
 // exec runs the pruning pipeline and the scan.
 func (e *Engine) exec(ctx context.Context, v *View, p Params) (*Result, error) {
 	res := &Result{Gen: v.Gen, Rows: []Row{}}
@@ -499,7 +511,15 @@ func (e *Engine) exec(ctx context.Context, v *View, p Params) (*Result, error) {
 				}
 			}
 		} else {
-			for {
+			for n := 0; ; n++ {
+				// The record fallback has no block boundary to check the
+				// deadline at; probe every few thousand rows instead.
+				if n%4096 == 0 {
+					if err := ctx.Err(); err != nil {
+						it.Close()
+						return nil, err
+					}
+				}
 				ok, err := it.Next(&rec)
 				if err != nil {
 					it.Close()

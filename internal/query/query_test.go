@@ -4,9 +4,11 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
+	"time"
 
 	"telcolens/internal/causes"
 	"telcolens/internal/devices"
@@ -375,6 +377,67 @@ func TestQueryCacheLifecycle(t *testing.T) {
 	cs := eng.CacheStats()
 	if cs.Hits == 0 || cs.Misses == 0 || cs.Entries == 0 {
 		t.Fatalf("implausible cache stats %+v", cs)
+	}
+}
+
+// A canceled context aborts execution with the context's error, the
+// abandoned partial result is never cached, and the Cached peek only
+// answers for queries that actually completed.
+func TestQueryCancelNotCached(t *testing.T) {
+	c := genCorpus(9, 2, 2, 400)
+	fs := c.write(t, t.TempDir(), trace.FileStoreOptions{BlockRecords: 64})
+	eng := New(fs)
+	v, err := NewView(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Params{NoIndex: true} // force a full scan so cancellation has work to abort
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := eng.Query(ctx, v, p); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled query = %v, want context.Canceled", err)
+	}
+	if r := eng.Cached(v, p); r != nil {
+		t.Fatal("canceled execution left a cached result")
+	}
+
+	// The same query, uncanceled, completes, caches, and the peek sees
+	// exactly that entry — not other params, not other generations.
+	r1, hit, err := eng.Query(context.Background(), v, p)
+	if err != nil || hit {
+		t.Fatalf("clean query: hit=%v err=%v", hit, err)
+	}
+	if r := eng.Cached(v, p); r != r1 {
+		t.Fatalf("Cached peek = %p, want the memoized result %p", r, r1)
+	}
+	if r := eng.Cached(v, Params{NoIndex: true, Limit: 7}); r != nil {
+		t.Fatal("Cached peek answered for different params")
+	}
+	other := *v
+	other.Gen++
+	if r := eng.Cached(&other, p); r != nil {
+		t.Fatal("Cached peek answered across generations")
+	}
+	if r := eng.Cached(v, Params{Limit: -1}); r != nil {
+		t.Fatal("Cached peek answered an invalid query")
+	}
+}
+
+// The deadline probe in the record-iterator fallback aborts a scan
+// mid-partition once the deadline passes.
+func TestQueryDeadlineAbortsFallbackScan(t *testing.T) {
+	c := genCorpus(11, 1, 1, 9000)
+	fs := c.write(t, t.TempDir(), trace.FileStoreOptions{BlockRecords: 64})
+	eng := New(fs)
+	v, err := NewView(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, _, err := eng.Query(ctx, v, Params{NoIndex: true, Aggregate: true}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired query = %v, want context.DeadlineExceeded", err)
 	}
 }
 

@@ -15,8 +15,15 @@
 #    every partition and the campaign manifest, plus every rendered
 #    analysis artifact (telcoreport output).
 #
-# Tunables (env): UES, DAYS, SHARDS, RATE, ADDR; RACE=1 builds all four
-# binaries with the race detector (the CI soak job does).
+# With NETCHAOS=1 the replay additionally routes through telcoload's
+# in-process netchaos proxy, which injects connection resets and
+# latency at the TCP level the whole time (on top of the kill -9
+# window) — the byte-identity assertions are unchanged, proving the
+# retry/breaker/idempotency stack absorbs an adversarial wire.
+#
+# Tunables (env): UES, DAYS, SHARDS, RATE, ADDR, NETCHAOS,
+# CHAOS_FAULTS, CHAOS_SEED; RACE=1 builds all four binaries with the
+# race detector (the CI soak job does).
 set -euo pipefail
 
 UES=${UES:-2000}
@@ -25,6 +32,12 @@ SHARDS=${SHARDS:-2}
 RATE=${RATE:-25000}
 ADDR=${ADDR:-127.0.0.1:8492}
 RACE=${RACE:-0}
+NETCHAOS=${NETCHAOS:-0}
+# Default plan: a reset every few hundred chunks in each direction plus
+# steady small latency — frequent enough that every soak run exercises
+# mid-request retries, mild enough that the retry budget always wins.
+CHAOS_FAULTS=${CHAOS_FAULTS:-reset:up:after=50:every=311,reset:down:after=80:every=389,latency:up:every=7:delay=1ms:jitter=2ms}
+CHAOS_SEED=${CHAOS_SEED:-7}
 
 cd "$(dirname "$0")/.."
 WORK=$(mktemp -d)
@@ -77,8 +90,15 @@ echo "== starting telcoserve -ingest on empty $LIVE"
 serve
 wait_http /healthz 50
 
+LOAD_FLAGS=(-src "$SRC" -url "http://$ADDR" -rate "$RATE")
+if [ "$NETCHAOS" = "1" ]; then
+  echo "== netchaos leg: replaying through the chaos proxy ($CHAOS_FAULTS, seed $CHAOS_SEED)"
+  LOAD_FLAGS+=(-chaos-faults "$CHAOS_FAULTS" -chaos-seed "$CHAOS_SEED" \
+    -retry-for 5m -max-backoff 2s)
+fi
+
 echo "== streaming the campaign live (rate $RATE rec/s)"
-"$BIN/telcoload" -src "$SRC" -url "http://$ADDR" -rate "$RATE" \
+"$BIN/telcoload" "${LOAD_FLAGS[@]}" \
   >"$WORK/load.log" 2>&1 &
 LOAD_PID=$!
 
@@ -178,4 +198,8 @@ echo "== comparing rendered artifacts"
 "$BIN/telcoreport" -data "$LIVE" -out "$WORK/report_live.txt"
 diff -u "$WORK/report_src.txt" "$WORK/report_live.txt"
 
+if [ "$NETCHAOS" = "1" ]; then
+  echo "== wire damage absorbed:"
+  grep -E '^telcoload: (client|chaos):' "$WORK/load.log" || true
+fi
 echo "== soak OK: $(stat_field ingested_records) records streamed, $DAYS days sealed, artifacts byte-identical"
